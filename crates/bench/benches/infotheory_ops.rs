@@ -1,0 +1,43 @@
+//! Microbenchmarks of the information-theoretic estimators that dominate
+//! MCIMR's running time (CMI with growing conditioning sets).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use infotheory::EncodedFrame;
+use tabular::{Column, DataFrame};
+
+fn synthetic_frame(rows: usize) -> DataFrame {
+    let cols = (0..6)
+        .map(|c| {
+            let vals: Vec<Option<i64>> =
+                (0..rows).map(|i| Some(((i * (c + 3) + c * 7) % 8) as i64)).collect();
+            Column::from_i64(format!("c{c}"), vals)
+        })
+        .collect();
+    DataFrame::from_columns(cols).expect("frame")
+}
+
+fn bench_cmi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conditional_mutual_information");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &rows in &[10_000usize, 100_000] {
+        let frame = synthetic_frame(rows);
+        let encoded = EncodedFrame::from_frame(&frame);
+        group.bench_with_input(BenchmarkId::new("mi", rows), &encoded, |b, ef| {
+            b.iter(|| ef.mutual_information("c0", "c1", None).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cmi_1cond", rows), &encoded, |b, ef| {
+            b.iter(|| ef.cmi("c0", "c1", &["c2"], None).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cmi_3cond", rows), &encoded, |b, ef| {
+            b.iter(|| ef.cmi("c0", "c1", &["c2", "c3", "c4"], None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cmi);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark behind Figure 4: MCIMR running time as a function of
+//! the number of candidate attributes (with and without pruning).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{prepare_workload, ExperimentData, Scale};
+use datagen::{representative_queries_for, Dataset};
+use mesa::{Mesa, MesaConfig, PruningConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn bench_attrs(c: &mut Criterion) {
+    let data = ExperimentData::generate(Scale::Quick);
+    let wq = &representative_queries_for(Dataset::Covid)[0];
+    let prepared = prepare_workload(&data, wq).expect("prepare");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("mcimr_vs_candidate_attributes");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n_attrs in &[50usize, 150, 250, 350] {
+        let n = n_attrs.min(prepared.candidates.len());
+        let mut cands = prepared.candidates.clone();
+        cands.shuffle(&mut rng);
+        cands.truncate(n);
+        let mut sub = prepared.clone();
+        sub.candidates = cands;
+        group.bench_with_input(BenchmarkId::new("mcimr_pruned", n), &sub, |b, sub| {
+            let mesa = Mesa::new();
+            b.iter(|| mesa.explain_prepared(sub).expect("explain"));
+        });
+        group.bench_with_input(BenchmarkId::new("no_pruning", n), &sub, |b, sub| {
+            let mesa = Mesa::with_config(MesaConfig {
+                pruning: PruningConfig::disabled(),
+                ..Default::default()
+            });
+            b.iter(|| mesa.explain_prepared(sub).expect("explain"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attrs);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark behind Figure 6: MCIMR running time as a function of
+//! the explanation-size bound k.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{prepare_workload, ExperimentData, Scale};
+use datagen::{representative_queries_for, Dataset};
+use mesa::{Mesa, MesaConfig};
+
+fn bench_k(c: &mut Criterion) {
+    let data = ExperimentData::generate(Scale::Quick);
+    let wq = &representative_queries_for(Dataset::Covid)[0];
+    let prepared = prepare_workload(&data, wq).expect("prepare");
+
+    let mut group = c.benchmark_group("mcimr_vs_k");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &k in &[1usize, 3, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &prepared, |b, p| {
+            let mesa = Mesa::with_config(MesaConfig::default().with_k(k));
+            b.iter(|| mesa.explain_prepared(p).expect("explain"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k);
+criterion_main!(benches);

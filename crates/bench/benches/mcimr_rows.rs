@@ -1,0 +1,35 @@
+//! Criterion benchmark behind Figure 5: MCIMR running time as a function of
+//! the dataset size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{ExperimentData, Scale};
+use datagen::{generate_so, Dataset};
+use mesa::Mesa;
+use tabular::AggregateQuery;
+
+fn bench_rows(c: &mut Criterion) {
+    let data = ExperimentData::generate(Scale::Quick);
+    let mesa = Mesa::new();
+    let query = AggregateQuery::avg("Country", "Salary");
+
+    let mut group = c.benchmark_group("mcimr_vs_rows");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &rows in &[2_000usize, 6_000, 12_000] {
+        let frame = generate_so(&data.world, rows, 77).expect("generate");
+        let prepared = mesa
+            .prepare(&frame, &query, Some(&data.graph), Dataset::StackOverflow.extraction_columns())
+            .expect("prepare");
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &prepared, |b, p| {
+            b.iter(|| mesa.explain_prepared(p).expect("explain"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows);
+criterion_main!(benches);

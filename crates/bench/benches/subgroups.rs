@@ -1,0 +1,33 @@
+//! Benchmark of Algorithm 2 (top-k unexplained subgroups), backing the
+//! running-time claim of Section 5.4.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{prepare_workload, ExperimentData, Scale};
+use datagen::{representative_queries_for, Dataset};
+use mesa::{Mesa, SubgroupConfig};
+
+fn bench_subgroups(c: &mut Criterion) {
+    let data = ExperimentData::generate(Scale::Quick);
+    let mesa = Mesa::new();
+    let wq = &representative_queries_for(Dataset::StackOverflow)[0];
+    let prepared = prepare_workload(&data, wq).expect("prepare");
+    let report = mesa.explain_prepared(&prepared).expect("explain");
+    let config = SubgroupConfig { top_k: 5, tau: 0.2, ..Default::default() };
+
+    let mut group = c.benchmark_group("unexplained_subgroups");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("so_q1_top5", |b| {
+        b.iter(|| {
+            mesa.unexplained_subgroups(&prepared, &report.explanation, &config).expect("subgroups")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subgroups);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: the MCIMR greedy criterion (Equation 5: Min-CMI + Min-Redundancy
+//! over bivariate terms) versus the exact multivariate criterion (Equation 1)
+//! and versus relevance-only selection, on the Covid and Forbes queries.
+
+use std::time::Instant;
+
+use bench::{prepare_workload, run_method, ExperimentData, Method, Scale};
+use datagen::{representative_queries, Dataset};
+use mesa::baselines::brute_force;
+use mesa::{explanation_line, prune, PruningConfig};
+
+fn main() {
+    let data = ExperimentData::generate(Scale::from_env());
+    println!("== Ablation: MCIMR criterion vs exact subset search vs relevance-only ==\n");
+    for wq in representative_queries()
+        .into_iter()
+        .filter(|q| matches!(q.dataset, Dataset::Covid | Dataset::Forbes))
+    {
+        let prepared = match prepare_workload(&data, &wq) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let pruned = prune(
+            &prepared.encoded,
+            &prepared.candidates,
+            prepared.exposure(),
+            prepared.outcome(),
+            &PruningConfig::default(),
+        )
+        .expect("prune");
+        println!("--- {} ---", wq.id);
+        // MCIMR (greedy, Eq. 5)
+        let mcimr = run_method(&prepared, Method::Mesa, 5).expect("mesa");
+        println!(
+            "  MCIMR (Eq.5 greedy)     I(O;T|E)={:.3}  E=[{}]  {:?}",
+            mcimr.explanation.explainability,
+            explanation_line(&mcimr.explanation),
+            mcimr.elapsed
+        );
+        // Exact subset search (Eq. 1 objective)
+        let capped: Vec<String> = pruned.kept.iter().take(14).cloned().collect();
+        let start = Instant::now();
+        let exact = brute_force(&prepared, &capped, 5).expect("brute force");
+        println!(
+            "  Exact (Eq.1 exhaustive) I(O;T|E)={:.3}  E=[{}]  {:?}",
+            exact.explainability,
+            explanation_line(&exact),
+            start.elapsed()
+        );
+        // Relevance-only (no redundancy term)
+        let topk = run_method(&prepared, Method::TopK, 5).expect("topk");
+        println!(
+            "  Relevance-only          I(O;T|E)={:.3}  E=[{}]  {:?}\n",
+            topk.explanation.explainability,
+            explanation_line(&topk.explanation),
+            topk.elapsed
+        );
+    }
+    println!("(expected: MCIMR matches the exact search closely at a fraction of the cost; relevance-only is worse)");
+}

@@ -1,0 +1,28 @@
+//! Figure 1: the motivating Covid-19 query — average deaths per 100 cases per
+//! country — and MESA's explanation of the observed correlation.
+
+use bench::{ExperimentData, Scale};
+use datagen::Dataset;
+use mesa::{report_summary, Mesa};
+use tabular::AggregateQuery;
+
+fn main() {
+    let data = ExperimentData::generate(Scale::from_env());
+    let covid = data.frame(Dataset::Covid);
+    let query = AggregateQuery::avg("Country", "Deaths_per_100_cases");
+
+    println!("== Figure 1: visualisation of the query results ==\n");
+    println!("{}\n", query.to_sql("Covid-Data"));
+    let result = query.run(covid).expect("query runs");
+    let sorted = result.sort_by("avg(Deaths_per_100_cases)").expect("sortable");
+    // Show the head and tail of the distribution, like the paper's bar chart.
+    println!("{}", sorted.head(10).to_pretty_string(10));
+    println!("... (total {} countries)\n", sorted.n_rows());
+
+    println!("== MESA explanation of the Country ~ Deaths correlation ==\n");
+    let mesa = Mesa::new();
+    let report = mesa
+        .explain(covid, &query, Some(&data.graph), Dataset::Covid.extraction_columns())
+        .expect("explanation");
+    println!("{}", report_summary(&report));
+}

@@ -1,0 +1,44 @@
+//! Figure 2: distance of each method's explainability score from
+//! Brute-Force's, on the Covid and Forbes queries (the two datasets where the
+//! exhaustive search is feasible).
+
+use bench::{prepare_workload, run_all_methods, ExperimentData, Method, Scale};
+use datagen::{representative_queries, Dataset};
+
+fn main() {
+    let data = ExperimentData::generate(Scale::from_env());
+    println!("== Figure 2: distance from Brute-Force explainability ==\n");
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "Query", "LR", "Top-K", "HypDB", "MESA", "MESA-");
+    for wq in representative_queries()
+        .into_iter()
+        .filter(|q| matches!(q.dataset, Dataset::Covid | Dataset::Forbes))
+    {
+        let prepared = match prepare_workload(&data, &wq) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let results = match run_all_methods(&prepared, 5) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        let score = |m: Method| {
+            results
+                .iter()
+                .find(|r| r.method == m)
+                .map(|r| r.explanation.explainability)
+                .unwrap_or(f64::NAN)
+        };
+        let reference = score(Method::BruteForce);
+        let dist = |m: Method| (score(m) - reference).max(0.0);
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            wq.id.replace(' ', "-"),
+            dist(Method::LinearRegression),
+            dist(Method::TopK),
+            dist(Method::HypDb),
+            dist(Method::Mesa),
+            dist(Method::MesaMinus),
+        );
+    }
+    println!("\n(lower is better; the paper's Figure 2 shows MESA and MESA- closest to Brute-Force)");
+}

@@ -1,0 +1,96 @@
+//! Figure 3: explainability of MESA's explanations as a function of the
+//! percentage of missing values in the most relevant extracted attributes,
+//! under missing-at-random removal, biased removal, and mean imputation.
+
+use bench::{ExperimentData, Scale};
+use datagen::Dataset;
+use kg::{impute_mean, remove_at_random, remove_biased};
+use mesa::{Mesa, MesaConfig, MissingPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tabular::AggregateQuery;
+
+/// Finds the `top_n` extracted attributes most relevant to the outcome and
+/// returns their names.
+fn most_relevant_extracted(
+    prepared: &mesa::PreparedQuery,
+    top_n: usize,
+) -> Vec<String> {
+    let mut scored: Vec<(String, f64)> = prepared
+        .extracted
+        .iter()
+        .filter_map(|a| {
+            prepared
+                .encoded
+                .mutual_information(prepared.outcome(), a, None)
+                .ok()
+                .map(|mi| (a.clone(), mi))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().take(top_n).map(|(a, _)| a).collect()
+}
+
+fn run_dataset(data: &ExperimentData, dataset: Dataset, exposure: &str, outcome: &str) {
+    let frame = data.frame(dataset);
+    let query = AggregateQuery::avg(exposure, outcome);
+    let mesa = Mesa::new();
+    let base_prepared = mesa
+        .prepare(frame, &query, Some(&data.graph), dataset.extraction_columns())
+        .expect("prepare");
+    let targets = most_relevant_extracted(&base_prepared, 10);
+
+    println!("--- {} : {} ---", dataset.name(), query.to_sql(dataset.name()).replace('\n', " "));
+    println!(
+        "{:>8} {:>22} {:>18} {:>14}",
+        "%missing", "missing-at-random", "biased removal", "imputation"
+    );
+    for pct in [10, 30, 50, 70, 90] {
+        let fraction = pct as f64 / 100.0;
+        let mut scores = Vec::new();
+        for mode in ["mar", "biased", "impute"] {
+            let mut degraded = base_prepared.frame.clone();
+            let mut rng = StdRng::seed_from_u64(pct as u64);
+            for t in &targets {
+                degraded = match mode {
+                    "mar" => remove_at_random(&degraded, t, fraction, &mut rng).expect("mar"),
+                    _ => remove_biased(&degraded, t, fraction).expect("biased"),
+                };
+            }
+            let policy = if mode == "impute" {
+                for t in &targets {
+                    degraded = impute_mean(&degraded, t).expect("impute");
+                }
+                MissingPolicy::CompleteCase
+            } else {
+                MissingPolicy::Ipw
+            };
+            // Re-encode the degraded frame and rerun MESA on it.
+            let prepared = mesa::prepare_query(
+                &degraded,
+                &query,
+                None,
+                &[],
+                mesa::PrepareConfig::default(),
+            )
+            .expect("re-prepare");
+            let system =
+                Mesa::with_config(MesaConfig { missing: policy, ..MesaConfig::default() });
+            let report = system.explain_prepared(&prepared).expect("explain");
+            scores.push(report.explanation.explainability);
+        }
+        println!("{:>7}% {:>22.4} {:>18.4} {:>14.4}", pct, scores[0], scores[1], scores[2]);
+    }
+    println!();
+}
+
+fn main() {
+    let data = ExperimentData::generate(Scale::from_env());
+    println!("== Figure 3: explainability as a function of missing data ==\n");
+    run_dataset(&data, Dataset::StackOverflow, "Country", "Salary");
+    run_dataset(&data, Dataset::Covid, "Country", "Deaths_per_100_cases");
+    println!(
+        "(expected shape: IPW-backed complete-case scores stay nearly flat up to ~50% missing,\n\
+         while imputation degrades explainability markedly — as in the paper's Figure 3)"
+    );
+}

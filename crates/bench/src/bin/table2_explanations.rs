@@ -1,0 +1,36 @@
+//! Table 2: the explanations every method produces for the 14 representative
+//! queries.
+
+use bench::{prepare_workload, run_all_methods, ExperimentData, Scale};
+use datagen::representative_queries;
+use mesa::explanation_line;
+
+fn main() {
+    let data = ExperimentData::generate(Scale::from_env());
+    println!("== Table 2: explanations per method for the 14 representative queries ==\n");
+    for wq in representative_queries() {
+        println!("--- {} — {} ---", wq.id, wq.description);
+        let prepared = match prepare_workload(&data, &wq) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("  (preparation failed: {e})\n");
+                continue;
+            }
+        };
+        match run_all_methods(&prepared, 5) {
+            Ok(results) => {
+                for r in results {
+                    println!(
+                        "  {:<12} {:<55} I(O;T|E)={:.3}  [{:?}]",
+                        r.method.name(),
+                        explanation_line(&r.explanation),
+                        r.explanation.explainability,
+                        r.elapsed
+                    );
+                }
+            }
+            Err(e) => println!("  (explanation failed: {e})"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 3: average explanation scores per method.
+//!
+//! The paper uses a 150-subject MTurk study; we substitute the simulated
+//! judge (see `bench::judge`) that scores each explanation against the
+//! ground-truth confounders of the generating world model on the same 1–5
+//! scale, and report the mean and variance per method.
+
+use std::collections::HashMap;
+
+use bench::{ground_truth_for, judge_explanation, prepare_workload, run_all_methods, ExperimentData, Method, Scale};
+use datagen::representative_queries;
+
+fn main() {
+    let data = ExperimentData::generate(Scale::from_env());
+    let mut scores: HashMap<Method, Vec<f64>> = HashMap::new();
+
+    for wq in representative_queries() {
+        let prepared = match prepare_workload(&data, &wq) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let truth = ground_truth_for(&wq.id);
+        if let Ok(results) = run_all_methods(&prepared, 5) {
+            for r in results {
+                let s = judge_explanation(&r.explanation, &truth);
+                scores.entry(r.method).or_default().push(s.score);
+            }
+        }
+    }
+
+    println!("== Table 3: average explanation scores (simulated judge, 1-5) ==\n");
+    println!("{:<14} {:>13} {:>18}", "Baseline", "Average Score", "Average Variance");
+    let mut rows: Vec<(Method, f64, f64)> = scores
+        .into_iter()
+        .map(|(m, v)| {
+            let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
+            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len().max(1) as f64;
+            (m, mean, var)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (m, mean, var) in rows {
+        println!("{:<14} {:>13.2} {:>18.2}", m.name(), mean, var);
+    }
+    println!(
+        "\n(paper, human judges: Brute-Force 3.8, MESA- 3.7, MESA 3.5, HypDB 2.8, Top-K 2.1, LR 1.8;\n\
+         the reproduction checks the ordering, not the absolute values)"
+    );
+}

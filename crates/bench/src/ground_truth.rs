@@ -1,0 +1,52 @@
+//! Ground-truth confounders per representative query, derived from how the
+//! world model generates each outcome (see `datagen::world` and
+//! `datagen::datasets`). These play the role of the paper's "previous
+//! in-domain findings" that support its explanations.
+
+use crate::judge::GroundTruth;
+
+/// The ground-truth confounder patterns for a representative query id
+/// (`"SO Q1"`, `"Covid Q2"`, ...). Unknown ids get an empty ground truth.
+pub fn ground_truth_for(query_id: &str) -> GroundTruth {
+    let patterns: &[&str] = match query_id {
+        // Salary is driven by GDP per capita and Gini of the developer's country.
+        "SO Q1" | "SO Q3" => &["gdp", "gini", "hdi"],
+        // Per-continent salary differences follow aggregate GDP / population.
+        "SO Q2" => &["gdp", "density", "population"],
+        // Delays are driven by origin weather + congestion (population) and
+        // the airline's operational quality (fleet size / equity).
+        "Flights Q1" | "Flights Q2" | "Flights Q3" | "Flights Q4" => {
+            &["precipitation", "snow", "low f", "avg f", "percent sun", "population", "density", "fleet", "equity"]
+        }
+        "Flights Q5" => &["fleet", "equity", "revenue", "net income", "employees"],
+        // Covid deaths are driven by health quality (HDI/GDP proxies) and density.
+        "Covid Q1" | "Covid Q2" => &["hdi", "gdp", "gini", "confirmed", "density"],
+        "Covid Q3" => &["density", "hdi", "gdp", "confirmed"],
+        // Forbes pay: net worth everywhere; gender gap for actors; cups /
+        // draft pick for athletes; awards for directors.
+        "Forbes Q1" => &["net worth", "gender", "awards"],
+        "Forbes Q2" => &["net worth", "awards", "years active"],
+        "Forbes Q3" => &["cups", "draft pick", "net worth"],
+        _ => &[],
+    };
+    GroundTruth::new(patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::representative_queries;
+
+    #[test]
+    fn every_representative_query_has_ground_truth() {
+        for q in representative_queries() {
+            let truth = ground_truth_for(&q.id);
+            assert!(!truth.confounders.is_empty(), "no ground truth for {}", q.id);
+        }
+    }
+
+    #[test]
+    fn unknown_query_is_empty() {
+        assert!(ground_truth_for("Nope Q9").confounders.is_empty());
+    }
+}

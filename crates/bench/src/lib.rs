@@ -1,0 +1,27 @@
+//! Shared harness code for the experiment binaries in `src/bin/` and the
+//! Criterion benchmarks in `benches/`.
+//!
+//! Every binary regenerates one table or figure of the paper's evaluation
+//! (see `DESIGN.md` for the per-experiment index and `EXPERIMENTS.md` for the
+//! recorded results). The harness keeps the experiment setup — world
+//! generation, dataset sizes, method roster, the simulated judge — in one
+//! place so every experiment runs against the same synthetic world.
+//!
+//! Run an experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2_explanations
+//! MESA_SCALE=paper cargo run --release -p bench --bin fig5_scaling_rows
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ground_truth;
+pub mod judge;
+pub mod methods;
+pub mod setup;
+
+pub use ground_truth::ground_truth_for;
+pub use judge::{judge_explanation, GroundTruth, JudgeScore};
+pub use methods::{run_all_methods, run_method, Method, MethodResult};
+pub use setup::{experiment_world, prepare_workload, scaled_rows, ExperimentData, Scale};

@@ -1,0 +1,459 @@
+//! Generators for the four evaluation datasets.
+//!
+//! Each generator samples rows from the [`World`] so that the exposure–outcome
+//! correlation the paper's queries expose is genuinely driven by entity
+//! attributes that live *outside* the dataset (in the knowledge graph):
+//!
+//! * **SO** — developer salaries are driven by the country's GDP per capita
+//!   and inequality (Gini), plus within-dataset factors (dev type, gender,
+//!   experience).
+//! * **Covid-19** — deaths per 100 cases are driven by the country's latent
+//!   health quality (correlated with HDI/GDP) and density.
+//! * **Flights** — departure delays are driven by the origin city's weather
+//!   and congestion and by the airline's operational quality (correlated with
+//!   fleet size / equity).
+//! * **Forbes** — celebrity pay is driven by net worth plus category-specific
+//!   factors (gender gap for actors, cups / draft pick for athletes, awards
+//!   for directors).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tabular::{Column, DataFrame, Result};
+
+use crate::util::{choose, normal, weighted_index};
+use crate::world::World;
+
+/// Row counts mirroring Table 1 of the paper.
+pub const SO_DEFAULT_ROWS: usize = 47_623;
+/// Covid-19 has one row per country.
+pub const COVID_DEFAULT_ROWS: usize = 188;
+/// The full Flights dataset size (5.8M); the harness uses smaller samples by
+/// default and scales up for the data-size experiment.
+pub const FLIGHTS_DEFAULT_ROWS: usize = 5_819_079;
+/// Forbes celebrity-earnings rows.
+pub const FORBES_DEFAULT_ROWS: usize = 1_647;
+
+const DEV_TYPES: &[(&str, f64)] = &[
+    ("Back-end", 1.0),
+    ("Front-end", 0.92),
+    ("Full-stack", 1.02),
+    ("Data scientist", 1.18),
+    ("Mobile", 0.95),
+    ("DevOps", 1.12),
+    ("Embedded", 1.05),
+];
+
+const EDUCATION: &[&str] = &["Bachelor", "Master", "PhD", "Self-taught", "Bootcamp"];
+
+/// Generates the Stack Overflow developer-survey dataset.
+///
+/// Columns: `Country`, `Continent`, `Gender`, `Age`, `DevType`, `Education`,
+/// `YearsCode`, `Hobby`, `Salary`.
+pub fn generate_so(world: &World, n_rows: usize, seed: u64) -> Result<DataFrame> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Developers are concentrated in more successful countries.
+    let weights: Vec<f64> = world.countries.iter().map(|c| 0.2 + c.success * c.population.sqrt()).collect();
+
+    let mut country = Vec::with_capacity(n_rows);
+    let mut continent = Vec::with_capacity(n_rows);
+    let mut gender = Vec::with_capacity(n_rows);
+    let mut age = Vec::with_capacity(n_rows);
+    let mut dev_type = Vec::with_capacity(n_rows);
+    let mut education = Vec::with_capacity(n_rows);
+    let mut years_code = Vec::with_capacity(n_rows);
+    let mut hobby = Vec::with_capacity(n_rows);
+    let mut salary = Vec::with_capacity(n_rows);
+
+    for _ in 0..n_rows {
+        let c = &world.countries[weighted_index(&mut rng, &weights)];
+        let (dt, dt_factor) = *choose(&mut rng, DEV_TYPES);
+        let g = if rng.gen_bool(0.82) { "Man" } else { "Woman" };
+        let years = rng.gen_range(1..30) as f64;
+        let a = (20.0 + years + rng.gen_range(0.0..15.0)).round();
+        // Salary (kUSD/year): driven by the country economy (outside the
+        // dataset), with within-dataset modifiers.
+        let country_factor = 6.0 + 0.95 * c.gdp_per_capita - 0.12 * (c.gini - 38.0);
+        let gender_factor = if g == "Man" { 1.0 } else { 0.93 };
+        let s = (country_factor * dt_factor * gender_factor * (1.0 + 0.012 * years)
+            + normal(&mut rng, 0.0, 6.0))
+        .max(2.0);
+        country.push(Some(c.dataset_name.clone()));
+        continent.push(Some(c.continent.clone()));
+        gender.push(Some(g.to_string()));
+        age.push(Some(a as i64));
+        dev_type.push(Some(dt.to_string()));
+        education.push(Some(choose(&mut rng, EDUCATION).to_string()));
+        years_code.push(Some(years as i64));
+        hobby.push(Some(if rng.gen_bool(0.6) { "Yes" } else { "No" }.to_string()));
+        salary.push(Some((s * 1000.0).round()));
+    }
+
+    DataFrame::from_columns(vec![
+        Column::from_str_values("Country", country),
+        Column::from_str_values("Continent", continent),
+        Column::from_str_values("Gender", gender),
+        Column::from_i64("Age", age),
+        Column::from_str_values("DevType", dev_type),
+        Column::from_str_values("Education", education),
+        Column::from_i64("YearsCode", years_code),
+        Column::from_str_values("Hobby", hobby),
+        Column::from_f64("Salary", salary),
+    ])
+}
+
+/// Generates the Covid-19 dataset: one row per country.
+///
+/// Columns: `Country`, `WHO-Region`, `Confirmed_cases`, `Deaths_per_100_cases`,
+/// `Recovered_per_100_cases`, `Active_per_100_cases`, `New_cases`.
+pub fn generate_covid(world: &World, seed: u64) -> Result<DataFrame> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = world.countries.len();
+    let mut country = Vec::with_capacity(n);
+    let mut region = Vec::with_capacity(n);
+    let mut confirmed = Vec::with_capacity(n);
+    let mut deaths = Vec::with_capacity(n);
+    let mut recovered = Vec::with_capacity(n);
+    let mut active = Vec::with_capacity(n);
+    let mut new_cases = Vec::with_capacity(n);
+
+    for c in &world.countries {
+        // Confirmed cases scale with population and (testing capacity ~) success.
+        let conf = (c.population * 1000.0 * (0.5 + c.success) * rng.gen_range(0.5..1.5)).round();
+        // Death rate: worse health systems and denser countries fare worse.
+        let d = (11.5 - 9.0 * c.health_quality + 0.004 * c.density.min(1500.0)
+            + normal(&mut rng, 0.0, 0.7))
+        .clamp(0.3, 16.0);
+        let r = (92.0 - d * 2.0 + normal(&mut rng, 0.0, 3.0)).clamp(30.0, 99.0);
+        country.push(Some(c.dataset_name.clone()));
+        region.push(Some(c.who_region.clone()));
+        confirmed.push(Some(conf));
+        deaths.push(Some((d * 100.0).round() / 100.0));
+        recovered.push(Some((r * 100.0).round() / 100.0));
+        active.push(Some(((100.0 - d - r).max(0.0) * 100.0).round() / 100.0));
+        new_cases.push(Some((conf * rng.gen_range(0.001..0.01)).round()));
+    }
+
+    DataFrame::from_columns(vec![
+        Column::from_str_values("Country", country),
+        Column::from_str_values("WHO-Region", region),
+        Column::from_f64("Confirmed_cases", confirmed),
+        Column::from_f64("Deaths_per_100_cases", deaths),
+        Column::from_f64("Recovered_per_100_cases", recovered),
+        Column::from_f64("Active_per_100_cases", active),
+        Column::from_f64("New_cases", new_cases),
+    ])
+}
+
+/// Generates the Flights-delay dataset.
+///
+/// Columns: `Airline`, `Origin_city`, `Origin_state`, `Dest_city`,
+/// `Dest_state`, `Day`, `Distance`, `Departure_delay`, `Arrival_delay`,
+/// `Security_delay`, `Cancelled`.
+pub fn generate_flights(world: &World, n_rows: usize, seed: u64) -> Result<DataFrame> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let city_weights: Vec<f64> = world.cities.iter().map(|c| 1.0 + c.population).collect();
+
+    let mut airline = Vec::with_capacity(n_rows);
+    let mut origin_city = Vec::with_capacity(n_rows);
+    let mut origin_state = Vec::with_capacity(n_rows);
+    let mut dest_city = Vec::with_capacity(n_rows);
+    let mut dest_state = Vec::with_capacity(n_rows);
+    let mut day = Vec::with_capacity(n_rows);
+    let mut distance = Vec::with_capacity(n_rows);
+    let mut dep_delay = Vec::with_capacity(n_rows);
+    let mut arr_delay = Vec::with_capacity(n_rows);
+    let mut sec_delay = Vec::with_capacity(n_rows);
+    let mut cancelled = Vec::with_capacity(n_rows);
+
+    for _ in 0..n_rows {
+        let a = choose(&mut rng, &world.airlines);
+        let o = &world.cities[weighted_index(&mut rng, &city_weights)];
+        let d = &world.cities[weighted_index(&mut rng, &city_weights)];
+        let dist = rng.gen_range(150.0_f64..2800.0).round();
+        // Delay: weather + congestion at the origin, airline operations.
+        let delay = (2.0
+            + 28.0 * o.bad_weather
+            + 24.0 * o.congestion
+            + 18.0 * (1.0 - a.ops_quality)
+            + normal(&mut rng, 0.0, 9.0))
+        .max(-10.0);
+        let security = (1.5 + 6.0 * o.congestion + normal(&mut rng, 0.0, 1.0)).max(0.0);
+        airline.push(Some(a.name.clone()));
+        origin_city.push(Some(o.name.clone()));
+        origin_state.push(Some(o.state.clone()));
+        dest_city.push(Some(d.name.clone()));
+        dest_state.push(Some(d.state.clone()));
+        day.push(Some(rng.gen_range(1..366)));
+        distance.push(Some(dist));
+        dep_delay.push(Some((delay * 10.0).round() / 10.0));
+        arr_delay.push(Some(((delay + normal(&mut rng, 0.0, 4.0)) * 10.0).round() / 10.0));
+        sec_delay.push(Some((security * 10.0).round() / 10.0));
+        cancelled.push(Some(rng.gen_bool(0.015 + 0.02 * o.bad_weather)));
+    }
+
+    DataFrame::from_columns(vec![
+        Column::from_str_values("Airline", airline),
+        Column::from_str_values("Origin_city", origin_city),
+        Column::from_str_values("Origin_state", origin_state),
+        Column::from_str_values("Dest_city", dest_city),
+        Column::from_str_values("Dest_state", dest_state),
+        Column::from_i64("Day", day),
+        Column::from_f64("Distance", distance),
+        Column::from_f64("Departure_delay", dep_delay),
+        Column::from_f64("Arrival_delay", arr_delay),
+        Column::from_f64("Security_delay", sec_delay),
+        Column::from_bool("Cancelled", cancelled),
+    ])
+}
+
+/// Generates the Forbes celebrity-earnings dataset.
+///
+/// Columns: `Name`, `Category`, `Year`, `Pay` (millions of USD).
+pub fn generate_forbes(world: &World, n_rows: usize, seed: u64) -> Result<DataFrame> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut name = Vec::with_capacity(n_rows);
+    let mut category = Vec::with_capacity(n_rows);
+    let mut year = Vec::with_capacity(n_rows);
+    let mut pay = Vec::with_capacity(n_rows);
+
+    for i in 0..n_rows {
+        let c = &world.celebrities[i % world.celebrities.len()];
+        let base = match c.category.as_str() {
+            "Actors" => {
+                8.0 + 0.045 * c.net_worth + if c.gender == "Male" { 14.0 } else { 0.0 }
+            }
+            "Athletes" => 10.0 + 5.5 * c.cups - 0.35 * c.draft_pick + 0.02 * c.net_worth,
+            "Directors/Producers" => 6.0 + 2.4 * c.awards + 0.04 * c.net_worth,
+            _ => 5.0 + 1.2 * c.awards + 0.055 * c.net_worth,
+        };
+        name.push(Some(c.name.clone()));
+        category.push(Some(c.category.clone()));
+        year.push(Some(2005 + (i % 11) as i64));
+        pay.push(Some((base + normal(&mut rng, 0.0, 4.0)).max(0.5).round()));
+    }
+
+    DataFrame::from_columns(vec![
+        Column::from_str_values("Name", name),
+        Column::from_str_values("Category", category),
+        Column::from_i64("Year", year),
+        Column::from_f64("Pay", pay),
+    ])
+}
+
+/// The four evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Stack Overflow developer survey.
+    StackOverflow,
+    /// Covid-19 country statistics.
+    Covid,
+    /// US domestic flight delays.
+    Flights,
+    /// Forbes celebrity earnings.
+    Forbes,
+}
+
+impl Dataset {
+    /// All four datasets.
+    pub fn all() -> [Dataset; 4] {
+        [Dataset::StackOverflow, Dataset::Covid, Dataset::Flights, Dataset::Forbes]
+    }
+
+    /// Display name used in reports (matches Table 1).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::StackOverflow => "SO",
+            Dataset::Covid => "COVID-19",
+            Dataset::Flights => "Flights",
+            Dataset::Forbes => "Forbes",
+        }
+    }
+
+    /// The columns used for KG attribute extraction (Table 1).
+    pub fn extraction_columns(self) -> &'static [&'static str] {
+        match self {
+            Dataset::StackOverflow => &["Country", "Continent"],
+            Dataset::Covid => &["Country", "WHO-Region"],
+            Dataset::Flights => &["Airline", "Origin_city", "Origin_state"],
+            Dataset::Forbes => &["Name"],
+        }
+    }
+
+    /// The default number of rows reported in Table 1.
+    pub fn default_rows(self) -> usize {
+        match self {
+            Dataset::StackOverflow => SO_DEFAULT_ROWS,
+            Dataset::Covid => COVID_DEFAULT_ROWS,
+            Dataset::Flights => FLIGHTS_DEFAULT_ROWS,
+            Dataset::Forbes => FORBES_DEFAULT_ROWS,
+        }
+    }
+
+    /// Generates the dataset at a chosen size (ignored for Covid, which has
+    /// one row per country).
+    pub fn generate(self, world: &World, n_rows: usize, seed: u64) -> Result<DataFrame> {
+        match self {
+            Dataset::StackOverflow => generate_so(world, n_rows, seed),
+            Dataset::Covid => generate_covid(world, seed),
+            Dataset::Flights => generate_flights(world, n_rows, seed),
+            Dataset::Forbes => generate_forbes(world, n_rows, seed),
+        }
+    }
+
+    /// Numeric outcome attributes that make sense for random queries (§5.1).
+    pub fn outcome_columns(self) -> &'static [&'static str] {
+        match self {
+            Dataset::StackOverflow => &["Salary"],
+            Dataset::Covid => &["Deaths_per_100_cases", "New_cases", "Recovered_per_100_cases"],
+            Dataset::Flights => &["Departure_delay", "Arrival_delay"],
+            Dataset::Forbes => &["Pay"],
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use stats::pearson;
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            n_countries: 60,
+            n_cities: 25,
+            n_airlines: 8,
+            n_celebrities: 80,
+            seed: 5,
+        })
+    }
+
+    fn col_f64(df: &DataFrame, name: &str) -> Vec<f64> {
+        df.column(name).unwrap().to_f64().into_iter().map(|v| v.unwrap()).collect()
+    }
+
+    #[test]
+    fn so_shape_and_columns() {
+        let df = generate_so(&world(), 2000, 1).unwrap();
+        assert_eq!(df.n_rows(), 2000);
+        for c in ["Country", "Continent", "Gender", "Salary", "DevType"] {
+            assert!(df.has_column(c), "missing {c}");
+        }
+        assert!(df.column("Salary").unwrap().mean().unwrap() > 10_000.0);
+    }
+
+    #[test]
+    fn so_salary_confounded_by_country_economy() {
+        let w = world();
+        let df = generate_so(&w, 4000, 2).unwrap();
+        // Average salary per country should correlate with GDP per capita.
+        let q = tabular::AggregateQuery::avg("Country", "Salary");
+        let per_country = q.run(&df).unwrap();
+        let mut gdp = Vec::new();
+        let mut sal = Vec::new();
+        for i in 0..per_country.n_rows() {
+            let cname = per_country.get(i, "Country").unwrap().render();
+            if let Some(c) = w.countries.iter().find(|c| c.dataset_name == cname) {
+                gdp.push(c.gdp_per_capita);
+                sal.push(per_country.get(i, "avg(Salary)").unwrap().as_f64().unwrap());
+            }
+        }
+        let r = pearson(&gdp, &sal).unwrap();
+        assert!(r > 0.8, "salary should track GDP per capita, r = {r}");
+    }
+
+    #[test]
+    fn covid_one_row_per_country() {
+        let w = world();
+        let df = generate_covid(&w, 3).unwrap();
+        assert_eq!(df.n_rows(), w.countries.len());
+        let deaths = col_f64(&df, "Deaths_per_100_cases");
+        assert!(deaths.iter().all(|&d| (0.0..=16.0).contains(&d)));
+        // death rate anti-correlates with health quality
+        let hq: Vec<f64> = w.countries.iter().map(|c| c.health_quality).collect();
+        assert!(pearson(&hq, &deaths).unwrap() < -0.5);
+    }
+
+    #[test]
+    fn flights_delay_driven_by_weather_and_airline() {
+        let w = world();
+        let df = generate_flights(&w, 6000, 4).unwrap();
+        assert_eq!(df.n_rows(), 6000);
+        // Average delay per origin city should correlate with the city's bad weather factor.
+        let q = tabular::AggregateQuery::avg("Origin_city", "Departure_delay");
+        let per_city = q.run(&df).unwrap();
+        let mut weather = Vec::new();
+        let mut delay = Vec::new();
+        for i in 0..per_city.n_rows() {
+            let name = per_city.get(i, "Origin_city").unwrap().render();
+            if let Some(c) = w.cities.iter().find(|c| c.name == name) {
+                weather.push(c.bad_weather);
+                delay.push(per_city.get(i, "avg(Departure_delay)").unwrap().as_f64().unwrap());
+            }
+        }
+        assert!(pearson(&weather, &delay).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn forbes_pay_by_category_factors() {
+        let w = world();
+        let df = generate_forbes(&w, 500, 5).unwrap();
+        assert_eq!(df.n_rows(), 500);
+        // actors: males earn more on average (the paper's gender-gap finding)
+        let actors = tabular::Predicate::eq("Category", "Actors").apply(&df).unwrap();
+        if actors.n_rows() > 20 {
+            let male_names: Vec<String> = w
+                .celebrities
+                .iter()
+                .filter(|c| c.gender == "Male")
+                .map(|c| c.name.clone())
+                .collect();
+            let mut male_pay = Vec::new();
+            let mut female_pay = Vec::new();
+            for i in 0..actors.n_rows() {
+                let name = actors.get(i, "Name").unwrap().render();
+                let pay = actors.get(i, "Pay").unwrap().as_f64().unwrap();
+                if male_names.contains(&name) {
+                    male_pay.push(pay);
+                } else {
+                    female_pay.push(pay);
+                }
+            }
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            assert!(avg(&male_pay) > avg(&female_pay));
+        }
+    }
+
+    #[test]
+    fn dataset_enum_roundtrip() {
+        for d in Dataset::all() {
+            assert!(!d.name().is_empty());
+            assert!(!d.extraction_columns().is_empty());
+            assert!(!d.outcome_columns().is_empty());
+            assert!(d.default_rows() > 0);
+            assert_eq!(format!("{d}"), d.name());
+        }
+        let w = world();
+        let df = Dataset::Covid.generate(&w, 10, 1).unwrap();
+        assert_eq!(df.n_rows(), w.countries.len());
+        let df = Dataset::Forbes.generate(&w, 100, 1).unwrap();
+        assert_eq!(df.n_rows(), 100);
+    }
+
+    #[test]
+    fn generation_deterministic_per_seed() {
+        let w = world();
+        let a = generate_so(&w, 500, 9).unwrap();
+        let b = generate_so(&w, 500, 9).unwrap();
+        assert_eq!(a.get(100, "Salary").unwrap(), b.get(100, "Salary").unwrap());
+        let c = generate_so(&w, 500, 10).unwrap();
+        assert_ne!(a.get(100, "Salary").unwrap(), c.get(100, "Salary").unwrap());
+    }
+}

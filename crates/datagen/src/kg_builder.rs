@@ -1,0 +1,392 @@
+//! Builds the synthetic DBpedia-like knowledge graph from the world model.
+//!
+//! The graph contains, for every entity class used by the datasets, the
+//! properties the paper's explanations reference (HDI, GDP, Gini, density,
+//! weather, fleet size, net worth, ...) **plus** the kinds of attributes that
+//! make extraction noisy in practice and that MESA's pruning exists for:
+//!
+//! * key-like attributes with a unique value per entity (`wikiID`, `abstract`),
+//! * constant attributes (`type = Country`),
+//! * attributes logically equivalent to the exposure (`country code`),
+//! * redundant rank variants of real attributes (`HDI rank`, `GDP rank`),
+//! * irrelevant noise attributes (`anthem length`, `flag colors`, ...),
+//! * sparsity: a configurable fraction of facts is simply absent, and some
+//!   properties are *systematically* absent for low/high values of the
+//!   property (the selection-bias case of Section 3.2).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use kg::{KnowledgeGraph, Object};
+
+use crate::world::World;
+
+/// Controls the sparsity and noise of the generated graph.
+#[derive(Debug, Clone, Copy)]
+pub struct KgConfig {
+    /// Fraction of facts dropped uniformly at random.
+    pub random_missing: f64,
+    /// Fraction of *biased* dropout applied to a few selected properties:
+    /// facts are dropped with a probability that grows with the property
+    /// value, inducing selection bias in the extracted attribute.
+    pub biased_missing: f64,
+    /// Number of pure-noise properties per entity class.
+    pub n_noise_properties: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KgConfig {
+    fn default() -> Self {
+        KgConfig { random_missing: 0.12, biased_missing: 0.25, n_noise_properties: 6, seed: 7 }
+    }
+}
+
+struct FactWriter<'a> {
+    graph: &'a mut KnowledgeGraph,
+    rng: StdRng,
+    config: KgConfig,
+}
+
+impl<'a> FactWriter<'a> {
+    /// Adds a fact subject to random and (optionally) biased dropout.
+    /// `bias_score` in [0,1] controls value-dependent dropout: higher scores
+    /// are more likely to be dropped when the property is in the biased list.
+    fn add(&mut self, subject: &str, predicate: &str, object: Object, biased: bool, bias_score: f64) {
+        if self.rng.gen_bool(self.config.random_missing.clamp(0.0, 1.0)) {
+            return;
+        }
+        if biased {
+            let p_drop = (self.config.biased_missing * bias_score).clamp(0.0, 0.95);
+            if self.rng.gen_bool(p_drop) {
+                return;
+            }
+        }
+        self.graph.add_fact(subject, predicate, object);
+    }
+
+    fn add_always(&mut self, subject: &str, predicate: &str, object: Object) {
+        self.graph.add_fact(subject, predicate, object);
+    }
+}
+
+/// Builds the knowledge graph for the whole world.
+pub fn build_kg(world: &World, config: KgConfig) -> KnowledgeGraph {
+    let mut graph = KnowledgeGraph::new();
+    let rng = StdRng::seed_from_u64(config.seed);
+    let mut w = FactWriter { graph: &mut graph, rng, config };
+
+    add_countries(&mut w, world);
+    add_cities(&mut w, world);
+    add_airlines(&mut w, world);
+    add_celebrities(&mut w, world);
+
+    graph
+}
+
+fn noise_value(rng: &mut StdRng) -> Object {
+    Object::number((rng.gen::<f64>() * 1000.0).round())
+}
+
+fn add_countries(w: &mut FactWriter<'_>, world: &World) {
+    let n_noise = w.config.n_noise_properties;
+    // Ranks are computed over the full population so that "HDI rank" is
+    // genuinely redundant with "HDI".
+    let rank_of = |values: Vec<(usize, f64)>| -> Vec<i64> {
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&a, &b| values[b].1.partial_cmp(&values[a].1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut ranks = vec![0i64; values.len()];
+        for (rank, idx) in order.into_iter().enumerate() {
+            ranks[values[idx].0] = rank as i64 + 1;
+        }
+        ranks
+    };
+    let hdi_rank = rank_of(world.countries.iter().map(|c| c.hdi).enumerate().collect());
+    let gdp_rank = rank_of(world.countries.iter().map(|c| c.gdp_total).enumerate().collect());
+    let gini_rank = rank_of(world.countries.iter().map(|c| c.gini).enumerate().collect());
+    let area_rank = rank_of(world.countries.iter().map(|c| c.area).enumerate().collect());
+
+    for (i, c) in world.countries.iter().enumerate() {
+        let name = c.name.as_str();
+        let hdi_bias = (c.hdi - 0.3) / 0.7; // high-HDI countries more likely missing
+        w.add(name, "HDI", Object::number(round3(c.hdi)), true, hdi_bias);
+        w.add(name, "HDI rank", Object::integer(hdi_rank[i]), false, 0.0);
+        w.add(name, "GDP", Object::number(round3(c.gdp_total)), false, 0.0);
+        w.add(name, "GDP nominal per capita", Object::number(round3(c.gdp_per_capita)), false, 0.0);
+        w.add(name, "GDP rank", Object::integer(gdp_rank[i]), false, 0.0);
+        let gini_bias = (c.gini - 22.0) / 43.0;
+        w.add(name, "Gini", Object::number(round3(c.gini)), true, gini_bias);
+        w.add(name, "Gini rank", Object::integer(gini_rank[i]), false, 0.0);
+        w.add(name, "Density", Object::number(round3(c.density)), false, 0.0);
+        w.add(name, "Population census", Object::number(round3(c.population)), false, 0.0);
+        w.add(name, "Population estimate", Object::number(round3(c.population * 1.02)), false, 0.0);
+        w.add(name, "Area km", Object::number(round3(c.area)), false, 0.0);
+        w.add(name, "Area rank", Object::integer(area_rank[i]), false, 0.0);
+        w.add(name, "Currency", Object::text(c.currency.clone()), false, 0.0);
+        w.add(name, "Language", Object::text(c.language.clone()), false, 0.0);
+        w.add(name, "Established date", Object::integer(c.established), false, 0.0);
+        w.add(name, "Time zone", Object::text(format!("UTC{:+}", (i as i64 % 25) - 12)), false, 0.0);
+        // Attributes MESA must prune:
+        w.add_always(name, "wikiID", Object::integer(1_000_000 + i as i64));
+        w.add_always(name, "type", Object::text("Country"));
+        w.add_always(name, "country code", Object::text(format!("C{i:03}")));
+        for k in 0..n_noise {
+            let obj = noise_value(&mut w.rng);
+            w.add(name, &format!("noise country {k}"), obj, false, 0.0);
+        }
+        // Leader: entity-valued property for the multi-hop experiments.
+        let leader = format!("Leader of {name}");
+        w.add(name, "leader", Object::entity(leader.clone()), false, 0.0);
+        let leader_age = 45 + (i as i64 % 30);
+        w.add_always(&leader, "age", Object::integer(leader_age));
+        w.add_always(&leader, "gender", Object::text(if i % 4 == 0 { "Female" } else { "Male" }));
+        // Dataset-name alias where the spelling differs.
+        if c.dataset_name != c.name {
+            w.graph.add_alias(c.dataset_name.clone(), c.name.clone());
+        }
+    }
+
+    // Continent- and WHO-region-level aggregate entities: the SO and Covid
+    // queries also group by these, and their extracted attributes (aggregate
+    // GDP, density, ...) are the explanations the paper reports for Q2/Q3.
+    let mut groups: std::collections::BTreeMap<(&str, &str), Vec<&crate::world::Country>> =
+        Default::default();
+    for c in &world.countries {
+        groups.entry(("continent", c.continent.as_str())).or_default().push(c);
+        groups.entry(("who", c.who_region.as_str())).or_default().push(c);
+    }
+    for (i, ((kind, name), members)) in groups.into_iter().enumerate() {
+        // WHO regions share names with continents (e.g. "Europe"); a single
+        // entity per name is fine because the aggregates coincide.
+        if kind == "who" && w.graph.has_entity(name) {
+            continue;
+        }
+        let n = members.len() as f64;
+        let sum = |f: fn(&crate::world::Country) -> f64| members.iter().map(|c| f(c)).sum::<f64>();
+        let avg = |f: fn(&crate::world::Country) -> f64| sum(f) / n;
+        w.add(name, "GDP", Object::number(round3(sum(|c| c.gdp_total))), false, 0.0);
+        w.add(name, "GDP rank", Object::integer(((1.0 / avg(|c| c.gdp_per_capita)) * 100.0) as i64), false, 0.0);
+        w.add(name, "Density", Object::number(round3(avg(|c| c.density))), false, 0.0);
+        w.add(name, "Area rank", Object::integer(i as i64 + 1), false, 0.0);
+        w.add(name, "Area km", Object::number(round3(sum(|c| c.area))), false, 0.0);
+        w.add(name, "Population census", Object::number(round3(sum(|c| c.population))), false, 0.0);
+        w.add(name, "HDI", Object::number(round3(avg(|c| c.hdi))), false, 0.0);
+        w.add_always(name, "type", Object::text("Region"));
+        w.add_always(name, "wikiID", Object::integer(6_000_000 + i as i64));
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn add_cities(w: &mut FactWriter<'_>, world: &World) {
+    let n_noise = w.config.n_noise_properties;
+    for (i, city) in world.cities.iter().enumerate() {
+        let name = city.name.as_str();
+        w.add(name, "Population total", Object::number(round3(city.population)), false, 0.0);
+        w.add(name, "Population urban", Object::number(round3(city.population_urban)), false, 0.0);
+        w.add(name, "Population metropolitan", Object::number(round3(city.population_metro)), false, 0.0);
+        w.add(name, "Population ranking", Object::integer(city.population_rank), false, 0.0);
+        w.add(name, "Population estimation", Object::number(round3(city.population * 1.01)), false, 0.0);
+        w.add(name, "Density", Object::number(round3(city.density)), false, 0.0);
+        let income_bias = (city.median_income - 38.0) / 45.0;
+        w.add(name, "Median household income", Object::number(round3(city.median_income)), true, income_bias);
+        w.add(name, "Precipitation days", Object::number(round3(city.precipitation_days)), false, 0.0);
+        w.add(name, "Year snow", Object::number(round3(city.year_snow)), false, 0.0);
+        w.add(name, "Year low F", Object::number(round3(city.year_low_f)), false, 0.0);
+        w.add(name, "Year avg F", Object::number(round3(city.year_avg_f)), false, 0.0);
+        w.add(name, "December low F", Object::number(round3(city.december_low_f)), false, 0.0);
+        w.add(name, "December percent sun", Object::number(round3(city.percent_sun)), false, 0.0);
+        w.add_always(name, "wikiID", Object::integer(2_000_000 + i as i64));
+        w.add_always(name, "type", Object::text("City"));
+        w.add(name, "State", Object::text(city.state.clone()), false, 0.0);
+        for k in 0..n_noise {
+            let obj = noise_value(&mut w.rng);
+            w.add(name, &format!("noise city {k}"), obj, false, 0.0);
+        }
+    }
+    // State-level aggregate entities (the Flights queries also group by state).
+    let mut states: std::collections::BTreeMap<&str, Vec<&crate::world::City>> = Default::default();
+    for city in &world.cities {
+        states.entry(city.state.as_str()).or_default().push(city);
+    }
+    for (i, (state, cities)) in states.into_iter().enumerate() {
+        let n = cities.len() as f64;
+        let avg = |f: fn(&crate::world::City) -> f64| cities.iter().map(|c| f(c)).sum::<f64>() / n;
+        w.add(state, "Population estimation", Object::number(round3(avg(|c| c.population) * n)), false, 0.0);
+        w.add(state, "Population urban", Object::number(round3(avg(|c| c.population_urban) * n)), false, 0.0);
+        w.add(state, "Population rank", Object::integer(i as i64 + 1), false, 0.0);
+        w.add(state, "Density", Object::number(round3(avg(|c| c.density))), false, 0.0);
+        w.add(state, "Year snow", Object::number(round3(avg(|c| c.year_snow))), false, 0.0);
+        w.add(state, "Year low F", Object::number(round3(avg(|c| c.year_low_f))), false, 0.0);
+        w.add(state, "Record low F", Object::number(round3(avg(|c| c.year_low_f) - 20.0)), false, 0.0);
+        w.add(state, "Median household income", Object::number(round3(avg(|c| c.median_income))), false, 0.0);
+        w.add_always(state, "type", Object::text("State"));
+        w.add_always(state, "wikiID", Object::integer(3_000_000 + i as i64));
+    }
+}
+
+fn add_airlines(w: &mut FactWriter<'_>, world: &World) {
+    for (i, a) in world.airlines.iter().enumerate() {
+        let name = a.name.as_str();
+        w.add(name, "Fleet size", Object::number(round3(a.fleet_size)), false, 0.0);
+        w.add(name, "Equity", Object::number(round3(a.equity)), false, 0.0);
+        w.add(name, "Revenue", Object::number(round3(a.revenue)), false, 0.0);
+        w.add(name, "Net income", Object::number(round3(a.net_income)), false, 0.0);
+        w.add(name, "Num of employees", Object::number(round3(a.employees)), false, 0.0);
+        w.add_always(name, "wikiID", Object::integer(4_000_000 + i as i64));
+        w.add_always(name, "type", Object::text("Airline"));
+    }
+}
+
+fn add_celebrities(w: &mut FactWriter<'_>, world: &World) {
+    let n_noise = w.config.n_noise_properties;
+    for (i, c) in world.celebrities.iter().enumerate() {
+        let name = c.name.as_str();
+        let worth_bias = (c.net_worth / 950.0).clamp(0.0, 1.0);
+        w.add(name, "Net worth", Object::number(round3(c.net_worth)), true, worth_bias);
+        w.add(name, "Gender", Object::text(c.gender.clone()), false, 0.0);
+        w.add(name, "Age", Object::number(round3(c.age)), false, 0.0);
+        w.add(name, "ActiveSince", Object::integer(c.active_since), false, 0.0);
+        w.add(name, "Years active", Object::integer(2022 - c.active_since), false, 0.0);
+        w.add(name, "Citizenship", Object::entity(c.citizenship.clone()), false, 0.0);
+        // Category-specific properties: absent for other categories, which is
+        // why Forbes has the highest missing-value rate in Table 1 / Sec 5.2.
+        match c.category.as_str() {
+            "Athletes" => {
+                w.add(name, "Cups", Object::number(c.cups), false, 0.0);
+                w.add(name, "National cups", Object::number((c.cups * 1.5).floor()), false, 0.0);
+                w.add(name, "Total cups", Object::number((c.cups * 2.2).floor()), false, 0.0);
+                w.add(name, "Draft pick", Object::number(c.draft_pick), false, 0.0);
+            }
+            "Actors" | "Directors/Producers" => {
+                w.add(name, "Awards", Object::number(c.awards), false, 0.0);
+                w.add(name, "Honors", Object::number((c.awards / 2.0).floor()), false, 0.0);
+            }
+            _ => {
+                w.add(name, "Awards", Object::number(c.awards), false, 0.0);
+            }
+        }
+        w.add_always(name, "wikiID", Object::integer(5_000_000 + i as i64));
+        w.add_always(name, "type", Object::text("Person"));
+        for k in 0..n_noise {
+            let obj = noise_value(&mut w.rng);
+            w.add(name, &format!("noise person {k}"), obj, false, 0.0);
+        }
+    }
+    // One deliberately ambiguous celebrity alias (the paper's Ronaldo case).
+    if world.celebrities.len() >= 2 {
+        let a = world.celebrities[0].name.clone();
+        let b = world.celebrities[1].name.clone();
+        w.graph.add_alias("The Star", a);
+        w.graph.add_alias("The Star", b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+    use kg::{extract_attributes, ExtractionConfig};
+
+    fn small_world() -> World {
+        World::generate(WorldConfig {
+            n_countries: 40,
+            n_cities: 20,
+            n_airlines: 6,
+            n_celebrities: 30,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn graph_contains_all_entity_classes() {
+        let w = small_world();
+        let g = build_kg(&w, KgConfig::default());
+        assert!(g.has_entity("Germany"));
+        assert!(g.has_entity("Airline A"));
+        assert!(g.has_entity(&w.cities[0].name));
+        assert!(g.has_entity(&w.celebrities[0].name));
+        assert!(g.n_triples() > 500);
+    }
+
+    #[test]
+    fn key_and_constant_attributes_present() {
+        let w = small_world();
+        let g = build_kg(&w, KgConfig::default());
+        let props = g.properties("Germany");
+        let names: Vec<&str> = props.iter().map(|(p, _)| *p).collect();
+        assert!(names.contains(&"wikiID"));
+        assert!(names.contains(&"type"));
+        assert!(names.contains(&"country code"));
+    }
+
+    #[test]
+    fn sparsity_produces_missing_values() {
+        let w = small_world();
+        let g = build_kg(&w, KgConfig::default());
+        let values: Vec<String> = w.countries.iter().map(|c| c.name.clone()).collect();
+        let res = extract_attributes(&g, &values, "Country", ExtractionConfig::default()).unwrap();
+        let hdi = res.table.column("HDI").unwrap();
+        assert!(hdi.null_count() > 0, "some HDI values should be missing");
+        assert!(hdi.null_count() < hdi.len(), "not all HDI values should be missing");
+    }
+
+    #[test]
+    fn zero_missing_config_keeps_everything() {
+        let w = small_world();
+        let cfg = KgConfig { random_missing: 0.0, biased_missing: 0.0, ..Default::default() };
+        let g = build_kg(&w, cfg);
+        let values: Vec<String> = w.countries.iter().map(|c| c.name.clone()).collect();
+        let res = extract_attributes(&g, &values, "Country", ExtractionConfig::default()).unwrap();
+        assert_eq!(res.table.column("HDI").unwrap().null_count(), 0);
+        assert_eq!(res.table.column("Gini").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn biased_missingness_targets_high_values() {
+        let w = World::generate(WorldConfig { n_countries: 150, ..Default::default() });
+        let cfg = KgConfig { random_missing: 0.0, biased_missing: 0.8, seed: 11, ..Default::default() };
+        let g = build_kg(&w, cfg);
+        let values: Vec<String> = w.countries.iter().map(|c| c.name.clone()).collect();
+        let res = extract_attributes(&g, &values, "Country", ExtractionConfig::default()).unwrap();
+        let hdi = res.table.column("HDI").unwrap();
+        // Missing HDI entries should correspond to higher true HDI on average.
+        let mut missing_true = Vec::new();
+        let mut present_true = Vec::new();
+        for (i, c) in w.countries.iter().enumerate() {
+            if hdi.is_null_at(i) {
+                missing_true.push(c.hdi);
+            } else {
+                present_true.push(c.hdi);
+            }
+        }
+        assert!(!missing_true.is_empty() && !present_true.is_empty());
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&missing_true) > avg(&present_true), "dropout should be biased towards high HDI");
+    }
+
+    #[test]
+    fn dataset_name_aliases_registered() {
+        let w = World::generate(WorldConfig::default());
+        let g = build_kg(&w, KgConfig::default());
+        assert_eq!(g.resolve_alias("Russian Federation"), Some("Russia"));
+    }
+
+    #[test]
+    fn leader_links_enable_two_hops() {
+        let w = small_world();
+        let cfg = KgConfig { random_missing: 0.0, biased_missing: 0.0, ..Default::default() };
+        let g = build_kg(&w, cfg);
+        let res = extract_attributes(
+            &g,
+            &["Germany".to_string()],
+            "Country",
+            ExtractionConfig { hops: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert!(res.table.has_column("leader.age"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Query workloads: the 14 representative queries of Table 2 and the random
+//! query generator of Section 5.1.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tabular::{AggregateQuery, DataFrame, Predicate, Result, Value};
+
+use crate::datasets::Dataset;
+
+/// One workload query: its paper identifier, the dataset it runs on, a short
+/// description, and the query itself.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Identifier matching Table 2 (e.g. `"SO Q1"`).
+    pub id: String,
+    /// The dataset the query runs on.
+    pub dataset: Dataset,
+    /// Human-readable description (the "Query" column of Table 2).
+    pub description: String,
+    /// The aggregate query.
+    pub query: AggregateQuery,
+}
+
+impl WorkloadQuery {
+    fn new(id: &str, dataset: Dataset, description: &str, query: AggregateQuery) -> Self {
+        WorkloadQuery {
+            id: id.to_string(),
+            dataset,
+            description: description.to_string(),
+            query,
+        }
+    }
+}
+
+/// The 14 representative queries of Table 2.
+pub fn representative_queries() -> Vec<WorkloadQuery> {
+    use Dataset::*;
+    vec![
+        WorkloadQuery::new(
+            "SO Q1",
+            StackOverflow,
+            "Average salary per country",
+            AggregateQuery::avg("Country", "Salary"),
+        ),
+        WorkloadQuery::new(
+            "SO Q2",
+            StackOverflow,
+            "Average salary per continent",
+            AggregateQuery::avg("Continent", "Salary"),
+        ),
+        WorkloadQuery::new(
+            "SO Q3",
+            StackOverflow,
+            "Average salary per country in Europe",
+            AggregateQuery::avg("Country", "Salary")
+                .with_context(Predicate::eq("Continent", "Europe")),
+        ),
+        WorkloadQuery::new(
+            "Flights Q1",
+            Flights,
+            "Average delay per origin city",
+            AggregateQuery::avg("Origin_city", "Departure_delay"),
+        ),
+        WorkloadQuery::new(
+            "Flights Q2",
+            Flights,
+            "Average delay per origin state",
+            AggregateQuery::avg("Origin_state", "Departure_delay"),
+        ),
+        WorkloadQuery::new(
+            "Flights Q3",
+            Flights,
+            "Average delay per origin cities in CA",
+            AggregateQuery::avg("Origin_city", "Departure_delay")
+                .with_context(Predicate::eq("Origin_state", "CA")),
+        ),
+        WorkloadQuery::new(
+            "Flights Q4",
+            Flights,
+            "Average delay per origin state and airline",
+            // A single grouping attribute keeps the exposition simple (as in
+            // the paper); the airline restriction enters through the context.
+            AggregateQuery::avg("Origin_state", "Departure_delay")
+                .with_context(Predicate::eq("Airline", "Airline A")),
+        ),
+        WorkloadQuery::new(
+            "Flights Q5",
+            Flights,
+            "Average delay per airline",
+            AggregateQuery::avg("Airline", "Departure_delay"),
+        ),
+        WorkloadQuery::new(
+            "Covid Q1",
+            Covid,
+            "Deaths per country",
+            AggregateQuery::avg("Country", "Deaths_per_100_cases"),
+        ),
+        WorkloadQuery::new(
+            "Covid Q2",
+            Covid,
+            "Deaths per country in Europe",
+            AggregateQuery::avg("Country", "Deaths_per_100_cases")
+                .with_context(Predicate::eq("WHO-Region", "Europe")),
+        ),
+        WorkloadQuery::new(
+            "Covid Q3",
+            Covid,
+            "Average deaths per WHO-Region",
+            AggregateQuery::avg("WHO-Region", "Deaths_per_100_cases"),
+        ),
+        WorkloadQuery::new(
+            "Forbes Q1",
+            Forbes,
+            "Salary of Actors",
+            AggregateQuery::avg("Name", "Pay").with_context(Predicate::eq("Category", "Actors")),
+        ),
+        WorkloadQuery::new(
+            "Forbes Q2",
+            Forbes,
+            "Salary of Directors/Producers",
+            AggregateQuery::avg("Name", "Pay")
+                .with_context(Predicate::eq("Category", "Directors/Producers")),
+        ),
+        WorkloadQuery::new(
+            "Forbes Q3",
+            Forbes,
+            "Salary of Athletes",
+            AggregateQuery::avg("Name", "Pay").with_context(Predicate::eq("Category", "Athletes")),
+        ),
+    ]
+}
+
+/// The representative queries restricted to one dataset.
+pub fn representative_queries_for(dataset: Dataset) -> Vec<WorkloadQuery> {
+    representative_queries().into_iter().filter(|q| q.dataset == dataset).collect()
+}
+
+/// Generates `n` random aggregate queries over a dataset, following §5.1:
+/// the exposure is one of the extraction columns, the outcome is a numeric
+/// attribute, and a random `WHERE` clause on another attribute is added while
+/// ensuring the selected subset keeps more than 10% of the tuples.
+pub fn random_queries(
+    dataset: Dataset,
+    df: &DataFrame,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<WorkloadQuery>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let exposures = dataset.extraction_columns();
+    let outcomes = dataset.outcome_columns();
+    let all_columns: Vec<String> =
+        df.column_names().iter().map(|s| s.to_string()).collect();
+    let min_rows = (df.n_rows() as f64 * 0.1).ceil() as usize;
+
+    let mut attempts = 0;
+    while out.len() < n && attempts < n * 50 {
+        attempts += 1;
+        let exposure = exposures[rng.gen_range(0..exposures.len())];
+        let outcome = outcomes[rng.gen_range(0..outcomes.len())];
+        // Pick a context attribute different from exposure and outcome.
+        let candidates: Vec<&String> = all_columns
+            .iter()
+            .filter(|c| c.as_str() != exposure && c.as_str() != outcome)
+            .collect();
+        if candidates.is_empty() || df.n_rows() == 0 {
+            break;
+        }
+        let ctx_col = candidates[rng.gen_range(0..candidates.len())].clone();
+        let row = rng.gen_range(0..df.n_rows());
+        let value = df.get(row, &ctx_col)?;
+        let context = if value.is_null() {
+            Predicate::True
+        } else {
+            // Numeric context values are turned into a >= condition so the
+            // selected subset is not a single group; categorical values use
+            // equality.
+            match value {
+                Value::Float(_) | Value::Int(_) => Predicate::Ge(ctx_col.clone(), value),
+                v => Predicate::Eq(ctx_col.clone(), v),
+            }
+        };
+        let query = AggregateQuery::avg(exposure, outcome).with_context(context);
+        // Enforce the >10% selectivity requirement.
+        let kept = query.apply_context(df)?.n_rows();
+        if kept < min_rows || kept == 0 {
+            continue;
+        }
+        out.push(WorkloadQuery {
+            id: format!("{} R{}", dataset.name(), out.len() + 1),
+            dataset,
+            description: format!("random query: avg({outcome}) by {exposure}"),
+            query,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::generate_so;
+    use crate::world::{World, WorldConfig};
+
+    #[test]
+    fn fourteen_representative_queries() {
+        let qs = representative_queries();
+        assert_eq!(qs.len(), 14);
+        // 3 SO, 5 Flights, 3 Covid, 3 Forbes as in Table 2
+        let count = |d: Dataset| qs.iter().filter(|q| q.dataset == d).count();
+        assert_eq!(count(Dataset::StackOverflow), 3);
+        assert_eq!(count(Dataset::Flights), 5);
+        assert_eq!(count(Dataset::Covid), 3);
+        assert_eq!(count(Dataset::Forbes), 3);
+        // ids unique
+        let mut ids: Vec<&str> = qs.iter().map(|q| q.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 14);
+    }
+
+    #[test]
+    fn representative_queries_filter() {
+        let so = representative_queries_for(Dataset::StackOverflow);
+        assert_eq!(so.len(), 3);
+        assert!(so.iter().all(|q| q.dataset == Dataset::StackOverflow));
+    }
+
+    #[test]
+    fn representative_queries_run_on_generated_data() {
+        let world = World::generate(WorldConfig {
+            n_countries: 50,
+            n_cities: 20,
+            n_airlines: 6,
+            n_celebrities: 60,
+            seed: 2,
+        });
+        let so = generate_so(&world, 1500, 3).unwrap();
+        for wq in representative_queries_for(Dataset::StackOverflow) {
+            let res = wq.query.run(&so).unwrap();
+            assert!(res.n_rows() > 1, "{} produced a single group", wq.id);
+        }
+    }
+
+    #[test]
+    fn random_queries_respect_selectivity() {
+        let world = World::generate(WorldConfig {
+            n_countries: 50,
+            n_cities: 20,
+            n_airlines: 6,
+            n_celebrities: 60,
+            seed: 2,
+        });
+        let so = generate_so(&world, 1000, 3).unwrap();
+        let qs = random_queries(Dataset::StackOverflow, &so, 10, 77).unwrap();
+        assert_eq!(qs.len(), 10);
+        let min_rows = 100;
+        for q in &qs {
+            let kept = q.query.apply_context(&so).unwrap().n_rows();
+            assert!(kept >= min_rows, "{}: only {kept} rows kept", q.id);
+            assert_eq!(q.query.outcome, "Salary");
+        }
+        // deterministic per seed
+        let qs2 = random_queries(Dataset::StackOverflow, &so, 10, 77).unwrap();
+        assert_eq!(qs[0].query, qs2[0].query);
+    }
+}

@@ -1,0 +1,79 @@
+//! Small sampling helpers shared by the dataset generators.
+
+use rand::Rng;
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples an index in `0..weights.len()` proportionally to `weights`.
+///
+/// # Panics
+/// Panics when `weights` is empty or sums to a non-positive value.
+pub fn weighted_index<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Picks a uniformly random element of a slice.
+pub fn choose<'a, R: Rng, T>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_index_empty_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        weighted_index(&mut rng, &[]);
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let items = ["a", "b", "c"];
+        for _ in 0..20 {
+            assert!(items.contains(choose(&mut rng, &items)));
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The ground-truth world model.
+//!
+//! The paper's evaluation relies on four real datasets (Stack Overflow,
+//! Covid-19, Flights, Forbes) plus DBpedia. Offline we substitute a single
+//! *world model*: a population of countries, US cities/states, airlines, and
+//! celebrities with latent factors that causally drive both
+//!
+//! * the outcomes in the generated datasets (salary, death rate, flight
+//!   delay, celebrity pay), and
+//! * the properties stored in the synthetic knowledge graph (HDI, GDP, Gini,
+//!   density, weather, fleet size, net worth, ...).
+//!
+//! Because the *same* factors appear on both sides, the exposure–outcome
+//! correlations in the datasets are genuinely confounded by attributes that
+//! live outside the dataset — exactly the situation MESA is designed to
+//! explain — and the ground truth confounders are known, which the test suite
+//! and the simulated user study exploit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Names and continents of the seed countries (real names keep the examples
+/// readable; every numeric attribute is synthetic).
+pub const SEED_COUNTRIES: &[(&str, &str)] = &[
+    ("Germany", "Europe"),
+    ("France", "Europe"),
+    ("Italy", "Europe"),
+    ("Spain", "Europe"),
+    ("Poland", "Europe"),
+    ("Sweden", "Europe"),
+    ("Norway", "Europe"),
+    ("Switzerland", "Europe"),
+    ("Netherlands", "Europe"),
+    ("Portugal", "Europe"),
+    ("Greece", "Europe"),
+    ("Romania", "Europe"),
+    ("Ukraine", "Europe"),
+    ("United Kingdom", "Europe"),
+    ("Ireland", "Europe"),
+    ("Austria", "Europe"),
+    ("Belgium", "Europe"),
+    ("Denmark", "Europe"),
+    ("Finland", "Europe"),
+    ("Hungary", "Europe"),
+    ("United States", "North America"),
+    ("Canada", "North America"),
+    ("Mexico", "North America"),
+    ("Guatemala", "North America"),
+    ("Cuba", "North America"),
+    ("Costa Rica", "North America"),
+    ("Panama", "North America"),
+    ("Honduras", "North America"),
+    ("Brazil", "South America"),
+    ("Argentina", "South America"),
+    ("Chile", "South America"),
+    ("Colombia", "South America"),
+    ("Peru", "South America"),
+    ("Uruguay", "South America"),
+    ("Bolivia", "South America"),
+    ("Ecuador", "South America"),
+    ("China", "Asia"),
+    ("India", "Asia"),
+    ("Japan", "Asia"),
+    ("South Korea", "Asia"),
+    ("Indonesia", "Asia"),
+    ("Vietnam", "Asia"),
+    ("Thailand", "Asia"),
+    ("Malaysia", "Asia"),
+    ("Philippines", "Asia"),
+    ("Pakistan", "Asia"),
+    ("Bangladesh", "Asia"),
+    ("Israel", "Asia"),
+    ("Turkey", "Asia"),
+    ("Saudi Arabia", "Asia"),
+    ("Russia", "Asia"),
+    ("Nigeria", "Africa"),
+    ("Egypt", "Africa"),
+    ("South Africa", "Africa"),
+    ("Kenya", "Africa"),
+    ("Ethiopia", "Africa"),
+    ("Ghana", "Africa"),
+    ("Morocco", "Africa"),
+    ("Tanzania", "Africa"),
+    ("Algeria", "Africa"),
+    ("Australia", "Oceania"),
+    ("New Zealand", "Oceania"),
+];
+
+/// WHO regions, used by the Covid dataset.
+pub const WHO_REGIONS: &[&str] =
+    &["Europe", "Americas", "South-East Asia", "Eastern Mediterranean", "Africa", "Western Pacific"];
+
+/// A country with its latent "success" factor and derived attributes.
+#[derive(Debug, Clone)]
+pub struct Country {
+    /// Canonical name (the KG entity name).
+    pub name: String,
+    /// The name as it appears in the *datasets* — occasionally different from
+    /// the canonical KG name so that entity linking realistically fails for a
+    /// small fraction of values (e.g. `"Russian Federation"` vs `"Russia"`).
+    pub dataset_name: String,
+    /// Continent.
+    pub continent: String,
+    /// WHO region.
+    pub who_region: String,
+    /// Latent socio-economic success in `[0, 1]`; drives HDI, GDP, Gini and —
+    /// through them — salaries and Covid outcomes. Never exposed directly.
+    pub success: f64,
+    /// Human Development Index in `[0.3, 1.0]`.
+    pub hdi: f64,
+    /// GDP per capita (thousands of USD).
+    pub gdp_per_capita: f64,
+    /// Total GDP (billions of USD).
+    pub gdp_total: f64,
+    /// Gini inequality index (higher = more unequal).
+    pub gini: f64,
+    /// Population (millions).
+    pub population: f64,
+    /// Area (thousands of km^2).
+    pub area: f64,
+    /// Population density (people per km^2).
+    pub density: f64,
+    /// Currency name.
+    pub currency: String,
+    /// Main language.
+    pub language: String,
+    /// Year the current state was established.
+    pub established: i64,
+    /// Latent quality of the public-health response in `[0, 1]` (partially
+    /// driven by `success`); drives Covid death rates together with density.
+    pub health_quality: f64,
+}
+
+/// A US city used by the Flights dataset, with the weather and population
+/// attributes the paper's explanations reference.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// City name (KG entity name and dataset value).
+    pub name: String,
+    /// Two-letter state code.
+    pub state: String,
+    /// Total population (thousands).
+    pub population: f64,
+    /// Urban population (thousands).
+    pub population_urban: f64,
+    /// Metropolitan population (thousands).
+    pub population_metro: f64,
+    /// Population density.
+    pub density: f64,
+    /// National population rank (1 = largest).
+    pub population_rank: i64,
+    /// Median household income (thousands of USD).
+    pub median_income: f64,
+    /// Days of precipitation per year.
+    pub precipitation_days: f64,
+    /// Annual snowfall (inches).
+    pub year_snow: f64,
+    /// Mean annual low temperature (F).
+    pub year_low_f: f64,
+    /// Mean annual temperature (F).
+    pub year_avg_f: f64,
+    /// Mean December low temperature (F).
+    pub december_low_f: f64,
+    /// Percentage of sunny days.
+    pub percent_sun: f64,
+    /// Latent congestion factor in `[0, 1]` (driven by population); drives
+    /// delays together with weather.
+    pub congestion: f64,
+    /// Latent bad-weather factor in `[0, 1]`; drives delays.
+    pub bad_weather: f64,
+}
+
+/// An airline used by the Flights dataset.
+#[derive(Debug, Clone)]
+pub struct Airline {
+    /// Airline name / IATA-like code.
+    pub name: String,
+    /// Fleet size (number of aircraft).
+    pub fleet_size: f64,
+    /// Shareholder equity (billions).
+    pub equity: f64,
+    /// Annual revenue (billions).
+    pub revenue: f64,
+    /// Net income (billions).
+    pub net_income: f64,
+    /// Number of employees (thousands).
+    pub employees: f64,
+    /// Latent operational quality in `[0, 1]` (larger fleet / equity → better
+    /// operations); drives airline-attributable delay.
+    pub ops_quality: f64,
+}
+
+/// Celebrity categories in the Forbes dataset.
+pub const CELEB_CATEGORIES: &[&str] = &["Actors", "Athletes", "Directors/Producers", "Musicians"];
+
+/// A celebrity used by the Forbes dataset.
+#[derive(Debug, Clone)]
+pub struct Celebrity {
+    /// Name (KG entity name and dataset value).
+    pub name: String,
+    /// Category (Actors, Athletes, ...).
+    pub category: String,
+    /// Gender.
+    pub gender: String,
+    /// Age in years.
+    pub age: f64,
+    /// Year the career started.
+    pub active_since: i64,
+    /// Net worth (millions of USD).
+    pub net_worth: f64,
+    /// Number of major awards (actors / directors / musicians).
+    pub awards: f64,
+    /// Number of cups / championships (athletes).
+    pub cups: f64,
+    /// Draft pick position (athletes; lower = better).
+    pub draft_pick: f64,
+    /// Citizenship country (canonical name).
+    pub citizenship: String,
+    /// Latent experience/skill in `[0, 1]`; drives pay together with
+    /// category-specific factors.
+    pub experience: f64,
+}
+
+/// Configuration for world generation.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Total number of countries (seed countries plus synthetic ones).
+    pub n_countries: usize,
+    /// Number of US cities.
+    pub n_cities: usize,
+    /// Number of airlines.
+    pub n_airlines: usize,
+    /// Number of celebrities.
+    pub n_celebrities: usize,
+    /// RNG seed (the whole world is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig { n_countries: 188, n_cities: 120, n_airlines: 14, n_celebrities: 400, seed: 42 }
+    }
+}
+
+/// The generated world: the common ground truth behind every dataset and the
+/// knowledge graph.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// All countries.
+    pub countries: Vec<Country>,
+    /// All US cities.
+    pub cities: Vec<City>,
+    /// All airlines.
+    pub airlines: Vec<Airline>,
+    /// All celebrities.
+    pub celebrities: Vec<Celebrity>,
+    /// The configuration the world was generated with.
+    pub config: WorldConfig,
+}
+
+const US_STATES: &[&str] = &[
+    "CA", "TX", "NY", "FL", "IL", "WA", "MA", "CO", "GA", "AZ", "NV", "OR", "MN", "NC", "PA", "OH",
+];
+
+const LANGUAGES: &[&str] =
+    &["English", "Spanish", "French", "German", "Mandarin", "Arabic", "Portuguese", "Hindi", "Local"];
+
+fn who_region_for(continent: &str, rng: &mut StdRng) -> String {
+    match continent {
+        "Europe" => "Europe".to_string(),
+        "North America" | "South America" => "Americas".to_string(),
+        "Africa" => "Africa".to_string(),
+        "Oceania" => "Western Pacific".to_string(),
+        "Asia" => {
+            let opts = ["South-East Asia", "Eastern Mediterranean", "Western Pacific"];
+            opts[rng.gen_range(0..opts.len())].to_string()
+        }
+        _ => "Americas".to_string(),
+    }
+}
+
+impl World {
+    /// Generates a world deterministically from the configuration.
+    pub fn generate(config: WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let countries = Self::gen_countries(&mut rng, config.n_countries);
+        let cities = Self::gen_cities(&mut rng, config.n_cities);
+        let airlines = Self::gen_airlines(&mut rng, config.n_airlines);
+        let celebrities = Self::gen_celebrities(&mut rng, config.n_celebrities, &countries);
+        World { countries, cities, airlines, celebrities, config }
+    }
+
+    fn gen_countries(rng: &mut StdRng, n: usize) -> Vec<Country> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let (name, continent) = if i < SEED_COUNTRIES.len() {
+                let (n, c) = SEED_COUNTRIES[i];
+                (n.to_string(), c.to_string())
+            } else {
+                let continents = ["Europe", "Asia", "Africa", "North America", "South America", "Oceania"];
+                (format!("Country {i:03}"), continents[rng.gen_range(0..continents.len())].to_string())
+            };
+            // Latent success: continent-dependent prior plus noise, so that
+            // refining by continent changes which attributes explain (the
+            // unexplained-subgroups experiment relies on HDI being internally
+            // consistent within Europe).
+            let base: f64 = match continent.as_str() {
+                "Europe" => 0.78,
+                "North America" => 0.70,
+                "Oceania" => 0.75,
+                "Asia" => 0.55,
+                "South America" => 0.50,
+                _ => 0.35,
+            };
+            let success = (base + rng.gen_range(-0.13..0.13)).clamp(0.05, 0.98);
+            let hdi = (0.35 + 0.62 * success + rng.gen_range(-0.02..0.02)).clamp(0.3, 0.99);
+            let population = (2.0 + rng.gen::<f64>().powi(3) * 1300.0).max(0.3);
+            let gdp_per_capita = (2.0 + 75.0 * success.powf(1.5) + rng.gen_range(-2.0..2.0)).max(0.8);
+            let gdp_total = gdp_per_capita * population / 1000.0 * 1000.0; // billions
+            let gini = (55.0 - 28.0 * success + rng.gen_range(-3.0..3.0)).clamp(22.0, 65.0);
+            let area = (10.0 + rng.gen::<f64>().powi(2) * 9000.0).max(1.0);
+            let density = population * 1_000_000.0 / (area * 1000.0);
+            let currency = if continent == "Europe" && success > 0.6 && rng.gen_bool(0.7) {
+                "Euro".to_string()
+            } else {
+                format!("{name} currency")
+            };
+            let language = LANGUAGES[rng.gen_range(0..LANGUAGES.len())].to_string();
+            let established = rng.gen_range(1700..1995);
+            let health_quality = (0.55 * success + 0.45 * rng.gen::<f64>()).clamp(0.0, 1.0);
+            // A few dataset spellings differ from the canonical KG name.
+            let dataset_name = match name.as_str() {
+                "Russia" => "Russian Federation".to_string(),
+                "South Korea" => "Republic of Korea".to_string(),
+                "Vietnam" => "Viet Nam".to_string(),
+                _ => name.clone(),
+            };
+            out.push(Country {
+                name,
+                dataset_name,
+                who_region: who_region_for(&continent, rng),
+                continent,
+                success,
+                hdi,
+                gdp_per_capita,
+                gdp_total,
+                gini,
+                population,
+                area,
+                density,
+                currency,
+                language,
+                established,
+                health_quality,
+            });
+        }
+        out
+    }
+
+    fn gen_cities(rng: &mut StdRng, n: usize) -> Vec<City> {
+        let mut cities: Vec<City> = (0..n)
+            .map(|i| {
+                let state = US_STATES[i % US_STATES.len()].to_string();
+                let population = (40.0 + rng.gen::<f64>().powi(3) * 8000.0).max(20.0);
+                let bad_weather = rng.gen::<f64>();
+                let congestion = ((population / 8000.0).powf(0.5) * 0.8 + rng.gen::<f64>() * 0.2)
+                    .clamp(0.0, 1.0);
+                City {
+                    name: format!("City {i:03} {state}"),
+                    state,
+                    population,
+                    population_urban: population * rng.gen_range(0.6..0.95),
+                    population_metro: population * rng.gen_range(1.1..2.5),
+                    density: population * rng.gen_range(2.0..18.0),
+                    population_rank: 0, // filled below
+                    median_income: 38.0 + 45.0 * rng.gen::<f64>(),
+                    precipitation_days: 60.0 + 120.0 * bad_weather + rng.gen_range(-10.0..10.0),
+                    year_snow: (bad_weather * 60.0 + rng.gen_range(-5.0..5.0)).max(0.0),
+                    year_low_f: 55.0 - 35.0 * bad_weather + rng.gen_range(-4.0..4.0),
+                    year_avg_f: 68.0 - 25.0 * bad_weather + rng.gen_range(-4.0..4.0),
+                    december_low_f: 45.0 - 38.0 * bad_weather + rng.gen_range(-5.0..5.0),
+                    percent_sun: 75.0 - 40.0 * bad_weather + rng.gen_range(-5.0..5.0),
+                    congestion,
+                    bad_weather,
+                }
+            })
+            .collect();
+        // Population ranks.
+        let mut order: Vec<usize> = (0..cities.len()).collect();
+        order.sort_by(|&a, &b| {
+            cities[b].population.partial_cmp(&cities[a].population).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for (rank, idx) in order.into_iter().enumerate() {
+            cities[idx].population_rank = rank as i64 + 1;
+        }
+        cities
+    }
+
+    fn gen_airlines(rng: &mut StdRng, n: usize) -> Vec<Airline> {
+        (0..n)
+            .map(|i| {
+                let ops_quality = rng.gen::<f64>();
+                let fleet_size = 60.0 + 900.0 * ops_quality + rng.gen_range(-30.0..30.0);
+                Airline {
+                    name: format!("Airline {}", (b'A' + (i % 26) as u8) as char),
+                    fleet_size: fleet_size.max(10.0),
+                    equity: (1.0 + 18.0 * ops_quality + rng.gen_range(-1.0..1.0)).max(0.2),
+                    revenue: (3.0 + 40.0 * ops_quality + rng.gen_range(-2.0..2.0)).max(0.5),
+                    net_income: -1.0 + 6.0 * ops_quality + rng.gen_range(-0.5..0.5),
+                    employees: (5.0 + 90.0 * ops_quality + rng.gen_range(-3.0..3.0)).max(1.0),
+                    ops_quality,
+                }
+            })
+            .collect()
+    }
+
+    fn gen_celebrities(rng: &mut StdRng, n: usize, countries: &[Country]) -> Vec<Celebrity> {
+        (0..n)
+            .map(|i| {
+                let category = CELEB_CATEGORIES[rng.gen_range(0..CELEB_CATEGORIES.len())].to_string();
+                let gender = if rng.gen_bool(0.62) { "Male" } else { "Female" }.to_string();
+                let experience = rng.gen::<f64>();
+                let age = match category.as_str() {
+                    "Athletes" => 20.0 + 22.0 * experience,
+                    _ => 25.0 + 50.0 * experience,
+                } + rng.gen_range(-3.0..3.0);
+                let active_since = (2022.0 - (age - 18.0).max(1.0)) as i64;
+                let net_worth = (5.0 + 900.0 * experience.powi(2) + rng.gen_range(0.0..40.0)).max(1.0);
+                let awards = (experience * 10.0 + rng.gen_range(0.0..2.0)).floor();
+                let cups = if category == "Athletes" {
+                    (experience * 8.0 + rng.gen_range(0.0..2.0)).floor()
+                } else {
+                    0.0
+                };
+                let draft_pick = if category == "Athletes" {
+                    (1.0 + (1.0 - experience) * 40.0 + rng.gen_range(0.0..5.0)).floor()
+                } else {
+                    0.0
+                };
+                let citizenship = countries[rng.gen_range(0..countries.len().min(40))].name.clone();
+                Celebrity {
+                    name: format!("Celebrity {i:04}"),
+                    category,
+                    gender,
+                    age,
+                    active_since,
+                    net_worth,
+                    awards,
+                    cups,
+                    draft_pick,
+                    citizenship,
+                    experience,
+                }
+            })
+            .collect()
+    }
+
+    /// Looks up a country by canonical name.
+    pub fn country(&self, name: &str) -> Option<&Country> {
+        self.countries.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(WorldConfig { n_countries: 80, n_cities: 30, n_airlines: 8, n_celebrities: 60, seed: 1 })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig::default());
+        let b = World::generate(WorldConfig::default());
+        assert_eq!(a.countries.len(), b.countries.len());
+        assert_eq!(a.countries[5].hdi, b.countries[5].hdi);
+        assert_eq!(a.cities[3].population, b.cities[3].population);
+        assert_eq!(a.celebrities[7].net_worth, b.celebrities[7].net_worth);
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let w = world();
+        assert_eq!(w.countries.len(), 80);
+        assert_eq!(w.cities.len(), 30);
+        assert_eq!(w.airlines.len(), 8);
+        assert_eq!(w.celebrities.len(), 60);
+    }
+
+    #[test]
+    fn country_attributes_in_plausible_ranges() {
+        for c in &world().countries {
+            assert!((0.3..=0.99).contains(&c.hdi), "hdi {}", c.hdi);
+            assert!(c.gdp_per_capita > 0.0);
+            assert!((22.0..=65.0).contains(&c.gini));
+            assert!(c.population > 0.0);
+            assert!(c.density > 0.0);
+            assert!(!c.currency.is_empty());
+        }
+    }
+
+    #[test]
+    fn success_drives_hdi_and_gini() {
+        let w = world();
+        // HDI increases with success; Gini decreases: check rank correlation sign
+        let mut by_success: Vec<&Country> = w.countries.iter().collect();
+        by_success.sort_by(|a, b| a.success.partial_cmp(&b.success).unwrap());
+        let lo = &by_success[..20];
+        let hi = &by_success[by_success.len() - 20..];
+        let mean = |xs: &[&Country], f: fn(&Country) -> f64| {
+            xs.iter().map(|c| f(c)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(hi, |c| c.hdi) > mean(lo, |c| c.hdi) + 0.1);
+        assert!(mean(hi, |c| c.gini) < mean(lo, |c| c.gini) - 5.0);
+        assert!(mean(hi, |c| c.gdp_per_capita) > mean(lo, |c| c.gdp_per_capita));
+    }
+
+    #[test]
+    fn europe_has_consistent_hdi() {
+        // The unexplained-subgroup experiment needs European HDIs to be similar.
+        let w = World::generate(WorldConfig::default());
+        let eu: Vec<f64> =
+            w.countries.iter().filter(|c| c.continent == "Europe").map(|c| c.hdi).collect();
+        let all: Vec<f64> = w.countries.iter().map(|c| c.hdi).collect();
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(var(&eu) < var(&all) / 2.0, "European HDI should be much less varied");
+    }
+
+    #[test]
+    fn dataset_names_mostly_match_canonical() {
+        let w = World::generate(WorldConfig::default());
+        let mismatches = w.countries.iter().filter(|c| c.dataset_name != c.name).count();
+        assert!(mismatches >= 2, "some spellings should differ");
+        assert!(mismatches < 10, "but only a handful");
+    }
+
+    #[test]
+    fn city_ranks_are_a_permutation() {
+        let w = world();
+        let mut ranks: Vec<i64> = w.cities.iter().map(|c| c.population_rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=w.cities.len() as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn airline_ops_quality_tracks_fleet() {
+        let w = World::generate(WorldConfig::default());
+        let mut sorted: Vec<&Airline> = w.airlines.iter().collect();
+        sorted.sort_by(|a, b| a.ops_quality.partial_cmp(&b.ops_quality).unwrap());
+        assert!(sorted.last().unwrap().fleet_size > sorted.first().unwrap().fleet_size);
+    }
+
+    #[test]
+    fn athletes_have_cups_others_do_not() {
+        let w = World::generate(WorldConfig::default());
+        for c in &w.celebrities {
+            if c.category != "Athletes" {
+                assert_eq!(c.cups, 0.0);
+                assert_eq!(c.draft_pick, 0.0);
+            }
+        }
+        assert!(w.celebrities.iter().any(|c| c.category == "Athletes" && c.cups > 0.0));
+    }
+
+    #[test]
+    fn country_lookup() {
+        let w = world();
+        assert!(w.country("Germany").is_some());
+        assert!(w.country("Atlantis").is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Weighted joint count tables over encoded (discrete) columns.
+//!
+//! Every estimator in this crate reduces to plug-in entropies computed from a
+//! joint count table. Rows with a missing value in *any* of the involved
+//! columns are dropped (complete-case analysis); Inverse Probability Weighting
+//! re-weights the remaining rows, which is why every count is an `f64` weight
+//! rather than an integer.
+
+use std::collections::HashMap;
+
+use tabular::EncodedColumn;
+
+/// A weighted joint distribution over the cross product of a set of encoded
+/// columns.
+#[derive(Debug, Clone)]
+pub struct JointTable {
+    /// Weighted count for each observed joint key.
+    counts: HashMap<Vec<u32>, f64>,
+    /// Total weight over all observed keys.
+    total: f64,
+    /// Number of rows that participated (complete cases).
+    complete_cases: usize,
+}
+
+impl JointTable {
+    /// Builds the joint table of `columns` over rows `0..n`, where `n` is the
+    /// common length of the columns.
+    ///
+    /// * Rows with a missing value in any column are skipped.
+    /// * `weights`, when given, must have the same length as the columns and
+    ///   assigns a non-negative weight to each row (IPW weights). Without
+    ///   weights every complete row counts 1.
+    ///
+    /// # Panics
+    /// Panics if the columns (or the weight vector) have inconsistent lengths.
+    pub fn build(columns: &[&EncodedColumn], weights: Option<&[f64]>) -> Self {
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        for c in columns {
+            assert_eq!(c.len(), n, "all columns must have equal length");
+        }
+        if let Some(w) = weights {
+            assert_eq!(w.len(), n, "weights must have one entry per row");
+        }
+        let mut counts: HashMap<Vec<u32>, f64> = HashMap::new();
+        let mut total = 0.0;
+        let mut complete_cases = 0usize;
+        'rows: for row in 0..n {
+            let mut key = Vec::with_capacity(columns.len());
+            for c in columns {
+                match c.codes[row] {
+                    Some(code) => key.push(code),
+                    None => continue 'rows,
+                }
+            }
+            let w = weights.map(|w| w[row]).unwrap_or(1.0);
+            if w <= 0.0 {
+                continue;
+            }
+            *counts.entry(key).or_insert(0.0) += w;
+            total += w;
+            complete_cases += 1;
+        }
+        JointTable { counts, total, complete_cases }
+    }
+
+    /// Total weight of the table.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of complete-case rows that contributed.
+    pub fn complete_cases(&self) -> usize {
+        self.complete_cases
+    }
+
+    /// Number of observed (non-zero) cells.
+    pub fn n_cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no row survived the complete-case filter.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() || self.total <= 0.0
+    }
+
+    /// Iterates `(joint key, weighted count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u32>, f64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Plug-in Shannon entropy (base 2) of the joint distribution.
+    pub fn entropy(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        for &count in self.counts.values() {
+            if count > 0.0 {
+                let p = count / self.total;
+                h -= p * p.log2();
+            }
+        }
+        // Clamp tiny negative values arising from floating point error.
+        h.max(0.0)
+    }
+
+    /// Marginalises the table onto a subset of its dimensions (by position).
+    pub fn marginal(&self, dims: &[usize]) -> JointTable {
+        let mut counts: HashMap<Vec<u32>, f64> = HashMap::new();
+        for (key, count) in self.iter() {
+            let sub: Vec<u32> = dims.iter().map(|&d| key[d]).collect();
+            *counts.entry(sub).or_insert(0.0) += count;
+        }
+        JointTable { counts, total: self.total, complete_cases: self.complete_cases }
+    }
+
+    /// The probability of a specific joint key (0 when unobserved).
+    pub fn probability(&self, key: &[u32]) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        self.counts.get(key).copied().unwrap_or(0.0) / self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Column;
+
+    fn enc(vals: &[Option<&str>]) -> EncodedColumn {
+        Column::from_str_values("c", vals.to_vec()).encode()
+    }
+
+    #[test]
+    fn builds_counts_and_total() {
+        let x = enc(&[Some("a"), Some("a"), Some("b"), Some("b")]);
+        let y = enc(&[Some("0"), Some("1"), Some("0"), Some("1")]);
+        let t = JointTable::build(&[&x, &y], None);
+        assert_eq!(t.n_cells(), 4);
+        assert_eq!(t.total(), 4.0);
+        assert_eq!(t.complete_cases(), 4);
+        assert!((t.probability(&[0, 0]) - 0.25).abs() < 1e-12);
+        assert_eq!(t.probability(&[9, 9]), 0.0);
+    }
+
+    #[test]
+    fn missing_rows_are_dropped() {
+        let x = enc(&[Some("a"), None, Some("b")]);
+        let y = enc(&[Some("0"), Some("1"), None]);
+        let t = JointTable::build(&[&x, &y], None);
+        assert_eq!(t.complete_cases(), 1);
+        assert_eq!(t.total(), 1.0);
+    }
+
+    #[test]
+    fn weights_scale_counts() {
+        let x = enc(&[Some("a"), Some("b")]);
+        let t = JointTable::build(&[&x], Some(&[2.0, 6.0]));
+        assert_eq!(t.total(), 8.0);
+        assert!((t.probability(&[1]) - 0.75).abs() < 1e-12);
+        // zero / negative weights are skipped
+        let t = JointTable::build(&[&x], Some(&[0.0, 1.0]));
+        assert_eq!(t.complete_cases(), 1);
+    }
+
+    #[test]
+    fn entropy_uniform_and_deterministic() {
+        let x = enc(&[Some("a"), Some("b"), Some("c"), Some("d")]);
+        let t = JointTable::build(&[&x], None);
+        assert!((t.entropy() - 2.0).abs() < 1e-12);
+        let y = enc(&[Some("a"), Some("a")]);
+        assert_eq!(JointTable::build(&[&y], None).entropy(), 0.0);
+        let empty = enc(&[None, None]);
+        assert_eq!(JointTable::build(&[&empty], None).entropy(), 0.0);
+    }
+
+    #[test]
+    fn marginalisation_preserves_total() {
+        let x = enc(&[Some("a"), Some("a"), Some("b"), Some("b")]);
+        let y = enc(&[Some("0"), Some("1"), Some("0"), Some("1")]);
+        let t = JointTable::build(&[&x, &y], None);
+        let mx = t.marginal(&[0]);
+        assert_eq!(mx.total(), t.total());
+        assert_eq!(mx.n_cells(), 2);
+        assert!((mx.probability(&[0]) - 0.5).abs() < 1e-12);
+        assert!((mx.entropy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let x = enc(&[Some("a")]);
+        let y = enc(&[Some("a"), Some("b")]);
+        JointTable::build(&[&x, &y], None);
+    }
+}

@@ -1,0 +1,210 @@
+//! A cache of encoded columns over a [`DataFrame`], exposing the
+//! information-theoretic measures by column name.
+//!
+//! MESA evaluates hundreds of CMI terms against the same frame while running
+//! MCIMR; encoding each column once and reusing the codes is what keeps the
+//! algorithm fast on the multi-million-row Flights workload.
+
+use std::collections::HashMap;
+
+use tabular::{DataFrame, EncodedColumn, Result, TabularError};
+
+use crate::independence::{ci_test, CiTestConfig, CiTestResult};
+use crate::measures;
+
+/// Encoded view of a frame: one [`EncodedColumn`] per original column.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    columns: HashMap<String, EncodedColumn>,
+    n_rows: usize,
+}
+
+impl EncodedFrame {
+    /// Encodes every column of the frame.
+    pub fn from_frame(df: &DataFrame) -> Self {
+        let columns = df
+            .columns()
+            .map(|c| (c.name().to_string(), c.encode()))
+            .collect();
+        EncodedFrame { columns, n_rows: df.n_rows() }
+    }
+
+    /// Encodes only the named columns of the frame.
+    pub fn from_frame_columns(df: &DataFrame, names: &[&str]) -> Result<Self> {
+        let mut columns = HashMap::with_capacity(names.len());
+        for &n in names {
+            columns.insert(n.to_string(), df.column(n)?.encode());
+        }
+        Ok(EncodedFrame { columns, n_rows: df.n_rows() })
+    }
+
+    /// Number of rows in the underlying frame.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Names of the encoded columns (unordered).
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Whether a column is present.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.contains_key(name)
+    }
+
+    /// Adds (or replaces) an encoded column.
+    pub fn insert(&mut self, name: impl Into<String>, column: EncodedColumn) {
+        self.columns.insert(name.into(), column);
+    }
+
+    /// Borrows an encoded column.
+    pub fn column(&self, name: &str) -> Result<&EncodedColumn> {
+        self.columns
+            .get(name)
+            .ok_or_else(|| TabularError::ColumnNotFound(name.to_string()))
+    }
+
+    fn columns_for(&self, names: &[&str]) -> Result<Vec<&EncodedColumn>> {
+        names.iter().map(|&n| self.column(n)).collect()
+    }
+
+    /// `H(X)`.
+    pub fn entropy(&self, x: &str) -> Result<f64> {
+        Ok(measures::entropy(self.column(x)?, None))
+    }
+
+    /// `H(X | Z)` for a set of conditioning columns.
+    pub fn conditional_entropy(&self, x: &str, given: &[&str]) -> Result<f64> {
+        Ok(measures::conditional_entropy(self.column(x)?, &self.columns_for(given)?, None))
+    }
+
+    /// `I(X; Y)`, optionally IPW-weighted.
+    pub fn mutual_information(&self, x: &str, y: &str, weights: Option<&[f64]>) -> Result<f64> {
+        Ok(measures::mutual_information(self.column(x)?, self.column(y)?, weights))
+    }
+
+    /// `I(X; Y | Z)` for a set of conditioning columns, optionally
+    /// IPW-weighted.
+    pub fn cmi(&self, x: &str, y: &str, z: &[&str], weights: Option<&[f64]>) -> Result<f64> {
+        Ok(measures::conditional_mutual_information(
+            self.column(x)?,
+            self.column(y)?,
+            &self.columns_for(z)?,
+            weights,
+        ))
+    }
+
+    /// Interaction information `II(X; Y; Z)`.
+    pub fn interaction(&self, x: &str, y: &str, z: &str, weights: Option<&[f64]>) -> Result<f64> {
+        Ok(measures::interaction_information(
+            self.column(x)?,
+            self.column(y)?,
+            self.column(z)?,
+            weights,
+        ))
+    }
+
+    /// Conditional-independence G-test of `X ⫫ Y | Z`.
+    pub fn ci_test(
+        &self,
+        x: &str,
+        y: &str,
+        z: &[&str],
+        weights: Option<&[f64]>,
+        config: CiTestConfig,
+    ) -> Result<CiTestResult> {
+        Ok(ci_test(self.column(x)?, self.column(y)?, &self.columns_for(z)?, weights, config))
+    }
+
+    /// Number of distinct non-null values of a column.
+    pub fn cardinality(&self, x: &str) -> Result<usize> {
+        Ok(self.column(x)?.cardinality)
+    }
+
+    /// Fraction of missing values of a column.
+    pub fn missing_fraction(&self, x: &str) -> Result<f64> {
+        let col = self.column(x)?;
+        if col.is_empty() {
+            return Ok(0.0);
+        }
+        let missing = col.codes.iter().filter(|c| c.is_none()).count();
+        Ok(missing as f64 / col.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::DataFrameBuilder;
+
+    fn frame() -> EncodedFrame {
+        let df = DataFrameBuilder::new()
+            .cat("t", vec![Some("a"), Some("a"), Some("b"), Some("b"), Some("a"), Some("b")])
+            .cat("o", vec![Some("hi"), Some("hi"), Some("lo"), Some("lo"), Some("hi"), Some("lo")])
+            .cat("z", vec![Some("x"), Some("y"), Some("x"), Some("y"), Some("y"), Some("x")])
+            .float("m", vec![Some(1.0), None, Some(3.0), None, Some(5.0), Some(6.0)])
+            .build()
+            .unwrap();
+        EncodedFrame::from_frame(&df)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ef = frame();
+        assert_eq!(ef.n_rows(), 6);
+        assert!(ef.has_column("t"));
+        assert!(!ef.has_column("nope"));
+        assert!(ef.column("nope").is_err());
+        assert_eq!(ef.cardinality("t").unwrap(), 2);
+        assert!((ef.missing_fraction("m").unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ef.missing_fraction("t").unwrap(), 0.0);
+        let mut names = ef.column_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["m", "o", "t", "z"]);
+    }
+
+    #[test]
+    fn measures_by_name() {
+        let ef = frame();
+        // o is a deterministic function of t, so I(t;o) = H(t) = 1 bit and
+        // H(o | t) = 0.
+        assert!((ef.entropy("t").unwrap() - 1.0).abs() < 1e-12);
+        assert!((ef.mutual_information("t", "o", None).unwrap() - 1.0).abs() < 1e-12);
+        assert!(ef.conditional_entropy("o", &["t"]).unwrap().abs() < 1e-12);
+        // conditioning on an unrelated column keeps (most of) the MI
+        assert!(ef.cmi("t", "o", &["z"], None).unwrap() > 0.9);
+        // conditioning on o itself kills it
+        assert!(ef.cmi("t", "o", &["o"], None).unwrap().abs() < 1e-12);
+        assert!(ef.interaction("t", "o", "o", None).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn ci_test_by_name() {
+        let ef = frame();
+        let r = ef.ci_test("t", "z", &[], None, CiTestConfig::default()).unwrap();
+        assert!(r.independent);
+        assert!(ef.ci_test("t", "missing", &[], None, CiTestConfig::default()).is_err());
+    }
+
+    #[test]
+    fn from_frame_columns_subset() {
+        let df = DataFrameBuilder::new()
+            .cat("a", vec![Some("x")])
+            .cat("b", vec![Some("y")])
+            .build()
+            .unwrap();
+        let ef = EncodedFrame::from_frame_columns(&df, &["a"]).unwrap();
+        assert!(ef.has_column("a"));
+        assert!(!ef.has_column("b"));
+        assert!(EncodedFrame::from_frame_columns(&df, &["zz"]).is_err());
+    }
+
+    #[test]
+    fn insert_overrides() {
+        let mut ef = frame();
+        let custom = tabular::Column::from_str_values("t", vec![Some("q"); 6]).encode();
+        ef.insert("t", custom);
+        assert_eq!(ef.cardinality("t").unwrap(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Special functions needed by the statistical independence tests: log-gamma,
+//! the regularised incomplete gamma function, and the chi-squared survival
+//! function.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+///
+/// Accurate to roughly 1e-13 for positive arguments, which is far more than
+/// the independence tests need.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised lower incomplete gamma function `P(a, x)` for `a > 0, x >= 0`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// the complement otherwise (Numerical Recipes style).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if a <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut sum = 1.0 / a;
+        let mut term = sum;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+    } else {
+        // Continued fraction for Q(a, x), then P = 1 - Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        (1.0 - q).clamp(0.0, 1.0)
+    }
+}
+
+/// Chi-squared survival function: `P(Chi2_k >= x)`.
+pub fn chi2_sf(x: f64, dof: f64) -> f64 {
+    if dof <= 0.0 {
+        return if x > 0.0 { 0.0 } else { 1.0 };
+    }
+    if x <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - gamma_p(dof / 2.0, x / 2.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(1) = 1, Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi)
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert!(gamma_p(2.0, 1e6) > 0.999999);
+        // P(1, x) = 1 - exp(-x)
+        for x in [0.1, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x as f64).exp())).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // Chi2 with 1 dof: sf(3.841) ~= 0.05
+        assert!((chi2_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        // Chi2 with 2 dof: sf(x) = exp(-x/2)
+        for x in [0.5, 2.0, 5.0] {
+            assert!((chi2_sf(x, 2.0) - (-x / 2.0f64).exp()).abs() < 1e-10);
+        }
+        // Chi2 with 10 dof: sf(18.307) ~= 0.05
+        assert!((chi2_sf(18.307, 10.0) - 0.05).abs() < 1e-3);
+        assert_eq!(chi2_sf(-1.0, 3.0), 1.0);
+        assert_eq!(chi2_sf(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn chi2_sf_monotone_in_x() {
+        let mut prev = 1.0;
+        for i in 0..50 {
+            let x = i as f64 * 0.5;
+            let v = chi2_sf(x, 4.0);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Attribute extraction: turning KG properties of the entities mentioned in a
+//! table column into new candidate-confounder columns.
+//!
+//! Section 3.1 of the paper: map the distinct values of the extraction column
+//! (e.g. `Country`) to KG entities via NED, pull all their properties,
+//! optionally follow entity-valued links for additional hops, aggregate
+//! one-to-many relations with a user-chosen function, and flatten everything
+//! into a single *universal relation* keyed by the original table value. Any
+//! property that is missing for an entity — or any value that fails to link —
+//! becomes a null, which is exactly where the selection-bias machinery of
+//! Section 3.2 enters.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tabular::{Column, DataFrame, Result, Value};
+
+use crate::graph::KnowledgeGraph;
+use crate::linking::{EntityLinker, LinkOutcome};
+use crate::triple::Object;
+
+/// How to collapse a one-to-many property (several objects for one subject
+/// and predicate) into a single value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneToManyAgg {
+    /// Mean of numeric objects (nulls when none are numeric).
+    Mean,
+    /// Maximum of numeric objects.
+    Max,
+    /// Minimum of numeric objects.
+    Min,
+    /// Number of objects.
+    Count,
+    /// First object in insertion order (rendered as a string if an entity).
+    First,
+}
+
+impl OneToManyAgg {
+    fn apply(self, objects: &[&Object]) -> Value {
+        match self {
+            OneToManyAgg::First => objects.first().map(|o| o.to_value()).unwrap_or(Value::Null),
+            OneToManyAgg::Count => Value::Int(objects.len() as i64),
+            OneToManyAgg::Mean | OneToManyAgg::Max | OneToManyAgg::Min => {
+                let nums: Vec<f64> =
+                    objects.iter().filter_map(|o| o.to_value().as_f64()).collect();
+                if nums.is_empty() {
+                    return Value::Null;
+                }
+                let v = match self {
+                    OneToManyAgg::Mean => nums.iter().sum::<f64>() / nums.len() as f64,
+                    OneToManyAgg::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    OneToManyAgg::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
+                    _ => unreachable!(),
+                };
+                Value::Float(v)
+            }
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            OneToManyAgg::Mean => "avg",
+            OneToManyAgg::Max => "max",
+            OneToManyAgg::Min => "min",
+            OneToManyAgg::Count => "count",
+            OneToManyAgg::First => "first",
+        }
+    }
+}
+
+/// Configuration for the extraction process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractionConfig {
+    /// Number of hops to follow in the graph (1 = direct properties only).
+    pub hops: usize,
+    /// Aggregation for one-to-many properties.
+    pub one_to_many: OneToManyAgg,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig { hops: 1, one_to_many: OneToManyAgg::Mean }
+    }
+}
+
+/// Summary statistics of one extraction run (reported in Table 1 and used by
+/// the missing-data experiments).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExtractionStats {
+    /// Number of distinct table values submitted for linking.
+    pub n_values: usize,
+    /// Values that linked to a unique entity.
+    pub n_linked: usize,
+    /// Values whose linking was ambiguous (not linked).
+    pub n_ambiguous: usize,
+    /// Values with no matching entity.
+    pub n_not_found: usize,
+    /// Number of extracted attribute columns (excluding the key column).
+    pub n_attributes: usize,
+}
+
+/// The output of [`extract_attributes`]: a table with one row per distinct
+/// input value, keyed by `key_column`, plus the linking statistics.
+#[derive(Debug, Clone)]
+pub struct ExtractionResult {
+    /// The universal relation of extracted properties.
+    pub table: DataFrame,
+    /// Name of the key column inside [`ExtractionResult::table`].
+    pub key_column: String,
+    /// Linking / extraction statistics.
+    pub stats: ExtractionStats,
+}
+
+impl ExtractionResult {
+    /// Names of the extracted attribute columns (everything but the key).
+    pub fn attribute_names(&self) -> Vec<String> {
+        self.table
+            .column_names()
+            .into_iter()
+            .filter(|n| *n != self.key_column)
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+/// Gathers the properties of one entity, collapsing one-to-many predicates.
+///
+/// Returns `(attribute name -> value, entity-valued single links)` — the
+/// latter feed the next hop.
+fn entity_properties(
+    graph: &KnowledgeGraph,
+    entity: &str,
+    agg: OneToManyAgg,
+) -> (BTreeMap<String, Value>, Vec<(String, String)>) {
+    let mut by_pred: BTreeMap<&str, Vec<&Object>> = BTreeMap::new();
+    for (pred, obj) in graph.properties(entity) {
+        by_pred.entry(pred).or_default().push(obj);
+    }
+    let mut attrs = BTreeMap::new();
+    let mut links = Vec::new();
+    for (pred, objects) in by_pred {
+        if objects.len() == 1 {
+            let obj = objects[0];
+            attrs.insert(pred.to_string(), obj.to_value());
+            if let Object::Entity(e) = obj {
+                links.push((pred.to_string(), e.clone()));
+            }
+        } else {
+            // One-to-many: aggregate. Entity-valued multi-links are followed
+            // at the next hop through their aggregated numeric sub-properties,
+            // mirroring the paper's "Avg Population size of Ethnic-Group".
+            let name = format!("{} {}", agg.label(), pred);
+            attrs.insert(name, agg.apply(&objects));
+            if objects.iter().all(|o| o.is_entity()) {
+                for obj in &objects {
+                    if let Object::Entity(e) = obj {
+                        links.push((pred.to_string(), e.clone()));
+                    }
+                }
+            }
+        }
+    }
+    (attrs, links)
+}
+
+/// Extracts KG attributes for the given distinct table values.
+///
+/// The returned table has one row per input value (in input order), a key
+/// column named `key_column` holding the original value, and one column per
+/// extracted property. Unlinked values have nulls everywhere.
+pub fn extract_attributes(
+    graph: &KnowledgeGraph,
+    values: &[String],
+    key_column: &str,
+    config: ExtractionConfig,
+) -> Result<ExtractionResult> {
+    let linker = EntityLinker::new(graph);
+    let mut stats = ExtractionStats { n_values: values.len(), ..Default::default() };
+
+    // attribute name -> (row index -> value)
+    let mut attributes: BTreeMap<String, HashMap<usize, Value>> = BTreeMap::new();
+
+    for (row, value) in values.iter().enumerate() {
+        let outcome = linker.link(value);
+        let entity = match outcome {
+            LinkOutcome::Matched(e) => {
+                stats.n_linked += 1;
+                e
+            }
+            LinkOutcome::Ambiguous(_) => {
+                stats.n_ambiguous += 1;
+                continue;
+            }
+            LinkOutcome::NotFound => {
+                stats.n_not_found += 1;
+                continue;
+            }
+        };
+
+        // Breadth-first expansion up to `hops` levels. Each frontier entry is
+        // (prefix for attribute names, entity).
+        let mut frontier: Vec<(String, String)> = vec![(String::new(), entity)];
+        for _hop in 0..config.hops.max(1) {
+            let mut next_frontier = Vec::new();
+            for (prefix, ent) in &frontier {
+                let (attrs, links) = entity_properties(graph, ent, config.one_to_many);
+                for (name, value) in attrs {
+                    let full = if prefix.is_empty() { name } else { format!("{prefix}.{name}") };
+                    // Numeric aggregation across several linked entities that
+                    // share the same attribute name (multi-valued hop): average
+                    // them; otherwise first-wins.
+                    attributes
+                        .entry(full)
+                        .or_default()
+                        .entry(row)
+                        .and_modify(|existing| {
+                            if let (Some(a), Some(b)) = (existing.as_f64(), value.as_f64()) {
+                                *existing = Value::Float((a + b) / 2.0);
+                            }
+                        })
+                        .or_insert(value);
+                }
+                for (pred, target) in links {
+                    let new_prefix =
+                        if prefix.is_empty() { pred.clone() } else { format!("{prefix}.{pred}") };
+                    next_frontier.push((new_prefix, target));
+                }
+            }
+            frontier = next_frontier;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+    }
+
+    // Assemble the universal relation.
+    let mut columns: Vec<Column> = Vec::with_capacity(attributes.len() + 1);
+    columns.push(Column::from_str_values(
+        key_column,
+        values.iter().map(|v| Some(v.as_str())).collect(),
+    ));
+    for (name, cells) in &attributes {
+        let col_values: Vec<Value> =
+            (0..values.len()).map(|row| cells.get(&row).cloned().unwrap_or(Value::Null)).collect();
+        columns.push(Column::from_values(name.clone(), col_values));
+    }
+    stats.n_attributes = attributes.len();
+    let table = DataFrame::from_columns(columns)?;
+    Ok(ExtractionResult { table, key_column: key_column.to_string(), stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        for (country, hdi, gdp) in
+            [("Germany", 0.95, 4.2), ("Italy", 0.89, 2.1), ("United States", 0.92, 23.0)]
+        {
+            g.add_fact(country, "HDI", Object::number(hdi));
+            g.add_fact(country, "GDP", Object::number(gdp));
+        }
+        g.add_fact("Germany", "leader", Object::entity("Olaf Scholz"));
+        g.add_fact("Olaf Scholz", "age", Object::integer(65));
+        g.add_fact("United States", "ethnic group", Object::entity("Group A"));
+        g.add_fact("United States", "ethnic group", Object::entity("Group B"));
+        g.add_fact("Group A", "population", Object::number(100.0));
+        g.add_fact("Group B", "population", Object::number(300.0));
+        g.add_alias("USA", "United States");
+        g
+    }
+
+    fn values(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn one_hop_extraction() {
+        let res = extract_attributes(
+            &graph(),
+            &values(&["Germany", "Italy", "USA", "Atlantis"]),
+            "Country",
+            ExtractionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(res.table.n_rows(), 4);
+        assert_eq!(res.stats.n_linked, 3);
+        assert_eq!(res.stats.n_not_found, 1);
+        assert!(res.table.has_column("HDI"));
+        assert!(res.table.has_column("GDP"));
+        assert_eq!(res.table.get(0, "HDI").unwrap(), Value::Float(0.95));
+        assert_eq!(res.table.get(2, "GDP").unwrap(), Value::Float(23.0));
+        // unlinked value has nulls
+        assert_eq!(res.table.get(3, "HDI").unwrap(), Value::Null);
+        // key column preserved
+        assert_eq!(res.table.get(2, "Country").unwrap(), Value::Str("USA".into()));
+        assert!(res.attribute_names().contains(&"HDI".to_string()));
+        assert!(!res.attribute_names().contains(&"Country".to_string()));
+    }
+
+    #[test]
+    fn two_hop_extraction_follows_links() {
+        let cfg = ExtractionConfig { hops: 2, ..Default::default() };
+        let res = extract_attributes(&graph(), &values(&["Germany"]), "Country", cfg).unwrap();
+        // leader age reachable at hop 2
+        assert!(res.table.has_column("leader.age"), "columns: {:?}", res.table.column_names());
+        assert_eq!(res.table.get(0, "leader.age").unwrap(), Value::Int(65));
+        // hop-1 entity link also materialised as a categorical value
+        assert_eq!(res.table.get(0, "leader").unwrap(), Value::Str("Olaf Scholz".into()));
+    }
+
+    #[test]
+    fn one_to_many_aggregation() {
+        let cfg = ExtractionConfig { hops: 2, one_to_many: OneToManyAgg::Mean };
+        let res = extract_attributes(&graph(), &values(&["United States"]), "Country", cfg).unwrap();
+        // two ethnic groups, populations 100 and 300 averaged at hop 2
+        assert!(res.table.has_column("ethnic group.population"));
+        assert_eq!(res.table.get(0, "ethnic group.population").unwrap(), Value::Float(200.0));
+    }
+
+    #[test]
+    fn one_to_many_agg_variants() {
+        let objs = [Object::number(1.0), Object::number(3.0)];
+        let refs: Vec<&Object> = objs.iter().collect();
+        assert_eq!(OneToManyAgg::Mean.apply(&refs), Value::Float(2.0));
+        assert_eq!(OneToManyAgg::Max.apply(&refs), Value::Float(3.0));
+        assert_eq!(OneToManyAgg::Min.apply(&refs), Value::Float(1.0));
+        assert_eq!(OneToManyAgg::Count.apply(&refs), Value::Int(2));
+        assert_eq!(OneToManyAgg::First.apply(&refs), Value::Float(1.0));
+        let ents = [Object::entity("A"), Object::entity("B")];
+        let erefs: Vec<&Object> = ents.iter().collect();
+        assert_eq!(OneToManyAgg::Mean.apply(&erefs), Value::Null);
+        assert_eq!(OneToManyAgg::Count.apply(&erefs), Value::Int(2));
+        assert_eq!(OneToManyAgg::First.apply(&erefs), Value::Str("A".into()));
+        assert_eq!(OneToManyAgg::First.apply(&[]), Value::Null);
+    }
+
+    #[test]
+    fn stats_count_outcomes() {
+        let mut g = graph();
+        g.add_fact("Ronaldo L", "cups", Object::integer(3));
+        g.add_fact("Ronaldo C", "cups", Object::integer(5));
+        g.add_alias("Ronaldo", "Ronaldo L");
+        g.add_alias("Ronaldo", "Ronaldo C");
+        let res = extract_attributes(
+            &g,
+            &values(&["Germany", "Ronaldo", "Nowhere"]),
+            "Name",
+            ExtractionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(res.stats.n_values, 3);
+        assert_eq!(res.stats.n_linked, 1);
+        assert_eq!(res.stats.n_ambiguous, 1);
+        assert_eq!(res.stats.n_not_found, 1);
+        assert!(res.stats.n_attributes >= 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let res =
+            extract_attributes(&graph(), &[], "Country", ExtractionConfig::default()).unwrap();
+        assert_eq!(res.table.n_rows(), 0);
+        assert_eq!(res.stats.n_values, 0);
+        let empty_graph = KnowledgeGraph::new();
+        let res = extract_attributes(
+            &empty_graph,
+            &values(&["Germany"]),
+            "Country",
+            ExtractionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(res.stats.n_not_found, 1);
+        assert_eq!(res.stats.n_attributes, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The knowledge graph store: triples indexed by subject, plus the alias
+//! table the entity linker consults.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::triple::{Object, Triple};
+
+/// An in-memory knowledge graph.
+///
+/// The graph plays the role DBpedia plays in the paper: a large collection of
+/// `(entity, property, value)` facts from which MESA mines candidate
+/// confounding attributes. Subjects are indexed for fast per-entity property
+/// lookup during extraction.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeGraph {
+    triples: Vec<Triple>,
+    by_subject: HashMap<String, Vec<usize>>,
+    entities: HashSet<String>,
+    /// alias -> canonical entity names (e.g. "USA" -> ["United States"]).
+    /// An alias registered for several entities is *ambiguous*: the linker
+    /// refuses to resolve it (the paper's "Ronaldo" example).
+    aliases: HashMap<String, Vec<String>>,
+}
+
+impl KnowledgeGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        KnowledgeGraph::default()
+    }
+
+    /// Adds a fact to the graph. The subject (and any entity-valued object)
+    /// is registered as an entity.
+    pub fn add(&mut self, triple: Triple) {
+        self.entities.insert(triple.subject.clone());
+        if let Object::Entity(e) = &triple.object {
+            self.entities.insert(e.clone());
+        }
+        self.by_subject.entry(triple.subject.clone()).or_default().push(self.triples.len());
+        self.triples.push(triple);
+    }
+
+    /// Convenience: adds `(subject, predicate, object)`.
+    pub fn add_fact(
+        &mut self,
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: Object,
+    ) {
+        self.add(Triple::new(subject, predicate, object));
+    }
+
+    /// Registers an alias for an entity (the linker resolves aliases to the
+    /// canonical name). Registering an alias does not create the entity.
+    /// Registering the same alias for several entities makes it ambiguous.
+    pub fn add_alias(&mut self, alias: impl Into<String>, canonical: impl Into<String>) {
+        let canonical = canonical.into();
+        let entry = self.aliases.entry(alias.into()).or_default();
+        if !entry.contains(&canonical) {
+            entry.push(canonical);
+        }
+    }
+
+    /// The canonical entity for an alias, when it resolves uniquely.
+    pub fn resolve_alias(&self, alias: &str) -> Option<&str> {
+        match self.aliases.get(alias) {
+            Some(targets) if targets.len() == 1 => Some(targets[0].as_str()),
+            _ => None,
+        }
+    }
+
+    /// All registered `(alias, canonical)` pairs, used by the entity linker.
+    /// An ambiguous alias contributes one pair per target.
+    pub fn alias_entries(&self) -> Vec<(String, String)> {
+        self.aliases
+            .iter()
+            .flat_map(|(a, cs)| cs.iter().map(move |c| (a.clone(), c.clone())))
+            .collect()
+    }
+
+    /// Whether the graph knows this exact entity name.
+    pub fn has_entity(&self, name: &str) -> bool {
+        self.entities.contains(name)
+    }
+
+    /// All entity names (unordered).
+    pub fn entities(&self) -> impl Iterator<Item = &str> {
+        self.entities.iter().map(|s| s.as_str())
+    }
+
+    /// Number of distinct entities.
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of triples.
+    pub fn n_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// All properties of an entity, as `(predicate, object)` pairs in
+    /// insertion order. Empty when the entity has no outgoing facts.
+    pub fn properties(&self, subject: &str) -> Vec<(&str, &Object)> {
+        self.by_subject
+            .get(subject)
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| (self.triples[i].predicate.as_str(), &self.triples[i].object))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The distinct predicate names appearing anywhere in the graph.
+    pub fn predicates(&self) -> Vec<&str> {
+        let mut set: HashSet<&str> = HashSet::new();
+        for t in &self.triples {
+            set.insert(t.predicate.as_str());
+        }
+        let mut v: Vec<&str> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merges another graph into this one (triples and aliases).
+    pub fn merge(&mut self, other: &KnowledgeGraph) {
+        for t in &other.triples {
+            self.add(t.clone());
+        }
+        for (a, c) in other.alias_entries() {
+            self.add_alias(a, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        g.add_fact("Germany", "HDI", Object::number(0.95));
+        g.add_fact("Germany", "GDP", Object::number(4.2));
+        g.add_fact("Germany", "currency", Object::entity("Euro"));
+        g.add_fact("United States", "HDI", Object::number(0.92));
+        g.add_alias("USA", "United States");
+        g.add_alias("Deutschland", "Germany");
+        g
+    }
+
+    #[test]
+    fn counts_and_membership() {
+        let g = sample();
+        assert_eq!(g.n_triples(), 4);
+        // Germany, United States, Euro
+        assert_eq!(g.n_entities(), 3);
+        assert!(g.has_entity("Euro"));
+        assert!(!g.has_entity("USA")); // alias, not entity
+        assert_eq!(g.entities().count(), 3);
+    }
+
+    #[test]
+    fn properties_lookup() {
+        let g = sample();
+        let props = g.properties("Germany");
+        assert_eq!(props.len(), 3);
+        assert_eq!(props[0].0, "HDI");
+        assert!(g.properties("Atlantis").is_empty());
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let g = sample();
+        assert_eq!(g.resolve_alias("USA"), Some("United States"));
+        assert_eq!(g.resolve_alias("Germany"), None);
+    }
+
+    #[test]
+    fn predicates_sorted_unique() {
+        let g = sample();
+        assert_eq!(g.predicates(), vec!["GDP", "HDI", "currency"]);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = sample();
+        let mut b = KnowledgeGraph::new();
+        b.add_fact("France", "HDI", Object::number(0.9));
+        b.add_alias("FR", "France");
+        a.merge(&b);
+        assert_eq!(a.n_triples(), 5);
+        assert!(a.has_entity("France"));
+        assert_eq!(a.resolve_alias("FR"), Some("France"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # kg
+//!
+//! The knowledge-graph substrate of the MESA reproduction: an in-memory
+//! triple store standing in for DBpedia, a rule-based entity linker (NED),
+//! attribute extraction with multi-hop traversal and one-to-many aggregation,
+//! and the missing-value injectors used by the robustness experiments.
+//!
+//! ```
+//! use kg::{KnowledgeGraph, Object, extract_attributes, ExtractionConfig};
+//!
+//! let mut g = KnowledgeGraph::new();
+//! g.add_fact("Germany", "HDI", Object::number(0.95));
+//! g.add_fact("Germany", "GDP", Object::number(4.2));
+//! g.add_alias("Deutschland", "Germany");
+//!
+//! let res = extract_attributes(
+//!     &g,
+//!     &["Deutschland".to_string(), "Narnia".to_string()],
+//!     "Country",
+//!     ExtractionConfig::default(),
+//! ).unwrap();
+//! assert_eq!(res.stats.n_linked, 1);
+//! assert_eq!(res.stats.n_not_found, 1);
+//! assert!(res.table.has_column("HDI"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod extraction;
+pub mod graph;
+pub mod linking;
+pub mod missing;
+pub mod triple;
+
+pub use extraction::{
+    extract_attributes, ExtractionConfig, ExtractionResult, ExtractionStats, OneToManyAgg,
+};
+pub use graph::KnowledgeGraph;
+pub use linking::{normalize, EntityLinker, LinkOutcome};
+pub use missing::{impute_mean, remove_at_random, remove_biased};
+pub use triple::{Object, Triple};

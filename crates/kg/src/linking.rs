@@ -1,0 +1,196 @@
+//! Named Entity Disambiguation (NED): mapping table values to KG entities.
+//!
+//! The paper uses an off-the-shelf linker (SpaCy) and reports two failure
+//! modes that we reproduce faithfully because they are the source of the
+//! missing values the IPW machinery has to handle:
+//!
+//! * **unmatched values** — the table says `"Russian Federation"`, the KG
+//!   entity is `"Russia"`; unless an alias is registered the link fails and
+//!   every extracted attribute is null for that value;
+//! * **ambiguous values** — `"Ronaldo"` could be two different entities; the
+//!   linker refuses to guess and the value stays unlinked.
+
+use std::collections::HashMap;
+
+use crate::graph::KnowledgeGraph;
+
+/// The outcome of linking one table value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// The value resolved to a single entity.
+    Matched(String),
+    /// Several entities matched equally well; no link is made.
+    Ambiguous(Vec<String>),
+    /// No entity matched.
+    NotFound,
+}
+
+impl LinkOutcome {
+    /// The linked entity name, if uniquely matched.
+    pub fn entity(&self) -> Option<&str> {
+        match self {
+            LinkOutcome::Matched(e) => Some(e.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Normalises a surface form for fuzzy matching: lowercase, trimmed,
+/// punctuation stripped, internal whitespace collapsed.
+pub fn normalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut last_space = true;
+    for c in name.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// A rule-based entity linker over a [`KnowledgeGraph`].
+///
+/// Matching precedence: exact entity name → registered alias → normalised
+/// entity name → normalised alias. A normalised form shared by several
+/// distinct entities is reported as [`LinkOutcome::Ambiguous`].
+#[derive(Debug, Clone)]
+pub struct EntityLinker {
+    /// Exact canonical entity names.
+    exact: HashMap<String, String>,
+    /// Alias surface form -> candidate canonical entities.
+    aliases: HashMap<String, Vec<String>>,
+    /// Normalised surface form (of entities and aliases) -> candidate entities.
+    normalized: HashMap<String, Vec<String>>,
+}
+
+fn push_unique(map: &mut HashMap<String, Vec<String>>, key: String, value: &str) {
+    let entry = map.entry(key).or_default();
+    if !entry.iter().any(|x| x == value) {
+        entry.push(value.to_string());
+    }
+}
+
+impl EntityLinker {
+    /// Builds the linker's lookup structures from the graph.
+    pub fn new(graph: &KnowledgeGraph) -> Self {
+        let mut exact: HashMap<String, String> = HashMap::new();
+        let mut aliases: HashMap<String, Vec<String>> = HashMap::new();
+        let mut normalized: HashMap<String, Vec<String>> = HashMap::new();
+        for e in graph.entities() {
+            exact.insert(e.to_string(), e.to_string());
+            push_unique(&mut normalized, normalize(e), e);
+        }
+        for (alias, canonical) in graph.alias_entries() {
+            push_unique(&mut aliases, alias.clone(), &canonical);
+            push_unique(&mut normalized, normalize(&alias), &canonical);
+        }
+        EntityLinker { exact, aliases, normalized }
+    }
+
+    /// Links a single surface form.
+    pub fn link(&self, value: &str) -> LinkOutcome {
+        // 1. Exact canonical entity name.
+        if let Some(e) = self.exact.get(value) {
+            return LinkOutcome::Matched(e.clone());
+        }
+        // 2. Registered alias (ambiguous when it points at several entities).
+        if let Some(candidates) = self.aliases.get(value) {
+            return match candidates.len() {
+                1 => LinkOutcome::Matched(candidates[0].clone()),
+                _ => LinkOutcome::Ambiguous(candidates.clone()),
+            };
+        }
+        // 3. Normalised fallback over entities and aliases.
+        let n = normalize(value);
+        if n.is_empty() {
+            return LinkOutcome::NotFound;
+        }
+        match self.normalized.get(&n) {
+            Some(candidates) if candidates.len() == 1 => {
+                LinkOutcome::Matched(candidates[0].clone())
+            }
+            Some(candidates) if candidates.len() > 1 => LinkOutcome::Ambiguous(candidates.clone()),
+            _ => LinkOutcome::NotFound,
+        }
+    }
+
+    /// Links every value, returning `(value, outcome)` pairs in input order.
+    pub fn link_all<'a>(&self, values: impl IntoIterator<Item = &'a str>) -> Vec<(String, LinkOutcome)> {
+        values.into_iter().map(|v| (v.to_string(), self.link(v))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Object;
+
+    fn graph() -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        g.add_fact("Russia", "HDI", Object::number(0.82));
+        g.add_fact("United States", "HDI", Object::number(0.92));
+        g.add_fact("Cristiano Ronaldo", "net_worth", Object::number(500.0));
+        g.add_fact("Ronaldo Nazario", "net_worth", Object::number(150.0));
+        g.add_alias("Russian Federation", "Russia");
+        g.add_alias("USA", "United States");
+        g.add_alias("Ronaldo", "Cristiano Ronaldo");
+        g.add_alias("Ronaldo", "Ronaldo Nazario"); // second registration ignored for exact, ambiguous for normalized
+        g
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize("  United  States "), "united states");
+        assert_eq!(normalize("Côte-d'Ivoire"), "côte d ivoire");
+        assert_eq!(normalize("U.S.A."), "u s a");
+        assert_eq!(normalize("!!!"), "");
+    }
+
+    #[test]
+    fn exact_and_alias_matching() {
+        let linker = EntityLinker::new(&graph());
+        assert_eq!(linker.link("Russia"), LinkOutcome::Matched("Russia".into()));
+        assert_eq!(linker.link("Russian Federation"), LinkOutcome::Matched("Russia".into()));
+        assert_eq!(linker.link("USA"), LinkOutcome::Matched("United States".into()));
+    }
+
+    #[test]
+    fn normalized_matching() {
+        let linker = EntityLinker::new(&graph());
+        assert_eq!(linker.link("united states"), LinkOutcome::Matched("United States".into()));
+        assert_eq!(linker.link("UNITED STATES"), LinkOutcome::Matched("United States".into()));
+    }
+
+    #[test]
+    fn not_found_and_empty() {
+        let linker = EntityLinker::new(&graph());
+        assert_eq!(linker.link("Atlantis"), LinkOutcome::NotFound);
+        assert_eq!(linker.link("   "), LinkOutcome::NotFound);
+        assert_eq!(LinkOutcome::NotFound.entity(), None);
+    }
+
+    #[test]
+    fn ambiguous_values_refuse_to_guess() {
+        let linker = EntityLinker::new(&graph());
+        // normalized "ronaldo" maps to two canonical entities via aliases
+        match linker.link("ronaldo") {
+            LinkOutcome::Ambiguous(candidates) => {
+                assert_eq!(candidates.len(), 2);
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_all_preserves_order() {
+        let linker = EntityLinker::new(&graph());
+        let out = linker.link_all(["USA", "Atlantis"]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1.entity(), Some("United States"));
+        assert_eq!(out[1].1, LinkOutcome::NotFound);
+    }
+}

@@ -1,0 +1,108 @@
+//! Triples — the atomic facts of the knowledge graph.
+
+use std::fmt;
+
+use tabular::Value;
+
+/// The object position of a triple: either a reference to another entity in
+/// the graph or a literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Object {
+    /// A reference to another entity (enables multi-hop extraction).
+    Entity(String),
+    /// A literal value (number, string, boolean).
+    Literal(Value),
+}
+
+impl Object {
+    /// Convenience constructor for a numeric literal.
+    pub fn number(v: f64) -> Self {
+        Object::Literal(Value::Float(v))
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn integer(v: i64) -> Self {
+        Object::Literal(Value::Int(v))
+    }
+
+    /// Convenience constructor for a string literal.
+    pub fn text(v: impl Into<String>) -> Self {
+        Object::Literal(Value::Str(v.into()))
+    }
+
+    /// Convenience constructor for an entity reference.
+    pub fn entity(v: impl Into<String>) -> Self {
+        Object::Entity(v.into())
+    }
+
+    /// Returns the literal value, converting entity references to their name
+    /// as a string (useful when an entity-valued property is used directly as
+    /// a categorical attribute, e.g. `Currency`).
+    pub fn to_value(&self) -> Value {
+        match self {
+            Object::Entity(e) => Value::Str(e.clone()),
+            Object::Literal(v) => v.clone(),
+        }
+    }
+
+    /// Whether the object references an entity.
+    pub fn is_entity(&self) -> bool {
+        matches!(self, Object::Entity(_))
+    }
+}
+
+impl fmt::Display for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Object::Entity(e) => write!(f, "<{e}>"),
+            Object::Literal(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A single `(subject, predicate, object)` fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Triple {
+    /// The entity the fact is about.
+    pub subject: String,
+    /// The property name (e.g. `"HDI"`, `"Gross domestic product"`).
+    pub predicate: String,
+    /// The property value.
+    pub object: Object,
+}
+
+impl Triple {
+    /// Builds a triple.
+    pub fn new(subject: impl Into<String>, predicate: impl Into<String>, object: Object) -> Self {
+        Triple { subject: subject.into(), predicate: predicate.into(), object }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}> {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_constructors() {
+        assert_eq!(Object::number(2.5).to_value(), Value::Float(2.5));
+        assert_eq!(Object::integer(3).to_value(), Value::Int(3));
+        assert_eq!(Object::text("x").to_value(), Value::Str("x".into()));
+        assert_eq!(Object::entity("Germany").to_value(), Value::Str("Germany".into()));
+        assert!(Object::entity("Germany").is_entity());
+        assert!(!Object::number(1.0).is_entity());
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Triple::new("Germany", "HDI", Object::number(0.95));
+        assert_eq!(t.to_string(), "<Germany> HDI 0.95");
+        let t = Triple::new("US", "leader", Object::entity("POTUS"));
+        assert!(t.to_string().contains("<POTUS>"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The HypDB baseline (reference [63] of the paper): confounder detection by
+//! causal analysis over the *input dataset only*.
+//!
+//! HypDB searches for covariates that are associated with both the exposure
+//! and the outcome (the classic confounder criterion) using conditional
+//! independence tests, then ranks them by responsibility. Two properties of
+//! the original system are reproduced because the paper's comparison depends
+//! on them:
+//!
+//! * it never sees attributes extracted from external sources — only columns
+//!   of the input table are candidates;
+//! * its search is exponential in the number of candidates (it evaluates
+//!   subsets, not just individuals), so the attribute set must be capped
+//!   (the paper caps it at 50 after random subsampling) to keep running times
+//!   feasible.
+
+use infotheory::CiTestConfig;
+
+use crate::error::Result;
+use crate::problem::{Explanation, PreparedQuery};
+use crate::responsibility::responsibilities;
+
+/// Configuration of the HypDB baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct HypDbConfig {
+    /// Number of attributes reported.
+    pub k: usize,
+    /// Cap on the number of candidate attributes considered (the paper uses
+    /// 50; anything above the cap is truncated in input order).
+    pub max_candidates: usize,
+    /// Maximum subset size enumerated during the covariate search. The
+    /// exponential enumeration is what makes HypDB slow on wide tables.
+    pub max_subset_size: usize,
+    /// CI-test configuration.
+    pub ci: CiTestConfig,
+}
+
+impl Default for HypDbConfig {
+    fn default() -> Self {
+        HypDbConfig { k: 3, max_candidates: 50, max_subset_size: 2, ci: CiTestConfig::default() }
+    }
+}
+
+/// Runs the HypDB-style baseline.
+///
+/// `candidates` should already be restricted to input-table attributes (the
+/// caller — [`crate::system::Mesa::explain_with_baselines`] — takes care of
+/// excluding extracted attributes).
+pub fn hypdb(
+    prepared: &PreparedQuery,
+    candidates: &[String],
+    config: HypDbConfig,
+) -> Result<Explanation> {
+    let baseline = prepared.baseline_cmi();
+    let candidates: Vec<String> = candidates.iter().take(config.max_candidates).cloned().collect();
+    if candidates.is_empty() || config.k == 0 {
+        return Ok(Explanation::empty(baseline));
+    }
+    let outcome = prepared.outcome();
+    let exposure = prepared.exposure();
+
+    // Step 1: covariate detection — keep attributes associated with both T
+    // and O (marginally or conditionally on the other).
+    let mut covariates: Vec<String> = Vec::new();
+    for c in &candidates {
+        let with_t = prepared.encoded.ci_test(exposure, c, &[], None, config.ci)?;
+        let with_o = prepared.encoded.ci_test(outcome, c, &[exposure], None, config.ci)?;
+        if !with_t.independent && !with_o.independent {
+            covariates.push(c.clone());
+        }
+    }
+    if covariates.is_empty() {
+        return Ok(Explanation::empty(baseline));
+    }
+
+    // Step 2: exhaustive subset scoring up to `max_subset_size` — this is the
+    // exponential part. The best subset seeds the ranking; attributes are then
+    // ranked by their individual CMI reduction (responsibility-style score).
+    let n = covariates.len().min(20);
+    let mut best_subset: Vec<String> = Vec::new();
+    let mut best_score = f64::INFINITY;
+    let max_mask: u64 = 1 << n;
+    for mask in 1u64..max_mask {
+        let size = mask.count_ones() as usize;
+        if size > config.max_subset_size {
+            continue;
+        }
+        let subset: Vec<String> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| covariates[i].clone()).collect();
+        let cmi = prepared.explanation_cmi(&subset, None)?;
+        if cmi < best_score {
+            best_score = cmi;
+            best_subset = subset;
+        }
+    }
+
+    // Step 3: rank remaining covariates by individual reduction and fill up
+    // to k attributes.
+    let mut ranked: Vec<(String, f64)> = Vec::new();
+    for c in &covariates {
+        if best_subset.contains(c) {
+            continue;
+        }
+        let cmi = prepared.explanation_cmi(std::slice::from_ref(c), None)?;
+        ranked.push((c.clone(), baseline - cmi));
+    }
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut attributes = best_subset;
+    for (c, _) in ranked {
+        if attributes.len() >= config.k {
+            break;
+        }
+        attributes.push(c);
+    }
+    attributes.truncate(config.k);
+
+    let explainability = prepared.explanation_cmi(&attributes, None)?;
+    let resp = responsibilities(prepared, &attributes, None)?;
+    Ok(Explanation { attributes, baseline_cmi: baseline, explainability, responsibilities: resp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{prepare_query, PrepareConfig};
+    use tabular::{AggregateQuery, DataFrameBuilder};
+
+    /// `DevType` confounds country and salary inside the table; `Hobby` is
+    /// associated with neither.
+    fn prepared() -> PreparedQuery {
+        let n = 400;
+        let mut country = Vec::new();
+        let mut devtype = Vec::new();
+        let mut hobby = Vec::new();
+        let mut salary = Vec::new();
+        for i in 0..n {
+            let cid = i % 4;
+            // dev type is unevenly distributed across countries (but not
+            // determined by them) and drives salary: a genuine table-level
+            // confounder of the country/salary correlation
+            let data_share = [8, 7, 3, 2][cid];
+            let dt = if (i / 4) % 10 < data_share { "data" } else { "web" };
+            country.push(Some(["A", "B", "C", "D"][cid]));
+            devtype.push(Some(dt));
+            hobby.push(Some(if (i / 4) % 3 == 0 { "yes" } else { "no" }));
+            salary.push(Some(if dt == "data" { 90.0 } else { 40.0 } + (i % 4) as f64));
+        }
+        let df = DataFrameBuilder::new()
+            .cat("Country", country)
+            .cat("DevType", devtype)
+            .cat("Hobby", hobby)
+            .float("Salary", salary)
+            .build()
+            .unwrap();
+        prepare_query(
+            &df,
+            &AggregateQuery::avg("Country", "Salary"),
+            None,
+            &[],
+            PrepareConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_table_confounder() {
+        let p = prepared();
+        let cands: Vec<String> = ["DevType", "Hobby"].iter().map(|s| s.to_string()).collect();
+        let e = hypdb(&p, &cands, HypDbConfig::default()).unwrap();
+        assert!(e.attributes.contains(&"DevType".to_string()));
+        assert!(!e.attributes.contains(&"Hobby".to_string()));
+        assert!(e.explainability < e.baseline_cmi);
+    }
+
+    #[test]
+    fn candidate_cap_is_respected() {
+        let p = prepared();
+        let cands: Vec<String> = ["Hobby", "DevType"].iter().map(|s| s.to_string()).collect();
+        // cap = 1 keeps only Hobby (input order), which is no confounder
+        let cfg = HypDbConfig { max_candidates: 1, ..Default::default() };
+        let e = hypdb(&p, &cands, cfg).unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = prepared();
+        assert!(hypdb(&p, &[], HypDbConfig::default()).unwrap().is_empty());
+        let cfg = HypDbConfig { k: 0, ..Default::default() };
+        assert!(hypdb(&p, &["DevType".to_string()], cfg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn k_limits_output() {
+        let p = prepared();
+        let cands: Vec<String> = ["DevType", "Hobby"].iter().map(|s| s.to_string()).collect();
+        let cfg = HypDbConfig { k: 1, ..Default::default() };
+        let e = hypdb(&p, &cands, cfg).unwrap();
+        assert!(e.len() <= 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Baseline explanation algorithms the paper compares MESA against
+//! (Section 5, "Baseline Algorithms").
+
+pub mod brute_force;
+pub mod hypdb;
+pub mod linreg;
+pub mod topk;
+
+pub use brute_force::brute_force;
+pub use hypdb::{hypdb, HypDbConfig};
+pub use linreg::linear_regression;
+pub use topk::top_k;

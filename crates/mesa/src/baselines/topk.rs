@@ -1,0 +1,101 @@
+//! The Top-K baseline: rank attributes by their *individual* explanation
+//! power only (Max-Relevance without the redundancy term) and return the k
+//! best.
+//!
+//! Its characteristic failure mode — selecting highly redundant attributes
+//! such as `Year Low F` together with `Year Avg F` — is what the MCIMR
+//! min-redundancy term exists to avoid.
+
+use crate::error::Result;
+use crate::problem::{Explanation, PreparedQuery};
+use crate::responsibility::responsibilities;
+
+/// Selects the `k` attributes with the lowest individual `I(O; T | C, E)`.
+pub fn top_k(prepared: &PreparedQuery, candidates: &[String], k: usize) -> Result<Explanation> {
+    let baseline = prepared.baseline_cmi();
+    if candidates.is_empty() || k == 0 {
+        return Ok(Explanation::empty(baseline));
+    }
+    let mut scored: Vec<(String, f64)> = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let cmi = prepared.explanation_cmi(std::slice::from_ref(c), None)?;
+        scored.push((c.clone(), cmi));
+    }
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let attributes: Vec<String> = scored.into_iter().take(k).map(|(c, _)| c).collect();
+    let explainability = prepared.explanation_cmi(&attributes, None)?;
+    let resp = responsibilities(prepared, &attributes, None)?;
+    Ok(Explanation { attributes, baseline_cmi: baseline, explainability, responsibilities: resp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{prepare_query, PrepareConfig};
+    use tabular::{AggregateQuery, DataFrameBuilder};
+
+    /// `GDP` and `GDP twin` are equally informative and redundant; `Gini`
+    /// adds complementary information.
+    fn prepared() -> PreparedQuery {
+        let n = 240;
+        let mut country = Vec::new();
+        let mut gdp = Vec::new();
+        let mut twin = Vec::new();
+        let mut gini = Vec::new();
+        let mut salary = Vec::new();
+        for i in 0..n {
+            let cid = i % 4;
+            country.push(Some(["A", "B", "C", "D"][cid]));
+            gdp.push(Some(["hi", "hi", "lo", "lo"][cid]));
+            twin.push(Some(["hi", "hi", "lo", "lo"][cid]));
+            gini.push(Some(["eq", "uneq", "eq", "uneq"][cid]));
+            let s = (if cid < 2 { 80.0 } else { 30.0 }) - (if cid % 2 == 1 { 15.0 } else { 0.0 });
+            salary.push(Some(s));
+        }
+        let df = DataFrameBuilder::new()
+            .cat("Country", country)
+            .cat("GDP", gdp)
+            .cat("GDP twin", twin)
+            .cat("Gini", gini)
+            .float("Salary", salary)
+            .build()
+            .unwrap();
+        prepare_query(
+            &df,
+            &AggregateQuery::avg("Country", "Salary"),
+            None,
+            &[],
+            PrepareConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn picks_individually_best_attributes_ignoring_redundancy() {
+        let p = prepared();
+        let cands: Vec<String> =
+            ["GDP", "GDP twin", "Gini"].iter().map(|s| s.to_string()).collect();
+        let e = top_k(&p, &cands, 2).unwrap();
+        assert_eq!(e.len(), 2);
+        // the two redundant GDP variants have the lowest individual CMI, so
+        // Top-K picks both and misses Gini — exactly the paper's criticism
+        assert!(e.attributes.contains(&"GDP".to_string()));
+        assert!(e.attributes.contains(&"GDP twin".to_string()));
+        assert!(!e.attributes.contains(&"Gini".to_string()));
+    }
+
+    #[test]
+    fn k_larger_than_candidates() {
+        let p = prepared();
+        let cands = vec!["GDP".to_string()];
+        let e = top_k(&p, &cands, 5).unwrap();
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = prepared();
+        assert!(top_k(&p, &[], 3).unwrap().is_empty());
+        assert!(top_k(&p, &["GDP".to_string()], 0).unwrap().is_empty());
+    }
+}

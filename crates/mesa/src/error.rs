@@ -1,0 +1,61 @@
+//! Error type for the MESA system.
+
+use std::fmt;
+
+use tabular::TabularError;
+
+/// Errors surfaced by MESA.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MesaError {
+    /// An underlying table operation failed.
+    Table(TabularError),
+    /// A regression fit failed (LR baseline or IPW weight estimation).
+    Fit(String),
+    /// The query or configuration is invalid for the given data.
+    InvalidInput(String),
+    /// No candidate attributes survive pruning / preparation.
+    NoCandidates(String),
+}
+
+impl fmt::Display for MesaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MesaError::Table(e) => write!(f, "table error: {e}"),
+            MesaError::Fit(msg) => write!(f, "model fit error: {msg}"),
+            MesaError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            MesaError::NoCandidates(msg) => write!(f, "no candidate attributes: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MesaError {}
+
+impl From<TabularError> for MesaError {
+    fn from(e: TabularError) -> Self {
+        MesaError::Table(e)
+    }
+}
+
+impl From<stats::FitError> for MesaError {
+    fn from(e: stats::FitError) -> Self {
+        MesaError::Fit(e.to_string())
+    }
+}
+
+/// Result alias for MESA operations.
+pub type Result<T> = std::result::Result<T, MesaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: MesaError = TabularError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("column not found"));
+        let e: MesaError = stats::FitError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        assert!(MesaError::NoCandidates("all pruned".into()).to_string().contains("all pruned"));
+        assert!(MesaError::InvalidInput("bad k".into()).to_string().contains("bad k"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # mesa
+//!
+//! A from-scratch reproduction of **MESA**, the system of *"On Explaining
+//! Confounding Bias"* (ICDE 2023): given an aggregate group-by query whose
+//! result shows a surprising correlation between a grouping attribute (the
+//! *exposure* `T`) and an aggregated attribute (the *outcome* `O`), MESA
+//! finds a small set of confounding attributes — mined from the input table
+//! and from an external knowledge graph — that explains the correlation away.
+//!
+//! Pipeline (each stage is its own module):
+//!
+//! 1. [`problem`] — apply the query context, join attributes extracted from
+//!    the knowledge graph, bin and encode (`prepare_query`).
+//! 2. [`pruning`] — offline and online pruning of the candidate attributes
+//!    (Section 4.2 of the paper).
+//! 3. [`missing`] — selection-bias detection and Inverse Probability
+//!    Weighting for attributes with missing values (Section 3.2).
+//! 4. [`mcimr`] — the MCIMR greedy selection algorithm with the
+//!    responsibility-test stopping rule (Algorithm 1).
+//! 5. [`responsibility`] — degrees of responsibility (Definition 2.2).
+//! 6. [`subgroups`] — top-k unexplained data subgroups (Algorithm 2).
+//! 7. [`baselines`] — Brute-Force, Top-K, Linear Regression, and HypDB.
+//!
+//! The [`Mesa`] facade in [`system`] wires the stages together; [`report`]
+//! renders results for humans.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod error;
+pub mod mcimr;
+pub mod missing;
+pub mod problem;
+pub mod pruning;
+pub mod report;
+pub mod responsibility;
+pub mod subgroups;
+pub mod system;
+
+pub use error::{MesaError, Result};
+pub use mcimr::{mcimr, McimrConfig, McimrTrace};
+pub use missing::{
+    analyze_attribute, analyze_candidates, combine_weights, fully_observed_columns,
+    impute_candidates, selection_indicator, MissingPolicy, SelectionBiasInfo,
+};
+pub use problem::{prepare_query, Explanation, PrepareConfig, PreparedQuery};
+pub use pruning::{prune, prune_offline, prune_online, PruneReason, PruningConfig, PruningReport};
+pub use report::{explanation_details, explanation_line, report_summary, subgroup_table};
+pub use responsibility::responsibilities;
+pub use subgroups::{unexplained_subgroups, Subgroup, SubgroupConfig};
+pub use system::{Mesa, MesaConfig, MesaReport};

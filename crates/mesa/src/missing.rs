@@ -1,0 +1,413 @@
+//! Missing-data handling (Section 3.2): selection-bias detection and Inverse
+//! Probability Weighting.
+//!
+//! Extracted attributes contain missing values (failed links, sparse KG). The
+//! estimators in `infotheory` use complete-case analysis, which is unbiased
+//! only when the recoverability conditions of Propositions 3.1/3.2 hold —
+//! essentially, when missingness carries no information about the outcome (or
+//! the partner attribute) once the observed variables are taken into account.
+//!
+//! For each candidate attribute `E` we therefore:
+//!
+//! 1. build its *selection indicator* `R_E` (1 = observed, 0 = missing);
+//! 2. test whether `R_E` is independent of the outcome `O` and of the
+//!    exposure `T` (given the context, which the prepared frame already
+//!    encodes). If both independencies hold, complete cases are a
+//!    representative sample and no correction is needed;
+//! 3. otherwise fit a logistic regression `P(R_E = 1 | X)` on fully observed
+//!    attributes of the input dataset and weight each complete case by
+//!    `P(R_E = 1) / P(R_E = 1 | x_i)` — the IPW estimator the paper adopts.
+
+use std::collections::HashMap;
+
+use infotheory::{CiTestConfig, EncodedFrame};
+use stats::{logistic_fit, LogisticConfig};
+use tabular::{Column, EncodedColumn};
+
+use crate::error::{MesaError, Result};
+
+/// How MESA treats missing values in candidate attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingPolicy {
+    /// Complete-case analysis with no correction.
+    CompleteCase,
+    /// Detect selection bias per attribute and re-weight complete cases
+    /// (Inverse Probability Weighting) where it is detected. The paper's
+    /// default.
+    Ipw,
+}
+
+/// Result of the selection-bias analysis for one attribute.
+#[derive(Debug, Clone)]
+pub struct SelectionBiasInfo {
+    /// The attribute name.
+    pub attribute: String,
+    /// Fraction of missing values.
+    pub missing_fraction: f64,
+    /// Whether selection bias was detected (missingness associated with the
+    /// outcome or the exposure).
+    pub biased: bool,
+    /// IPW weights for every row (1.0 where no correction applies). `None`
+    /// when no correction is needed or possible.
+    pub weights: Option<Vec<f64>>,
+}
+
+/// Builds the selection indicator `R_E` for an attribute as an encoded
+/// column: code 1 = observed, code 0 = missing.
+pub fn selection_indicator(column: &EncodedColumn) -> EncodedColumn {
+    let codes: Vec<Option<u32>> =
+        column.codes.iter().map(|c| Some(if c.is_some() { 1 } else { 0 })).collect();
+    EncodedColumn { codes, cardinality: 2, labels: vec!["missing".into(), "observed".into()] }
+}
+
+/// Analyses one candidate attribute for selection bias and, when detected,
+/// estimates IPW weights.
+///
+/// * `feature_columns` — fully observed attributes of the input dataset used
+///   as predictors of the selection probability (their discrete codes are
+///   used as numeric features, which is what "the values of the attributes in
+///   D" amounts to after binning).
+pub fn analyze_attribute(
+    encoded: &EncodedFrame,
+    attribute: &str,
+    outcome: &str,
+    exposure: &str,
+    feature_columns: &[String],
+    ci: CiTestConfig,
+) -> Result<SelectionBiasInfo> {
+    let col = encoded.column(attribute)?;
+    let missing_fraction = encoded.missing_fraction(attribute)?;
+    if missing_fraction <= 0.0 || missing_fraction >= 1.0 {
+        return Ok(SelectionBiasInfo {
+            attribute: attribute.to_string(),
+            missing_fraction,
+            biased: false,
+            weights: None,
+        });
+    }
+    let r = selection_indicator(col);
+    // Independence of the selection indicator from outcome and exposure.
+    let o = encoded.column(outcome)?;
+    let t = encoded.column(exposure)?;
+    let r_vs_o = infotheory::ci_test(&r, o, &[], None, ci);
+    let r_vs_t = infotheory::ci_test(&r, t, &[], None, ci);
+    let biased = !r_vs_o.independent || !r_vs_t.independent;
+    if !biased {
+        return Ok(SelectionBiasInfo {
+            attribute: attribute.to_string(),
+            missing_fraction,
+            biased,
+            weights: None,
+        });
+    }
+
+    // Fit P(R_E = 1 | X) on fully observed features.
+    let n = r.len();
+    let y: Vec<f64> =
+        r.codes.iter().map(|c| if c == &Some(1) { 1.0 } else { 0.0 }).collect();
+    let mut predictors: Vec<(String, Vec<f64>)> = Vec::new();
+    for f in feature_columns {
+        if f == attribute {
+            continue;
+        }
+        let fc = encoded.column(f)?;
+        if fc.codes.iter().any(|c| c.is_none()) {
+            continue; // only fully observed features are usable
+        }
+        if fc.cardinality <= 1 {
+            continue;
+        }
+        let vals: Vec<f64> = fc.codes.iter().map(|c| c.unwrap_or(0) as f64).collect();
+        predictors.push((f.clone(), vals));
+        if predictors.len() >= 6 {
+            break; // keep the model small; it only supplies weights
+        }
+    }
+    let marginal = y.iter().sum::<f64>() / n as f64;
+    let weights = match logistic_fit(&y, &predictors, LogisticConfig::default()) {
+        Ok(model) => {
+            let mut w = Vec::with_capacity(n);
+            for i in 0..n {
+                let features: Vec<f64> = predictors.iter().map(|(_, v)| v[i]).collect();
+                let p = model.predict_proba(&features).clamp(0.05, 1.0);
+                // Weights only matter for complete cases; incomplete rows are
+                // dropped by the estimators regardless of their weight.
+                w.push(if y[i] > 0.5 { marginal / p } else { 1.0 });
+            }
+            Some(w)
+        }
+        Err(_) => None,
+    };
+    Ok(SelectionBiasInfo {
+        attribute: attribute.to_string(),
+        missing_fraction,
+        biased,
+        weights,
+    })
+}
+
+/// Selection-bias analysis for a whole candidate set. Returns a map from
+/// attribute name to its analysis, including weights where needed.
+pub fn analyze_candidates(
+    encoded: &EncodedFrame,
+    candidates: &[String],
+    outcome: &str,
+    exposure: &str,
+    feature_columns: &[String],
+    policy: MissingPolicy,
+    ci: CiTestConfig,
+) -> Result<HashMap<String, SelectionBiasInfo>> {
+    let mut out = HashMap::with_capacity(candidates.len());
+    if policy == MissingPolicy::CompleteCase {
+        return Ok(out);
+    }
+    for c in candidates {
+        let info = analyze_attribute(encoded, c, outcome, exposure, feature_columns, ci)?;
+        if info.biased {
+            out.insert(c.clone(), info);
+        }
+    }
+    Ok(out)
+}
+
+/// Combines the IPW weights of several attributes into a single per-row
+/// weight vector (element-wise product), used when scoring a multi-attribute
+/// explanation. Returns `None` when no attribute carries weights.
+pub fn combine_weights(
+    attributes: &[String],
+    analyses: &HashMap<String, SelectionBiasInfo>,
+    n_rows: usize,
+) -> Option<Vec<f64>> {
+    let mut combined: Option<Vec<f64>> = None;
+    for a in attributes {
+        if let Some(info) = analyses.get(a) {
+            if let Some(w) = &info.weights {
+                let acc = combined.get_or_insert_with(|| vec![1.0; n_rows]);
+                for (c, &wi) in acc.iter_mut().zip(w) {
+                    *c *= wi;
+                }
+            }
+        }
+    }
+    combined
+}
+
+/// Mean-imputes every candidate attribute of a frame (the imputation baseline
+/// of Figure 3). Returns a new frame.
+pub fn impute_candidates(
+    frame: &tabular::DataFrame,
+    candidates: &[String],
+) -> Result<tabular::DataFrame> {
+    let mut out = frame.clone();
+    for c in candidates {
+        out = kg::impute_mean(&out, c).map_err(MesaError::from)?;
+    }
+    Ok(out)
+}
+
+/// Helper: the column names of a frame that have no missing values (the
+/// feature pool for the selection-probability model).
+pub fn fully_observed_columns(frame: &tabular::DataFrame) -> Vec<String> {
+    frame
+        .columns()
+        .filter(|c| c.null_count() == 0)
+        .map(|c: &Column| c.name().to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::DataFrameBuilder;
+
+    /// Frame where the `hdi` attribute is missing exactly for high-salary
+    /// rows — blatant selection bias.
+    fn biased_frame() -> tabular::DataFrame {
+        let n = 240;
+        let mut country = Vec::new();
+        let mut salary = Vec::new();
+        let mut hdi = Vec::new();
+        let mut mar = Vec::new();
+        for i in 0..n {
+            let c = ["DE", "IT", "NG", "KE"][i % 4];
+            let high = i % 4 < 2;
+            country.push(Some(c));
+            salary.push(Some(if high { "high" } else { "low" }));
+            // hdi observed mostly for low-salary countries
+            hdi.push(if high && i % 3 != 0 { None } else { Some(if high { "big" } else { "small" }) });
+            // missing-at-random attribute
+            mar.push(if i % 5 == 0 { None } else { Some(if i % 2 == 0 { "x" } else { "y" }) });
+        }
+        DataFrameBuilder::new()
+            .cat("Country", country)
+            .cat("Salary", salary)
+            .cat("HDI", hdi)
+            .cat("MAR", mar)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn selection_indicator_is_binary() {
+        let col = tabular::Column::from_str_values("x", vec![Some("a"), None, Some("b")]).encode();
+        let r = selection_indicator(&col);
+        assert_eq!(r.codes, vec![Some(1), Some(0), Some(1)]);
+        assert_eq!(r.cardinality, 2);
+    }
+
+    #[test]
+    fn detects_bias_only_where_present() {
+        let df = biased_frame();
+        let encoded = EncodedFrame::from_frame(&df);
+        let features = fully_observed_columns(&df);
+        let biased = analyze_attribute(
+            &encoded,
+            "HDI",
+            "Salary",
+            "Country",
+            &features,
+            CiTestConfig::default(),
+        )
+        .unwrap();
+        assert!(biased.biased, "HDI missingness depends on salary");
+        assert!(biased.missing_fraction > 0.2);
+        assert!(biased.weights.is_some());
+        let w = biased.weights.unwrap();
+        assert_eq!(w.len(), df.n_rows());
+        assert!(w.iter().all(|&x| x.is_finite() && x > 0.0));
+        // complete cases in the under-represented (high-salary) group get up-weighted
+        assert!(w.iter().any(|&x| x > 1.01));
+
+        let mar = analyze_attribute(
+            &encoded,
+            "MAR",
+            "Salary",
+            "Country",
+            &features,
+            CiTestConfig::default(),
+        )
+        .unwrap();
+        assert!(!mar.biased, "MAR attribute should not trigger the correction");
+        assert!(mar.weights.is_none());
+    }
+
+    #[test]
+    fn fully_observed_attribute_is_unbiased() {
+        let df = biased_frame();
+        let encoded = EncodedFrame::from_frame(&df);
+        let info = analyze_attribute(
+            &encoded,
+            "Country",
+            "Salary",
+            "Country",
+            &[],
+            CiTestConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(info.missing_fraction, 0.0);
+        assert!(!info.biased);
+    }
+
+    #[test]
+    fn analyze_candidates_respects_policy() {
+        let df = biased_frame();
+        let encoded = EncodedFrame::from_frame(&df);
+        let features = fully_observed_columns(&df);
+        let candidates = vec!["HDI".to_string(), "MAR".to_string()];
+        let none = analyze_candidates(
+            &encoded,
+            &candidates,
+            "Salary",
+            "Country",
+            &features,
+            MissingPolicy::CompleteCase,
+            CiTestConfig::default(),
+        )
+        .unwrap();
+        assert!(none.is_empty());
+        let ipw = analyze_candidates(
+            &encoded,
+            &candidates,
+            "Salary",
+            "Country",
+            &features,
+            MissingPolicy::Ipw,
+            CiTestConfig::default(),
+        )
+        .unwrap();
+        assert!(ipw.contains_key("HDI"));
+        assert!(!ipw.contains_key("MAR"));
+    }
+
+    #[test]
+    fn weight_combination() {
+        let mut analyses = HashMap::new();
+        analyses.insert(
+            "a".to_string(),
+            SelectionBiasInfo {
+                attribute: "a".into(),
+                missing_fraction: 0.1,
+                biased: true,
+                weights: Some(vec![2.0, 1.0, 1.0]),
+            },
+        );
+        analyses.insert(
+            "b".to_string(),
+            SelectionBiasInfo {
+                attribute: "b".into(),
+                missing_fraction: 0.1,
+                biased: true,
+                weights: Some(vec![1.0, 3.0, 1.0]),
+            },
+        );
+        let combined =
+            combine_weights(&["a".to_string(), "b".to_string()], &analyses, 3).unwrap();
+        assert_eq!(combined, vec![2.0, 3.0, 1.0]);
+        assert!(combine_weights(&["c".to_string()], &analyses, 3).is_none());
+        assert!(combine_weights(&[], &analyses, 3).is_none());
+    }
+
+    #[test]
+    fn ipw_corrects_complete_case_bias() {
+        // Ground truth: HDI ("big"/"small") fully explains Salary given Country.
+        // Biased missingness makes the naive complete-case CMI estimate of
+        // I(Salary; Country | HDI) deviate; IPW should move it back towards
+        // the unbiased (fully observed) value.
+        let df = biased_frame();
+        let encoded = EncodedFrame::from_frame(&df);
+        let features = fully_observed_columns(&df);
+        let info = analyze_attribute(
+            &encoded,
+            "HDI",
+            "Salary",
+            "Country",
+            &features,
+            CiTestConfig::default(),
+        )
+        .unwrap();
+        let w = info.weights.unwrap();
+        let naive = encoded.cmi("Salary", "Country", &["HDI"], None).unwrap();
+        let weighted = encoded.cmi("Salary", "Country", &["HDI"], Some(&w)).unwrap();
+        // both should be small (HDI explains most of it), and the weighted
+        // estimate must stay finite and non-negative
+        assert!(naive >= 0.0 && weighted >= 0.0);
+        assert!(weighted.is_finite());
+    }
+
+    #[test]
+    fn impute_candidates_fills_all() {
+        let df = biased_frame();
+        let out = impute_candidates(&df, &["HDI".to_string(), "MAR".to_string()]).unwrap();
+        assert_eq!(out.column("HDI").unwrap().null_count(), 0);
+        assert_eq!(out.column("MAR").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn fully_observed_columns_lists_complete_ones() {
+        let df = biased_frame();
+        let cols = fully_observed_columns(&df);
+        assert!(cols.contains(&"Country".to_string()));
+        assert!(cols.contains(&"Salary".to_string()));
+        assert!(!cols.contains(&"HDI".to_string()));
+    }
+}

@@ -1,0 +1,381 @@
+//! The Correlation-Explanation problem (Definition 2.1) and the prepared,
+//! discretised view of the data it is solved over.
+//!
+//! Preparation pipeline (shared by MESA and every baseline):
+//!
+//! 1. apply the query context `C` (the `WHERE` clause) to the input table;
+//! 2. join the attributes extracted from the knowledge graph on each
+//!    extraction column;
+//! 3. bin numeric attributes so the information-theoretic estimators can work
+//!    over discrete codes;
+//! 4. encode every column once into an [`EncodedFrame`].
+//!
+//! Everything downstream — pruning, MCIMR, baselines, responsibility, the
+//! subgroup search — operates on the resulting [`PreparedQuery`].
+
+use infotheory::EncodedFrame;
+use tabular::{bin_frame, AggregateQuery, BinStrategy, DataFrame, JoinKind};
+
+use kg::{extract_attributes, ExtractionConfig, ExtractionStats, KnowledgeGraph};
+
+use crate::error::{MesaError, Result};
+
+/// Binning / preparation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrepareConfig {
+    /// Number of bins for numeric attributes.
+    pub n_bins: usize,
+    /// Binning strategy.
+    pub bin_strategy: BinStrategy,
+    /// KG extraction configuration (hops, one-to-many aggregation).
+    pub extraction: ExtractionConfig,
+}
+
+impl Default for PrepareConfig {
+    fn default() -> Self {
+        PrepareConfig {
+            n_bins: 6,
+            bin_strategy: BinStrategy::EqualFrequency,
+            extraction: ExtractionConfig::default(),
+        }
+    }
+}
+
+/// A query together with the discretised data it will be explained over.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The original query.
+    pub query: AggregateQuery,
+    /// The context-filtered, KG-joined, binned frame.
+    pub frame: DataFrame,
+    /// Encoded (discrete) view of [`PreparedQuery::frame`].
+    pub encoded: EncodedFrame,
+    /// Candidate attribute names `A = E ∪ T \ {O, T}`.
+    pub candidates: Vec<String>,
+    /// Names of the candidates that came from the knowledge graph.
+    pub extracted: Vec<String>,
+    /// Per-extraction-column statistics (linking success, #attributes).
+    pub extraction_stats: Vec<(String, ExtractionStats)>,
+}
+
+impl PreparedQuery {
+    /// The exposure attribute `T`.
+    pub fn exposure(&self) -> &str {
+        &self.query.exposure
+    }
+
+    /// The outcome attribute `O`.
+    pub fn outcome(&self) -> &str {
+        &self.query.outcome
+    }
+
+    /// The baseline correlation `I(O; T | C)` with an empty explanation.
+    pub fn baseline_cmi(&self) -> f64 {
+        self.encoded
+            .mutual_information(self.outcome(), self.exposure(), None)
+            .unwrap_or(0.0)
+    }
+
+    /// The explanation score `I(O; T | E, C)` for a set of attributes.
+    pub fn explanation_cmi(&self, attributes: &[String], weights: Option<&[f64]>) -> Result<f64> {
+        let z: Vec<&str> = attributes.iter().map(|s| s.as_str()).collect();
+        Ok(self.encoded.cmi(self.outcome(), self.exposure(), &z, weights)?)
+    }
+
+    /// The Definition 2.1 objective `I(O;T|E,C) · |E|` (with `|E| = 1` used
+    /// for the empty set so the empty explanation is scored by its CMI).
+    pub fn objective(&self, attributes: &[String]) -> Result<f64> {
+        let cmi = self.explanation_cmi(attributes, None)?;
+        Ok(cmi * attributes.len().max(1) as f64)
+    }
+}
+
+/// An explanation: the selected confounding attributes, their explanation
+/// score, and the per-attribute degrees of responsibility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Selected attribute names, in selection order.
+    pub attributes: Vec<String>,
+    /// `I(O;T|C)` before conditioning on the explanation.
+    pub baseline_cmi: f64,
+    /// `I(O;T|E,C)` — the explainability score (lower is better; 0 means the
+    /// correlation is fully explained).
+    pub explainability: f64,
+    /// Degree of responsibility per attribute (Definition 2.2), in the same
+    /// order as [`Explanation::attributes`].
+    pub responsibilities: Vec<f64>,
+}
+
+impl Explanation {
+    /// An empty explanation (nothing selected).
+    pub fn empty(baseline_cmi: f64) -> Self {
+        Explanation {
+            attributes: Vec::new(),
+            baseline_cmi,
+            explainability: baseline_cmi,
+            responsibilities: Vec::new(),
+        }
+    }
+
+    /// Number of selected attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the explanation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Fraction of the baseline correlation that the explanation removes, in
+    /// `[0, 1]` (1 = fully explained).
+    pub fn explained_fraction(&self) -> f64 {
+        if self.baseline_cmi <= 0.0 {
+            return 1.0;
+        }
+        ((self.baseline_cmi - self.explainability) / self.baseline_cmi).clamp(0.0, 1.0)
+    }
+
+    /// `(attribute, responsibility)` pairs sorted by decreasing responsibility.
+    pub fn ranked_attributes(&self) -> Vec<(String, f64)> {
+        let mut pairs: Vec<(String, f64)> = self
+            .attributes
+            .iter()
+            .cloned()
+            .zip(self.responsibilities.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        pairs
+    }
+}
+
+/// Prepares a query for explanation: applies the context, extracts and joins
+/// KG attributes for each extraction column, bins numeric attributes, and
+/// encodes everything.
+///
+/// * `graph` — the knowledge source; `None` restricts candidates to the input
+///   table (this is how the HypDB baseline and "input-only" ablations run).
+/// * `extraction_columns` — the table columns whose values are linked to KG
+///   entities (Table 1's "Columns used for extraction").
+pub fn prepare_query(
+    df: &DataFrame,
+    query: &AggregateQuery,
+    graph: Option<&KnowledgeGraph>,
+    extraction_columns: &[&str],
+    config: PrepareConfig,
+) -> Result<PreparedQuery> {
+    query.validate(df).map_err(MesaError::from)?;
+    // 1. Context.
+    let filtered = query.apply_context(df)?;
+    if filtered.is_empty() {
+        return Err(MesaError::InvalidInput(format!(
+            "no rows satisfy the query context {}",
+            query.context.describe()
+        )));
+    }
+
+    // 2. KG extraction + join.
+    let mut joined = filtered.clone();
+    let mut extracted_names: Vec<String> = Vec::new();
+    let mut extraction_stats = Vec::new();
+    if let Some(graph) = graph {
+        for &col in extraction_columns {
+            if !joined.has_column(col) {
+                continue;
+            }
+            // Distinct values of the extraction column.
+            let encoded = joined.column(col)?.encode();
+            let values: Vec<String> = encoded.labels.clone();
+            if values.is_empty() {
+                continue;
+            }
+            let key = format!("__key_{col}");
+            let mut result = extract_attributes(graph, &values, &key, config.extraction)?;
+            // Avoid column collisions across extraction columns (e.g. both the
+            // origin city and origin state expose a `Density` property).
+            let mut renames: Vec<(String, String)> = Vec::new();
+            for name in result.attribute_names() {
+                if joined.has_column(&name) {
+                    renames.push((name.clone(), format!("{name} ({col})")));
+                }
+            }
+            for (old, new) in renames {
+                let mut c = result.table.drop_column(&old)?;
+                c.rename(new.clone());
+                result.table.add_column(c)?;
+            }
+            let attr_names = result.attribute_names();
+            joined = tabular::join(&joined, &result.table, col, &key, JoinKind::Left)?;
+            extracted_names.extend(attr_names);
+            extraction_stats.push((col.to_string(), result.stats));
+        }
+    }
+
+    // 3. Binning. The exposure is left unbinned only if categorical; numeric
+    //    exposures are binned like everything else (paper §2.1).
+    let binned = bin_frame(&joined, config.n_bins, config.bin_strategy, &[])?;
+
+    // 4. Encoding + candidate assembly.
+    let encoded = EncodedFrame::from_frame(&binned);
+    let candidates: Vec<String> = binned
+        .column_names()
+        .into_iter()
+        .filter(|&n| n != query.exposure && n != query.outcome)
+        .map(|s| s.to_string())
+        .collect();
+    if candidates.is_empty() {
+        return Err(MesaError::NoCandidates("the frame only contains the exposure and outcome".into()));
+    }
+
+    Ok(PreparedQuery {
+        query: query.clone(),
+        frame: binned,
+        encoded,
+        candidates,
+        extracted: extracted_names,
+        extraction_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::Object;
+    use tabular::{DataFrameBuilder, Predicate};
+
+    fn base_frame() -> DataFrame {
+        let n = 120;
+        let countries = ["Germany", "Italy", "Nigeria", "Kenya"];
+        let mut country = Vec::new();
+        let mut continent = Vec::new();
+        let mut salary = Vec::new();
+        let mut gender = Vec::new();
+        for i in 0..n {
+            let c = countries[i % 4];
+            country.push(Some(c));
+            continent.push(Some(if i % 4 < 2 { "Europe" } else { "Africa" }));
+            // salary driven by country "wealth": DE/IT high, NG/KE low
+            let base = if i % 4 < 2 { 70.0 } else { 20.0 };
+            salary.push(Some(base + (i % 7) as f64));
+            gender.push(Some(if i % 3 == 0 { "W" } else { "M" }));
+        }
+        DataFrameBuilder::new()
+            .cat("Country", country)
+            .cat("Continent", continent)
+            .float("Salary", salary)
+            .cat("Gender", gender)
+            .build()
+            .unwrap()
+    }
+
+    fn graph() -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        for (c, gdp) in [("Germany", 50.0), ("Italy", 40.0), ("Nigeria", 5.0), ("Kenya", 4.0)] {
+            g.add_fact(c, "GDP per capita", Object::number(gdp));
+            g.add_fact(c, "wikiID", Object::integer(1));
+        }
+        g
+    }
+
+    #[test]
+    fn prepare_without_graph() {
+        let df = base_frame();
+        let q = AggregateQuery::avg("Country", "Salary");
+        let prep = prepare_query(&df, &q, None, &[], PrepareConfig::default()).unwrap();
+        assert_eq!(prep.exposure(), "Country");
+        assert_eq!(prep.outcome(), "Salary");
+        assert!(prep.candidates.contains(&"Gender".to_string()));
+        assert!(!prep.candidates.contains(&"Salary".to_string()));
+        assert!(prep.extracted.is_empty());
+        assert!(prep.baseline_cmi() > 0.1, "country and salary should correlate");
+    }
+
+    #[test]
+    fn prepare_with_graph_joins_extracted_attributes() {
+        let df = base_frame();
+        let q = AggregateQuery::avg("Country", "Salary");
+        let prep =
+            prepare_query(&df, &q, Some(&graph()), &["Country"], PrepareConfig::default()).unwrap();
+        assert!(prep.frame.has_column("GDP per capita"));
+        assert!(prep.extracted.contains(&"GDP per capita".to_string()));
+        assert_eq!(prep.extraction_stats.len(), 1);
+        assert_eq!(prep.extraction_stats[0].1.n_linked, 4);
+        // conditioning on the extracted GDP attribute explains the correlation
+        let cmi = prep.explanation_cmi(&["GDP per capita".to_string()], None).unwrap();
+        assert!(cmi < prep.baseline_cmi() * 0.6);
+    }
+
+    #[test]
+    fn prepare_applies_context() {
+        let df = base_frame();
+        let q = AggregateQuery::avg("Country", "Salary")
+            .with_context(Predicate::eq("Continent", "Europe"));
+        let prep = prepare_query(&df, &q, None, &[], PrepareConfig::default()).unwrap();
+        assert_eq!(prep.frame.n_rows(), 60);
+        // context column became constant in the filtered frame
+        assert_eq!(prep.frame.column("Continent").unwrap().n_distinct(), 1);
+    }
+
+    #[test]
+    fn prepare_rejects_empty_context_and_bad_columns() {
+        let df = base_frame();
+        let q = AggregateQuery::avg("Country", "Salary")
+            .with_context(Predicate::eq("Continent", "Atlantis"));
+        assert!(prepare_query(&df, &q, None, &[], PrepareConfig::default()).is_err());
+        let q = AggregateQuery::avg("Nope", "Salary");
+        assert!(prepare_query(&df, &q, None, &[], PrepareConfig::default()).is_err());
+    }
+
+    #[test]
+    fn objective_scales_with_cardinality() {
+        let df = base_frame();
+        let q = AggregateQuery::avg("Country", "Salary");
+        let prep =
+            prepare_query(&df, &q, Some(&graph()), &["Country"], PrepareConfig::default()).unwrap();
+        let single = prep.objective(&["GDP per capita".to_string()]).unwrap();
+        let double = prep
+            .objective(&["GDP per capita".to_string(), "Gender".to_string()])
+            .unwrap();
+        // the pair is scored with |E| = 2
+        let pair_cmi = prep
+            .explanation_cmi(&["GDP per capita".to_string(), "Gender".to_string()], None)
+            .unwrap();
+        assert!((double - pair_cmi * 2.0).abs() < 1e-12);
+        assert!(single >= 0.0);
+    }
+
+    #[test]
+    fn explanation_helpers() {
+        let mut e = Explanation::empty(2.0);
+        assert!(e.is_empty());
+        assert_eq!(e.explained_fraction(), 0.0);
+        e.attributes = vec!["a".into(), "b".into()];
+        e.responsibilities = vec![0.3, 0.7];
+        e.explainability = 0.5;
+        assert_eq!(e.len(), 2);
+        assert!((e.explained_fraction() - 0.75).abs() < 1e-12);
+        let ranked = e.ranked_attributes();
+        assert_eq!(ranked[0].0, "b");
+        let empty = Explanation::empty(0.0);
+        assert_eq!(empty.explained_fraction(), 1.0);
+    }
+
+    #[test]
+    fn name_collisions_are_suffixed() {
+        let df = DataFrameBuilder::new()
+            .cat("Country", vec![Some("Germany"), Some("Italy"), Some("Germany"), Some("Italy")])
+            .cat("Gender", vec![Some("M"), Some("W"), Some("M"), Some("W")])
+            .float("Salary", vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)])
+            .build()
+            .unwrap();
+        let mut g = KnowledgeGraph::new();
+        // KG property clashes with an existing dataset column name
+        g.add_fact("Germany", "Gender", Object::text("n/a"));
+        g.add_fact("Germany", "GDP", Object::number(1.0));
+        g.add_fact("Italy", "GDP", Object::number(2.0));
+        let q = AggregateQuery::avg("Country", "Salary");
+        let prep = prepare_query(&df, &q, Some(&g), &["Country"], PrepareConfig::default()).unwrap();
+        assert!(prep.frame.has_column("Gender (Country)"));
+        assert!(prep.frame.has_column("Gender"));
+    }
+}

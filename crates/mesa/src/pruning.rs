@@ -1,0 +1,336 @@
+//! Pruning optimisations (Section 4.2).
+//!
+//! Two phases reduce the candidate set `A` before MCIMR runs:
+//!
+//! * **Offline (pre-processing, query-independent)** — drop attributes with a
+//!   constant value, attributes with more than 90% missing values, and
+//!   key-like attributes whose entropy is (almost) maximal because nearly
+//!   every tuple has a unique value (`wikiID`).
+//! * **Online (query-specific)** — drop attributes logically equivalent to
+//!   the exposure or the outcome (approximate functional dependencies in both
+//!   directions, e.g. `CountryCode ⇔ Country`; conditioning on them would
+//!   mechanically zero the CMI, Lemma A.2), and attributes with low
+//!   individual relevance (`O ⫫ E | C` and `O ⫫ E | T, C`), which the paper's
+//!   key assumption says cannot participate in a good explanation.
+
+use infotheory::{CiTestConfig, EncodedFrame};
+
+use crate::error::Result;
+
+/// Why an attribute was pruned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneReason {
+    /// Constant value across all (non-null) rows.
+    Constant,
+    /// More than the allowed fraction of missing values.
+    TooManyMissing,
+    /// Key-like attribute: (almost) unique value per tuple.
+    HighEntropy,
+    /// Approximate functional dependency with the exposure or outcome.
+    LogicalDependency,
+    /// Individually irrelevant to the outcome.
+    LowRelevance,
+}
+
+impl PruneReason {
+    /// Whether the reason belongs to the offline (pre-processing) phase.
+    pub fn is_offline(self) -> bool {
+        matches!(self, PruneReason::Constant | PruneReason::TooManyMissing | PruneReason::HighEntropy)
+    }
+}
+
+/// Configuration of the pruning thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruningConfig {
+    /// Enable the offline phase.
+    pub offline: bool,
+    /// Enable the online phase.
+    pub online: bool,
+    /// Missing-value fraction above which an attribute is dropped (paper: 0.9).
+    pub max_missing_fraction: f64,
+    /// Distinct-value ratio above which an attribute counts as key-like.
+    pub max_distinct_ratio: f64,
+    /// Entropy tolerance (bits) for the approximate functional-dependency test.
+    pub fd_epsilon: f64,
+    /// CI-test configuration for the low-relevance test.
+    pub ci: CiTestConfig,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig {
+            offline: true,
+            online: true,
+            max_missing_fraction: 0.9,
+            max_distinct_ratio: 0.9,
+            fd_epsilon: 0.05,
+            ci: CiTestConfig::default(),
+        }
+    }
+}
+
+impl PruningConfig {
+    /// A configuration with all pruning disabled (the MESA⁻ / No-Pruning
+    /// baselines).
+    pub fn disabled() -> Self {
+        PruningConfig { offline: false, online: false, ..Default::default() }
+    }
+
+    /// Offline pruning only (the "Offline Pruning" baseline of Figure 4).
+    pub fn offline_only() -> Self {
+        PruningConfig { offline: true, online: false, ..Default::default() }
+    }
+}
+
+/// The outcome of pruning: surviving candidates plus the per-attribute drop
+/// reasons (used by the appendix pruning-impact experiment).
+#[derive(Debug, Clone, Default)]
+pub struct PruningReport {
+    /// Candidates that survived, in input order.
+    pub kept: Vec<String>,
+    /// `(attribute, reason)` for every dropped candidate.
+    pub dropped: Vec<(String, PruneReason)>,
+}
+
+impl PruningReport {
+    /// Number of attributes dropped by the offline phase.
+    pub fn n_offline_dropped(&self) -> usize {
+        self.dropped.iter().filter(|(_, r)| r.is_offline()).count()
+    }
+
+    /// Number of attributes dropped by the online phase.
+    pub fn n_online_dropped(&self) -> usize {
+        self.dropped.iter().filter(|(_, r)| !r.is_offline()).count()
+    }
+
+    /// Fraction of the input candidates that was dropped.
+    pub fn dropped_fraction(&self) -> f64 {
+        let total = self.kept.len() + self.dropped.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the offline pruning phase over `candidates`.
+pub fn prune_offline(
+    encoded: &EncodedFrame,
+    candidates: &[String],
+    config: &PruningConfig,
+) -> Result<PruningReport> {
+    let mut report = PruningReport::default();
+    if !config.offline {
+        report.kept = candidates.to_vec();
+        return Ok(report);
+    }
+    let n_rows = encoded.n_rows().max(1);
+    for name in candidates {
+        let cardinality = encoded.cardinality(name)?;
+        let missing = encoded.missing_fraction(name)?;
+        if missing >= 1.0 || cardinality <= 1 {
+            report.dropped.push((name.clone(), PruneReason::Constant));
+        } else if missing > config.max_missing_fraction {
+            report.dropped.push((name.clone(), PruneReason::TooManyMissing));
+        } else {
+            let present = ((1.0 - missing) * n_rows as f64).max(1.0);
+            if cardinality as f64 / present > config.max_distinct_ratio && cardinality > 4 {
+                report.dropped.push((name.clone(), PruneReason::HighEntropy));
+            } else {
+                report.kept.push(name.clone());
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Runs the online (query-specific) pruning phase over `candidates`.
+pub fn prune_online(
+    encoded: &EncodedFrame,
+    candidates: &[String],
+    exposure: &str,
+    outcome: &str,
+    config: &PruningConfig,
+) -> Result<PruningReport> {
+    let mut report = PruningReport::default();
+    if !config.online {
+        report.kept = candidates.to_vec();
+        return Ok(report);
+    }
+    for name in candidates {
+        // Logical dependency: the candidate (approximately) functionally
+        // determines the exposure or the outcome. Conditioning on such an
+        // attribute drives the CMI to zero mechanically (Lemma A.2 — e.g.
+        // CountryCode ⇒ Country, or Country ⇒ Continent when the exposure is
+        // the continent), so it is discarded.
+        let ht_e = encoded.conditional_entropy(exposure, &[name])?;
+        let ho_e = encoded.conditional_entropy(outcome, &[name])?;
+        let eps = config.fd_epsilon;
+        if ht_e <= eps || ho_e <= eps {
+            report.dropped.push((name.clone(), PruneReason::LogicalDependency));
+            continue;
+        }
+        // Low relevance: O ⫫ E | C and O ⫫ E | T, C. The context C is already
+        // baked into the prepared frame.
+        let marginal = encoded.ci_test(outcome, name, &[], None, config.ci)?;
+        let given_t = encoded.ci_test(outcome, name, &[exposure], None, config.ci)?;
+        if marginal.independent && given_t.independent {
+            report.dropped.push((name.clone(), PruneReason::LowRelevance));
+            continue;
+        }
+        report.kept.push(name.clone());
+    }
+    Ok(report)
+}
+
+/// Runs both phases and merges the reports.
+pub fn prune(
+    encoded: &EncodedFrame,
+    candidates: &[String],
+    exposure: &str,
+    outcome: &str,
+    config: &PruningConfig,
+) -> Result<PruningReport> {
+    let offline = prune_offline(encoded, candidates, config)?;
+    let online = prune_online(encoded, &offline.kept, exposure, outcome, config)?;
+    let mut dropped = offline.dropped;
+    dropped.extend(online.dropped);
+    Ok(PruningReport { kept: online.kept, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::DataFrameBuilder;
+
+    /// A frame with one attribute of every kind the pruner must handle.
+    fn frame() -> (EncodedFrame, Vec<String>) {
+        let n = 200;
+        let mut country = Vec::new();
+        let mut code = Vec::new();
+        let mut salary_band = Vec::new();
+        let mut gdp = Vec::new();
+        let mut constant = Vec::new();
+        let mut key = Vec::new();
+        let mut mostly_missing = Vec::new();
+        let mut noise = Vec::new();
+        for i in 0..n {
+            let c = ["DE", "IT", "NG", "KE"][i % 4];
+            country.push(Some(c.to_string()));
+            code.push(Some(format!("code-{c}")));
+            // salary driven by country wealth plus an independent factor, so
+            // it is *correlated* with GDP but not logically equivalent to it
+            let rich = i % 4 < 2;
+            let lucky = (i / 4) % 2 == 0;
+            salary_band.push(Some(
+                match (rich, lucky) {
+                    (true, true) => "very high",
+                    (true, false) => "high",
+                    (false, true) => "low",
+                    (false, false) => "very low",
+                }
+                .to_string(),
+            ));
+            gdp.push(Some(if rich { "big" } else { "small" }.to_string()));
+            constant.push(Some("Country".to_string()));
+            key.push(Some(format!("id-{i}")));
+            mostly_missing.push(if i % 25 == 0 { Some("x".to_string()) } else { None });
+            noise.push(Some(format!("n{}", (i * 13) % 2)));
+        }
+        let to_opt = |v: Vec<Option<String>>| v.into_iter().map(|x| x.map(|s| s)).collect::<Vec<_>>();
+        let df = DataFrameBuilder::new()
+            .cat("Country", to_opt(country).iter().map(|x| x.as_deref()).collect())
+            .cat("CountryCode", to_opt(code).iter().map(|x| x.as_deref()).collect())
+            .cat("Salary", to_opt(salary_band).iter().map(|x| x.as_deref()).collect())
+            .cat("GDP", to_opt(gdp).iter().map(|x| x.as_deref()).collect())
+            .cat("type", to_opt(constant).iter().map(|x| x.as_deref()).collect())
+            .cat("wikiID", to_opt(key).iter().map(|x| x.as_deref()).collect())
+            .cat("sparse", to_opt(mostly_missing).iter().map(|x| x.as_deref()).collect())
+            .cat("noise", to_opt(noise).iter().map(|x| x.as_deref()).collect())
+            .build()
+            .unwrap();
+        let encoded = EncodedFrame::from_frame(&df);
+        let candidates: Vec<String> = ["CountryCode", "GDP", "type", "wikiID", "sparse", "noise"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        (encoded, candidates)
+    }
+
+    #[test]
+    fn offline_drops_constant_key_and_sparse() {
+        let (encoded, candidates) = frame();
+        let report = prune_offline(&encoded, &candidates, &PruningConfig::default()).unwrap();
+        let dropped: Vec<&str> = report.dropped.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(dropped.contains(&"type"));
+        assert!(dropped.contains(&"wikiID"));
+        assert!(dropped.contains(&"sparse"));
+        assert!(report.kept.contains(&"GDP".to_string()));
+        assert!(report.kept.contains(&"CountryCode".to_string()));
+        assert_eq!(report.n_offline_dropped(), report.dropped.len());
+    }
+
+    #[test]
+    fn online_drops_fd_and_irrelevant() {
+        let (encoded, candidates) = frame();
+        let offline = prune_offline(&encoded, &candidates, &PruningConfig::default()).unwrap();
+        let report =
+            prune_online(&encoded, &offline.kept, "Country", "Salary", &PruningConfig::default())
+                .unwrap();
+        let dropped: Vec<(&str, PruneReason)> =
+            report.dropped.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+        assert!(dropped.contains(&("CountryCode", PruneReason::LogicalDependency)));
+        assert!(dropped.contains(&("noise", PruneReason::LowRelevance)));
+        assert_eq!(report.kept, vec!["GDP".to_string()]);
+    }
+
+    #[test]
+    fn combined_prune_and_report_counts() {
+        let (encoded, candidates) = frame();
+        let report =
+            prune(&encoded, &candidates, "Country", "Salary", &PruningConfig::default()).unwrap();
+        assert_eq!(report.kept, vec!["GDP".to_string()]);
+        assert_eq!(report.kept.len() + report.dropped.len(), candidates.len());
+        assert!(report.n_offline_dropped() >= 3);
+        assert!(report.n_online_dropped() >= 2);
+        assert!(report.dropped_fraction() > 0.5);
+    }
+
+    #[test]
+    fn disabled_config_keeps_everything() {
+        let (encoded, candidates) = frame();
+        let report =
+            prune(&encoded, &candidates, "Country", "Salary", &PruningConfig::disabled()).unwrap();
+        assert_eq!(report.kept, candidates);
+        assert!(report.dropped.is_empty());
+        assert_eq!(report.dropped_fraction(), 0.0);
+    }
+
+    #[test]
+    fn offline_only_config() {
+        let (encoded, candidates) = frame();
+        let report =
+            prune(&encoded, &candidates, "Country", "Salary", &PruningConfig::offline_only())
+                .unwrap();
+        // FD attribute survives because the online phase is off
+        assert!(report.kept.contains(&"CountryCode".to_string()));
+        assert!(!report.kept.contains(&"wikiID".to_string()));
+    }
+
+    #[test]
+    fn prune_reason_phases() {
+        assert!(PruneReason::Constant.is_offline());
+        assert!(PruneReason::HighEntropy.is_offline());
+        assert!(!PruneReason::LogicalDependency.is_offline());
+        assert!(!PruneReason::LowRelevance.is_offline());
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let (encoded, _) = frame();
+        let report = prune(&encoded, &[], "Country", "Salary", &PruningConfig::default()).unwrap();
+        assert!(report.kept.is_empty());
+        assert_eq!(report.dropped_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Human-readable rendering of MESA results, used by the examples and the
+//! experiment harness.
+
+use crate::problem::Explanation;
+use crate::subgroups::Subgroup;
+use crate::system::MesaReport;
+
+/// Renders an explanation as a one-line attribute list, e.g.
+/// `"HDI, Gini"` — the format of Table 2.
+pub fn explanation_line(explanation: &Explanation) -> String {
+    if explanation.is_empty() {
+        return "(no explanation found)".to_string();
+    }
+    explanation.attributes.join(", ")
+}
+
+/// Renders an explanation with responsibilities and scores, one attribute per
+/// line.
+pub fn explanation_details(explanation: &Explanation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "I(O;T|C) = {:.4} bits -> I(O;T|E,C) = {:.4} bits ({:.0}% explained)\n",
+        explanation.baseline_cmi,
+        explanation.explainability,
+        explanation.explained_fraction() * 100.0
+    ));
+    for (attr, resp) in explanation.ranked_attributes() {
+        out.push_str(&format!("  {attr:<40} responsibility {resp:>6.2}\n"));
+    }
+    out
+}
+
+/// Renders a full MESA report (explanation + pipeline diagnostics).
+pub fn report_summary(report: &MesaReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("explanation: {}\n", explanation_line(&report.explanation)));
+    out.push_str(&explanation_details(&report.explanation));
+    out.push_str(&format!(
+        "candidates: {} total, {} extracted from the knowledge source\n",
+        report.n_candidates, report.n_extracted
+    ));
+    out.push_str(&format!(
+        "pruning: {} dropped offline, {} dropped online, {} kept\n",
+        report.pruning.n_offline_dropped(),
+        report.pruning.n_online_dropped(),
+        report.pruning.kept.len()
+    ));
+    if !report.selection_bias.is_empty() {
+        let mut names: Vec<&str> = report.selection_bias.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        out.push_str(&format!("selection bias detected (IPW applied): {}\n", names.join(", ")));
+    }
+    out
+}
+
+/// Renders the unexplained-subgroup table (Table 4 format).
+pub fn subgroup_table(groups: &[Subgroup]) -> String {
+    let mut out = String::from("rank  size      score   data group\n");
+    for (i, g) in groups.iter().enumerate() {
+        out.push_str(&format!("{:<5} {:<9} {:<7.3} {}\n", i + 1, g.size, g.score, g.describe()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Value;
+
+    fn explanation() -> Explanation {
+        Explanation {
+            attributes: vec!["HDI".into(), "Gini".into()],
+            baseline_cmi: 2.0,
+            explainability: 0.4,
+            responsibilities: vec![0.7, 0.3],
+        }
+    }
+
+    #[test]
+    fn line_rendering() {
+        assert_eq!(explanation_line(&explanation()), "HDI, Gini");
+        assert_eq!(explanation_line(&Explanation::empty(1.0)), "(no explanation found)");
+    }
+
+    #[test]
+    fn details_rendering() {
+        let text = explanation_details(&explanation());
+        assert!(text.contains("80% explained"));
+        assert!(text.contains("HDI"));
+        assert!(text.contains("0.70"));
+    }
+
+    #[test]
+    fn subgroup_table_rendering() {
+        let groups = vec![Subgroup {
+            terms: vec![("Continent".to_string(), Value::Str("Europe".into()))],
+            size: 18342,
+            score: 0.41,
+            }];
+        let text = subgroup_table(&groups);
+        assert!(text.contains("Continent = Europe"));
+        assert!(text.contains("18342"));
+    }
+}

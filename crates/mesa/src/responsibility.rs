@@ -1,0 +1,132 @@
+//! Degree of responsibility (Definition 2.2): the normalised individual
+//! contribution of each attribute in an explanation.
+
+use crate::error::Result;
+use crate::problem::PreparedQuery;
+
+/// Computes the degree of responsibility of every attribute in `explanation`.
+///
+/// `Resp(E_i) = [I(O;T | E\{E_i}, C) - I(O;T | E, C)] / Σ_j [I(O;T | E\{E_j}, C) - I(O;T | E, C)]`
+///
+/// A negative responsibility means the attribute *harms* the explanation
+/// (negative interaction information with `O` and `T`). When the explanation
+/// is empty, or when no attribute contributes (denominator ≈ 0), the result
+/// assigns equal responsibility to every attribute.
+pub fn responsibilities(
+    prepared: &PreparedQuery,
+    explanation: &[String],
+    weights: Option<&[f64]>,
+) -> Result<Vec<f64>> {
+    let k = explanation.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    if k == 1 {
+        return Ok(vec![1.0]);
+    }
+    let full = prepared.explanation_cmi(explanation, weights)?;
+    let mut contributions = Vec::with_capacity(k);
+    for i in 0..k {
+        let without: Vec<String> = explanation
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let cmi_without = prepared.explanation_cmi(&without, weights)?;
+        contributions.push(cmi_without - full);
+    }
+    let total: f64 = contributions.iter().sum();
+    if total.abs() < 1e-12 {
+        return Ok(vec![1.0 / k as f64; k]);
+    }
+    Ok(contributions.into_iter().map(|c| c / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{prepare_query, PrepareConfig};
+    use tabular::{AggregateQuery, DataFrameBuilder};
+
+    /// Salary is driven jointly by `gdp` (strongly) and `gender` (weakly);
+    /// `useless` is unrelated.
+    fn prepared() -> PreparedQuery {
+        let n = 400;
+        let mut country = Vec::new();
+        let mut gdp = Vec::new();
+        let mut gender = Vec::new();
+        let mut useless = Vec::new();
+        let mut salary = Vec::new();
+        for i in 0..n {
+            let c = ["A", "B", "C", "D"][i % 4];
+            let rich = i % 4 < 2;
+            // gender varies independently of the country (period 8 vs 4)
+            let male = (i / 4) % 2 == 0;
+            country.push(Some(c));
+            gdp.push(Some(if rich { "big" } else { "small" }));
+            gender.push(Some(if male { "M" } else { "W" }));
+            useless.push(Some(if (i * 7) % 3 == 0 { "u" } else { "v" }));
+            let s = (if rich { 80.0 } else { 30.0 }) + (if male { 10.0 } else { 0.0 });
+            salary.push(Some(s));
+        }
+        let df = DataFrameBuilder::new()
+            .cat("Country", country)
+            .cat("GDP", gdp)
+            .cat("Gender", gender)
+            .cat("Useless", useless)
+            .float("Salary", salary)
+            .build()
+            .unwrap();
+        prepare_query(
+            &df,
+            &AggregateQuery::avg("Country", "Salary"),
+            None,
+            &[],
+            PrepareConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let p = prepared();
+        assert!(responsibilities(&p, &[], None).unwrap().is_empty());
+        assert_eq!(responsibilities(&p, &["GDP".to_string()], None).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one() {
+        let p = prepared();
+        let expl = vec!["GDP".to_string(), "Gender".to_string()];
+        let resp = responsibilities(&p, &expl, None).unwrap();
+        assert_eq!(resp.len(), 2);
+        assert!((resp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stronger_contributor_gets_higher_responsibility() {
+        let p = prepared();
+        let expl = vec!["GDP".to_string(), "Gender".to_string()];
+        let resp = responsibilities(&p, &expl, None).unwrap();
+        assert!(resp[0] > resp[1], "GDP should dominate: {resp:?}");
+    }
+
+    #[test]
+    fn useless_attribute_gets_low_or_negative_responsibility() {
+        let p = prepared();
+        let expl = vec!["GDP".to_string(), "Useless".to_string()];
+        let resp = responsibilities(&p, &expl, None).unwrap();
+        assert!(resp[0] > 0.8);
+        assert!(resp[1] < 0.2);
+    }
+
+    #[test]
+    fn degenerate_denominator_splits_evenly() {
+        let p = prepared();
+        // two copies of an attribute that explains nothing at all
+        let expl = vec!["Useless".to_string(), "Useless".to_string()];
+        let resp = responsibilities(&p, &expl, None).unwrap();
+        assert_eq!(resp, vec![0.5, 0.5]);
+    }
+}

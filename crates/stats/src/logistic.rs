@@ -1,0 +1,258 @@
+//! Binary logistic regression fitted by iteratively re-weighted least squares
+//! (Newton–Raphson).
+//!
+//! MESA uses logistic regression at pre-processing time to estimate the
+//! selection probability `P(R_E = 1 | X)` of each extracted attribute from the
+//! fully observed attributes of the input dataset; the inverse of that
+//! probability becomes the IPW weight of each complete case (Section 3.2).
+
+use crate::matrix::{Matrix, MatrixError};
+use crate::ols::FitError;
+
+/// A fitted logistic regression model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticFit {
+    /// Intercept followed by one coefficient per predictor (input order).
+    pub coefficients: Vec<f64>,
+    /// Names matching `coefficients` (first entry is `"(intercept)"`).
+    pub names: Vec<String>,
+    /// Number of Newton iterations performed.
+    pub iterations: usize,
+    /// Whether the optimiser converged before the iteration cap.
+    pub converged: bool,
+    /// Log-likelihood at the final iterate.
+    pub log_likelihood: f64,
+}
+
+impl LogisticFit {
+    /// Predicted probability `P(y = 1 | x)` for one feature vector (without
+    /// the intercept term — it is added internally).
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len() + 1, self.coefficients.len());
+        let mut z = self.coefficients[0];
+        for (i, f) in features.iter().enumerate() {
+            z += self.coefficients[i + 1] * f;
+        }
+        sigmoid(z)
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Configuration for the IRLS optimiser.
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticConfig {
+    /// Maximum Newton iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the max absolute coefficient update.
+    pub tol: f64,
+    /// L2 ridge penalty (applied to all coefficients except the intercept);
+    /// a small positive value keeps the Hessian invertible under separation.
+    pub ridge: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig { max_iter: 50, tol: 1e-8, ridge: 1e-6 }
+    }
+}
+
+/// Fits `P(y=1 | X) = sigmoid(b0 + X b)` by Newton–Raphson / IRLS.
+///
+/// `y` entries must be 0.0 or 1.0; `predictors` is a list of `(name, values)`
+/// columns of the same length as `y`.
+pub fn logistic_fit(
+    y: &[f64],
+    predictors: &[(String, Vec<f64>)],
+    config: LogisticConfig,
+) -> Result<LogisticFit, FitError> {
+    let n = y.len();
+    let p = predictors.len() + 1;
+    if n < p {
+        return Err(FitError::TooFewRows { rows: n, params: p });
+    }
+    for (name, col) in predictors {
+        if col.len() != n {
+            return Err(FitError::ShapeMismatch(format!(
+                "predictor {name} has {} rows, outcome has {n}",
+                col.len()
+            )));
+        }
+    }
+    for &v in y {
+        if v != 0.0 && v != 1.0 {
+            return Err(FitError::ShapeMismatch(format!("outcome value {v} is not 0/1")));
+        }
+    }
+
+    // Design matrix with intercept.
+    let mut design = Matrix::zeros(n, p);
+    for i in 0..n {
+        design[(i, 0)] = 1.0;
+        for (j, (_, col)) in predictors.iter().enumerate() {
+            design[(i, j + 1)] = col[i];
+        }
+    }
+
+    let mut beta = vec![0.0; p];
+    let mut converged = false;
+    let mut iterations = 0;
+    for iter in 0..config.max_iter {
+        iterations = iter + 1;
+        // Gradient and Hessian.
+        let mut grad = vec![0.0; p];
+        let mut hess = Matrix::zeros(p, p);
+        for i in 0..n {
+            let mut z = 0.0;
+            for j in 0..p {
+                z += design[(i, j)] * beta[j];
+            }
+            let mu = sigmoid(z);
+            let w = (mu * (1.0 - mu)).max(1e-10);
+            let resid = y[i] - mu;
+            for j in 0..p {
+                grad[j] += design[(i, j)] * resid;
+                for k in j..p {
+                    hess[(j, k)] += design[(i, j)] * design[(i, k)] * w;
+                }
+            }
+        }
+        // Symmetrise and add the ridge term (not on the intercept).
+        for j in 0..p {
+            for k in 0..j {
+                hess[(j, k)] = hess[(k, j)];
+            }
+        }
+        for j in 1..p {
+            hess[(j, j)] += config.ridge;
+            grad[j] -= config.ridge * beta[j];
+        }
+        let step = match hess.solve(&Matrix::column_vector(grad)) {
+            Ok(s) => s,
+            Err(MatrixError::Singular) => return Err(FitError::Singular),
+            Err(MatrixError::ShapeMismatch(m)) => return Err(FitError::ShapeMismatch(m)),
+        };
+        // Damp the step while preserving its direction: a hard element-wise
+        // clamp would distort the Newton direction under quasi-separation.
+        let step_norm: f64 = (0..p).map(|j| step[(j, 0)].abs()).fold(0.0, f64::max);
+        let scale = if step_norm > 5.0 { 5.0 / step_norm } else { 1.0 };
+        let mut max_update: f64 = 0.0;
+        for j in 0..p {
+            let delta = step[(j, 0)] * scale;
+            beta[j] += delta;
+            max_update = max_update.max(delta.abs());
+        }
+        if max_update < config.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    // Final log-likelihood.
+    let mut log_likelihood = 0.0;
+    for i in 0..n {
+        let mut z = 0.0;
+        for j in 0..p {
+            z += design[(i, j)] * beta[j];
+        }
+        let mu = sigmoid(z).clamp(1e-12, 1.0 - 1e-12);
+        log_likelihood += y[i] * mu.ln() + (1.0 - y[i]) * (1.0 - mu).ln();
+    }
+
+    let mut names = Vec::with_capacity(p);
+    names.push("(intercept)".to_string());
+    names.extend(predictors.iter().map(|(n, _)| n.clone()));
+    Ok(LogisticFit { coefficients: beta, names, iterations, converged, log_likelihood })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(y: &[f64], preds: &[(String, Vec<f64>)]) -> LogisticFit {
+        logistic_fit(y, preds, LogisticConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(50.0) > 0.999999);
+        assert!(sigmoid(-50.0) < 1e-6);
+    }
+
+    #[test]
+    fn recovers_known_relationship() {
+        // y = 1 when x > 0.5 with a smooth boundary
+        let x: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let y: Vec<f64> = x.iter().map(|&x| if x > 0.5 { 1.0 } else { 0.0 }).collect();
+        let model = fit(&y, &[("x".to_string(), x)]);
+        assert!(model.coefficients[1] > 0.0, "slope should be positive");
+        assert!(model.predict_proba(&[0.9]) > 0.9);
+        assert!(model.predict_proba(&[0.1]) < 0.1);
+        assert!(model.predict_proba(&[0.5]) > 0.2 && model.predict_proba(&[0.5]) < 0.8);
+    }
+
+    #[test]
+    fn intercept_only_matches_base_rate() {
+        let y = vec![1.0, 1.0, 1.0, 0.0];
+        let model = fit(&y, &[]);
+        assert!((model.predict_proba(&[]) - 0.75).abs() < 1e-4);
+        assert!(model.converged);
+    }
+
+    #[test]
+    fn balanced_noise_gives_half() {
+        let y: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let x: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64).collect();
+        let model = fit(&y, &[("x".to_string(), x)]);
+        let p = model.predict_proba(&[6.0]);
+        assert!(p > 0.3 && p < 0.7);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            logistic_fit(&[0.0, 2.0], &[], LogisticConfig::default()),
+            Err(FitError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            logistic_fit(&[0.0], &[("x".to_string(), vec![1.0, 2.0])], LogisticConfig::default()),
+            Err(FitError::TooFewRows { .. })
+        ));
+        assert!(matches!(
+            logistic_fit(
+                &[0.0, 1.0, 1.0],
+                &[("x".to_string(), vec![1.0, 2.0])],
+                LogisticConfig::default()
+            ),
+            Err(FitError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn separable_data_stays_finite() {
+        // Perfectly separable: without ridge/step capping this diverges.
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&x| if x >= 25.0 { 1.0 } else { 0.0 }).collect();
+        let model = fit(&y, &[("x".to_string(), x)]);
+        assert!(model.coefficients.iter().all(|c| c.is_finite()));
+        assert!(model.predict_proba(&[49.0]) > 0.9);
+        assert!(model.predict_proba(&[0.0]) < 0.1);
+    }
+
+    #[test]
+    fn log_likelihood_improves_over_null() {
+        let x: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&x| if x > 4.0 { 1.0 } else { 0.0 }).collect();
+        let with_x = fit(&y, &[("x".to_string(), x)]);
+        let null = fit(&y, &[]);
+        assert!(with_x.log_likelihood > null.log_likelihood);
+    }
+}

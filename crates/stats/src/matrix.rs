@@ -1,0 +1,282 @@
+//! Small dense matrices with just the operations the regression models need:
+//! multiplication, transpose, and solving linear systems / inversion via
+//! Gauss–Jordan elimination with partial pivoting.
+
+use std::fmt;
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The operand shapes are incompatible for the operation.
+    ShapeMismatch(String),
+    /// The matrix is singular (or numerically too close to singular).
+    Singular,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            MatrixError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a column vector.
+    pub fn column_vector(data: Vec<f64>) -> Self {
+        let rows = data.len();
+        Matrix { rows, cols: 1, data }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != other.rows {
+            return Err(MatrixError::ShapeMismatch(format!(
+                "{}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `self * x = rhs` for `x` via Gauss–Jordan elimination with
+    /// partial pivoting. `self` must be square.
+    pub fn solve(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::ShapeMismatch("solve requires a square matrix".into()));
+        }
+        if rhs.rows != self.rows {
+            return Err(MatrixError::ShapeMismatch("rhs row count must match".into()));
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            for r in col + 1..n {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() < 1e-12 {
+                return Err(MatrixError::Singular);
+            }
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                b.swap_rows(pivot, col);
+            }
+            let diag = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= diag;
+            }
+            for j in 0..b.cols {
+                b[(col, j)] /= diag;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a[(r, col)];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a[(r, j)] -= factor * a[(col, j)];
+                }
+                for j in 0..b.cols {
+                    b[(r, j)] -= factor * b[(col, j)];
+                }
+            }
+        }
+        Ok(b)
+    }
+
+    /// The inverse of a square matrix.
+    pub fn inverse(&self) -> Result<Matrix, MatrixError> {
+        self.solve(&Matrix::identity(self.rows))
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+
+    /// Returns the data of a single column as a `Vec`.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+        let v = Matrix::column_vector(vec![1.0, 2.0]);
+        assert_eq!(v.n_rows(), 2);
+        assert_eq!(v.n_cols(), 1);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        let bad = Matrix::zeros(3, 3);
+        assert!(m.matmul(&bad).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let b = Matrix::from_rows(3, 2, vec![3.0, 1.0, 2.0, 1.0, 1.0, 0.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(2, 2, vec![5.0, 1.0, 4.0, 2.0]));
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let b = Matrix::column_vector(vec![5.0, 10.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-10);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // leading zero forces a row swap
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let b = Matrix::column_vector(vec![2.0, 3.0]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(a.solve(&Matrix::identity(2)), Err(MatrixError::Singular));
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, 7.0, 2.0, 3.0, 6.0, 1.0, 2.0, 5.0, 3.0]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_solve_errors() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.solve(&Matrix::identity(2)).is_err());
+        let sq = Matrix::identity(2);
+        assert!(sq.solve(&Matrix::zeros(3, 1)).is_err());
+    }
+}

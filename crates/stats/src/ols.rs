@@ -1,0 +1,231 @@
+//! Ordinary least squares multiple linear regression with coefficient
+//! standard errors, t statistics, and p-values.
+//!
+//! The paper's LR baseline "employs the OLS method to estimate the
+//! coefficients of a linear regression describing the relationship between
+//! the outcome and the candidate attributes. The explanations are defined as
+//! the top-k attributes with the highest coefficients (s.t. the p value is
+//! < .05)". This module provides exactly that fit.
+
+use crate::matrix::{Matrix, MatrixError};
+use crate::special::student_t_sf;
+
+/// Errors from fitting a regression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Not enough rows for the number of predictors.
+    TooFewRows { rows: usize, params: usize },
+    /// The design matrix is rank deficient / singular.
+    Singular,
+    /// The inputs have inconsistent lengths.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewRows { rows, params } => {
+                write!(f, "too few rows ({rows}) for {params} parameters")
+            }
+            FitError::Singular => write!(f, "design matrix is singular"),
+            FitError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl From<MatrixError> for FitError {
+    fn from(e: MatrixError) -> Self {
+        match e {
+            MatrixError::Singular => FitError::Singular,
+            MatrixError::ShapeMismatch(m) => FitError::ShapeMismatch(m),
+        }
+    }
+}
+
+/// A fitted OLS coefficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coefficient {
+    /// Name of the predictor (or `"(intercept)"`).
+    pub name: String,
+    /// Estimated coefficient.
+    pub estimate: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// t statistic (estimate / std error).
+    pub t_value: f64,
+    /// Two-sided p-value under the t distribution with `n - p` dof.
+    pub p_value: f64,
+}
+
+/// A fitted OLS model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// One entry per predictor, in input order, preceded by the intercept.
+    pub coefficients: Vec<Coefficient>,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Residual degrees of freedom (`n - p`).
+    pub dof: usize,
+    /// Number of rows used for the fit.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// The coefficient for a named predictor, if present.
+    pub fn coefficient(&self, name: &str) -> Option<&Coefficient> {
+        self.coefficients.iter().find(|c| c.name == name)
+    }
+}
+
+/// Fits `y ~ intercept + X` by ordinary least squares.
+///
+/// * `predictors` is a list of `(name, values)` columns; all must have the
+///   same length as `y`.
+/// * Returns an error when the system is singular (e.g. collinear predictors)
+///   or when there are not strictly more rows than parameters.
+pub fn ols_fit(y: &[f64], predictors: &[(String, Vec<f64>)]) -> Result<OlsFit, FitError> {
+    let n = y.len();
+    let p = predictors.len() + 1; // + intercept
+    for (name, col) in predictors {
+        if col.len() != n {
+            return Err(FitError::ShapeMismatch(format!(
+                "predictor {name} has {} rows, outcome has {n}",
+                col.len()
+            )));
+        }
+    }
+    if n <= p {
+        return Err(FitError::TooFewRows { rows: n, params: p });
+    }
+
+    // Design matrix with a leading column of ones.
+    let mut design = Matrix::zeros(n, p);
+    for i in 0..n {
+        design[(i, 0)] = 1.0;
+        for (j, (_, col)) in predictors.iter().enumerate() {
+            design[(i, j + 1)] = col[i];
+        }
+    }
+    let yv = Matrix::column_vector(y.to_vec());
+
+    let xt = design.transpose();
+    let xtx = xt.matmul(&design)?;
+    let xty = xt.matmul(&yv)?;
+    let xtx_inv = xtx.inverse()?;
+    let beta = xtx_inv.matmul(&xty)?;
+
+    // Residuals and sigma^2.
+    let fitted = design.matmul(&beta)?;
+    let mut rss = 0.0;
+    let mean_y = y.iter().sum::<f64>() / n as f64;
+    let mut tss = 0.0;
+    for i in 0..n {
+        let r = y[i] - fitted[(i, 0)];
+        rss += r * r;
+        tss += (y[i] - mean_y) * (y[i] - mean_y);
+    }
+    let dof = n - p;
+    let sigma2 = rss / dof as f64;
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+
+    let mut coefficients = Vec::with_capacity(p);
+    for j in 0..p {
+        let name = if j == 0 {
+            "(intercept)".to_string()
+        } else {
+            predictors[j - 1].0.clone()
+        };
+        let estimate = beta[(j, 0)];
+        let var = (sigma2 * xtx_inv[(j, j)]).max(0.0);
+        let std_error = var.sqrt();
+        let t_value = if std_error > 0.0 { estimate / std_error } else { 0.0 };
+        let p_value = 2.0 * student_t_sf(t_value.abs(), dof as f64);
+        coefficients.push(Coefficient { name, estimate, std_error, t_value, p_value });
+    }
+
+    Ok(OlsFit { coefficients, r_squared, dof, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_fit() {
+        // y = 2 + 3x
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let fit = ols_fit(&y, &[("x".to_string(), x)]).unwrap();
+        assert!((fit.coefficient("(intercept)").unwrap().estimate - 2.0).abs() < 1e-8);
+        assert!((fit.coefficient("x").unwrap().estimate - 3.0).abs() < 1e-8);
+        assert!(fit.r_squared > 0.999999);
+        assert_eq!(fit.n, 20);
+        assert_eq!(fit.dof, 18);
+    }
+
+    #[test]
+    fn two_predictors() {
+        // y = 1 + 2a - 1.5b with a tiny deterministic wiggle
+        let a: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| ((i * 3) % 5) as f64).collect();
+        let y: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .enumerate()
+            .map(|(i, (a, b))| 1.0 + 2.0 * a - 1.5 * b + 0.001 * ((i % 3) as f64 - 1.0))
+            .collect();
+        let fit =
+            ols_fit(&y, &[("a".to_string(), a), ("b".to_string(), b)]).unwrap();
+        assert!((fit.coefficient("a").unwrap().estimate - 2.0).abs() < 0.01);
+        assert!((fit.coefficient("b").unwrap().estimate + 1.5).abs() < 0.01);
+        // strong relationship => significant
+        assert!(fit.coefficient("a").unwrap().p_value < 0.001);
+        assert!(fit.coefficient("b").unwrap().p_value < 0.001);
+    }
+
+    #[test]
+    fn irrelevant_predictor_not_significant() {
+        // y depends only on a; b alternates independently of y
+        let a: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = a.iter().enumerate().map(|(i, a)| 5.0 * a + ((i * 17 % 13) as f64) * 0.3).collect();
+        let fit = ols_fit(&y, &[("a".to_string(), a), ("b".to_string(), b)]).unwrap();
+        assert!(fit.coefficient("a").unwrap().p_value < 0.001);
+        assert!(fit.coefficient("b").unwrap().p_value > 0.05);
+    }
+
+    #[test]
+    fn collinear_predictors_error() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x).collect();
+        let y: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        let res = ols_fit(&y, &[("a".to_string(), a), ("b".to_string(), b)]);
+        assert_eq!(res, Err(FitError::Singular));
+    }
+
+    #[test]
+    fn too_few_rows_and_shape_errors() {
+        let y = vec![1.0, 2.0];
+        let x = vec![1.0, 2.0];
+        assert!(matches!(
+            ols_fit(&y, &[("x".to_string(), x.clone())]),
+            Err(FitError::TooFewRows { .. })
+        ));
+        let y = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            ols_fit(&y, &[("x".to_string(), vec![1.0])]),
+            Err(FitError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn coefficient_lookup() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|x| x * 2.0).collect();
+        let fit = ols_fit(&y, &[("x".to_string(), x)]).unwrap();
+        assert!(fit.coefficient("x").is_some());
+        assert!(fit.coefficient("nope").is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! Special functions for the regression p-values: log-gamma, the regularised
+//! incomplete beta function, and the Student-t survival function.
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Continued fraction for the incomplete beta function (Numerical Recipes
+/// `betacf`).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `0 <= x <= 1`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (front * betacf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - front * betacf(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+/// Student-t survival function `P(T_dof >= t)` for `t >= 0`.
+///
+/// For `t < 0` the value is `1 - P(T >= |t|)`.
+pub fn student_t_sf(t: f64, dof: f64) -> f64 {
+    if dof <= 0.0 {
+        return 0.5;
+    }
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = dof / (dof + t * t);
+    let tail = 0.5 * beta_inc(dof / 2.0, 0.5, x);
+    if t > 0.0 {
+        tail
+    } else {
+        1.0 - tail
+    }
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function via Abramowitz–Stegun 7.1.26 (|error| < 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known() {
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beta_inc_bounds_and_symmetry() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.0, 0.2)] {
+            let lhs = beta_inc(a, b, x);
+            let rhs = 1.0 - beta_inc(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "symmetry failed for ({a},{b},{x})");
+        }
+        // I_x(1,1) = x (uniform)
+        assert!((beta_inc(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn student_t_known_quantiles() {
+        // For dof=10, P(T >= 2.228) ~= 0.025
+        assert!((student_t_sf(2.228, 10.0) - 0.025).abs() < 1e-3);
+        // For dof=1 (Cauchy), P(T >= 1) = 0.25
+        assert!((student_t_sf(1.0, 1.0) - 0.25).abs() < 1e-6);
+        // symmetry
+        assert!((student_t_sf(-1.5, 7.0) + student_t_sf(1.5, 7.0) - 1.0).abs() < 1e-10);
+        assert_eq!(student_t_sf(0.0, 5.0), 0.5);
+        // large dof approaches the normal tail
+        assert!((student_t_sf(1.96, 100000.0) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn erf_and_normal_cdf() {
+        // The Abramowitz–Stegun approximation carries ~1.5e-7 absolute error.
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((erf(-1.0) + 0.8427).abs() < 1e-3);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+}

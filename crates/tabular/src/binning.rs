@@ -1,0 +1,221 @@
+//! Discretisation of numeric columns.
+//!
+//! The information-theoretic estimators in MESA operate over discrete data, so
+//! numeric attributes — outcomes, and extracted properties like GDP — are
+//! binned first (the paper: "To handle a numerical exposure, one may bin this
+//! attribute"; "For simplicity, numerical attributes are assumed to be
+//! binned").
+
+use crate::column::Column;
+use crate::dataframe::DataFrame;
+use crate::error::{Result, TabularError};
+
+/// The binning strategy for numeric columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinStrategy {
+    /// Bins of equal value width between the column min and max.
+    EqualWidth,
+    /// Bins holding (approximately) equal numbers of rows (quantile bins).
+    EqualFrequency,
+}
+
+/// Bins a numeric column into `n_bins` integer-coded bins (0-based), keeping
+/// nulls as nulls. Non-numeric columns are returned unchanged (they are
+/// already discrete).
+pub fn bin_column(column: &Column, n_bins: usize, strategy: BinStrategy) -> Result<Column> {
+    if n_bins == 0 {
+        return Err(TabularError::InvalidArgument("n_bins must be positive".into()));
+    }
+    if !column.dtype().is_numeric() {
+        return Ok(column.clone());
+    }
+    let values = column.to_f64();
+    let present: Vec<f64> = values.iter().copied().flatten().collect();
+    if present.is_empty() {
+        return Ok(Column::from_i64(column.name(), vec![None; column.len()]));
+    }
+    let edges = bin_edges(&present, n_bins, strategy);
+    let binned: Vec<Option<i64>> =
+        values.iter().map(|v| v.map(|v| assign_bin(v, &edges) as i64)).collect();
+    Ok(Column::from_i64(column.name(), binned))
+}
+
+/// Computes the interior bin edges (length `n_bins - 1`, sorted ascending).
+fn bin_edges(present: &[f64], n_bins: usize, strategy: BinStrategy) -> Vec<f64> {
+    match strategy {
+        BinStrategy::EqualWidth => {
+            let min = present.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = present.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if min == max {
+                return Vec::new();
+            }
+            let width = (max - min) / n_bins as f64;
+            (1..n_bins).map(|i| min + width * i as f64).collect()
+        }
+        BinStrategy::EqualFrequency => {
+            let mut sorted = present.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let n = sorted.len();
+            let mut edges: Vec<f64> = (1..n_bins)
+                .map(|i| {
+                    let pos = (i as f64 / n_bins as f64) * (n - 1) as f64;
+                    let lo = pos.floor() as usize;
+                    let hi = pos.ceil() as usize;
+                    let frac = pos - lo as f64;
+                    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+                })
+                .collect();
+            edges.dedup_by(|a, b| a == b);
+            edges
+        }
+    }
+}
+
+/// Returns the 0-based bin index of a value given interior edges.
+fn assign_bin(value: f64, edges: &[f64]) -> usize {
+    edges.iter().take_while(|&&e| value > e).count()
+}
+
+/// Bins every numeric column of the frame (in place on a clone), leaving
+/// categorical/boolean columns and any column named in `exclude` untouched.
+///
+/// Columns with at most `n_bins` distinct values are also left untouched —
+/// binning them would only lose information.
+pub fn bin_frame(
+    df: &DataFrame,
+    n_bins: usize,
+    strategy: BinStrategy,
+    exclude: &[&str],
+) -> Result<DataFrame> {
+    let mut out = df.clone();
+    for col in df.columns() {
+        if exclude.contains(&col.name()) || !col.dtype().is_numeric() {
+            continue;
+        }
+        if col.n_distinct() <= n_bins {
+            continue;
+        }
+        out.set_column(bin_column(col, n_bins, strategy)?)?;
+    }
+    Ok(out)
+}
+
+/// Quantile helper: the q-quantile (0..=1) of the non-null numeric view of a
+/// column, using linear interpolation. Returns `None` when empty.
+pub fn quantile(column: &Column, q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut present: Vec<f64> = column.to_f64().into_iter().flatten().collect();
+    if present.is_empty() {
+        return None;
+    }
+    present.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (present.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(present[lo] * (1.0 - frac) + present[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataframe::DataFrameBuilder;
+    use crate::value::{DType, Value};
+
+    #[test]
+    fn equal_width_binning() {
+        let c = Column::from_f64("x", vec![Some(0.0), Some(2.5), Some(5.0), Some(7.5), Some(10.0), None]);
+        let b = bin_column(&c, 4, BinStrategy::EqualWidth).unwrap();
+        assert_eq!(b.dtype(), DType::Int);
+        assert_eq!(b.get(0).unwrap(), Value::Int(0));
+        assert_eq!(b.get(2).unwrap(), Value::Int(1)); // 5.0 lands in bin 1 (edge-exclusive on >)
+        assert_eq!(b.get(4).unwrap(), Value::Int(3));
+        assert!(b.is_null_at(5));
+    }
+
+    #[test]
+    fn equal_frequency_binning_balances_counts() {
+        let vals: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
+        let c = Column::from_f64("x", vals);
+        let b = bin_column(&c, 4, BinStrategy::EqualFrequency).unwrap();
+        let enc = b.encode();
+        assert_eq!(enc.cardinality, 4);
+        // each bin should hold about 25 values
+        let mut counts = vec![0usize; 4];
+        for code in enc.codes.iter().flatten() {
+            counts[*code as usize] += 1;
+        }
+        for c in counts {
+            assert!((20..=30).contains(&c), "unbalanced bin: {c}");
+        }
+    }
+
+    #[test]
+    fn constant_column_single_bin() {
+        let c = Column::from_f64("x", vec![Some(3.0); 5]);
+        let b = bin_column(&c, 4, BinStrategy::EqualWidth).unwrap();
+        assert_eq!(b.n_distinct(), 1);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let c = Column::from_f64("x", vec![None, None]);
+        let b = bin_column(&c, 4, BinStrategy::EqualWidth).unwrap();
+        assert_eq!(b.null_count(), 2);
+    }
+
+    #[test]
+    fn categorical_passthrough_and_zero_bins() {
+        let c = Column::from_str_values("c", vec![Some("a"), Some("b")]);
+        let b = bin_column(&c, 4, BinStrategy::EqualWidth).unwrap();
+        assert_eq!(b, c);
+        assert!(bin_column(&c, 0, BinStrategy::EqualWidth).is_err());
+    }
+
+    #[test]
+    fn bin_frame_excludes_and_skips_small_domains() {
+        let df = DataFrameBuilder::new()
+            .float("big", (0..50).map(|i| Some(i as f64)).collect())
+            .int("small", (0..50).map(|i| Some(i % 3)).collect())
+            .float("keep", (0..50).map(|i| Some(i as f64 * 2.0)).collect())
+            .cat("cat", (0..50).map(|_| Some("x")).collect())
+            .build()
+            .unwrap();
+        let out = bin_frame(&df, 5, BinStrategy::EqualFrequency, &["keep"]).unwrap();
+        assert_eq!(out.column("big").unwrap().n_distinct(), 5);
+        assert_eq!(out.column("small").unwrap().n_distinct(), 3); // untouched (<= n_bins)
+        assert_eq!(out.column("keep").unwrap().n_distinct(), 50); // excluded
+        assert_eq!(out.column("cat").unwrap().dtype(), DType::Categorical);
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = Column::from_f64("x", vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0), None]);
+        assert_eq!(quantile(&c, 0.0), Some(1.0));
+        assert_eq!(quantile(&c, 1.0), Some(4.0));
+        assert_eq!(quantile(&c, 0.5), Some(2.5));
+        assert_eq!(quantile(&c, 2.0), None);
+        let empty = Column::from_f64("x", vec![None]);
+        assert_eq!(quantile(&empty, 0.5), None);
+    }
+
+    #[test]
+    fn monotone_binning_property() {
+        // larger values never get smaller bin indices
+        let vals: Vec<Option<f64>> = vec![Some(1.0), Some(5.0), Some(2.0), Some(9.0), Some(7.0)];
+        let c = Column::from_f64("x", vals.clone());
+        for strategy in [BinStrategy::EqualWidth, BinStrategy::EqualFrequency] {
+            let b = bin_column(&c, 3, strategy).unwrap();
+            let bins: Vec<i64> = (0..b.len()).map(|i| b.get(i).unwrap().as_i64().unwrap()).collect();
+            for i in 0..vals.len() {
+                for j in 0..vals.len() {
+                    if vals[i].unwrap() <= vals[j].unwrap() {
+                        assert!(bins[i] <= bins[j]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Supports the subset of CSV needed to persist and reload the synthetic
+//! datasets and experiment outputs: comma separation, double-quote quoting,
+//! and a header row. Embedded newlines inside quoted fields are supported.
+
+use std::fs;
+use std::path::Path;
+
+use crate::column::Column;
+use crate::dataframe::DataFrame;
+use crate::error::{Result, TabularError};
+use crate::value::{parse_token, Value};
+
+/// Parses one CSV record (line-level splitting is handled by the caller via
+/// [`split_records`]).
+fn parse_record(record: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = record.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+/// Splits raw CSV text into records, respecting quoted newlines.
+fn split_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            '\n' if !in_quotes => {
+                if !current.trim_end_matches('\r').is_empty() {
+                    records.push(current.trim_end_matches('\r').to_string());
+                }
+                current.clear();
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.trim_end_matches('\r').is_empty() {
+        records.push(current.trim_end_matches('\r').to_string());
+    }
+    records
+}
+
+/// Parses CSV text (with a header row) into a frame, inferring column types.
+pub fn read_csv_str(text: &str) -> Result<DataFrame> {
+    let records = split_records(text);
+    if records.is_empty() {
+        return Err(TabularError::Csv("empty input".into()));
+    }
+    let header = parse_record(&records[0]);
+    let n_cols = header.len();
+    let mut cells: Vec<Vec<Value>> = vec![Vec::with_capacity(records.len() - 1); n_cols];
+    for (line_no, record) in records.iter().enumerate().skip(1) {
+        let fields = parse_record(record);
+        if fields.len() != n_cols {
+            return Err(TabularError::Csv(format!(
+                "record {line_no} has {} fields, expected {n_cols}",
+                fields.len()
+            )));
+        }
+        for (i, f) in fields.into_iter().enumerate() {
+            cells[i].push(parse_token(&f));
+        }
+    }
+    let columns: Vec<Column> = header
+        .into_iter()
+        .zip(cells)
+        .map(|(name, values)| Column::from_values(name, values))
+        .collect();
+    DataFrame::from_columns(columns)
+}
+
+/// Reads a CSV file into a frame.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<DataFrame> {
+    let text = fs::read_to_string(path.as_ref())
+        .map_err(|e| TabularError::Csv(format!("{}: {e}", path.as_ref().display())))?;
+    read_csv_str(&text)
+}
+
+fn escape_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders the frame as CSV text with a header row. Nulls become empty fields.
+pub fn write_csv_str(df: &DataFrame) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &df.column_names().iter().map(|n| escape_field(n)).collect::<Vec<_>>().join(","),
+    );
+    out.push('\n');
+    for i in 0..df.n_rows() {
+        let row: Vec<String> = df
+            .columns()
+            .map(|c| escape_field(&c.get(i).map(|v| v.render()).unwrap_or_default()))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the frame to a CSV file.
+pub fn write_csv(df: &DataFrame, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path.as_ref(), write_csv_str(df))
+        .map_err(|e| TabularError::Csv(format!("{}: {e}", path.as_ref().display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataframe::DataFrameBuilder;
+    use crate::value::DType;
+
+    #[test]
+    fn roundtrip_simple() {
+        let df = DataFrameBuilder::new()
+            .cat("country", vec![Some("DE"), Some("US"), None])
+            .float("gdp", vec![Some(4.0), None, Some(2.5)])
+            .int("rank", vec![Some(1), Some(2), Some(3)])
+            .build()
+            .unwrap();
+        let text = write_csv_str(&df);
+        let back = read_csv_str(&text).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.column("country").unwrap().dtype(), DType::Categorical);
+        assert_eq!(back.column("gdp").unwrap().dtype(), DType::Float);
+        assert_eq!(back.column("rank").unwrap().dtype(), DType::Int);
+        assert_eq!(back.get(2, "country").unwrap(), Value::Null);
+        assert_eq!(back.get(1, "gdp").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let text = "name,desc\n\"Doe, John\",\"said \"\"hi\"\"\"\nplain,also plain\n";
+        let df = read_csv_str(text).unwrap();
+        assert_eq!(df.get(0, "name").unwrap(), Value::Str("Doe, John".into()));
+        assert_eq!(df.get(0, "desc").unwrap(), Value::Str("said \"hi\"".into()));
+        // escaping roundtrip
+        let back = read_csv_str(&write_csv_str(&df)).unwrap();
+        assert_eq!(back.get(0, "name").unwrap(), Value::Str("Doe, John".into()));
+    }
+
+    #[test]
+    fn mismatched_record_errors() {
+        let text = "a,b\n1,2\n3\n";
+        assert!(matches!(read_csv_str(text), Err(TabularError::Csv(_))));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(read_csv_str("").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let df = DataFrameBuilder::new().int("x", vec![Some(1), Some(2)]).build().unwrap();
+        let path = std::env::temp_dir().join("tabular_csv_test.csv");
+        write_csv(&df, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        std::fs::remove_file(&path).ok();
+        assert!(read_csv("/nonexistent/nope.csv").is_err());
+    }
+
+    #[test]
+    fn crlf_and_trailing_newline() {
+        let text = "a,b\r\n1,x\r\n2,y\r\n";
+        let df = read_csv_str(text).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.get(1, "b").unwrap(), Value::Str("y".into()));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by all `tabular` operations.
+
+use std::fmt;
+
+/// Errors produced by table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TabularError {
+    /// A referenced column does not exist in the frame.
+    ColumnNotFound(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// Columns in one frame (or appended data) have mismatched lengths.
+    LengthMismatch { expected: usize, got: usize },
+    /// The operation needs a different column type than the one found.
+    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    /// A value could not be converted to the requested type.
+    InvalidValue(String),
+    /// A row index is out of bounds.
+    RowOutOfBounds { index: usize, len: usize },
+    /// The operation is not defined for an empty input.
+    Empty(String),
+    /// CSV parsing / formatting failure.
+    Csv(String),
+    /// Catch-all for invalid arguments (bad bin count, bad aggregation, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            TabularError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            TabularError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            TabularError::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch on column {column}: expected {expected}, got {got}")
+            }
+            TabularError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+            TabularError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+            TabularError::Empty(msg) => write!(f, "empty input: {msg}"),
+            TabularError::Csv(msg) => write!(f, "csv error: {msg}"),
+            TabularError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TabularError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = TabularError::ColumnNotFound("salary".into());
+        assert_eq!(e.to_string(), "column not found: salary");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = TabularError::TypeMismatch { column: "gdp".into(), expected: "float", got: "categorical" };
+        assert!(e.to_string().contains("gdp"));
+        assert!(e.to_string().contains("float"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&TabularError::Empty("x".into()));
+    }
+}

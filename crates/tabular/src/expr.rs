@@ -1,0 +1,316 @@
+//! Row predicates — the `WHERE` clause of the paper's aggregate queries.
+//!
+//! A [`Predicate`] evaluates to a boolean mask over a [`DataFrame`]. The
+//! paper's *context* `C` is a conjunction of attribute/value conditions;
+//! refinements of `C` (Section 4.3) are built by appending further
+//! [`Predicate::Eq`] terms.
+
+use crate::dataframe::DataFrame;
+use crate::error::Result;
+use crate::value::Value;
+
+/// A predicate over rows of a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true — the empty context.
+    True,
+    /// `column = value` (null never matches).
+    Eq(String, Value),
+    /// `column != value` (null never matches).
+    Ne(String, Value),
+    /// `column < value` on the numeric view.
+    Lt(String, Value),
+    /// `column <= value` on the numeric view.
+    Le(String, Value),
+    /// `column > value` on the numeric view.
+    Gt(String, Value),
+    /// `column >= value` on the numeric view.
+    Ge(String, Value),
+    /// `column IN (values)`.
+    In(String, Vec<Value>),
+    /// `column IS NULL`.
+    IsNull(String),
+    /// `column IS NOT NULL`.
+    NotNull(String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value` convenience constructor.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Eq(column.into(), value.into())
+    }
+
+    /// Conjunction convenience constructor.
+    pub fn and(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction convenience constructor.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation convenience constructor.
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Builds the conjunction of a list of `(column, value)` equality terms —
+    /// the shape of every context refinement in Algorithm 2.
+    pub fn conjunction(terms: &[(String, Value)]) -> Self {
+        terms
+            .iter()
+            .fold(Predicate::True, |acc, (c, v)| acc.and(Predicate::Eq(c.clone(), v.clone())))
+    }
+
+    /// Whether the predicate is the trivial `True` context.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, Predicate::True)
+    }
+
+    /// The set of column names mentioned by the predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Eq(c, _)
+            | Predicate::Ne(c, _)
+            | Predicate::Lt(c, _)
+            | Predicate::Le(c, _)
+            | Predicate::Gt(c, _)
+            | Predicate::Ge(c, _)
+            | Predicate::In(c, _)
+            | Predicate::IsNull(c)
+            | Predicate::NotNull(c) => out.push(c),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Evaluates the predicate to a boolean mask over the frame.
+    pub fn eval(&self, df: &DataFrame) -> Result<Vec<bool>> {
+        let n = df.n_rows();
+        match self {
+            Predicate::True => Ok(vec![true; n]),
+            Predicate::Eq(c, v) => {
+                let col = df.column(c)?;
+                Ok((0..n).map(|i| col.get(i).map(|x| !x.is_null() && x == *v).unwrap_or(false)).collect())
+            }
+            Predicate::Ne(c, v) => {
+                let col = df.column(c)?;
+                Ok((0..n).map(|i| col.get(i).map(|x| !x.is_null() && x != *v).unwrap_or(false)).collect())
+            }
+            Predicate::Lt(c, v) | Predicate::Le(c, v) | Predicate::Gt(c, v) | Predicate::Ge(c, v) => {
+                let col = df.column(c)?;
+                let target = v.as_f64();
+                Ok((0..n)
+                    .map(|i| {
+                        let x = col.get(i).ok().and_then(|x| x.as_f64());
+                        match (x, target) {
+                            (Some(x), Some(t)) => match self {
+                                Predicate::Lt(..) => x < t,
+                                Predicate::Le(..) => x <= t,
+                                Predicate::Gt(..) => x > t,
+                                Predicate::Ge(..) => x >= t,
+                                _ => unreachable!(),
+                            },
+                            _ => false,
+                        }
+                    })
+                    .collect())
+            }
+            Predicate::In(c, values) => {
+                let col = df.column(c)?;
+                Ok((0..n)
+                    .map(|i| {
+                        col.get(i)
+                            .map(|x| !x.is_null() && values.iter().any(|v| *v == x))
+                            .unwrap_or(false)
+                    })
+                    .collect())
+            }
+            Predicate::IsNull(c) => {
+                let col = df.column(c)?;
+                Ok((0..n).map(|i| col.is_null_at(i)).collect())
+            }
+            Predicate::NotNull(c) => {
+                let col = df.column(c)?;
+                Ok((0..n).map(|i| !col.is_null_at(i)).collect())
+            }
+            Predicate::And(a, b) => {
+                let ma = a.eval(df)?;
+                let mb = b.eval(df)?;
+                Ok(ma.iter().zip(mb).map(|(&x, y)| x && y).collect())
+            }
+            Predicate::Or(a, b) => {
+                let ma = a.eval(df)?;
+                let mb = b.eval(df)?;
+                Ok(ma.iter().zip(mb).map(|(&x, y)| x || y).collect())
+            }
+            Predicate::Not(p) => Ok(p.eval(df)?.into_iter().map(|x| !x).collect()),
+        }
+    }
+
+    /// Returns the rows of the frame satisfying the predicate.
+    pub fn apply(&self, df: &DataFrame) -> Result<DataFrame> {
+        if self.is_trivial() {
+            return Ok(df.clone());
+        }
+        df.filter_mask(&self.eval(df)?)
+    }
+
+    /// Compact SQL-ish rendering of the predicate, used in reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Predicate::True => "TRUE".to_string(),
+            Predicate::Eq(c, v) => format!("{c} = {v}"),
+            Predicate::Ne(c, v) => format!("{c} != {v}"),
+            Predicate::Lt(c, v) => format!("{c} < {v}"),
+            Predicate::Le(c, v) => format!("{c} <= {v}"),
+            Predicate::Gt(c, v) => format!("{c} > {v}"),
+            Predicate::Ge(c, v) => format!("{c} >= {v}"),
+            Predicate::In(c, vs) => format!(
+                "{c} IN ({})",
+                vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            Predicate::IsNull(c) => format!("{c} IS NULL"),
+            Predicate::NotNull(c) => format!("{c} IS NOT NULL"),
+            Predicate::And(a, b) => format!("{} AND {}", a.describe(), b.describe()),
+            Predicate::Or(a, b) => format!("({} OR {})", a.describe(), b.describe()),
+            Predicate::Not(p) => format!("NOT ({})", p.describe()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataframe::DataFrameBuilder;
+
+    fn df() -> DataFrame {
+        DataFrameBuilder::new()
+            .cat("continent", vec![Some("Europe"), Some("Asia"), Some("Europe"), None])
+            .float("salary", vec![Some(60.0), Some(30.0), None, Some(80.0)])
+            .int("age", vec![Some(30), Some(40), Some(25), Some(50)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        let d = df();
+        let m = Predicate::eq("continent", "Europe").eval(&d).unwrap();
+        assert_eq!(m, vec![true, false, true, false]);
+        let m = Predicate::Ne("continent".into(), "Europe".into()).eval(&d).unwrap();
+        assert_eq!(m, vec![false, true, false, false]); // null never matches
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let d = df();
+        assert_eq!(
+            Predicate::Gt("salary".into(), Value::Float(50.0)).eval(&d).unwrap(),
+            vec![true, false, false, true]
+        );
+        assert_eq!(
+            Predicate::Le("age".into(), Value::Int(30)).eval(&d).unwrap(),
+            vec![true, false, true, false]
+        );
+        assert_eq!(
+            Predicate::Lt("salary".into(), Value::Float(40.0)).eval(&d).unwrap(),
+            vec![false, true, false, false]
+        );
+        assert_eq!(
+            Predicate::Ge("age".into(), Value::Int(40)).eval(&d).unwrap(),
+            vec![false, true, false, true]
+        );
+    }
+
+    #[test]
+    fn in_and_null_tests() {
+        let d = df();
+        assert_eq!(
+            Predicate::In("continent".into(), vec!["Asia".into(), "Europe".into()])
+                .eval(&d)
+                .unwrap(),
+            vec![true, true, true, false]
+        );
+        assert_eq!(Predicate::IsNull("salary".into()).eval(&d).unwrap(), vec![false, false, true, false]);
+        assert_eq!(Predicate::NotNull("continent".into()).eval(&d).unwrap(), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let d = df();
+        let p = Predicate::eq("continent", "Europe").and(Predicate::Gt("age".into(), Value::Int(26)));
+        assert_eq!(p.eval(&d).unwrap(), vec![true, false, false, false]);
+        let p = Predicate::eq("continent", "Asia").or(Predicate::eq("continent", "Europe"));
+        assert_eq!(p.eval(&d).unwrap(), vec![true, true, true, false]);
+        let p = Predicate::eq("continent", "Europe").negate();
+        assert_eq!(p.eval(&d).unwrap(), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn trivial_context_identity() {
+        let d = df();
+        assert_eq!(Predicate::True.eval(&d).unwrap(), vec![true; 4]);
+        assert!(Predicate::True.is_trivial());
+        assert_eq!(Predicate::True.and(Predicate::eq("age", 30)), Predicate::eq("age", 30));
+        let applied = Predicate::True.apply(&d).unwrap();
+        assert_eq!(applied.n_rows(), 4);
+    }
+
+    #[test]
+    fn conjunction_builder_and_columns() {
+        let p = Predicate::conjunction(&[
+            ("continent".to_string(), "Europe".into()),
+            ("age".to_string(), Value::Int(30)),
+        ]);
+        assert_eq!(p.columns(), vec!["age", "continent"]);
+        assert_eq!(p.describe(), "continent = Europe AND age = 30");
+        let empty = Predicate::conjunction(&[]);
+        assert!(empty.is_trivial());
+    }
+
+    #[test]
+    fn apply_filters_rows() {
+        let d = df();
+        let filtered = Predicate::eq("continent", "Europe").apply(&d).unwrap();
+        assert_eq!(filtered.n_rows(), 2);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let d = df();
+        assert!(Predicate::eq("nope", 1).eval(&d).is_err());
+    }
+
+    #[test]
+    fn describe_renders_all_variants() {
+        let p = Predicate::In("c".into(), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(p.describe(), "c IN (1, 2)");
+        assert_eq!(Predicate::IsNull("x".into()).describe(), "x IS NULL");
+        assert_eq!(Predicate::True.describe(), "TRUE");
+        assert!(Predicate::eq("a", 1).or(Predicate::eq("b", 2)).describe().contains("OR"));
+        assert!(Predicate::eq("a", 1).negate().describe().starts_with("NOT"));
+    }
+}

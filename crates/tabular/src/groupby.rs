@@ -1,0 +1,155 @@
+//! Group-by: partition row indices by the values of one or more key columns.
+
+use std::collections::HashMap;
+
+use crate::aggregate::AggFn;
+use crate::column::Column;
+use crate::dataframe::DataFrame;
+use crate::error::Result;
+use crate::value::Value;
+
+/// One group produced by [`group_by`]: the key values (one per key column, in
+/// key order) and the member row indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// The key values identifying the group.
+    pub key: Vec<Value>,
+    /// Row indices belonging to the group, in original order.
+    pub rows: Vec<usize>,
+}
+
+impl Group {
+    /// Number of rows in the group.
+    pub fn size(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Partitions the rows of `df` by the combination of values in `keys`.
+///
+/// Rows where any key is null are grouped under a null key value (they form
+/// their own groups), matching SQL `GROUP BY` semantics where NULLs group
+/// together. Groups are returned in order of first appearance.
+pub fn group_by(df: &DataFrame, keys: &[&str]) -> Result<Vec<Group>> {
+    let encoded: Vec<_> = keys
+        .iter()
+        .map(|k| df.column(k).map(|c| c.encode()))
+        .collect::<Result<Vec<_>>>()?;
+    let n = df.n_rows();
+    // Composite key = vector of Option<u32> codes. u32::MAX is reserved to
+    // mean "null" inside the composite so groups are distinguishable.
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for row in 0..n {
+        let composite: Vec<u32> =
+            encoded.iter().map(|e| e.codes[row].map(|c| c + 1).unwrap_or(0)).collect();
+        let gi = *index.entry(composite).or_insert_with(|| {
+            let key = keys
+                .iter()
+                .map(|k| df.get(row, k).expect("column checked"))
+                .collect();
+            groups.push(Group { key, rows: Vec::new() });
+            groups.len() - 1
+        });
+        groups[gi].rows.push(row);
+    }
+    Ok(groups)
+}
+
+/// Runs `GROUP BY keys` followed by `agg(target)` and returns a result frame
+/// with one row per group: the key columns plus a column named
+/// `"{agg}({target})"`.
+pub fn group_aggregate(
+    df: &DataFrame,
+    keys: &[&str],
+    target: &str,
+    agg: AggFn,
+) -> Result<DataFrame> {
+    let groups = group_by(df, keys)?;
+    let target_col = df.column(target)?;
+    let mut key_values: Vec<Vec<Value>> = vec![Vec::with_capacity(groups.len()); keys.len()];
+    let mut agg_values: Vec<Option<f64>> = Vec::with_capacity(groups.len());
+    let mut sizes: Vec<Option<i64>> = Vec::with_capacity(groups.len());
+    for g in &groups {
+        for (i, v) in g.key.iter().enumerate() {
+            key_values[i].push(v.clone());
+        }
+        agg_values.push(agg.apply(target_col, &g.rows)?);
+        sizes.push(Some(g.size() as i64));
+    }
+    let mut columns = Vec::with_capacity(keys.len() + 2);
+    for (i, k) in keys.iter().enumerate() {
+        columns.push(Column::from_values(*k, std::mem::take(&mut key_values[i])));
+    }
+    columns.push(Column::from_f64(format!("{}({})", agg.name(), target), agg_values));
+    columns.push(Column::from_i64("group_size", sizes));
+    DataFrame::from_columns(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataframe::DataFrameBuilder;
+
+    fn df() -> DataFrame {
+        DataFrameBuilder::new()
+            .cat("country", vec![Some("DE"), Some("US"), Some("DE"), Some("FR"), None])
+            .cat("gender", vec![Some("M"), Some("F"), Some("F"), Some("M"), Some("F")])
+            .float("salary", vec![Some(60.0), Some(90.0), Some(70.0), Some(50.0), Some(40.0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_key_groups() {
+        let groups = group_by(&df(), &["country"]).unwrap();
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].key, vec![Value::Str("DE".into())]);
+        assert_eq!(groups[0].rows, vec![0, 2]);
+        assert_eq!(groups[3].key, vec![Value::Null]);
+        assert_eq!(groups[3].size(), 1);
+    }
+
+    #[test]
+    fn multi_key_groups() {
+        let groups = group_by(&df(), &["country", "gender"]).unwrap();
+        assert_eq!(groups.len(), 5);
+        let de_f = groups
+            .iter()
+            .find(|g| g.key == vec![Value::Str("DE".into()), Value::Str("F".into())])
+            .unwrap();
+        assert_eq!(de_f.rows, vec![2]);
+    }
+
+    #[test]
+    fn group_aggregate_mean() {
+        let out = group_aggregate(&df(), &["country"], "salary", AggFn::Mean).unwrap();
+        assert_eq!(out.n_rows(), 4);
+        assert_eq!(out.column_names(), vec!["country", "avg(salary)", "group_size"]);
+        assert_eq!(out.get(0, "avg(salary)").unwrap(), Value::Float(65.0));
+        assert_eq!(out.get(0, "group_size").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn group_aggregate_count() {
+        let out = group_aggregate(&df(), &["gender"], "salary", AggFn::Count).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        let m = out.get(0, "count(salary)").unwrap();
+        assert_eq!(m, Value::Float(2.0));
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        assert!(group_by(&df(), &["nope"]).is_err());
+        assert!(group_aggregate(&df(), &["country"], "nope", AggFn::Mean).is_err());
+    }
+
+    #[test]
+    fn groups_cover_all_rows_exactly_once() {
+        let d = df();
+        let groups = group_by(&d, &["country", "gender"]).unwrap();
+        let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.rows.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..d.n_rows()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,155 @@
+//! Hash joins between frames.
+//!
+//! MESA joins the input table `T` with the table of extracted KG attributes
+//! `E` on the entity column (e.g. `Country`). The extracted table has at most
+//! one row per entity, so the join used throughout is a left equi-join.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::dataframe::DataFrame;
+use crate::error::{Result, TabularError};
+use crate::value::Value;
+
+/// Join flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only rows with a match on both sides.
+    Inner,
+    /// Keep every left row; unmatched right columns become null.
+    Left,
+}
+
+/// Joins `left` and `right` on `left_on = right_on`.
+///
+/// Right columns whose names collide with a left column are suffixed with
+/// `"_right"`. When several right rows match a left row, the first match wins
+/// (the extracted-attribute tables MESA builds are keyed by entity, so
+/// duplicates indicate a malformed extraction and are not multiplied out).
+pub fn join(
+    left: &DataFrame,
+    right: &DataFrame,
+    left_on: &str,
+    right_on: &str,
+    kind: JoinKind,
+) -> Result<DataFrame> {
+    let left_key = left.column(left_on)?;
+    let right_key = right.column(right_on)?;
+
+    // Build a hash index over the right key (rendered value -> first row).
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for i in 0..right_key.len() {
+        let v = right_key.get(i)?;
+        if v.is_null() {
+            continue;
+        }
+        index.entry(v.render()).or_insert(i);
+    }
+
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    for i in 0..left_key.len() {
+        let v = left_key.get(i)?;
+        let matched = if v.is_null() { None } else { index.get(&v.render()).copied() };
+        match (kind, matched) {
+            (JoinKind::Inner, Some(r)) => {
+                left_rows.push(i);
+                right_rows.push(Some(r));
+            }
+            (JoinKind::Inner, None) => {}
+            (JoinKind::Left, m) => {
+                left_rows.push(i);
+                right_rows.push(m);
+            }
+        }
+    }
+
+    let mut out = left.take(&left_rows);
+    for col in right.columns() {
+        if col.name() == right_on {
+            continue;
+        }
+        let name = if out.has_column(col.name()) {
+            format!("{}_right", col.name())
+        } else {
+            col.name().to_string()
+        };
+        if out.has_column(&name) {
+            return Err(TabularError::DuplicateColumn(name));
+        }
+        let values: Vec<Value> = right_rows
+            .iter()
+            .map(|r| match r {
+                Some(r) => col.get(*r).unwrap_or(Value::Null),
+                None => Value::Null,
+            })
+            .collect();
+        out.add_column(Column::from_values(name, values))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataframe::DataFrameBuilder;
+
+    fn left() -> DataFrame {
+        DataFrameBuilder::new()
+            .cat("country", vec![Some("DE"), Some("US"), Some("XX"), None])
+            .float("salary", vec![Some(60.0), Some(90.0), Some(10.0), Some(20.0)])
+            .build()
+            .unwrap()
+    }
+
+    fn right() -> DataFrame {
+        DataFrameBuilder::new()
+            .cat("entity", vec![Some("DE"), Some("US"), Some("FR")])
+            .float("gdp", vec![Some(4.0), Some(21.0), Some(2.9)])
+            .float("salary", vec![Some(1.0), Some(2.0), Some(3.0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let out = join(&left(), &right(), "country", "entity", JoinKind::Left).unwrap();
+        assert_eq!(out.n_rows(), 4);
+        assert_eq!(out.get(0, "gdp").unwrap(), Value::Float(4.0));
+        assert_eq!(out.get(2, "gdp").unwrap(), Value::Null); // XX unmatched
+        assert_eq!(out.get(3, "gdp").unwrap(), Value::Null); // null key unmatched
+        // name collision suffixed
+        assert!(out.has_column("salary_right"));
+        assert_eq!(out.get(1, "salary_right").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn inner_join_drops_unmatched() {
+        let out = join(&left(), &right(), "country", "entity", JoinKind::Inner).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.get(1, "country").unwrap(), Value::Str("US".into()));
+    }
+
+    #[test]
+    fn join_missing_key_errors() {
+        assert!(join(&left(), &right(), "nope", "entity", JoinKind::Left).is_err());
+        assert!(join(&left(), &right(), "country", "nope", JoinKind::Left).is_err());
+    }
+
+    #[test]
+    fn duplicate_right_keys_use_first_match() {
+        let dup = DataFrameBuilder::new()
+            .cat("entity", vec![Some("DE"), Some("DE")])
+            .float("hdi", vec![Some(0.9), Some(0.1)])
+            .build()
+            .unwrap();
+        let out = join(&left(), &dup, "country", "entity", JoinKind::Left).unwrap();
+        assert_eq!(out.get(0, "hdi").unwrap(), Value::Float(0.9));
+    }
+
+    #[test]
+    fn join_key_column_not_duplicated() {
+        let out = join(&left(), &right(), "country", "entity", JoinKind::Left).unwrap();
+        assert!(!out.has_column("entity"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The class of aggregate queries the paper explains.
+//!
+//! A query `SELECT T, agg(O) FROM D WHERE C GROUP BY T` is captured by
+//! [`AggregateQuery`]: an exposure (grouping) attribute `T`, an outcome
+//! (aggregated) attribute `O`, a context predicate `C`, and the aggregation
+//! function. Executing the query produces the per-group view the analyst sees
+//! (Figure 1 of the paper).
+
+use crate::aggregate::AggFn;
+use crate::dataframe::DataFrame;
+use crate::error::{Result, TabularError};
+use crate::expr::Predicate;
+use crate::groupby::group_aggregate;
+
+/// An aggregate group-by query relating an exposure `T` to an outcome `O`
+/// under a context `C`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateQuery {
+    /// The grouping attribute `T` (the *exposure*).
+    pub exposure: String,
+    /// The aggregated attribute `O` (the *outcome*).
+    pub outcome: String,
+    /// The `WHERE` clause `C` (the *context*).
+    pub context: Predicate,
+    /// The aggregation function applied to the outcome.
+    pub agg: AggFn,
+}
+
+impl AggregateQuery {
+    /// Builds a query with the trivial context and `avg` aggregation — the
+    /// most common shape in the paper (e.g. average salary per country).
+    pub fn avg(exposure: impl Into<String>, outcome: impl Into<String>) -> Self {
+        AggregateQuery {
+            exposure: exposure.into(),
+            outcome: outcome.into(),
+            context: Predicate::True,
+            agg: AggFn::Mean,
+        }
+    }
+
+    /// Returns a copy of the query with the given context.
+    pub fn with_context(mut self, context: Predicate) -> Self {
+        self.context = context;
+        self
+    }
+
+    /// Returns a copy of the query with the given aggregation function.
+    pub fn with_agg(mut self, agg: AggFn) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Returns a copy whose context is refined by an additional equality term
+    /// — the refinement operation of Algorithm 2.
+    pub fn refine(&self, column: impl Into<String>, value: impl Into<crate::value::Value>) -> Self {
+        let mut q = self.clone();
+        q.context = q.context.and(Predicate::Eq(column.into(), value.into()));
+        q
+    }
+
+    /// Validates that the referenced columns exist in the frame.
+    pub fn validate(&self, df: &DataFrame) -> Result<()> {
+        for col in [self.exposure.as_str(), self.outcome.as_str()] {
+            if !df.has_column(col) {
+                return Err(TabularError::ColumnNotFound(col.to_string()));
+            }
+        }
+        for col in self.context.columns() {
+            if !df.has_column(col) {
+                return Err(TabularError::ColumnNotFound(col.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies only the context (`WHERE` clause) of the query.
+    pub fn apply_context(&self, df: &DataFrame) -> Result<DataFrame> {
+        self.validate(df)?;
+        self.context.apply(df)
+    }
+
+    /// Executes the full query, returning one row per exposure group with the
+    /// aggregated outcome and the group size.
+    pub fn run(&self, df: &DataFrame) -> Result<DataFrame> {
+        let filtered = self.apply_context(df)?;
+        if filtered.is_empty() {
+            return Err(TabularError::Empty(format!(
+                "no rows satisfy context {}",
+                self.context.describe()
+            )));
+        }
+        group_aggregate(&filtered, &[self.exposure.as_str()], &self.outcome, self.agg)
+    }
+
+    /// SQL rendering of the query, used in reports and examples.
+    pub fn to_sql(&self, table: &str) -> String {
+        let where_clause = if self.context.is_trivial() {
+            String::new()
+        } else {
+            format!("\nWHERE {}", self.context.describe())
+        };
+        format!(
+            "SELECT {exp}, {agg}({out})\nFROM {table}{where_clause}\nGROUP BY {exp}",
+            exp = self.exposure,
+            agg = self.agg.name(),
+            out = self.outcome,
+        )
+    }
+}
+
+impl std::fmt::Display for AggregateQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_sql("D"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataframe::DataFrameBuilder;
+    use crate::value::Value;
+
+    fn so() -> DataFrame {
+        DataFrameBuilder::new()
+            .cat("country", vec![Some("DE"), Some("DE"), Some("US"), Some("FR"), Some("US")])
+            .cat(
+                "continent",
+                vec![Some("Europe"), Some("Europe"), Some("NA"), Some("Europe"), Some("NA")],
+            )
+            .float("salary", vec![Some(60.0), Some(70.0), Some(100.0), Some(50.0), Some(120.0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn avg_query_runs() {
+        let q = AggregateQuery::avg("country", "salary");
+        let out = q.run(&so()).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.get(0, "avg(salary)").unwrap(), Value::Float(65.0));
+        assert_eq!(out.get(1, "avg(salary)").unwrap(), Value::Float(110.0));
+    }
+
+    #[test]
+    fn context_restricts_groups() {
+        let q = AggregateQuery::avg("country", "salary")
+            .with_context(Predicate::eq("continent", "Europe"));
+        let out = q.run(&so()).unwrap();
+        assert_eq!(out.n_rows(), 2);
+    }
+
+    #[test]
+    fn refine_adds_condition() {
+        let q = AggregateQuery::avg("country", "salary");
+        let r = q.refine("continent", "Europe");
+        assert_eq!(r.context.describe(), "continent = Europe");
+        let r2 = r.refine("country", "DE");
+        assert!(r2.context.describe().contains("AND"));
+    }
+
+    #[test]
+    fn validate_missing_columns() {
+        let q = AggregateQuery::avg("country", "nope");
+        assert!(q.validate(&so()).is_err());
+        let q = AggregateQuery::avg("country", "salary").with_context(Predicate::eq("ghost", 1));
+        assert!(q.run(&so()).is_err());
+    }
+
+    #[test]
+    fn empty_context_result_is_error() {
+        let q = AggregateQuery::avg("country", "salary")
+            .with_context(Predicate::eq("continent", "Antarctica"));
+        assert!(matches!(q.run(&so()), Err(TabularError::Empty(_))));
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let q = AggregateQuery::avg("Country", "Salary")
+            .with_context(Predicate::eq("Continent", "Europe"));
+        let sql = q.to_sql("SO");
+        assert!(sql.contains("SELECT Country, avg(Salary)"));
+        assert!(sql.contains("WHERE Continent = Europe"));
+        assert!(sql.contains("GROUP BY Country"));
+        assert!(format!("{q}").contains("FROM D"));
+        let plain = AggregateQuery::avg("a", "b").to_sql("T");
+        assert!(!plain.contains("WHERE"));
+    }
+
+    #[test]
+    fn with_agg_changes_function() {
+        let q = AggregateQuery::avg("country", "salary").with_agg(AggFn::Max);
+        let out = q.run(&so()).unwrap();
+        assert_eq!(out.get(1, "max(salary)").unwrap(), Value::Float(120.0));
+    }
+}

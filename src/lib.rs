@@ -1,0 +1,25 @@
+//! # mesa-repro
+//!
+//! Umbrella crate for the reproduction of *"On Explaining Confounding Bias"*
+//! (ICDE 2023). It re-exports the workspace crates so the examples and
+//! integration tests can reach everything through one dependency:
+//!
+//! * [`mesa`] — the MESA system and the MCIMR algorithm (the paper's
+//!   contribution).
+//! * [`tabular`] — the columnar table engine and aggregate queries.
+//! * [`infotheory`] — entropy / mutual-information estimators and CI tests.
+//! * [`kg`] — the knowledge-graph substrate and attribute extraction.
+//! * [`stats`] — OLS, logistic regression, correlation.
+//! * [`datagen`] — the synthetic world, datasets, knowledge graph, and query
+//!   workloads.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the experiment harness that regenerates every table and figure of the
+//! paper.
+
+pub use datagen;
+pub use infotheory;
+pub use kg;
+pub use mesa;
+pub use stats;
+pub use tabular;
