@@ -11,8 +11,9 @@ use tabular::{Column, DataFrame};
 fn synthetic_frame(rows: usize) -> DataFrame {
     let cols = (0..6)
         .map(|c| {
-            let vals: Vec<Option<i64>> =
-                (0..rows).map(|i| Some(((i * (c + 3) + c * 7) % 8) as i64)).collect();
+            let vals: Vec<Option<i64>> = (0..rows)
+                .map(|i| Some(((i * (c + 3) + c * 7) % 8) as i64))
+                .collect();
             Column::from_i64(format!("c{c}"), vals)
         })
         .collect();

@@ -22,7 +22,12 @@ fn bench_rows(c: &mut Criterion) {
     for &rows in &[2_000usize, 6_000, 12_000] {
         let frame = generate_so(&data.world, rows, 77).expect("generate");
         let prepared = mesa
-            .prepare(&frame, &query, Some(&data.graph), Dataset::StackOverflow.extraction_columns())
+            .prepare(
+                &frame,
+                &query,
+                Some(&data.graph),
+                Dataset::StackOverflow.extraction_columns(),
+            )
             .expect("prepare");
         group.bench_with_input(BenchmarkId::from_parameter(rows), &prepared, |b, p| {
             b.iter(|| mesa.explain_prepared(p).expect("explain"));

@@ -15,7 +15,11 @@ fn bench_subgroups(c: &mut Criterion) {
     let wq = &representative_queries_for(Dataset::StackOverflow)[0];
     let prepared = prepare_workload(&data, wq).expect("prepare");
     let report = mesa.explain_prepared(&prepared).expect("explain");
-    let config = SubgroupConfig { top_k: 5, tau: 0.2, ..Default::default() };
+    let config = SubgroupConfig {
+        top_k: 5,
+        tau: 0.2,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("unexplained_subgroups");
     group.warm_up_time(Duration::from_millis(500));
@@ -23,7 +27,8 @@ fn bench_subgroups(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("so_q1_top5", |b| {
         b.iter(|| {
-            mesa.unexplained_subgroups(&prepared, &report.explanation, &config).expect("subgroups")
+            mesa.unexplained_subgroups(&prepared, &report.explanation, &config)
+                .expect("subgroups")
         });
     });
     group.finish();

@@ -18,7 +18,10 @@ fn main() {
     for hops in [1usize, 2] {
         let config = MesaConfig {
             prepare: PrepareConfig {
-                extraction: ExtractionConfig { hops, ..Default::default() },
+                extraction: ExtractionConfig {
+                    hops,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             ..Default::default()
@@ -26,7 +29,12 @@ fn main() {
         let mesa = Mesa::with_config(config);
         let start = Instant::now();
         let prepared = mesa
-            .prepare(covid, &query, Some(&data.graph), Dataset::Covid.extraction_columns())
+            .prepare(
+                covid,
+                &query,
+                Some(&data.graph),
+                Dataset::Covid.extraction_columns(),
+            )
             .expect("prepare");
         let report = mesa.explain_prepared(&prepared).expect("explain");
         let elapsed = start.elapsed();

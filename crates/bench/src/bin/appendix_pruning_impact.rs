@@ -8,7 +8,10 @@ use mesa::{prune_offline, prune_online, PruningConfig};
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
     println!("== Appendix: impact of pruning per dataset ==\n");
-    println!("{:<12} {:>8} {:>16} {:>16}", "Dataset", "|A|", "% dropped offline", "% dropped online");
+    println!(
+        "{:<12} {:>8} {:>16} {:>16}",
+        "Dataset", "|A|", "% dropped offline", "% dropped online"
+    );
     let mut seen = std::collections::HashSet::new();
     for wq in representative_queries() {
         if !seen.insert(wq.dataset) {
@@ -19,7 +22,8 @@ fn main() {
             Err(_) => continue,
         };
         let config = PruningConfig::default();
-        let offline = prune_offline(&prepared.encoded, &prepared.candidates, &config).expect("offline");
+        let offline =
+            prune_offline(&prepared.encoded, &prepared.candidates, &config).expect("offline");
         let online = prune_online(
             &prepared.encoded,
             &offline.kept,
@@ -37,5 +41,7 @@ fn main() {
             online.dropped.len() as f64 / offline.kept.len().max(1) as f64 * 100.0,
         );
     }
-    println!("\n(paper: offline drops 41-73% of extracted attributes; online drops a further 3-14%)");
+    println!(
+        "\n(paper: offline drops 41-73% of extracted attributes; online drops a further 3-14%)"
+    );
 }

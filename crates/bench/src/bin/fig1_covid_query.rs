@@ -14,7 +14,9 @@ fn main() {
     println!("== Figure 1: visualisation of the query results ==\n");
     println!("{}\n", query.to_sql("Covid-Data"));
     let result = query.run(covid).expect("query runs");
-    let sorted = result.sort_by("avg(Deaths_per_100_cases)").expect("sortable");
+    let sorted = result
+        .sort_by("avg(Deaths_per_100_cases)")
+        .expect("sortable");
     // Show the head and tail of the distribution, like the paper's bar chart.
     println!("{}", sorted.head(10).to_pretty_string(10));
     println!("... (total {} countries)\n", sorted.n_rows());
@@ -22,7 +24,12 @@ fn main() {
     println!("== MESA explanation of the Country ~ Deaths correlation ==\n");
     let mesa = Mesa::new();
     let report = mesa
-        .explain(covid, &query, Some(&data.graph), Dataset::Covid.extraction_columns())
+        .explain(
+            covid,
+            &query,
+            Some(&data.graph),
+            Dataset::Covid.extraction_columns(),
+        )
         .expect("explanation");
     println!("{}", report_summary(&report));
 }

@@ -8,7 +8,10 @@ use datagen::{representative_queries, Dataset};
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
     println!("== Figure 2: distance from Brute-Force explainability ==\n");
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "Query", "LR", "Top-K", "HypDB", "MESA", "MESA-");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Query", "LR", "Top-K", "HypDB", "MESA", "MESA-"
+    );
     for wq in representative_queries()
         .into_iter()
         .filter(|q| matches!(q.dataset, Dataset::Covid | Dataset::Forbes))
@@ -40,5 +43,7 @@ fn main() {
             dist(Method::MesaMinus),
         );
     }
-    println!("\n(lower is better; the paper's Figure 2 shows MESA and MESA- closest to Brute-Force)");
+    println!(
+        "\n(lower is better; the paper's Figure 2 shows MESA and MESA- closest to Brute-Force)"
+    );
 }

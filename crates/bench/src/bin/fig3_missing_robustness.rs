@@ -12,10 +12,7 @@ use tabular::AggregateQuery;
 
 /// Finds the `top_n` extracted attributes most relevant to the outcome and
 /// returns their names.
-fn most_relevant_extracted(
-    prepared: &mesa::PreparedQuery,
-    top_n: usize,
-) -> Vec<String> {
+fn most_relevant_extracted(prepared: &mesa::PreparedQuery, top_n: usize) -> Vec<String> {
     let mut scored: Vec<(String, f64)> = prepared
         .extracted
         .iter()
@@ -36,11 +33,20 @@ fn run_dataset(data: &ExperimentData, dataset: Dataset, exposure: &str, outcome:
     let query = AggregateQuery::avg(exposure, outcome);
     let mesa = Mesa::new();
     let base_prepared = mesa
-        .prepare(frame, &query, Some(&data.graph), dataset.extraction_columns())
+        .prepare(
+            frame,
+            &query,
+            Some(&data.graph),
+            dataset.extraction_columns(),
+        )
         .expect("prepare");
     let targets = most_relevant_extracted(&base_prepared, 10);
 
-    println!("--- {} : {} ---", dataset.name(), query.to_sql(dataset.name()).replace('\n', " "));
+    println!(
+        "--- {} : {} ---",
+        dataset.name(),
+        query.to_sql(dataset.name()).replace('\n', " ")
+    );
     println!(
         "{:>8} {:>22} {:>18} {:>14}",
         "%missing", "missing-at-random", "biased removal", "imputation"
@@ -66,20 +72,20 @@ fn run_dataset(data: &ExperimentData, dataset: Dataset, exposure: &str, outcome:
                 MissingPolicy::Ipw
             };
             // Re-encode the degraded frame and rerun MESA on it.
-            let prepared = mesa::prepare_query(
-                &degraded,
-                &query,
-                None,
-                &[],
-                mesa::PrepareConfig::default(),
-            )
-            .expect("re-prepare");
-            let system =
-                Mesa::with_config(MesaConfig { missing: policy, ..MesaConfig::default() });
+            let prepared =
+                mesa::prepare_query(&degraded, &query, None, &[], mesa::PrepareConfig::default())
+                    .expect("re-prepare");
+            let system = Mesa::with_config(MesaConfig {
+                missing: policy,
+                ..MesaConfig::default()
+            });
             let report = system.explain_prepared(&prepared).expect("explain");
             scores.push(report.explanation.explainability);
         }
-        println!("{:>7}% {:>22.4} {:>18.4} {:>14.4}", pct, scores[0], scores[1], scores[2]);
+        println!(
+            "{:>7}% {:>22.4} {:>18.4} {:>14.4}",
+            pct, scores[0], scores[1], scores[2]
+        );
     }
     println!();
 }

@@ -12,10 +12,14 @@ use rand::SeedableRng;
 
 fn variant(name: &str) -> MesaConfig {
     match name {
-        "No Pruning" => MesaConfig { pruning: PruningConfig::disabled(), ..Default::default() },
-        "Offline Pruning" => {
-            MesaConfig { pruning: PruningConfig::offline_only(), ..Default::default() }
-        }
+        "No Pruning" => MesaConfig {
+            pruning: PruningConfig::disabled(),
+            ..Default::default()
+        },
+        "Offline Pruning" => MesaConfig {
+            pruning: PruningConfig::offline_only(),
+            ..Default::default()
+        },
         _ => MesaConfig::default(),
     }
 }
@@ -34,10 +38,17 @@ fn main() {
             }
         };
         println!("--- {} ({}) ---", dataset.name(), wq.id);
-        println!("{:>8} {:>14} {:>18} {:>12}", "|A|", "No Pruning", "Offline Pruning", "MCIMR");
+        println!(
+            "{:>8} {:>14} {:>18} {:>12}",
+            "|A|", "No Pruning", "Offline Pruning", "MCIMR"
+        );
         let max = prepared.candidates.len();
-        let steps: Vec<usize> =
-            [50usize, 150, 250, 350, 450, 550, 650, 750].iter().copied().filter(|s| *s <= max).chain([max]).collect();
+        let steps: Vec<usize> = [50usize, 150, 250, 350, 450, 550, 650, 750]
+            .iter()
+            .copied()
+            .filter(|s| *s <= max)
+            .chain([max])
+            .collect();
         let mut rng = StdRng::seed_from_u64(99);
         for n_attrs in steps {
             // Random subset of the candidate attributes, as in the paper.

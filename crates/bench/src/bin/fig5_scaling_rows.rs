@@ -18,7 +18,10 @@ fn main() {
         let wq = &queries[0];
         let full = data.frame(dataset);
         println!("--- {} ({}) ---", dataset.name(), wq.id);
-        println!("{:>10} {:>14} {:>18} {:>12}", "#rows", "No Pruning", "Offline Pruning", "MCIMR");
+        println!(
+            "{:>10} {:>14} {:>18} {:>12}",
+            "#rows", "No Pruning", "Offline Pruning", "MCIMR"
+        );
         let mut rng = StdRng::seed_from_u64(5);
         for fraction in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
             let n = ((full.n_rows() as f64) * fraction).round() as usize;
@@ -32,21 +35,29 @@ fn main() {
                 frames: vec![(dataset, sample)],
                 scale: data.scale,
             };
-            sample_data.frames.extend(
-                data.frames.iter().filter(|(d, _)| *d != dataset).cloned(),
-            );
+            sample_data
+                .frames
+                .extend(data.frames.iter().filter(|(d, _)| *d != dataset).cloned());
             let prepared = match prepare_workload(&sample_data, wq) {
                 Ok(p) => p,
                 Err(_) => continue,
             };
             let mut times = Vec::new();
             for config in [
-                MesaConfig { pruning: PruningConfig::disabled(), ..Default::default() },
-                MesaConfig { pruning: PruningConfig::offline_only(), ..Default::default() },
+                MesaConfig {
+                    pruning: PruningConfig::disabled(),
+                    ..Default::default()
+                },
+                MesaConfig {
+                    pruning: PruningConfig::offline_only(),
+                    ..Default::default()
+                },
                 MesaConfig::default(),
             ] {
                 let start = Instant::now();
-                let _ = Mesa::with_config(config).explain_prepared(&prepared).expect("explain");
+                let _ = Mesa::with_config(config)
+                    .explain_prepared(&prepared)
+                    .expect("explain");
                 times.push(start.elapsed().as_secs_f64());
             }
             println!(

@@ -18,17 +18,30 @@ fn main() {
             Err(_) => continue,
         };
         println!("--- {} ({}) ---", dataset.name(), wq.id);
-        println!("{:>4} {:>14} {:>18} {:>12} {:>10}", "k", "No Pruning", "Offline Pruning", "MCIMR", "|E| found");
+        println!(
+            "{:>4} {:>14} {:>18} {:>12} {:>10}",
+            "k", "No Pruning", "Offline Pruning", "MCIMR", "|E| found"
+        );
         for k in 1..=10 {
             let mut times = Vec::new();
             let mut found = 0;
             for config in [
-                MesaConfig { pruning: PruningConfig::disabled(), ..Default::default() }.with_k(k),
-                MesaConfig { pruning: PruningConfig::offline_only(), ..Default::default() }.with_k(k),
+                MesaConfig {
+                    pruning: PruningConfig::disabled(),
+                    ..Default::default()
+                }
+                .with_k(k),
+                MesaConfig {
+                    pruning: PruningConfig::offline_only(),
+                    ..Default::default()
+                }
+                .with_k(k),
                 MesaConfig::default().with_k(k),
             ] {
                 let start = Instant::now();
-                let report = Mesa::with_config(config).explain_prepared(&prepared).expect("explain");
+                let report = Mesa::with_config(config)
+                    .explain_prepared(&prepared)
+                    .expect("explain");
                 times.push(start.elapsed().as_secs_f64());
                 found = report.explanation.len();
             }

@@ -7,7 +7,10 @@ use kg::{extract_attributes, ExtractionConfig};
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
     println!("== Table 1: examined datasets ==\n");
-    println!("{:<12} {:>9} {:>6}   columns used for extraction", "Dataset", "n", "|E|");
+    println!(
+        "{:<12} {:>9} {:>6}   columns used for extraction",
+        "Dataset", "n", "|E|"
+    );
     for (dataset, frame) in &data.frames {
         let mut total_attrs = 0usize;
         for col in dataset.extraction_columns() {

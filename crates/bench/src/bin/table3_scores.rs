@@ -7,7 +7,10 @@
 
 use std::collections::HashMap;
 
-use bench::{ground_truth_for, judge_explanation, prepare_workload, run_all_methods, ExperimentData, Method, Scale};
+use bench::{
+    ground_truth_for, judge_explanation, prepare_workload, run_all_methods, ExperimentData, Method,
+    Scale,
+};
 use datagen::representative_queries;
 
 fn main() {
@@ -29,12 +32,16 @@ fn main() {
     }
 
     println!("== Table 3: average explanation scores (simulated judge, 1-5) ==\n");
-    println!("{:<14} {:>13} {:>18}", "Baseline", "Average Score", "Average Variance");
+    println!(
+        "{:<14} {:>13} {:>18}",
+        "Baseline", "Average Score", "Average Variance"
+    );
     let mut rows: Vec<(Method, f64, f64)> = scores
         .into_iter()
         .map(|(m, v)| {
             let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
-            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len().max(1) as f64;
+            let var =
+                v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len().max(1) as f64;
             (m, mean, var)
         })
         .collect();

@@ -12,15 +12,26 @@ fn main() {
     let data = ExperimentData::generate(Scale::from_env());
     let mesa = Mesa::new();
     let queries = representative_queries();
-    let so_q1 = queries.iter().find(|q| q.id == "SO Q1").expect("SO Q1 exists");
+    let so_q1 = queries
+        .iter()
+        .find(|q| q.id == "SO Q1")
+        .expect("SO Q1 exists");
 
     let prepared = prepare_workload(&data, so_q1).expect("prepare SO Q1");
     let report = mesa.explain_prepared(&prepared).expect("explain SO Q1");
     println!("== Table 4: top-5 unexplained groups for SO Q1 ==\n");
-    println!("explanation for the full data: {}\n", mesa::explanation_line(&report.explanation));
-    let config = SubgroupConfig { top_k: 5, tau: 0.2, ..Default::default() };
-    let groups =
-        mesa.unexplained_subgroups(&prepared, &report.explanation, &config).expect("subgroups");
+    println!(
+        "explanation for the full data: {}\n",
+        mesa::explanation_line(&report.explanation)
+    );
+    let config = SubgroupConfig {
+        top_k: 5,
+        tau: 0.2,
+        ..Default::default()
+    };
+    let groups = mesa
+        .unexplained_subgroups(&prepared, &report.explanation, &config)
+        .expect("subgroups");
     println!("{}", subgroup_table(&groups));
 
     // Average running time across all representative queries (the paper
@@ -41,5 +52,8 @@ fn main() {
         total += start.elapsed().as_secs_f64();
         count += 1;
     }
-    println!("average Algorithm 2 running time over {count} queries: {:.2}s", total / count.max(1) as f64);
+    println!(
+        "average Algorithm 2 running time over {count} queries: {:.2}s",
+        total / count.max(1) as f64
+    );
 }

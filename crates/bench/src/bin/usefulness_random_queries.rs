@@ -32,8 +32,7 @@ fn main() {
                 Ok(r) => r,
                 Err(_) => continue,
             };
-            let lowers = report.explanation.explainability
-                < report.explanation.baseline_cmi - 1e-6;
+            let lowers = report.explanation.explainability < report.explanation.baseline_cmi - 1e-6;
             let uses_kg = report
                 .explanation
                 .attributes

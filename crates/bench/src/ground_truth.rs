@@ -15,9 +15,17 @@ pub fn ground_truth_for(query_id: &str) -> GroundTruth {
         "SO Q2" => &["gdp", "density", "population"],
         // Delays are driven by origin weather + congestion (population) and
         // the airline's operational quality (fleet size / equity).
-        "Flights Q1" | "Flights Q2" | "Flights Q3" | "Flights Q4" => {
-            &["precipitation", "snow", "low f", "avg f", "percent sun", "population", "density", "fleet", "equity"]
-        }
+        "Flights Q1" | "Flights Q2" | "Flights Q3" | "Flights Q4" => &[
+            "precipitation",
+            "snow",
+            "low f",
+            "avg f",
+            "percent sun",
+            "population",
+            "density",
+            "fleet",
+            "equity",
+        ],
         "Flights Q5" => &["fleet", "equity", "revenue", "net income", "employees"],
         // Covid deaths are driven by health quality (HDI/GDP proxies) and density.
         "Covid Q1" | "Covid Q2" => &["hdi", "gdp", "gini", "confirmed", "density"],
@@ -41,7 +49,11 @@ mod tests {
     fn every_representative_query_has_ground_truth() {
         for q in representative_queries() {
             let truth = ground_truth_for(&q.id);
-            assert!(!truth.confounders.is_empty(), "no ground truth for {}", q.id);
+            assert!(
+                !truth.confounders.is_empty(),
+                "no ground truth for {}",
+                q.id
+            );
         }
     }
 

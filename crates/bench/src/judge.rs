@@ -27,7 +27,9 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Builds ground truth from substring patterns.
     pub fn new(patterns: &[&str]) -> Self {
-        GroundTruth { confounders: patterns.iter().map(|p| p.to_lowercase()).collect() }
+        GroundTruth {
+            confounders: patterns.iter().map(|p| p.to_lowercase()).collect(),
+        }
     }
 
     /// Whether an attribute name matches any ground-truth pattern.
@@ -56,7 +58,10 @@ pub fn judge_explanation(explanation: &Explanation, truth: &GroundTruth) -> Judg
         .confounders
         .iter()
         .filter(|p| {
-            explanation.attributes.iter().any(|a| a.to_lowercase().contains(p.as_str()))
+            explanation
+                .attributes
+                .iter()
+                .any(|a| a.to_lowercase().contains(p.as_str()))
         })
         .count();
     let coverage = if truth.confounders.is_empty() {
@@ -64,8 +69,11 @@ pub fn judge_explanation(explanation: &Explanation, truth: &GroundTruth) -> Judg
     } else {
         covered as f64 / truth.confounders.len() as f64
     };
-    let matching =
-        explanation.attributes.iter().filter(|a| truth.matches(a)).count();
+    let matching = explanation
+        .attributes
+        .iter()
+        .filter(|a| truth.matches(a))
+        .count();
     let precision = if explanation.attributes.is_empty() {
         0.0
     } else {
@@ -76,7 +84,12 @@ pub fn judge_explanation(explanation: &Explanation, truth: &GroundTruth) -> Judg
     // noise and actually remove the correlation.
     let quality = 0.4 * coverage + 0.3 * precision + 0.3 * explained_fraction;
     let score = 1.0 + 4.0 * quality;
-    JudgeScore { coverage, precision, explained_fraction, score }
+    JudgeScore {
+        coverage,
+        precision,
+        explained_fraction,
+        score,
+    }
 }
 
 #[cfg(test)]

@@ -109,15 +109,29 @@ pub fn run_method(
                 .filter(|c| !prepared.extracted.contains(c))
                 .cloned()
                 .collect();
-            hypdb(prepared, &table_only, HypDbConfig { k, ..Default::default() })?
+            hypdb(
+                prepared,
+                &table_only,
+                HypDbConfig {
+                    k,
+                    ..Default::default()
+                },
+            )?
         }
     };
-    Ok(MethodResult { method, explanation, elapsed: start.elapsed() })
+    Ok(MethodResult {
+        method,
+        explanation,
+        elapsed: start.elapsed(),
+    })
 }
 
 /// Runs every method on the prepared query.
 pub fn run_all_methods(prepared: &PreparedQuery, k: usize) -> mesa::Result<Vec<MethodResult>> {
-    Method::all().into_iter().map(|m| run_method(prepared, m, k)).collect()
+    Method::all()
+        .into_iter()
+        .map(|m| run_method(prepared, m, k))
+        .collect()
 }
 
 #[cfg(test)]
@@ -134,26 +148,37 @@ mod tests {
         let mesa = Mesa::new();
         let q = tabular::AggregateQuery::avg("Country", "Deaths_per_100_cases");
         let prepared = mesa
-            .prepare(covid, &q, Some(&data.graph), Dataset::Covid.extraction_columns())
+            .prepare(
+                covid,
+                &q,
+                Some(&data.graph),
+                Dataset::Covid.extraction_columns(),
+            )
             .unwrap();
         let results = run_all_methods(&prepared, 3).unwrap();
         assert_eq!(results.len(), 6);
         for r in &results {
-            assert!(r.explanation.explainability <= r.explanation.baseline_cmi + 1e-9, "{}", r.method);
+            assert!(
+                r.explanation.explainability <= r.explanation.baseline_cmi + 1e-9,
+                "{}",
+                r.method
+            );
         }
         // MESA must meaningfully reduce the correlation on this confounded query.
         let get = |m: Method| results.iter().find(|r| r.method == m).unwrap();
         let mesa_result = get(Method::Mesa);
         assert!(
-            mesa_result.explanation.explainability
-                < mesa_result.explanation.baseline_cmi * 0.9,
+            mesa_result.explanation.explainability < mesa_result.explanation.baseline_cmi * 0.9,
             "MESA did not reduce the correlation: {} -> {}",
             mesa_result.explanation.baseline_cmi,
             mesa_result.explanation.explainability
         );
         // HypDB never uses extracted attributes
         for a in &get(Method::HypDb).explanation.attributes {
-            assert!(!prepared.extracted.contains(a), "HypDB used extracted attribute {a}");
+            assert!(
+                !prepared.extracted.contains(a),
+                "HypDB used extracted attribute {a}"
+            );
         }
     }
 

@@ -53,7 +53,12 @@ pub struct ExperimentData {
 impl ExperimentData {
     /// Returns the frame for a dataset.
     pub fn frame(&self, dataset: Dataset) -> &DataFrame {
-        &self.frames.iter().find(|(d, _)| *d == dataset).expect("all datasets generated").1
+        &self
+            .frames
+            .iter()
+            .find(|(d, _)| *d == dataset)
+            .expect("all datasets generated")
+            .1
     }
 }
 
@@ -71,10 +76,18 @@ impl ExperimentData {
             .into_iter()
             .map(|d| {
                 let rows = scaled_rows(d, scale);
-                (d, d.generate(&world, rows, 1234).expect("generation succeeds"))
+                (
+                    d,
+                    d.generate(&world, rows, 1234).expect("generation succeeds"),
+                )
             })
             .collect();
-        ExperimentData { world, graph, frames, scale }
+        ExperimentData {
+            world,
+            graph,
+            frames,
+            scale,
+        }
     }
 }
 
@@ -102,7 +115,10 @@ mod tests {
         let data = ExperimentData::generate(Scale::Quick);
         assert_eq!(data.frames.len(), 4);
         assert_eq!(data.frame(Dataset::StackOverflow).n_rows(), 8_000);
-        assert_eq!(data.frame(Dataset::Covid).n_rows(), data.world.countries.len());
+        assert_eq!(
+            data.frame(Dataset::Covid).n_rows(),
+            data.world.countries.len()
+        );
         assert!(data.graph.n_triples() > 1000);
         assert_eq!(data.scale, Scale::Quick);
     }
@@ -111,7 +127,10 @@ mod tests {
     fn scaled_rows_respects_dataset_and_scale() {
         assert_eq!(scaled_rows(Dataset::Covid, Scale::Paper), 188);
         assert_eq!(scaled_rows(Dataset::Forbes, Scale::Quick), 1_647);
-        assert!(scaled_rows(Dataset::Flights, Scale::Paper) > scaled_rows(Dataset::Flights, Scale::Quick));
+        assert!(
+            scaled_rows(Dataset::Flights, Scale::Paper)
+                > scaled_rows(Dataset::Flights, Scale::Quick)
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ const EDUCATION: &[&str] = &["Bachelor", "Master", "PhD", "Self-taught", "Bootca
 pub fn generate_so(world: &World, n_rows: usize, seed: u64) -> Result<DataFrame> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Developers are concentrated in more successful countries.
-    let weights: Vec<f64> = world.countries.iter().map(|c| 0.2 + c.success * c.population.sqrt()).collect();
+    let weights: Vec<f64> = world
+        .countries
+        .iter()
+        .map(|c| 0.2 + c.success * c.population.sqrt())
+        .collect();
 
     let mut country = Vec::with_capacity(n_rows);
     let mut continent = Vec::with_capacity(n_rows);
@@ -86,7 +90,9 @@ pub fn generate_so(world: &World, n_rows: usize, seed: u64) -> Result<DataFrame>
         dev_type.push(Some(dt.to_string()));
         education.push(Some(choose(&mut rng, EDUCATION).to_string()));
         years_code.push(Some(years as i64));
-        hobby.push(Some(if rng.gen_bool(0.6) { "Yes" } else { "No" }.to_string()));
+        hobby.push(Some(
+            if rng.gen_bool(0.6) { "Yes" } else { "No" }.to_string(),
+        ));
         salary.push(Some((s * 1000.0).round()));
     }
 
@@ -122,7 +128,8 @@ pub fn generate_covid(world: &World, seed: u64) -> Result<DataFrame> {
         // Confirmed cases scale with population and (testing capacity ~) success.
         let conf = (c.population * 1000.0 * (0.5 + c.success) * rng.gen_range(0.5..1.5)).round();
         // Death rate: worse health systems and denser countries fare worse.
-        let d = (11.5 - 9.0 * c.health_quality + 0.004 * c.density.min(1500.0)
+        let d = (11.5 - 9.0 * c.health_quality
+            + 0.004 * c.density.min(1500.0)
             + normal(&mut rng, 0.0, 0.7))
         .clamp(0.3, 16.0);
         let r = (92.0 - d * 2.0 + normal(&mut rng, 0.0, 3.0)).clamp(30.0, 99.0);
@@ -188,7 +195,9 @@ pub fn generate_flights(world: &World, n_rows: usize, seed: u64) -> Result<DataF
         day.push(Some(rng.gen_range(1..366)));
         distance.push(Some(dist));
         dep_delay.push(Some((delay * 10.0).round() / 10.0));
-        arr_delay.push(Some(((delay + normal(&mut rng, 0.0, 4.0)) * 10.0).round() / 10.0));
+        arr_delay.push(Some(
+            ((delay + normal(&mut rng, 0.0, 4.0)) * 10.0).round() / 10.0,
+        ));
         sec_delay.push(Some((security * 10.0).round() / 10.0));
         cancelled.push(Some(rng.gen_bool(0.015 + 0.02 * o.bad_weather)));
     }
@@ -221,9 +230,7 @@ pub fn generate_forbes(world: &World, n_rows: usize, seed: u64) -> Result<DataFr
     for i in 0..n_rows {
         let c = &world.celebrities[i % world.celebrities.len()];
         let base = match c.category.as_str() {
-            "Actors" => {
-                8.0 + 0.045 * c.net_worth + if c.gender == "Male" { 14.0 } else { 0.0 }
-            }
+            "Actors" => 8.0 + 0.045 * c.net_worth + if c.gender == "Male" { 14.0 } else { 0.0 },
             "Athletes" => 10.0 + 5.5 * c.cups - 0.35 * c.draft_pick + 0.02 * c.net_worth,
             "Directors/Producers" => 6.0 + 2.4 * c.awards + 0.04 * c.net_worth,
             _ => 5.0 + 1.2 * c.awards + 0.055 * c.net_worth,
@@ -258,7 +265,12 @@ pub enum Dataset {
 impl Dataset {
     /// All four datasets.
     pub fn all() -> [Dataset; 4] {
-        [Dataset::StackOverflow, Dataset::Covid, Dataset::Flights, Dataset::Forbes]
+        [
+            Dataset::StackOverflow,
+            Dataset::Covid,
+            Dataset::Flights,
+            Dataset::Forbes,
+        ]
     }
 
     /// Display name used in reports (matches Table 1).
@@ -306,7 +318,11 @@ impl Dataset {
     pub fn outcome_columns(self) -> &'static [&'static str] {
         match self {
             Dataset::StackOverflow => &["Salary"],
-            Dataset::Covid => &["Deaths_per_100_cases", "New_cases", "Recovered_per_100_cases"],
+            Dataset::Covid => &[
+                "Deaths_per_100_cases",
+                "New_cases",
+                "Recovered_per_100_cases",
+            ],
             Dataset::Flights => &["Departure_delay", "Arrival_delay"],
             Dataset::Forbes => &["Pay"],
         }
@@ -336,7 +352,12 @@ mod tests {
     }
 
     fn col_f64(df: &DataFrame, name: &str) -> Vec<f64> {
-        df.column(name).unwrap().to_f64().into_iter().map(|v| v.unwrap()).collect()
+        df.column(name)
+            .unwrap()
+            .to_f64()
+            .into_iter()
+            .map(|v| v.unwrap())
+            .collect()
     }
 
     #[test]
@@ -395,7 +416,13 @@ mod tests {
             let name = per_city.get(i, "Origin_city").unwrap().render();
             if let Some(c) = w.cities.iter().find(|c| c.name == name) {
                 weather.push(c.bad_weather);
-                delay.push(per_city.get(i, "avg(Departure_delay)").unwrap().as_f64().unwrap());
+                delay.push(
+                    per_city
+                        .get(i, "avg(Departure_delay)")
+                        .unwrap()
+                        .as_f64()
+                        .unwrap(),
+                );
             }
         }
         assert!(pearson(&weather, &delay).unwrap() > 0.5);
@@ -407,7 +434,9 @@ mod tests {
         let df = generate_forbes(&w, 500, 5).unwrap();
         assert_eq!(df.n_rows(), 500);
         // actors: males earn more on average (the paper's gender-gap finding)
-        let actors = tabular::Predicate::eq("Category", "Actors").apply(&df).unwrap();
+        let actors = tabular::Predicate::eq("Category", "Actors")
+            .apply(&df)
+            .unwrap();
         if actors.n_rows() > 20 {
             let male_names: Vec<String> = w
                 .celebrities

@@ -39,7 +39,12 @@ pub struct KgConfig {
 
 impl Default for KgConfig {
     fn default() -> Self {
-        KgConfig { random_missing: 0.12, biased_missing: 0.25, n_noise_properties: 6, seed: 7 }
+        KgConfig {
+            random_missing: 0.12,
+            biased_missing: 0.25,
+            n_noise_properties: 6,
+            seed: 7,
+        }
     }
 }
 
@@ -53,8 +58,18 @@ impl<'a> FactWriter<'a> {
     /// Adds a fact subject to random and (optionally) biased dropout.
     /// `bias_score` in [0,1] controls value-dependent dropout: higher scores
     /// are more likely to be dropped when the property is in the biased list.
-    fn add(&mut self, subject: &str, predicate: &str, object: Object, biased: bool, bias_score: f64) {
-        if self.rng.gen_bool(self.config.random_missing.clamp(0.0, 1.0)) {
+    fn add(
+        &mut self,
+        subject: &str,
+        predicate: &str,
+        object: Object,
+        biased: bool,
+        bias_score: f64,
+    ) {
+        if self
+            .rng
+            .gen_bool(self.config.random_missing.clamp(0.0, 1.0))
+        {
             return;
         }
         if biased {
@@ -75,7 +90,11 @@ impl<'a> FactWriter<'a> {
 pub fn build_kg(world: &World, config: KgConfig) -> KnowledgeGraph {
     let mut graph = KnowledgeGraph::new();
     let rng = StdRng::seed_from_u64(config.seed);
-    let mut w = FactWriter { graph: &mut graph, rng, config };
+    let mut w = FactWriter {
+        graph: &mut graph,
+        rng,
+        config,
+    };
 
     add_countries(&mut w, world);
     add_cities(&mut w, world);
@@ -95,7 +114,12 @@ fn add_countries(w: &mut FactWriter<'_>, world: &World) {
     // genuinely redundant with "HDI".
     let rank_of = |values: Vec<(usize, f64)>| -> Vec<i64> {
         let mut order: Vec<usize> = (0..values.len()).collect();
-        order.sort_by(|&a, &b| values[b].1.partial_cmp(&values[a].1).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            values[b]
+                .1
+                .partial_cmp(&values[a].1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut ranks = vec![0i64; values.len()];
         for (rank, idx) in order.into_iter().enumerate() {
             ranks[values[idx].0] = rank as i64 + 1;
@@ -103,7 +127,14 @@ fn add_countries(w: &mut FactWriter<'_>, world: &World) {
         ranks
     };
     let hdi_rank = rank_of(world.countries.iter().map(|c| c.hdi).enumerate().collect());
-    let gdp_rank = rank_of(world.countries.iter().map(|c| c.gdp_total).enumerate().collect());
+    let gdp_rank = rank_of(
+        world
+            .countries
+            .iter()
+            .map(|c| c.gdp_total)
+            .enumerate()
+            .collect(),
+    );
     let gini_rank = rank_of(world.countries.iter().map(|c| c.gini).enumerate().collect());
     let area_rank = rank_of(world.countries.iter().map(|c| c.area).enumerate().collect());
 
@@ -113,20 +144,74 @@ fn add_countries(w: &mut FactWriter<'_>, world: &World) {
         w.add(name, "HDI", Object::number(round3(c.hdi)), true, hdi_bias);
         w.add(name, "HDI rank", Object::integer(hdi_rank[i]), false, 0.0);
         w.add(name, "GDP", Object::number(round3(c.gdp_total)), false, 0.0);
-        w.add(name, "GDP nominal per capita", Object::number(round3(c.gdp_per_capita)), false, 0.0);
+        w.add(
+            name,
+            "GDP nominal per capita",
+            Object::number(round3(c.gdp_per_capita)),
+            false,
+            0.0,
+        );
         w.add(name, "GDP rank", Object::integer(gdp_rank[i]), false, 0.0);
         let gini_bias = (c.gini - 22.0) / 43.0;
-        w.add(name, "Gini", Object::number(round3(c.gini)), true, gini_bias);
+        w.add(
+            name,
+            "Gini",
+            Object::number(round3(c.gini)),
+            true,
+            gini_bias,
+        );
         w.add(name, "Gini rank", Object::integer(gini_rank[i]), false, 0.0);
-        w.add(name, "Density", Object::number(round3(c.density)), false, 0.0);
-        w.add(name, "Population census", Object::number(round3(c.population)), false, 0.0);
-        w.add(name, "Population estimate", Object::number(round3(c.population * 1.02)), false, 0.0);
+        w.add(
+            name,
+            "Density",
+            Object::number(round3(c.density)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Population census",
+            Object::number(round3(c.population)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Population estimate",
+            Object::number(round3(c.population * 1.02)),
+            false,
+            0.0,
+        );
         w.add(name, "Area km", Object::number(round3(c.area)), false, 0.0);
         w.add(name, "Area rank", Object::integer(area_rank[i]), false, 0.0);
-        w.add(name, "Currency", Object::text(c.currency.clone()), false, 0.0);
-        w.add(name, "Language", Object::text(c.language.clone()), false, 0.0);
-        w.add(name, "Established date", Object::integer(c.established), false, 0.0);
-        w.add(name, "Time zone", Object::text(format!("UTC{:+}", (i as i64 % 25) - 12)), false, 0.0);
+        w.add(
+            name,
+            "Currency",
+            Object::text(c.currency.clone()),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Language",
+            Object::text(c.language.clone()),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Established date",
+            Object::integer(c.established),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Time zone",
+            Object::text(format!("UTC{:+}", (i as i64 % 25) - 12)),
+            false,
+            0.0,
+        );
         // Attributes MESA must prune:
         w.add_always(name, "wikiID", Object::integer(1_000_000 + i as i64));
         w.add_always(name, "type", Object::text("Country"));
@@ -140,7 +225,11 @@ fn add_countries(w: &mut FactWriter<'_>, world: &World) {
         w.add(name, "leader", Object::entity(leader.clone()), false, 0.0);
         let leader_age = 45 + (i as i64 % 30);
         w.add_always(&leader, "age", Object::integer(leader_age));
-        w.add_always(&leader, "gender", Object::text(if i % 4 == 0 { "Female" } else { "Male" }));
+        w.add_always(
+            &leader,
+            "gender",
+            Object::text(if i % 4 == 0 { "Female" } else { "Male" }),
+        );
         // Dataset-name alias where the spelling differs.
         if c.dataset_name != c.name {
             w.graph.add_alias(c.dataset_name.clone(), c.name.clone());
@@ -153,8 +242,14 @@ fn add_countries(w: &mut FactWriter<'_>, world: &World) {
     let mut groups: std::collections::BTreeMap<(&str, &str), Vec<&crate::world::Country>> =
         Default::default();
     for c in &world.countries {
-        groups.entry(("continent", c.continent.as_str())).or_default().push(c);
-        groups.entry(("who", c.who_region.as_str())).or_default().push(c);
+        groups
+            .entry(("continent", c.continent.as_str()))
+            .or_default()
+            .push(c);
+        groups
+            .entry(("who", c.who_region.as_str()))
+            .or_default()
+            .push(c);
     }
     for (i, ((kind, name), members)) in groups.into_iter().enumerate() {
         // WHO regions share names with continents (e.g. "Europe"); a single
@@ -165,13 +260,49 @@ fn add_countries(w: &mut FactWriter<'_>, world: &World) {
         let n = members.len() as f64;
         let sum = |f: fn(&crate::world::Country) -> f64| members.iter().map(|c| f(c)).sum::<f64>();
         let avg = |f: fn(&crate::world::Country) -> f64| sum(f) / n;
-        w.add(name, "GDP", Object::number(round3(sum(|c| c.gdp_total))), false, 0.0);
-        w.add(name, "GDP rank", Object::integer(((1.0 / avg(|c| c.gdp_per_capita)) * 100.0) as i64), false, 0.0);
-        w.add(name, "Density", Object::number(round3(avg(|c| c.density))), false, 0.0);
+        w.add(
+            name,
+            "GDP",
+            Object::number(round3(sum(|c| c.gdp_total))),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "GDP rank",
+            Object::integer(((1.0 / avg(|c| c.gdp_per_capita)) * 100.0) as i64),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Density",
+            Object::number(round3(avg(|c| c.density))),
+            false,
+            0.0,
+        );
         w.add(name, "Area rank", Object::integer(i as i64 + 1), false, 0.0);
-        w.add(name, "Area km", Object::number(round3(sum(|c| c.area))), false, 0.0);
-        w.add(name, "Population census", Object::number(round3(sum(|c| c.population))), false, 0.0);
-        w.add(name, "HDI", Object::number(round3(avg(|c| c.hdi))), false, 0.0);
+        w.add(
+            name,
+            "Area km",
+            Object::number(round3(sum(|c| c.area))),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Population census",
+            Object::number(round3(sum(|c| c.population))),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "HDI",
+            Object::number(round3(avg(|c| c.hdi))),
+            false,
+            0.0,
+        );
         w.add_always(name, "type", Object::text("Region"));
         w.add_always(name, "wikiID", Object::integer(6_000_000 + i as i64));
     }
@@ -185,20 +316,98 @@ fn add_cities(w: &mut FactWriter<'_>, world: &World) {
     let n_noise = w.config.n_noise_properties;
     for (i, city) in world.cities.iter().enumerate() {
         let name = city.name.as_str();
-        w.add(name, "Population total", Object::number(round3(city.population)), false, 0.0);
-        w.add(name, "Population urban", Object::number(round3(city.population_urban)), false, 0.0);
-        w.add(name, "Population metropolitan", Object::number(round3(city.population_metro)), false, 0.0);
-        w.add(name, "Population ranking", Object::integer(city.population_rank), false, 0.0);
-        w.add(name, "Population estimation", Object::number(round3(city.population * 1.01)), false, 0.0);
-        w.add(name, "Density", Object::number(round3(city.density)), false, 0.0);
+        w.add(
+            name,
+            "Population total",
+            Object::number(round3(city.population)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Population urban",
+            Object::number(round3(city.population_urban)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Population metropolitan",
+            Object::number(round3(city.population_metro)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Population ranking",
+            Object::integer(city.population_rank),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Population estimation",
+            Object::number(round3(city.population * 1.01)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Density",
+            Object::number(round3(city.density)),
+            false,
+            0.0,
+        );
         let income_bias = (city.median_income - 38.0) / 45.0;
-        w.add(name, "Median household income", Object::number(round3(city.median_income)), true, income_bias);
-        w.add(name, "Precipitation days", Object::number(round3(city.precipitation_days)), false, 0.0);
-        w.add(name, "Year snow", Object::number(round3(city.year_snow)), false, 0.0);
-        w.add(name, "Year low F", Object::number(round3(city.year_low_f)), false, 0.0);
-        w.add(name, "Year avg F", Object::number(round3(city.year_avg_f)), false, 0.0);
-        w.add(name, "December low F", Object::number(round3(city.december_low_f)), false, 0.0);
-        w.add(name, "December percent sun", Object::number(round3(city.percent_sun)), false, 0.0);
+        w.add(
+            name,
+            "Median household income",
+            Object::number(round3(city.median_income)),
+            true,
+            income_bias,
+        );
+        w.add(
+            name,
+            "Precipitation days",
+            Object::number(round3(city.precipitation_days)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Year snow",
+            Object::number(round3(city.year_snow)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Year low F",
+            Object::number(round3(city.year_low_f)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Year avg F",
+            Object::number(round3(city.year_avg_f)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "December low F",
+            Object::number(round3(city.december_low_f)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "December percent sun",
+            Object::number(round3(city.percent_sun)),
+            false,
+            0.0,
+        );
         w.add_always(name, "wikiID", Object::integer(2_000_000 + i as i64));
         w.add_always(name, "type", Object::text("City"));
         w.add(name, "State", Object::text(city.state.clone()), false, 0.0);
@@ -215,14 +424,62 @@ fn add_cities(w: &mut FactWriter<'_>, world: &World) {
     for (i, (state, cities)) in states.into_iter().enumerate() {
         let n = cities.len() as f64;
         let avg = |f: fn(&crate::world::City) -> f64| cities.iter().map(|c| f(c)).sum::<f64>() / n;
-        w.add(state, "Population estimation", Object::number(round3(avg(|c| c.population) * n)), false, 0.0);
-        w.add(state, "Population urban", Object::number(round3(avg(|c| c.population_urban) * n)), false, 0.0);
-        w.add(state, "Population rank", Object::integer(i as i64 + 1), false, 0.0);
-        w.add(state, "Density", Object::number(round3(avg(|c| c.density))), false, 0.0);
-        w.add(state, "Year snow", Object::number(round3(avg(|c| c.year_snow))), false, 0.0);
-        w.add(state, "Year low F", Object::number(round3(avg(|c| c.year_low_f))), false, 0.0);
-        w.add(state, "Record low F", Object::number(round3(avg(|c| c.year_low_f) - 20.0)), false, 0.0);
-        w.add(state, "Median household income", Object::number(round3(avg(|c| c.median_income))), false, 0.0);
+        w.add(
+            state,
+            "Population estimation",
+            Object::number(round3(avg(|c| c.population) * n)),
+            false,
+            0.0,
+        );
+        w.add(
+            state,
+            "Population urban",
+            Object::number(round3(avg(|c| c.population_urban) * n)),
+            false,
+            0.0,
+        );
+        w.add(
+            state,
+            "Population rank",
+            Object::integer(i as i64 + 1),
+            false,
+            0.0,
+        );
+        w.add(
+            state,
+            "Density",
+            Object::number(round3(avg(|c| c.density))),
+            false,
+            0.0,
+        );
+        w.add(
+            state,
+            "Year snow",
+            Object::number(round3(avg(|c| c.year_snow))),
+            false,
+            0.0,
+        );
+        w.add(
+            state,
+            "Year low F",
+            Object::number(round3(avg(|c| c.year_low_f))),
+            false,
+            0.0,
+        );
+        w.add(
+            state,
+            "Record low F",
+            Object::number(round3(avg(|c| c.year_low_f) - 20.0)),
+            false,
+            0.0,
+        );
+        w.add(
+            state,
+            "Median household income",
+            Object::number(round3(avg(|c| c.median_income))),
+            false,
+            0.0,
+        );
         w.add_always(state, "type", Object::text("State"));
         w.add_always(state, "wikiID", Object::integer(3_000_000 + i as i64));
     }
@@ -231,11 +488,35 @@ fn add_cities(w: &mut FactWriter<'_>, world: &World) {
 fn add_airlines(w: &mut FactWriter<'_>, world: &World) {
     for (i, a) in world.airlines.iter().enumerate() {
         let name = a.name.as_str();
-        w.add(name, "Fleet size", Object::number(round3(a.fleet_size)), false, 0.0);
+        w.add(
+            name,
+            "Fleet size",
+            Object::number(round3(a.fleet_size)),
+            false,
+            0.0,
+        );
         w.add(name, "Equity", Object::number(round3(a.equity)), false, 0.0);
-        w.add(name, "Revenue", Object::number(round3(a.revenue)), false, 0.0);
-        w.add(name, "Net income", Object::number(round3(a.net_income)), false, 0.0);
-        w.add(name, "Num of employees", Object::number(round3(a.employees)), false, 0.0);
+        w.add(
+            name,
+            "Revenue",
+            Object::number(round3(a.revenue)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Net income",
+            Object::number(round3(a.net_income)),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Num of employees",
+            Object::number(round3(a.employees)),
+            false,
+            0.0,
+        );
         w.add_always(name, "wikiID", Object::integer(4_000_000 + i as i64));
         w.add_always(name, "type", Object::text("Airline"));
     }
@@ -246,24 +527,66 @@ fn add_celebrities(w: &mut FactWriter<'_>, world: &World) {
     for (i, c) in world.celebrities.iter().enumerate() {
         let name = c.name.as_str();
         let worth_bias = (c.net_worth / 950.0).clamp(0.0, 1.0);
-        w.add(name, "Net worth", Object::number(round3(c.net_worth)), true, worth_bias);
+        w.add(
+            name,
+            "Net worth",
+            Object::number(round3(c.net_worth)),
+            true,
+            worth_bias,
+        );
         w.add(name, "Gender", Object::text(c.gender.clone()), false, 0.0);
         w.add(name, "Age", Object::number(round3(c.age)), false, 0.0);
-        w.add(name, "ActiveSince", Object::integer(c.active_since), false, 0.0);
-        w.add(name, "Years active", Object::integer(2022 - c.active_since), false, 0.0);
-        w.add(name, "Citizenship", Object::entity(c.citizenship.clone()), false, 0.0);
+        w.add(
+            name,
+            "ActiveSince",
+            Object::integer(c.active_since),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Years active",
+            Object::integer(2022 - c.active_since),
+            false,
+            0.0,
+        );
+        w.add(
+            name,
+            "Citizenship",
+            Object::entity(c.citizenship.clone()),
+            false,
+            0.0,
+        );
         // Category-specific properties: absent for other categories, which is
         // why Forbes has the highest missing-value rate in Table 1 / Sec 5.2.
         match c.category.as_str() {
             "Athletes" => {
                 w.add(name, "Cups", Object::number(c.cups), false, 0.0);
-                w.add(name, "National cups", Object::number((c.cups * 1.5).floor()), false, 0.0);
-                w.add(name, "Total cups", Object::number((c.cups * 2.2).floor()), false, 0.0);
+                w.add(
+                    name,
+                    "National cups",
+                    Object::number((c.cups * 1.5).floor()),
+                    false,
+                    0.0,
+                );
+                w.add(
+                    name,
+                    "Total cups",
+                    Object::number((c.cups * 2.2).floor()),
+                    false,
+                    0.0,
+                );
                 w.add(name, "Draft pick", Object::number(c.draft_pick), false, 0.0);
             }
             "Actors" | "Directors/Producers" => {
                 w.add(name, "Awards", Object::number(c.awards), false, 0.0);
-                w.add(name, "Honors", Object::number((c.awards / 2.0).floor()), false, 0.0);
+                w.add(
+                    name,
+                    "Honors",
+                    Object::number((c.awards / 2.0).floor()),
+                    false,
+                    0.0,
+                );
             }
             _ => {
                 w.add(name, "Awards", Object::number(c.awards), false, 0.0);
@@ -331,13 +654,20 @@ mod tests {
         let res = extract_attributes(&g, &values, "Country", ExtractionConfig::default()).unwrap();
         let hdi = res.table.column("HDI").unwrap();
         assert!(hdi.null_count() > 0, "some HDI values should be missing");
-        assert!(hdi.null_count() < hdi.len(), "not all HDI values should be missing");
+        assert!(
+            hdi.null_count() < hdi.len(),
+            "not all HDI values should be missing"
+        );
     }
 
     #[test]
     fn zero_missing_config_keeps_everything() {
         let w = small_world();
-        let cfg = KgConfig { random_missing: 0.0, biased_missing: 0.0, ..Default::default() };
+        let cfg = KgConfig {
+            random_missing: 0.0,
+            biased_missing: 0.0,
+            ..Default::default()
+        };
         let g = build_kg(&w, cfg);
         let values: Vec<String> = w.countries.iter().map(|c| c.name.clone()).collect();
         let res = extract_attributes(&g, &values, "Country", ExtractionConfig::default()).unwrap();
@@ -347,8 +677,16 @@ mod tests {
 
     #[test]
     fn biased_missingness_targets_high_values() {
-        let w = World::generate(WorldConfig { n_countries: 150, ..Default::default() });
-        let cfg = KgConfig { random_missing: 0.0, biased_missing: 0.8, seed: 11, ..Default::default() };
+        let w = World::generate(WorldConfig {
+            n_countries: 150,
+            ..Default::default()
+        });
+        let cfg = KgConfig {
+            random_missing: 0.0,
+            biased_missing: 0.8,
+            seed: 11,
+            ..Default::default()
+        };
         let g = build_kg(&w, cfg);
         let values: Vec<String> = w.countries.iter().map(|c| c.name.clone()).collect();
         let res = extract_attributes(&g, &values, "Country", ExtractionConfig::default()).unwrap();
@@ -365,7 +703,10 @@ mod tests {
         }
         assert!(!missing_true.is_empty() && !present_true.is_empty());
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(avg(&missing_true) > avg(&present_true), "dropout should be biased towards high HDI");
+        assert!(
+            avg(&missing_true) > avg(&present_true),
+            "dropout should be biased towards high HDI"
+        );
     }
 
     #[test]
@@ -378,13 +719,20 @@ mod tests {
     #[test]
     fn leader_links_enable_two_hops() {
         let w = small_world();
-        let cfg = KgConfig { random_missing: 0.0, biased_missing: 0.0, ..Default::default() };
+        let cfg = KgConfig {
+            random_missing: 0.0,
+            biased_missing: 0.0,
+            ..Default::default()
+        };
         let g = build_kg(&w, cfg);
         let res = extract_attributes(
             &g,
             &["Germany".to_string()],
             "Country",
-            ExtractionConfig { hops: 2, ..Default::default() },
+            ExtractionConfig {
+                hops: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(res.table.has_column("leader.age"));

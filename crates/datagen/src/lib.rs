@@ -36,5 +36,7 @@ pub use datasets::{
     FLIGHTS_DEFAULT_ROWS, FORBES_DEFAULT_ROWS, SO_DEFAULT_ROWS,
 };
 pub use kg_builder::{build_kg, KgConfig};
-pub use queries::{random_queries, representative_queries, representative_queries_for, WorkloadQuery};
+pub use queries::{
+    random_queries, representative_queries, representative_queries_for, WorkloadQuery,
+};
 pub use world::{Country, World, WorldConfig};

@@ -134,7 +134,10 @@ pub fn representative_queries() -> Vec<WorkloadQuery> {
 
 /// The representative queries restricted to one dataset.
 pub fn representative_queries_for(dataset: Dataset) -> Vec<WorkloadQuery> {
-    representative_queries().into_iter().filter(|q| q.dataset == dataset).collect()
+    representative_queries()
+        .into_iter()
+        .filter(|q| q.dataset == dataset)
+        .collect()
 }
 
 /// Generates `n` random aggregate queries over a dataset, following §5.1:
@@ -151,8 +154,7 @@ pub fn random_queries(
     let mut out = Vec::with_capacity(n);
     let exposures = dataset.extraction_columns();
     let outcomes = dataset.outcome_columns();
-    let all_columns: Vec<String> =
-        df.column_names().iter().map(|s| s.to_string()).collect();
+    let all_columns: Vec<String> = df.column_names().iter().map(|s| s.to_string()).collect();
     let min_rows = (df.n_rows() as f64 * 0.1).ceil() as usize;
 
     let mut attempts = 0;

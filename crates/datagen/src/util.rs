@@ -44,7 +44,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let samples: Vec<f64> = (0..20000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

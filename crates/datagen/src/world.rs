@@ -88,8 +88,14 @@ pub const SEED_COUNTRIES: &[(&str, &str)] = &[
 ];
 
 /// WHO regions, used by the Covid dataset.
-pub const WHO_REGIONS: &[&str] =
-    &["Europe", "Americas", "South-East Asia", "Eastern Mediterranean", "Africa", "Western Pacific"];
+pub const WHO_REGIONS: &[&str] = &[
+    "Europe",
+    "Americas",
+    "South-East Asia",
+    "Eastern Mediterranean",
+    "Africa",
+    "Western Pacific",
+];
 
 /// A country with its latent "success" factor and derived attributes.
 #[derive(Debug, Clone)]
@@ -239,7 +245,13 @@ pub struct WorldConfig {
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        WorldConfig { n_countries: 188, n_cities: 120, n_airlines: 14, n_celebrities: 400, seed: 42 }
+        WorldConfig {
+            n_countries: 188,
+            n_cities: 120,
+            n_airlines: 14,
+            n_celebrities: 400,
+            seed: 42,
+        }
     }
 }
 
@@ -263,8 +275,17 @@ const US_STATES: &[&str] = &[
     "CA", "TX", "NY", "FL", "IL", "WA", "MA", "CO", "GA", "AZ", "NV", "OR", "MN", "NC", "PA", "OH",
 ];
 
-const LANGUAGES: &[&str] =
-    &["English", "Spanish", "French", "German", "Mandarin", "Arabic", "Portuguese", "Hindi", "Local"];
+const LANGUAGES: &[&str] = &[
+    "English",
+    "Spanish",
+    "French",
+    "German",
+    "Mandarin",
+    "Arabic",
+    "Portuguese",
+    "Hindi",
+    "Local",
+];
 
 fn who_region_for(continent: &str, rng: &mut StdRng) -> String {
     match continent {
@@ -273,7 +294,11 @@ fn who_region_for(continent: &str, rng: &mut StdRng) -> String {
         "Africa" => "Africa".to_string(),
         "Oceania" => "Western Pacific".to_string(),
         "Asia" => {
-            let opts = ["South-East Asia", "Eastern Mediterranean", "Western Pacific"];
+            let opts = [
+                "South-East Asia",
+                "Eastern Mediterranean",
+                "Western Pacific",
+            ];
             opts[rng.gen_range(0..opts.len())].to_string()
         }
         _ => "Americas".to_string(),
@@ -288,18 +313,33 @@ impl World {
         let cities = Self::gen_cities(&mut rng, config.n_cities);
         let airlines = Self::gen_airlines(&mut rng, config.n_airlines);
         let celebrities = Self::gen_celebrities(&mut rng, config.n_celebrities, &countries);
-        World { countries, cities, airlines, celebrities, config }
+        World {
+            countries,
+            cities,
+            airlines,
+            celebrities,
+            config,
+        }
     }
 
     fn gen_countries(rng: &mut StdRng, n: usize) -> Vec<Country> {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            let (name, continent) = if i < SEED_COUNTRIES.len() {
-                let (n, c) = SEED_COUNTRIES[i];
+            let (name, continent) = if let Some(&(n, c)) = SEED_COUNTRIES.get(i) {
                 (n.to_string(), c.to_string())
             } else {
-                let continents = ["Europe", "Asia", "Africa", "North America", "South America", "Oceania"];
-                (format!("Country {i:03}"), continents[rng.gen_range(0..continents.len())].to_string())
+                let continents = [
+                    "Europe",
+                    "Asia",
+                    "Africa",
+                    "North America",
+                    "South America",
+                    "Oceania",
+                ];
+                (
+                    format!("Country {i:03}"),
+                    continents[rng.gen_range(0..continents.len())].to_string(),
+                )
             };
             // Latent success: continent-dependent prior plus noise, so that
             // refining by continent changes which attributes explain (the
@@ -316,7 +356,8 @@ impl World {
             let success = (base + rng.gen_range(-0.13..0.13)).clamp(0.05, 0.98);
             let hdi = (0.35 + 0.62 * success + rng.gen_range(-0.02..0.02)).clamp(0.3, 0.99);
             let population = (2.0 + rng.gen::<f64>().powi(3) * 1300.0).max(0.3);
-            let gdp_per_capita = (2.0 + 75.0 * success.powf(1.5) + rng.gen_range(-2.0..2.0)).max(0.8);
+            let gdp_per_capita =
+                (2.0 + 75.0 * success.powf(1.5) + rng.gen_range(-2.0..2.0)).max(0.8);
             let gdp_total = gdp_per_capita * population / 1000.0 * 1000.0; // billions
             let gini = (55.0 - 28.0 * success + rng.gen_range(-3.0..3.0)).clamp(22.0, 65.0);
             let area = (10.0 + rng.gen::<f64>().powi(2) * 9000.0).max(1.0);
@@ -389,7 +430,10 @@ impl World {
         // Population ranks.
         let mut order: Vec<usize> = (0..cities.len()).collect();
         order.sort_by(|&a, &b| {
-            cities[b].population.partial_cmp(&cities[a].population).unwrap_or(std::cmp::Ordering::Equal)
+            cities[b]
+                .population
+                .partial_cmp(&cities[a].population)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for (rank, idx) in order.into_iter().enumerate() {
             cities[idx].population_rank = rank as i64 + 1;
@@ -418,7 +462,8 @@ impl World {
     fn gen_celebrities(rng: &mut StdRng, n: usize, countries: &[Country]) -> Vec<Celebrity> {
         (0..n)
             .map(|i| {
-                let category = CELEB_CATEGORIES[rng.gen_range(0..CELEB_CATEGORIES.len())].to_string();
+                let category =
+                    CELEB_CATEGORIES[rng.gen_range(0..CELEB_CATEGORIES.len())].to_string();
                 let gender = if rng.gen_bool(0.62) { "Male" } else { "Female" }.to_string();
                 let experience = rng.gen::<f64>();
                 let age = match category.as_str() {
@@ -426,7 +471,8 @@ impl World {
                     _ => 25.0 + 50.0 * experience,
                 } + rng.gen_range(-3.0..3.0);
                 let active_since = (2022.0 - (age - 18.0).max(1.0)) as i64;
-                let net_worth = (5.0 + 900.0 * experience.powi(2) + rng.gen_range(0.0..40.0)).max(1.0);
+                let net_worth =
+                    (5.0 + 900.0 * experience.powi(2) + rng.gen_range(0.0..40.0)).max(1.0);
                 let awards = (experience * 10.0 + rng.gen_range(0.0..2.0)).floor();
                 let cups = if category == "Athletes" {
                     (experience * 8.0 + rng.gen_range(0.0..2.0)).floor()
@@ -438,7 +484,9 @@ impl World {
                 } else {
                     0.0
                 };
-                let citizenship = countries[rng.gen_range(0..countries.len().min(40))].name.clone();
+                let citizenship = countries[rng.gen_range(0..countries.len().min(40))]
+                    .name
+                    .clone();
                 Celebrity {
                     name: format!("Celebrity {i:04}"),
                     category,
@@ -467,7 +515,13 @@ mod tests {
     use super::*;
 
     fn world() -> World {
-        World::generate(WorldConfig { n_countries: 80, n_cities: 30, n_airlines: 8, n_celebrities: 60, seed: 1 })
+        World::generate(WorldConfig {
+            n_countries: 80,
+            n_cities: 30,
+            n_airlines: 8,
+            n_celebrities: 60,
+            seed: 1,
+        })
     }
 
     #[test]
@@ -521,20 +575,31 @@ mod tests {
     fn europe_has_consistent_hdi() {
         // The unexplained-subgroup experiment needs European HDIs to be similar.
         let w = World::generate(WorldConfig::default());
-        let eu: Vec<f64> =
-            w.countries.iter().filter(|c| c.continent == "Europe").map(|c| c.hdi).collect();
+        let eu: Vec<f64> = w
+            .countries
+            .iter()
+            .filter(|c| c.continent == "Europe")
+            .map(|c| c.hdi)
+            .collect();
         let all: Vec<f64> = w.countries.iter().map(|c| c.hdi).collect();
         let var = |xs: &[f64]| {
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
             xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
         };
-        assert!(var(&eu) < var(&all) / 2.0, "European HDI should be much less varied");
+        assert!(
+            var(&eu) < var(&all) / 2.0,
+            "European HDI should be much less varied"
+        );
     }
 
     #[test]
     fn dataset_names_mostly_match_canonical() {
         let w = World::generate(WorldConfig::default());
-        let mismatches = w.countries.iter().filter(|c| c.dataset_name != c.name).count();
+        let mismatches = w
+            .countries
+            .iter()
+            .filter(|c| c.dataset_name != c.name)
+            .count();
         assert!(mismatches >= 2, "some spellings should differ");
         assert!(mismatches < 10, "but only a handful");
     }
@@ -564,7 +629,10 @@ mod tests {
                 assert_eq!(c.draft_pick, 0.0);
             }
         }
-        assert!(w.celebrities.iter().any(|c| c.category == "Athletes" && c.cups > 0.0));
+        assert!(w
+            .celebrities
+            .iter()
+            .any(|c| c.category == "Athletes" && c.cups > 0.0));
     }
 
     #[test]

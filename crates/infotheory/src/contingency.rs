@@ -60,7 +60,11 @@ impl JointTable {
             total += w;
             complete_cases += 1;
         }
-        JointTable { counts, total, complete_cases }
+        JointTable {
+            counts,
+            total,
+            complete_cases,
+        }
     }
 
     /// Total weight of the table.
@@ -111,7 +115,11 @@ impl JointTable {
             let sub: Vec<u32> = dims.iter().map(|&d| key[d]).collect();
             *counts.entry(sub).or_insert(0.0) += count;
         }
-        JointTable { counts, total: self.total, complete_cases: self.complete_cases }
+        JointTable {
+            counts,
+            total: self.total,
+            complete_cases: self.complete_cases,
+        }
     }
 
     /// The probability of a specific joint key (0 when unobserved).

@@ -26,7 +26,10 @@ impl EncodedFrame {
             .columns()
             .map(|c| (c.name().to_string(), c.encode()))
             .collect();
-        EncodedFrame { columns, n_rows: df.n_rows() }
+        EncodedFrame {
+            columns,
+            n_rows: df.n_rows(),
+        }
     }
 
     /// Encodes only the named columns of the frame.
@@ -35,7 +38,10 @@ impl EncodedFrame {
         for &n in names {
             columns.insert(n.to_string(), df.column(n)?.encode());
         }
-        Ok(EncodedFrame { columns, n_rows: df.n_rows() })
+        Ok(EncodedFrame {
+            columns,
+            n_rows: df.n_rows(),
+        })
     }
 
     /// Number of rows in the underlying frame.
@@ -76,12 +82,20 @@ impl EncodedFrame {
 
     /// `H(X | Z)` for a set of conditioning columns.
     pub fn conditional_entropy(&self, x: &str, given: &[&str]) -> Result<f64> {
-        Ok(measures::conditional_entropy(self.column(x)?, &self.columns_for(given)?, None))
+        Ok(measures::conditional_entropy(
+            self.column(x)?,
+            &self.columns_for(given)?,
+            None,
+        ))
     }
 
     /// `I(X; Y)`, optionally IPW-weighted.
     pub fn mutual_information(&self, x: &str, y: &str, weights: Option<&[f64]>) -> Result<f64> {
-        Ok(measures::mutual_information(self.column(x)?, self.column(y)?, weights))
+        Ok(measures::mutual_information(
+            self.column(x)?,
+            self.column(y)?,
+            weights,
+        ))
     }
 
     /// `I(X; Y | Z)` for a set of conditioning columns, optionally
@@ -114,7 +128,13 @@ impl EncodedFrame {
         weights: Option<&[f64]>,
         config: CiTestConfig,
     ) -> Result<CiTestResult> {
-        Ok(ci_test(self.column(x)?, self.column(y)?, &self.columns_for(z)?, weights, config))
+        Ok(ci_test(
+            self.column(x)?,
+            self.column(y)?,
+            &self.columns_for(z)?,
+            weights,
+            config,
+        ))
     }
 
     /// Number of distinct non-null values of a column.
@@ -140,10 +160,43 @@ mod tests {
 
     fn frame() -> EncodedFrame {
         let df = DataFrameBuilder::new()
-            .cat("t", vec![Some("a"), Some("a"), Some("b"), Some("b"), Some("a"), Some("b")])
-            .cat("o", vec![Some("hi"), Some("hi"), Some("lo"), Some("lo"), Some("hi"), Some("lo")])
-            .cat("z", vec![Some("x"), Some("y"), Some("x"), Some("y"), Some("y"), Some("x")])
-            .float("m", vec![Some(1.0), None, Some(3.0), None, Some(5.0), Some(6.0)])
+            .cat(
+                "t",
+                vec![
+                    Some("a"),
+                    Some("a"),
+                    Some("b"),
+                    Some("b"),
+                    Some("a"),
+                    Some("b"),
+                ],
+            )
+            .cat(
+                "o",
+                vec![
+                    Some("hi"),
+                    Some("hi"),
+                    Some("lo"),
+                    Some("lo"),
+                    Some("hi"),
+                    Some("lo"),
+                ],
+            )
+            .cat(
+                "z",
+                vec![
+                    Some("x"),
+                    Some("y"),
+                    Some("x"),
+                    Some("y"),
+                    Some("y"),
+                    Some("x"),
+                ],
+            )
+            .float(
+                "m",
+                vec![Some(1.0), None, Some(3.0), None, Some(5.0), Some(6.0)],
+            )
             .build()
             .unwrap();
         EncodedFrame::from_frame(&df)
@@ -182,9 +235,13 @@ mod tests {
     #[test]
     fn ci_test_by_name() {
         let ef = frame();
-        let r = ef.ci_test("t", "z", &[], None, CiTestConfig::default()).unwrap();
+        let r = ef
+            .ci_test("t", "z", &[], None, CiTestConfig::default())
+            .unwrap();
         assert!(r.independent);
-        assert!(ef.ci_test("t", "missing", &[], None, CiTestConfig::default()).is_err());
+        assert!(ef
+            .ci_test("t", "missing", &[], None, CiTestConfig::default())
+            .is_err());
     }
 
     #[test]

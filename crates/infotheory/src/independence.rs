@@ -50,7 +50,10 @@ pub struct CiTestConfig {
 
 impl Default for CiTestConfig {
     fn default() -> Self {
-        CiTestConfig { alpha: 0.05, min_cmi: 1e-3 }
+        CiTestConfig {
+            alpha: 0.05,
+            min_cmi: 1e-3,
+        }
     }
 }
 
@@ -76,21 +79,38 @@ pub fn ci_test(
     let n = joint.complete_cases();
     let cmi = conditional_mutual_information(x, y, z, weights);
     if n == 0 {
-        return CiTestResult { cmi: 0.0, statistic: 0.0, dof: 0.0, p_value: 1.0, n, independent: true };
+        return CiTestResult {
+            cmi: 0.0,
+            statistic: 0.0,
+            dof: 0.0,
+            p_value: 1.0,
+            n,
+            independent: true,
+        };
     }
     let levels_x = observed_levels(&joint, 0).max(1);
     let levels_y = observed_levels(&joint, 1).max(1);
     let levels_z: usize = if z.is_empty() {
         1
     } else {
-        joint.marginal(&(2..all.len()).collect::<Vec<_>>()).n_cells().max(1)
+        joint
+            .marginal(&(2..all.len()).collect::<Vec<_>>())
+            .n_cells()
+            .max(1)
     };
     let dof = (((levels_x - 1) * (levels_y - 1) * levels_z) as f64).max(1.0);
     // CMI is in bits; G uses natural logs.
     let statistic = 2.0 * n as f64 * std::f64::consts::LN_2 * cmi;
     let p_value = chi2_sf(statistic, dof);
     let independent = cmi < config.min_cmi || p_value >= config.alpha;
-    CiTestResult { cmi, statistic, dof, p_value, n, independent }
+    CiTestResult {
+        cmi,
+        statistic,
+        dof,
+        p_value,
+        n,
+        independent,
+    }
 }
 
 /// Convenience wrapper returning only the independence verdict.
@@ -105,11 +125,7 @@ pub fn is_conditionally_independent(
 
 /// Tests the approximate functional dependency `X ⇒ Y`: holds when the
 /// conditional entropy `H(Y | X)` is at most `epsilon` bits.
-pub fn approx_functional_dependency(
-    x: &EncodedColumn,
-    y: &EncodedColumn,
-    epsilon: f64,
-) -> bool {
+pub fn approx_functional_dependency(x: &EncodedColumn, y: &EncodedColumn, epsilon: f64) -> bool {
     crate::measures::conditional_entropy(y, &[x], None) <= epsilon
 }
 
@@ -132,7 +148,12 @@ mod tests {
 
     /// Repeats a pattern to get a reasonably sized sample.
     fn repeat(pattern: &[&str], times: usize) -> EncodedColumn {
-        let vals: Vec<&str> = pattern.iter().cycle().take(pattern.len() * times).copied().collect();
+        let vals: Vec<&str> = pattern
+            .iter()
+            .cycle()
+            .take(pattern.len() * times)
+            .copied()
+            .collect();
         enc(&vals)
     }
 
@@ -196,9 +217,20 @@ mod tests {
         for item in yv.iter_mut().take(8) {
             *item = "0".to_string();
         }
-        let x = Column::from_str_values("x", xv.iter().map(|s| Some(s.as_str())).collect()).encode();
-        let y = Column::from_str_values("y", yv.iter().map(|s| Some(s.as_str())).collect()).encode();
-        let strict = ci_test(&x, &y, &[], None, CiTestConfig { alpha: 0.05, min_cmi: 0.0 });
+        let x =
+            Column::from_str_values("x", xv.iter().map(|s| Some(s.as_str())).collect()).encode();
+        let y =
+            Column::from_str_values("y", yv.iter().map(|s| Some(s.as_str())).collect()).encode();
+        let strict = ci_test(
+            &x,
+            &y,
+            &[],
+            None,
+            CiTestConfig {
+                alpha: 0.05,
+                min_cmi: 0.0,
+            },
+        );
         let with_floor = ci_test(&x, &y, &[], None, CiTestConfig::default());
         assert!(with_floor.independent);
         // the raw test may or may not reject; the floor must make the verdict independent

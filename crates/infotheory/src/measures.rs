@@ -46,11 +46,7 @@ pub fn conditional_entropy(
 /// Mutual information `I(X; Y) = H(X) + H(Y) - H(X, Y)`.
 ///
 /// Computed over rows complete in both `X` and `Y`.
-pub fn mutual_information(
-    x: &EncodedColumn,
-    y: &EncodedColumn,
-    weights: Option<&[f64]>,
-) -> f64 {
+pub fn mutual_information(x: &EncodedColumn, y: &EncodedColumn, weights: Option<&[f64]>) -> f64 {
     let joint = JointTable::build(&[x, y], weights);
     let hx = joint.marginal(&[0]).entropy();
     let hy = joint.marginal(&[1]).entropy();
@@ -263,7 +259,10 @@ mod tests {
         let i = mutual_information(&x, &y, None);
         assert!((i - 1.0).abs() < 1e-12);
         let all_missing = enc_opt(&[None, None, None, None]);
-        assert_eq!(conditional_mutual_information(&x, &y, &[&all_missing], None), 0.0);
+        assert_eq!(
+            conditional_mutual_information(&x, &y, &[&all_missing], None),
+            0.0
+        );
         assert_eq!(interaction_information(&x, &y, &all_missing, None), 0.0);
     }
 
@@ -308,8 +307,11 @@ mod tests {
             labels: vec!["00".into(), "01".into(), "10".into(), "11".into()],
         };
         let lhs = mutual_information(&x, &yz, None);
-        let rhs = mutual_information(&x, &y, None)
-            + conditional_mutual_information(&x, &z, &[&y], None);
-        assert!((lhs - rhs).abs() < 1e-9, "chain rule violated: {lhs} vs {rhs}");
+        let rhs =
+            mutual_information(&x, &y, None) + conditional_mutual_information(&x, &z, &[&y], None);
+        assert!(
+            (lhs - rhs).abs() < 1e-9,
+            "chain rule violated: {lhs} vs {rhs}"
+        );
     }
 }

@@ -40,8 +40,10 @@ impl OneToManyAgg {
             OneToManyAgg::First => objects.first().map(|o| o.to_value()).unwrap_or(Value::Null),
             OneToManyAgg::Count => Value::Int(objects.len() as i64),
             OneToManyAgg::Mean | OneToManyAgg::Max | OneToManyAgg::Min => {
-                let nums: Vec<f64> =
-                    objects.iter().filter_map(|o| o.to_value().as_f64()).collect();
+                let nums: Vec<f64> = objects
+                    .iter()
+                    .filter_map(|o| o.to_value().as_f64())
+                    .collect();
                 if nums.is_empty() {
                     return Value::Null;
                 }
@@ -78,7 +80,10 @@ pub struct ExtractionConfig {
 
 impl Default for ExtractionConfig {
     fn default() -> Self {
-        ExtractionConfig { hops: 1, one_to_many: OneToManyAgg::Mean }
+        ExtractionConfig {
+            hops: 1,
+            one_to_many: OneToManyAgg::Mean,
+        }
     }
 }
 
@@ -174,7 +179,10 @@ pub fn extract_attributes(
     config: ExtractionConfig,
 ) -> Result<ExtractionResult> {
     let linker = EntityLinker::new(graph);
-    let mut stats = ExtractionStats { n_values: values.len(), ..Default::default() };
+    let mut stats = ExtractionStats {
+        n_values: values.len(),
+        ..Default::default()
+    };
 
     // attribute name -> (row index -> value)
     let mut attributes: BTreeMap<String, HashMap<usize, Value>> = BTreeMap::new();
@@ -204,7 +212,11 @@ pub fn extract_attributes(
             for (prefix, ent) in &frontier {
                 let (attrs, links) = entity_properties(graph, ent, config.one_to_many);
                 for (name, value) in attrs {
-                    let full = if prefix.is_empty() { name } else { format!("{prefix}.{name}") };
+                    let full = if prefix.is_empty() {
+                        name
+                    } else {
+                        format!("{prefix}.{name}")
+                    };
                     // Numeric aggregation across several linked entities that
                     // share the same attribute name (multi-valued hop): average
                     // them; otherwise first-wins.
@@ -220,8 +232,11 @@ pub fn extract_attributes(
                         .or_insert(value);
                 }
                 for (pred, target) in links {
-                    let new_prefix =
-                        if prefix.is_empty() { pred.clone() } else { format!("{prefix}.{pred}") };
+                    let new_prefix = if prefix.is_empty() {
+                        pred.clone()
+                    } else {
+                        format!("{prefix}.{pred}")
+                    };
                     next_frontier.push((new_prefix, target));
                 }
             }
@@ -239,13 +254,18 @@ pub fn extract_attributes(
         values.iter().map(|v| Some(v.as_str())).collect(),
     ));
     for (name, cells) in &attributes {
-        let col_values: Vec<Value> =
-            (0..values.len()).map(|row| cells.get(&row).cloned().unwrap_or(Value::Null)).collect();
+        let col_values: Vec<Value> = (0..values.len())
+            .map(|row| cells.get(&row).cloned().unwrap_or(Value::Null))
+            .collect();
         columns.push(Column::from_values(name.clone(), col_values));
     }
     stats.n_attributes = attributes.len();
     let table = DataFrame::from_columns(columns)?;
-    Ok(ExtractionResult { table, key_column: key_column.to_string(), stats })
+    Ok(ExtractionResult {
+        table,
+        key_column: key_column.to_string(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -254,9 +274,11 @@ mod tests {
 
     fn graph() -> KnowledgeGraph {
         let mut g = KnowledgeGraph::new();
-        for (country, hdi, gdp) in
-            [("Germany", 0.95, 4.2), ("Italy", 0.89, 2.1), ("United States", 0.92, 23.0)]
-        {
+        for (country, hdi, gdp) in [
+            ("Germany", 0.95, 4.2),
+            ("Italy", 0.89, 2.1),
+            ("United States", 0.92, 23.0),
+        ] {
             g.add_fact(country, "HDI", Object::number(hdi));
             g.add_fact(country, "GDP", Object::number(gdp));
         }
@@ -293,29 +315,49 @@ mod tests {
         // unlinked value has nulls
         assert_eq!(res.table.get(3, "HDI").unwrap(), Value::Null);
         // key column preserved
-        assert_eq!(res.table.get(2, "Country").unwrap(), Value::Str("USA".into()));
+        assert_eq!(
+            res.table.get(2, "Country").unwrap(),
+            Value::Str("USA".into())
+        );
         assert!(res.attribute_names().contains(&"HDI".to_string()));
         assert!(!res.attribute_names().contains(&"Country".to_string()));
     }
 
     #[test]
     fn two_hop_extraction_follows_links() {
-        let cfg = ExtractionConfig { hops: 2, ..Default::default() };
+        let cfg = ExtractionConfig {
+            hops: 2,
+            ..Default::default()
+        };
         let res = extract_attributes(&graph(), &values(&["Germany"]), "Country", cfg).unwrap();
         // leader age reachable at hop 2
-        assert!(res.table.has_column("leader.age"), "columns: {:?}", res.table.column_names());
+        assert!(
+            res.table.has_column("leader.age"),
+            "columns: {:?}",
+            res.table.column_names()
+        );
         assert_eq!(res.table.get(0, "leader.age").unwrap(), Value::Int(65));
         // hop-1 entity link also materialised as a categorical value
-        assert_eq!(res.table.get(0, "leader").unwrap(), Value::Str("Olaf Scholz".into()));
+        assert_eq!(
+            res.table.get(0, "leader").unwrap(),
+            Value::Str("Olaf Scholz".into())
+        );
     }
 
     #[test]
     fn one_to_many_aggregation() {
-        let cfg = ExtractionConfig { hops: 2, one_to_many: OneToManyAgg::Mean };
-        let res = extract_attributes(&graph(), &values(&["United States"]), "Country", cfg).unwrap();
+        let cfg = ExtractionConfig {
+            hops: 2,
+            one_to_many: OneToManyAgg::Mean,
+        };
+        let res =
+            extract_attributes(&graph(), &values(&["United States"]), "Country", cfg).unwrap();
         // two ethnic groups, populations 100 and 300 averaged at hop 2
         assert!(res.table.has_column("ethnic group.population"));
-        assert_eq!(res.table.get(0, "ethnic group.population").unwrap(), Value::Float(200.0));
+        assert_eq!(
+            res.table.get(0, "ethnic group.population").unwrap(),
+            Value::Float(200.0)
+        );
     }
 
     #[test]

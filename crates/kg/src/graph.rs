@@ -35,7 +35,10 @@ impl KnowledgeGraph {
         if let Object::Entity(e) = &triple.object {
             self.entities.insert(e.clone());
         }
-        self.by_subject.entry(triple.subject.clone()).or_default().push(self.triples.len());
+        self.by_subject
+            .entry(triple.subject.clone())
+            .or_default()
+            .push(self.triples.len());
         self.triples.push(triple);
     }
 

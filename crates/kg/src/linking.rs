@@ -88,7 +88,11 @@ impl EntityLinker {
             push_unique(&mut aliases, alias.clone(), &canonical);
             push_unique(&mut normalized, normalize(&alias), &canonical);
         }
-        EntityLinker { exact, aliases, normalized }
+        EntityLinker {
+            exact,
+            aliases,
+            normalized,
+        }
     }
 
     /// Links a single surface form.
@@ -119,8 +123,14 @@ impl EntityLinker {
     }
 
     /// Links every value, returning `(value, outcome)` pairs in input order.
-    pub fn link_all<'a>(&self, values: impl IntoIterator<Item = &'a str>) -> Vec<(String, LinkOutcome)> {
-        values.into_iter().map(|v| (v.to_string(), self.link(v))).collect()
+    pub fn link_all<'a>(
+        &self,
+        values: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<(String, LinkOutcome)> {
+        values
+            .into_iter()
+            .map(|v| (v.to_string(), self.link(v)))
+            .collect()
     }
 }
 
@@ -154,15 +164,27 @@ mod tests {
     fn exact_and_alias_matching() {
         let linker = EntityLinker::new(&graph());
         assert_eq!(linker.link("Russia"), LinkOutcome::Matched("Russia".into()));
-        assert_eq!(linker.link("Russian Federation"), LinkOutcome::Matched("Russia".into()));
-        assert_eq!(linker.link("USA"), LinkOutcome::Matched("United States".into()));
+        assert_eq!(
+            linker.link("Russian Federation"),
+            LinkOutcome::Matched("Russia".into())
+        );
+        assert_eq!(
+            linker.link("USA"),
+            LinkOutcome::Matched("United States".into())
+        );
     }
 
     #[test]
     fn normalized_matching() {
         let linker = EntityLinker::new(&graph());
-        assert_eq!(linker.link("united states"), LinkOutcome::Matched("United States".into()));
-        assert_eq!(linker.link("UNITED STATES"), LinkOutcome::Matched("United States".into()));
+        assert_eq!(
+            linker.link("united states"),
+            LinkOutcome::Matched("United States".into())
+        );
+        assert_eq!(
+            linker.link("UNITED STATES"),
+            LinkOutcome::Matched("United States".into())
+        );
     }
 
     #[test]

@@ -108,7 +108,12 @@ mod tests {
     fn df() -> DataFrame {
         DataFrameBuilder::new()
             .float("hdi", (0..100).map(|i| Some(i as f64)).collect())
-            .cat("cat", (0..100).map(|i| Some(if i % 3 == 0 { "a" } else { "b" })).collect())
+            .cat(
+                "cat",
+                (0..100)
+                    .map(|i| Some(if i % 3 == 0 { "a" } else { "b" }))
+                    .collect(),
+            )
             .build()
             .unwrap()
     }
@@ -126,11 +131,19 @@ mod tests {
     fn random_removal_extremes() {
         let mut rng = StdRng::seed_from_u64(7);
         assert_eq!(
-            remove_at_random(&df(), "hdi", 0.0, &mut rng).unwrap().column("hdi").unwrap().null_count(),
+            remove_at_random(&df(), "hdi", 0.0, &mut rng)
+                .unwrap()
+                .column("hdi")
+                .unwrap()
+                .null_count(),
             0
         );
         assert_eq!(
-            remove_at_random(&df(), "hdi", 1.0, &mut rng).unwrap().column("hdi").unwrap().null_count(),
+            remove_at_random(&df(), "hdi", 1.0, &mut rng)
+                .unwrap()
+                .column("hdi")
+                .unwrap()
+                .null_count(),
             100
         );
         assert!(remove_at_random(&df(), "nope", 0.5, &mut rng).is_err());
@@ -173,7 +186,10 @@ mod tests {
 
     #[test]
     fn imputation_of_all_null_column_is_noop() {
-        let base = DataFrameBuilder::new().float("x", vec![None, None]).build().unwrap();
+        let base = DataFrameBuilder::new()
+            .float("x", vec![None, None])
+            .build()
+            .unwrap();
         let out = impute_mean(&base, "x").unwrap();
         assert_eq!(out.column("x").unwrap().null_count(), 2);
     }

@@ -74,7 +74,11 @@ pub struct Triple {
 impl Triple {
     /// Builds a triple.
     pub fn new(subject: impl Into<String>, predicate: impl Into<String>, object: Object) -> Self {
-        Triple { subject: subject.into(), predicate: predicate.into(), object }
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object,
+        }
     }
 }
 
@@ -93,7 +97,10 @@ mod tests {
         assert_eq!(Object::number(2.5).to_value(), Value::Float(2.5));
         assert_eq!(Object::integer(3).to_value(), Value::Int(3));
         assert_eq!(Object::text("x").to_value(), Value::Str("x".into()));
-        assert_eq!(Object::entity("Germany").to_value(), Value::Str("Germany".into()));
+        assert_eq!(
+            Object::entity("Germany").to_value(),
+            Value::Str("Germany".into())
+        );
         assert!(Object::entity("Germany").is_entity());
         assert!(!Object::number(1.0).is_entity());
     }

@@ -40,14 +40,23 @@ pub fn brute_force(
             .collect();
         let cmi = prepared.explanation_cmi(&subset, None)?;
         let objective = cmi * size as f64;
-        if best.as_ref().map(|(_, b, _)| objective < *b).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(_, b, _)| objective < *b)
+            .unwrap_or(true)
+        {
             best = Some((subset, objective, cmi));
         }
     }
 
     let (attributes, _, explainability) = best.expect("at least one subset evaluated");
     let resp = responsibilities(prepared, &attributes, None)?;
-    Ok(Explanation { attributes, baseline_cmi: baseline, explainability, responsibilities: resp })
+    Ok(Explanation {
+        attributes,
+        baseline_cmi: baseline,
+        explainability,
+        responsibilities: resp,
+    })
 }
 
 #[cfg(test)]
@@ -93,7 +102,10 @@ mod tests {
     #[test]
     fn finds_the_optimal_subset() {
         let p = prepared();
-        let cands: Vec<String> = ["GDP", "Gini", "Noise"].iter().map(|s| s.to_string()).collect();
+        let cands: Vec<String> = ["GDP", "Gini", "Noise"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let e = brute_force(&p, &cands, 3).unwrap();
         // GDP + Gini fully determine salary, so they explain everything and
         // adding Noise only increases the |E| factor.
@@ -106,12 +118,15 @@ mod tests {
     #[test]
     fn objective_is_globally_minimal() {
         let p = prepared();
-        let cands: Vec<String> = ["GDP", "Gini", "Noise"].iter().map(|s| s.to_string()).collect();
+        let cands: Vec<String> = ["GDP", "Gini", "Noise"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let e = brute_force(&p, &cands, 3).unwrap();
         let best_objective = p.objective(&e.attributes).unwrap();
         // compare against every singleton and pair explicitly
         for a in &cands {
-            assert!(p.objective(&[a.clone()]).unwrap() >= best_objective - 1e-9);
+            assert!(p.objective(std::slice::from_ref(a)).unwrap() >= best_objective - 1e-9);
             for b in &cands {
                 if a != b {
                     assert!(p.objective(&[a.clone(), b.clone()]).unwrap() >= best_objective - 1e-9);
@@ -123,7 +138,10 @@ mod tests {
     #[test]
     fn k_limits_subset_size() {
         let p = prepared();
-        let cands: Vec<String> = ["GDP", "Gini", "Noise"].iter().map(|s| s.to_string()).collect();
+        let cands: Vec<String> = ["GDP", "Gini", "Noise"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let e = brute_force(&p, &cands, 1).unwrap();
         assert_eq!(e.len(), 1);
         assert_eq!(e.attributes[0], "GDP");

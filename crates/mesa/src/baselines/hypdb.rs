@@ -37,7 +37,12 @@ pub struct HypDbConfig {
 
 impl Default for HypDbConfig {
     fn default() -> Self {
-        HypDbConfig { k: 3, max_candidates: 50, max_subset_size: 2, ci: CiTestConfig::default() }
+        HypDbConfig {
+            k: 3,
+            max_candidates: 50,
+            max_subset_size: 2,
+            ci: CiTestConfig::default(),
+        }
     }
 }
 
@@ -52,7 +57,11 @@ pub fn hypdb(
     config: HypDbConfig,
 ) -> Result<Explanation> {
     let baseline = prepared.baseline_cmi();
-    let candidates: Vec<String> = candidates.iter().take(config.max_candidates).cloned().collect();
+    let candidates: Vec<String> = candidates
+        .iter()
+        .take(config.max_candidates)
+        .cloned()
+        .collect();
     if candidates.is_empty() || config.k == 0 {
         return Ok(Explanation::empty(baseline));
     }
@@ -63,8 +72,12 @@ pub fn hypdb(
     // and O (marginally or conditionally on the other).
     let mut covariates: Vec<String> = Vec::new();
     for c in &candidates {
-        let with_t = prepared.encoded.ci_test(exposure, c, &[], None, config.ci)?;
-        let with_o = prepared.encoded.ci_test(outcome, c, &[exposure], None, config.ci)?;
+        let with_t = prepared
+            .encoded
+            .ci_test(exposure, c, &[], None, config.ci)?;
+        let with_o = prepared
+            .encoded
+            .ci_test(outcome, c, &[exposure], None, config.ci)?;
         if !with_t.independent && !with_o.independent {
             covariates.push(c.clone());
         }
@@ -85,8 +98,10 @@ pub fn hypdb(
         if size > config.max_subset_size {
             continue;
         }
-        let subset: Vec<String> =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| covariates[i].clone()).collect();
+        let subset: Vec<String> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| covariates[i].clone())
+            .collect();
         let cmi = prepared.explanation_cmi(&subset, None)?;
         if cmi < best_score {
             best_score = cmi;
@@ -116,7 +131,12 @@ pub fn hypdb(
 
     let explainability = prepared.explanation_cmi(&attributes, None)?;
     let resp = responsibilities(prepared, &attributes, None)?;
-    Ok(Explanation { attributes, baseline_cmi: baseline, explainability, responsibilities: resp })
+    Ok(Explanation {
+        attributes,
+        baseline_cmi: baseline,
+        explainability,
+        responsibilities: resp,
+    })
 }
 
 #[cfg(test)]
@@ -139,11 +159,17 @@ mod tests {
             // determined by them) and drives salary: a genuine table-level
             // confounder of the country/salary correlation
             let data_share = [8, 7, 3, 2][cid];
-            let dt = if (i / 4) % 10 < data_share { "data" } else { "web" };
+            let dt = if (i / 4) % 10 < data_share {
+                "data"
+            } else {
+                "web"
+            };
             country.push(Some(["A", "B", "C", "D"][cid]));
             devtype.push(Some(dt));
             hobby.push(Some(if (i / 4) % 3 == 0 { "yes" } else { "no" }));
-            salary.push(Some(if dt == "data" { 90.0 } else { 40.0 } + (i % 4) as f64));
+            salary.push(Some(
+                if dt == "data" { 90.0 } else { 40.0 } + (i % 4) as f64,
+            ));
         }
         let df = DataFrameBuilder::new()
             .cat("Country", country)
@@ -177,7 +203,10 @@ mod tests {
         let p = prepared();
         let cands: Vec<String> = ["Hobby", "DevType"].iter().map(|s| s.to_string()).collect();
         // cap = 1 keeps only Hobby (input order), which is no confounder
-        let cfg = HypDbConfig { max_candidates: 1, ..Default::default() };
+        let cfg = HypDbConfig {
+            max_candidates: 1,
+            ..Default::default()
+        };
         let e = hypdb(&p, &cands, cfg).unwrap();
         assert!(e.is_empty());
     }
@@ -186,7 +215,10 @@ mod tests {
     fn empty_inputs() {
         let p = prepared();
         assert!(hypdb(&p, &[], HypDbConfig::default()).unwrap().is_empty());
-        let cfg = HypDbConfig { k: 0, ..Default::default() };
+        let cfg = HypDbConfig {
+            k: 0,
+            ..Default::default()
+        };
         assert!(hypdb(&p, &["DevType".to_string()], cfg).unwrap().is_empty());
     }
 
@@ -194,7 +226,10 @@ mod tests {
     fn k_limits_output() {
         let p = prepared();
         let cands: Vec<String> = ["DevType", "Hobby"].iter().map(|s| s.to_string()).collect();
-        let cfg = HypDbConfig { k: 1, ..Default::default() };
+        let cfg = HypDbConfig {
+            k: 1,
+            ..Default::default()
+        };
         let e = hypdb(&p, &cands, cfg).unwrap();
         assert!(e.len() <= 1);
     }

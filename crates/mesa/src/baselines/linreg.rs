@@ -54,12 +54,18 @@ pub fn linear_regression(
     if rows.len() < candidates.len() + 2 {
         return Ok(Explanation::empty(baseline));
     }
-    let y: Vec<f64> = rows.iter().map(|&i| outcome_col.codes[i].unwrap() as f64).collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|&i| outcome_col.codes[i].unwrap() as f64)
+        .collect();
     let predictors: Vec<(String, Vec<f64>)> = candidates
         .iter()
         .zip(&cand_cols)
         .map(|(name, col)| {
-            (name.clone(), rows.iter().map(|&i| col.codes[i].unwrap() as f64).collect())
+            (
+                name.clone(),
+                rows.iter().map(|&i| col.codes[i].unwrap() as f64).collect(),
+            )
         })
         .collect();
 
@@ -81,7 +87,12 @@ pub fn linear_regression(
     let attributes: Vec<String> = significant.into_iter().take(k).map(|(n, _)| n).collect();
     let explainability = prepared.explanation_cmi(&attributes, None)?;
     let resp = responsibilities(prepared, &attributes, None)?;
-    Ok(Explanation { attributes, baseline_cmi: baseline, explainability, responsibilities: resp })
+    Ok(Explanation {
+        attributes,
+        baseline_cmi: baseline,
+        explainability,
+        responsibilities: resp,
+    })
 }
 
 #[cfg(test)]
@@ -154,6 +165,8 @@ mod tests {
     fn empty_inputs() {
         let p = prepared();
         assert!(linear_regression(&p, &[], 3).unwrap().is_empty());
-        assert!(linear_regression(&p, &["GDP".to_string()], 0).unwrap().is_empty());
+        assert!(linear_regression(&p, &["GDP".to_string()], 0)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -25,7 +25,12 @@ pub fn top_k(prepared: &PreparedQuery, candidates: &[String], k: usize) -> Resul
     let attributes: Vec<String> = scored.into_iter().take(k).map(|(c, _)| c).collect();
     let explainability = prepared.explanation_cmi(&attributes, None)?;
     let resp = responsibilities(prepared, &attributes, None)?;
-    Ok(Explanation { attributes, baseline_cmi: baseline, explainability, responsibilities: resp })
+    Ok(Explanation {
+        attributes,
+        baseline_cmi: baseline,
+        explainability,
+        responsibilities: resp,
+    })
 }
 
 #[cfg(test)]
@@ -73,8 +78,10 @@ mod tests {
     #[test]
     fn picks_individually_best_attributes_ignoring_redundancy() {
         let p = prepared();
-        let cands: Vec<String> =
-            ["GDP", "GDP twin", "Gini"].iter().map(|s| s.to_string()).collect();
+        let cands: Vec<String> = ["GDP", "GDP twin", "Gini"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let e = top_k(&p, &cands, 2).unwrap();
         assert_eq!(e.len(), 2);
         // the two redundant GDP variants have the lowest individual CMI, so

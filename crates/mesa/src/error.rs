@@ -55,7 +55,11 @@ mod tests {
         assert!(e.to_string().contains("column not found"));
         let e: MesaError = stats::FitError::Singular.into();
         assert!(e.to_string().contains("singular"));
-        assert!(MesaError::NoCandidates("all pruned".into()).to_string().contains("all pruned"));
-        assert!(MesaError::InvalidInput("bad k".into()).to_string().contains("bad k"));
+        assert!(MesaError::NoCandidates("all pruned".into())
+            .to_string()
+            .contains("all pruned"));
+        assert!(MesaError::InvalidInput("bad k".into())
+            .to_string()
+            .contains("bad k"));
     }
 }

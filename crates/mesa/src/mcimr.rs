@@ -37,7 +37,11 @@ pub struct McimrConfig {
 
 impl Default for McimrConfig {
     fn default() -> Self {
-        McimrConfig { k: 5, use_stopping_rule: true, ci: CiTestConfig::default() }
+        McimrConfig {
+            k: 5,
+            use_stopping_rule: true,
+            ci: CiTestConfig::default(),
+        }
     }
 }
 
@@ -70,9 +74,8 @@ pub fn mcimr(
     let mut selected: Vec<String> = Vec::new();
     let mut remaining: Vec<String> = candidates.to_vec();
 
-    let weight_of = |attr: &str| -> Option<&[f64]> {
-        bias.get(attr).and_then(|info| info.weights.as_deref())
-    };
+    let weight_of =
+        |attr: &str| -> Option<&[f64]> { bias.get(attr).and_then(|info| info.weights.as_deref()) };
 
     for _iteration in 0..config.k {
         if remaining.is_empty() {
@@ -83,7 +86,9 @@ pub fn mcimr(
         let mut best: Option<(usize, f64)> = None;
         for (idx, cand) in remaining.iter().enumerate() {
             let weights = weight_of(cand);
-            let v1 = prepared.encoded.cmi(&outcome, &exposure, &[cand.as_str()], weights)?;
+            let v1 = prepared
+                .encoded
+                .cmi(&outcome, &exposure, &[cand.as_str()], weights)?;
             trace.n_evaluations += 1;
             let v2 = if selected.is_empty() {
                 0.0
@@ -216,10 +221,22 @@ mod tests {
     #[test]
     fn selects_the_true_confounders_first() {
         let p = prepared();
-        let e = run(&p, &["GDP", "Gini", "Gender", "Noise"], McimrConfig::default());
+        let e = run(
+            &p,
+            &["GDP", "Gini", "Gender", "Noise"],
+            McimrConfig::default(),
+        );
         assert!(!e.is_empty());
-        assert_eq!(e.attributes[0], "GDP", "GDP should be picked first: {:?}", e.attributes);
-        assert!(e.attributes.contains(&"Gini".to_string()), "{:?}", e.attributes);
+        assert_eq!(
+            e.attributes[0], "GDP",
+            "GDP should be picked first: {:?}",
+            e.attributes
+        );
+        assert!(
+            e.attributes.contains(&"Gini".to_string()),
+            "{:?}",
+            e.attributes
+        );
         assert!(!e.attributes.contains(&"Noise".to_string()));
         // conditioning on the selected set shrinks the correlation a lot
         assert!(e.explainability < e.baseline_cmi * 0.5);
@@ -229,7 +246,14 @@ mod tests {
     #[test]
     fn redundancy_term_avoids_duplicates() {
         let p = prepared();
-        let e = run(&p, &["GDP", "GDP copy", "Gini", "Noise"], McimrConfig { k: 2, ..Default::default() });
+        let e = run(
+            &p,
+            &["GDP", "GDP copy", "Gini", "Noise"],
+            McimrConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         // with k = 2, picking GDP and its copy would be wasteful; the
         // min-redundancy term should prefer Gini as the second attribute
         assert_eq!(e.attributes.len().min(2), e.attributes.len());
@@ -247,7 +271,14 @@ mod tests {
     fn k_bounds_the_size() {
         let p = prepared();
         for k in 1..=4 {
-            let e = run(&p, &["GDP", "Gini", "Gender", "Noise"], McimrConfig { k, ..Default::default() });
+            let e = run(
+                &p,
+                &["GDP", "Gini", "Gender", "Noise"],
+                McimrConfig {
+                    k,
+                    ..Default::default()
+                },
+            );
             assert!(e.len() <= k);
         }
     }
@@ -259,7 +290,11 @@ mod tests {
         let without_stop = run(
             &p,
             &["GDP", "Gini", "Noise"],
-            McimrConfig { use_stopping_rule: false, k: 3, ..Default::default() },
+            McimrConfig {
+                use_stopping_rule: false,
+                k: 3,
+                ..Default::default()
+            },
         );
         assert!(with_stop.len() <= without_stop.len());
         assert!(!with_stop.attributes.contains(&"Noise".to_string()));
@@ -278,7 +313,10 @@ mod tests {
     #[test]
     fn trace_counts_evaluations() {
         let p = prepared();
-        let cands: Vec<String> = ["GDP", "Gini", "Gender", "Noise"].iter().map(|s| s.to_string()).collect();
+        let cands: Vec<String> = ["GDP", "Gini", "Gender", "Noise"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (_, trace) = mcimr(&p, &cands, &HashMap::new(), McimrConfig::default()).unwrap();
         assert!(trace.n_iterations >= 1);
         assert!(trace.n_evaluations >= cands.len());
@@ -290,9 +328,15 @@ mod tests {
         // with the candidate count for fixed k.
         let p = prepared();
         let small: Vec<String> = ["GDP", "Gini"].iter().map(|s| s.to_string()).collect();
-        let large: Vec<String> =
-            ["GDP", "Gini", "Gender", "Noise", "GDP copy"].iter().map(|s| s.to_string()).collect();
-        let cfg = McimrConfig { k: 2, use_stopping_rule: false, ..Default::default() };
+        let large: Vec<String> = ["GDP", "Gini", "Gender", "Noise", "GDP copy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = McimrConfig {
+            k: 2,
+            use_stopping_rule: false,
+            ..Default::default()
+        };
         let (_, t_small) = mcimr(&p, &small, &HashMap::new(), cfg).unwrap();
         let (_, t_large) = mcimr(&p, &large, &HashMap::new(), cfg).unwrap();
         let bound_small = cfg.k * small.len();

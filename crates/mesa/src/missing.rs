@@ -55,9 +55,16 @@ pub struct SelectionBiasInfo {
 /// Builds the selection indicator `R_E` for an attribute as an encoded
 /// column: code 1 = observed, code 0 = missing.
 pub fn selection_indicator(column: &EncodedColumn) -> EncodedColumn {
-    let codes: Vec<Option<u32>> =
-        column.codes.iter().map(|c| Some(if c.is_some() { 1 } else { 0 })).collect();
-    EncodedColumn { codes, cardinality: 2, labels: vec!["missing".into(), "observed".into()] }
+    let codes: Vec<Option<u32>> = column
+        .codes
+        .iter()
+        .map(|c| Some(if c.is_some() { 1 } else { 0 }))
+        .collect();
+    EncodedColumn {
+        codes,
+        cardinality: 2,
+        labels: vec!["missing".into(), "observed".into()],
+    }
 }
 
 /// Analyses one candidate attribute for selection bias and, when detected,
@@ -103,8 +110,11 @@ pub fn analyze_attribute(
 
     // Fit P(R_E = 1 | X) on fully observed features.
     let n = r.len();
-    let y: Vec<f64> =
-        r.codes.iter().map(|c| if c == &Some(1) { 1.0 } else { 0.0 }).collect();
+    let y: Vec<f64> = r
+        .codes
+        .iter()
+        .map(|c| if c == &Some(1) { 1.0 } else { 0.0 })
+        .collect();
     let mut predictors: Vec<(String, Vec<f64>)> = Vec::new();
     for f in feature_columns {
         if f == attribute {
@@ -234,9 +244,17 @@ mod tests {
             country.push(Some(c));
             salary.push(Some(if high { "high" } else { "low" }));
             // hdi observed mostly for low-salary countries
-            hdi.push(if high && i % 3 != 0 { None } else { Some(if high { "big" } else { "small" }) });
+            hdi.push(if high && i % 3 != 0 {
+                None
+            } else {
+                Some(if high { "big" } else { "small" })
+            });
             // missing-at-random attribute
-            mar.push(if i % 5 == 0 { None } else { Some(if i % 2 == 0 { "x" } else { "y" }) });
+            mar.push(if i % 5 == 0 {
+                None
+            } else {
+                Some(if i % 2 == 0 { "x" } else { "y" })
+            });
         }
         DataFrameBuilder::new()
             .cat("Country", country)
@@ -287,7 +305,10 @@ mod tests {
             CiTestConfig::default(),
         )
         .unwrap();
-        assert!(!mar.biased, "MAR attribute should not trigger the correction");
+        assert!(
+            !mar.biased,
+            "MAR attribute should not trigger the correction"
+        );
         assert!(mar.weights.is_none());
     }
 
@@ -360,8 +381,7 @@ mod tests {
                 weights: Some(vec![1.0, 3.0, 1.0]),
             },
         );
-        let combined =
-            combine_weights(&["a".to_string(), "b".to_string()], &analyses, 3).unwrap();
+        let combined = combine_weights(&["a".to_string(), "b".to_string()], &analyses, 3).unwrap();
         assert_eq!(combined, vec![2.0, 3.0, 1.0]);
         assert!(combine_weights(&["c".to_string()], &analyses, 3).is_none());
         assert!(combine_weights(&[], &analyses, 3).is_none());
@@ -387,7 +407,9 @@ mod tests {
         .unwrap();
         let w = info.weights.unwrap();
         let naive = encoded.cmi("Salary", "Country", &["HDI"], None).unwrap();
-        let weighted = encoded.cmi("Salary", "Country", &["HDI"], Some(&w)).unwrap();
+        let weighted = encoded
+            .cmi("Salary", "Country", &["HDI"], Some(&w))
+            .unwrap();
         // both should be small (HDI explains most of it), and the weighted
         // estimate must stay finite and non-negative
         assert!(naive >= 0.0 && weighted >= 0.0);

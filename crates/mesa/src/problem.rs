@@ -79,7 +79,9 @@ impl PreparedQuery {
     /// The explanation score `I(O; T | E, C)` for a set of attributes.
     pub fn explanation_cmi(&self, attributes: &[String], weights: Option<&[f64]>) -> Result<f64> {
         let z: Vec<&str> = attributes.iter().map(|s| s.as_str()).collect();
-        Ok(self.encoded.cmi(self.outcome(), self.exposure(), &z, weights)?)
+        Ok(self
+            .encoded
+            .cmi(self.outcome(), self.exposure(), &z, weights)?)
     }
 
     /// The Definition 2.1 objective `I(O;T|E,C) · |E|` (with `|E| = 1` used
@@ -224,7 +226,9 @@ pub fn prepare_query(
         .map(|s| s.to_string())
         .collect();
     if candidates.is_empty() {
-        return Err(MesaError::NoCandidates("the frame only contains the exposure and outcome".into()));
+        return Err(MesaError::NoCandidates(
+            "the frame only contains the exposure and outcome".into(),
+        ));
     }
 
     Ok(PreparedQuery {
@@ -270,7 +274,12 @@ mod tests {
 
     fn graph() -> KnowledgeGraph {
         let mut g = KnowledgeGraph::new();
-        for (c, gdp) in [("Germany", 50.0), ("Italy", 40.0), ("Nigeria", 5.0), ("Kenya", 4.0)] {
+        for (c, gdp) in [
+            ("Germany", 50.0),
+            ("Italy", 40.0),
+            ("Nigeria", 5.0),
+            ("Kenya", 4.0),
+        ] {
             g.add_fact(c, "GDP per capita", Object::number(gdp));
             g.add_fact(c, "wikiID", Object::integer(1));
         }
@@ -287,21 +296,32 @@ mod tests {
         assert!(prep.candidates.contains(&"Gender".to_string()));
         assert!(!prep.candidates.contains(&"Salary".to_string()));
         assert!(prep.extracted.is_empty());
-        assert!(prep.baseline_cmi() > 0.1, "country and salary should correlate");
+        assert!(
+            prep.baseline_cmi() > 0.1,
+            "country and salary should correlate"
+        );
     }
 
     #[test]
     fn prepare_with_graph_joins_extracted_attributes() {
         let df = base_frame();
         let q = AggregateQuery::avg("Country", "Salary");
-        let prep =
-            prepare_query(&df, &q, Some(&graph()), &["Country"], PrepareConfig::default()).unwrap();
+        let prep = prepare_query(
+            &df,
+            &q,
+            Some(&graph()),
+            &["Country"],
+            PrepareConfig::default(),
+        )
+        .unwrap();
         assert!(prep.frame.has_column("GDP per capita"));
         assert!(prep.extracted.contains(&"GDP per capita".to_string()));
         assert_eq!(prep.extraction_stats.len(), 1);
         assert_eq!(prep.extraction_stats[0].1.n_linked, 4);
         // conditioning on the extracted GDP attribute explains the correlation
-        let cmi = prep.explanation_cmi(&["GDP per capita".to_string()], None).unwrap();
+        let cmi = prep
+            .explanation_cmi(&["GDP per capita".to_string()], None)
+            .unwrap();
         assert!(cmi < prep.baseline_cmi() * 0.6);
     }
 
@@ -330,8 +350,14 @@ mod tests {
     fn objective_scales_with_cardinality() {
         let df = base_frame();
         let q = AggregateQuery::avg("Country", "Salary");
-        let prep =
-            prepare_query(&df, &q, Some(&graph()), &["Country"], PrepareConfig::default()).unwrap();
+        let prep = prepare_query(
+            &df,
+            &q,
+            Some(&graph()),
+            &["Country"],
+            PrepareConfig::default(),
+        )
+        .unwrap();
         let single = prep.objective(&["GDP per capita".to_string()]).unwrap();
         let double = prep
             .objective(&["GDP per capita".to_string(), "Gender".to_string()])
@@ -363,7 +389,15 @@ mod tests {
     #[test]
     fn name_collisions_are_suffixed() {
         let df = DataFrameBuilder::new()
-            .cat("Country", vec![Some("Germany"), Some("Italy"), Some("Germany"), Some("Italy")])
+            .cat(
+                "Country",
+                vec![
+                    Some("Germany"),
+                    Some("Italy"),
+                    Some("Germany"),
+                    Some("Italy"),
+                ],
+            )
             .cat("Gender", vec![Some("M"), Some("W"), Some("M"), Some("W")])
             .float("Salary", vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)])
             .build()
@@ -374,7 +408,8 @@ mod tests {
         g.add_fact("Germany", "GDP", Object::number(1.0));
         g.add_fact("Italy", "GDP", Object::number(2.0));
         let q = AggregateQuery::avg("Country", "Salary");
-        let prep = prepare_query(&df, &q, Some(&g), &["Country"], PrepareConfig::default()).unwrap();
+        let prep =
+            prepare_query(&df, &q, Some(&g), &["Country"], PrepareConfig::default()).unwrap();
         assert!(prep.frame.has_column("Gender (Country)"));
         assert!(prep.frame.has_column("Gender"));
     }

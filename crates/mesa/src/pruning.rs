@@ -35,7 +35,10 @@ pub enum PruneReason {
 impl PruneReason {
     /// Whether the reason belongs to the offline (pre-processing) phase.
     pub fn is_offline(self) -> bool {
-        matches!(self, PruneReason::Constant | PruneReason::TooManyMissing | PruneReason::HighEntropy)
+        matches!(
+            self,
+            PruneReason::Constant | PruneReason::TooManyMissing | PruneReason::HighEntropy
+        )
     }
 }
 
@@ -73,12 +76,20 @@ impl PruningConfig {
     /// A configuration with all pruning disabled (the MESA⁻ / No-Pruning
     /// baselines).
     pub fn disabled() -> Self {
-        PruningConfig { offline: false, online: false, ..Default::default() }
+        PruningConfig {
+            offline: false,
+            online: false,
+            ..Default::default()
+        }
     }
 
     /// Offline pruning only (the "Offline Pruning" baseline of Figure 4).
     pub fn offline_only() -> Self {
-        PruningConfig { offline: true, online: false, ..Default::default() }
+        PruningConfig {
+            offline: true,
+            online: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -132,11 +143,15 @@ pub fn prune_offline(
         if missing >= 1.0 || cardinality <= 1 {
             report.dropped.push((name.clone(), PruneReason::Constant));
         } else if missing > config.max_missing_fraction {
-            report.dropped.push((name.clone(), PruneReason::TooManyMissing));
+            report
+                .dropped
+                .push((name.clone(), PruneReason::TooManyMissing));
         } else {
             let present = ((1.0 - missing) * n_rows as f64).max(1.0);
             if cardinality as f64 / present > config.max_distinct_ratio && cardinality > 4 {
-                report.dropped.push((name.clone(), PruneReason::HighEntropy));
+                report
+                    .dropped
+                    .push((name.clone(), PruneReason::HighEntropy));
             } else {
                 report.kept.push(name.clone());
             }
@@ -168,7 +183,9 @@ pub fn prune_online(
         let ho_e = encoded.conditional_entropy(outcome, &[name])?;
         let eps = config.fd_epsilon;
         if ht_e <= eps || ho_e <= eps {
-            report.dropped.push((name.clone(), PruneReason::LogicalDependency));
+            report
+                .dropped
+                .push((name.clone(), PruneReason::LogicalDependency));
             continue;
         }
         // Low relevance: O ⫫ E | C and O ⫫ E | T, C. The context C is already
@@ -176,7 +193,9 @@ pub fn prune_online(
         let marginal = encoded.ci_test(outcome, name, &[], None, config.ci)?;
         let given_t = encoded.ci_test(outcome, name, &[exposure], None, config.ci)?;
         if marginal.independent && given_t.independent {
-            report.dropped.push((name.clone(), PruneReason::LowRelevance));
+            report
+                .dropped
+                .push((name.clone(), PruneReason::LowRelevance));
             continue;
         }
         report.kept.push(name.clone());
@@ -196,7 +215,10 @@ pub fn prune(
     let online = prune_online(encoded, &offline.kept, exposure, outcome, config)?;
     let mut dropped = offline.dropped;
     dropped.extend(online.dropped);
-    Ok(PruningReport { kept: online.kept, dropped })
+    Ok(PruningReport {
+        kept: online.kept,
+        dropped,
+    })
 }
 
 #[cfg(test)]
@@ -235,19 +257,44 @@ mod tests {
             gdp.push(Some(if rich { "big" } else { "small" }.to_string()));
             constant.push(Some("Country".to_string()));
             key.push(Some(format!("id-{i}")));
-            mostly_missing.push(if i % 25 == 0 { Some("x".to_string()) } else { None });
+            mostly_missing.push(if i % 25 == 0 {
+                Some("x".to_string())
+            } else {
+                None
+            });
             noise.push(Some(format!("n{}", (i * 13) % 2)));
         }
-        let to_opt = |v: Vec<Option<String>>| v.into_iter().map(|x| x.map(|s| s)).collect::<Vec<_>>();
+        let to_opt = |v: Vec<Option<String>>| v.into_iter().collect::<Vec<_>>();
         let df = DataFrameBuilder::new()
-            .cat("Country", to_opt(country).iter().map(|x| x.as_deref()).collect())
-            .cat("CountryCode", to_opt(code).iter().map(|x| x.as_deref()).collect())
-            .cat("Salary", to_opt(salary_band).iter().map(|x| x.as_deref()).collect())
+            .cat(
+                "Country",
+                to_opt(country).iter().map(|x| x.as_deref()).collect(),
+            )
+            .cat(
+                "CountryCode",
+                to_opt(code).iter().map(|x| x.as_deref()).collect(),
+            )
+            .cat(
+                "Salary",
+                to_opt(salary_band).iter().map(|x| x.as_deref()).collect(),
+            )
             .cat("GDP", to_opt(gdp).iter().map(|x| x.as_deref()).collect())
-            .cat("type", to_opt(constant).iter().map(|x| x.as_deref()).collect())
+            .cat(
+                "type",
+                to_opt(constant).iter().map(|x| x.as_deref()).collect(),
+            )
             .cat("wikiID", to_opt(key).iter().map(|x| x.as_deref()).collect())
-            .cat("sparse", to_opt(mostly_missing).iter().map(|x| x.as_deref()).collect())
-            .cat("noise", to_opt(noise).iter().map(|x| x.as_deref()).collect())
+            .cat(
+                "sparse",
+                to_opt(mostly_missing)
+                    .iter()
+                    .map(|x| x.as_deref())
+                    .collect(),
+            )
+            .cat(
+                "noise",
+                to_opt(noise).iter().map(|x| x.as_deref()).collect(),
+            )
             .build()
             .unwrap();
         let encoded = EncodedFrame::from_frame(&df);
@@ -275,11 +322,19 @@ mod tests {
     fn online_drops_fd_and_irrelevant() {
         let (encoded, candidates) = frame();
         let offline = prune_offline(&encoded, &candidates, &PruningConfig::default()).unwrap();
-        let report =
-            prune_online(&encoded, &offline.kept, "Country", "Salary", &PruningConfig::default())
-                .unwrap();
-        let dropped: Vec<(&str, PruneReason)> =
-            report.dropped.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+        let report = prune_online(
+            &encoded,
+            &offline.kept,
+            "Country",
+            "Salary",
+            &PruningConfig::default(),
+        )
+        .unwrap();
+        let dropped: Vec<(&str, PruneReason)> = report
+            .dropped
+            .iter()
+            .map(|(n, r)| (n.as_str(), *r))
+            .collect();
         assert!(dropped.contains(&("CountryCode", PruneReason::LogicalDependency)));
         assert!(dropped.contains(&("noise", PruneReason::LowRelevance)));
         assert_eq!(report.kept, vec!["GDP".to_string()]);
@@ -288,8 +343,14 @@ mod tests {
     #[test]
     fn combined_prune_and_report_counts() {
         let (encoded, candidates) = frame();
-        let report =
-            prune(&encoded, &candidates, "Country", "Salary", &PruningConfig::default()).unwrap();
+        let report = prune(
+            &encoded,
+            &candidates,
+            "Country",
+            "Salary",
+            &PruningConfig::default(),
+        )
+        .unwrap();
         assert_eq!(report.kept, vec!["GDP".to_string()]);
         assert_eq!(report.kept.len() + report.dropped.len(), candidates.len());
         assert!(report.n_offline_dropped() >= 3);
@@ -300,8 +361,14 @@ mod tests {
     #[test]
     fn disabled_config_keeps_everything() {
         let (encoded, candidates) = frame();
-        let report =
-            prune(&encoded, &candidates, "Country", "Salary", &PruningConfig::disabled()).unwrap();
+        let report = prune(
+            &encoded,
+            &candidates,
+            "Country",
+            "Salary",
+            &PruningConfig::disabled(),
+        )
+        .unwrap();
         assert_eq!(report.kept, candidates);
         assert!(report.dropped.is_empty());
         assert_eq!(report.dropped_fraction(), 0.0);
@@ -310,9 +377,14 @@ mod tests {
     #[test]
     fn offline_only_config() {
         let (encoded, candidates) = frame();
-        let report =
-            prune(&encoded, &candidates, "Country", "Salary", &PruningConfig::offline_only())
-                .unwrap();
+        let report = prune(
+            &encoded,
+            &candidates,
+            "Country",
+            "Salary",
+            &PruningConfig::offline_only(),
+        )
+        .unwrap();
         // FD attribute survives because the online phase is off
         assert!(report.kept.contains(&"CountryCode".to_string()));
         assert!(!report.kept.contains(&"wikiID".to_string()));
@@ -329,7 +401,14 @@ mod tests {
     #[test]
     fn empty_candidates() {
         let (encoded, _) = frame();
-        let report = prune(&encoded, &[], "Country", "Salary", &PruningConfig::default()).unwrap();
+        let report = prune(
+            &encoded,
+            &[],
+            "Country",
+            "Salary",
+            &PruningConfig::default(),
+        )
+        .unwrap();
         assert!(report.kept.is_empty());
         assert_eq!(report.dropped_fraction(), 0.0);
     }

@@ -33,7 +33,10 @@ pub fn explanation_details(explanation: &Explanation) -> String {
 /// Renders a full MESA report (explanation + pipeline diagnostics).
 pub fn report_summary(report: &MesaReport) -> String {
     let mut out = String::new();
-    out.push_str(&format!("explanation: {}\n", explanation_line(&report.explanation)));
+    out.push_str(&format!(
+        "explanation: {}\n",
+        explanation_line(&report.explanation)
+    ));
     out.push_str(&explanation_details(&report.explanation));
     out.push_str(&format!(
         "candidates: {} total, {} extracted from the knowledge source\n",
@@ -48,7 +51,10 @@ pub fn report_summary(report: &MesaReport) -> String {
     if !report.selection_bias.is_empty() {
         let mut names: Vec<&str> = report.selection_bias.keys().map(|s| s.as_str()).collect();
         names.sort_unstable();
-        out.push_str(&format!("selection bias detected (IPW applied): {}\n", names.join(", ")));
+        out.push_str(&format!(
+            "selection bias detected (IPW applied): {}\n",
+            names.join(", ")
+        ));
     }
     out
 }
@@ -57,7 +63,13 @@ pub fn report_summary(report: &MesaReport) -> String {
 pub fn subgroup_table(groups: &[Subgroup]) -> String {
     let mut out = String::from("rank  size      score   data group\n");
     for (i, g) in groups.iter().enumerate() {
-        out.push_str(&format!("{:<5} {:<9} {:<7.3} {}\n", i + 1, g.size, g.score, g.describe()));
+        out.push_str(&format!(
+            "{:<5} {:<9} {:<7.3} {}\n",
+            i + 1,
+            g.size,
+            g.score,
+            g.describe()
+        ));
     }
     out
 }
@@ -79,7 +91,10 @@ mod tests {
     #[test]
     fn line_rendering() {
         assert_eq!(explanation_line(&explanation()), "HDI, Gini");
-        assert_eq!(explanation_line(&Explanation::empty(1.0)), "(no explanation found)");
+        assert_eq!(
+            explanation_line(&Explanation::empty(1.0)),
+            "(no explanation found)"
+        );
     }
 
     #[test]
@@ -96,7 +111,7 @@ mod tests {
             terms: vec![("Continent".to_string(), Value::Str("Europe".into()))],
             size: 18342,
             score: 0.41,
-            }];
+        }];
         let text = subgroup_table(&groups);
         assert!(text.contains("Continent = Europe"));
         assert!(text.contains("18342"));

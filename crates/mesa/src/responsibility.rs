@@ -92,7 +92,10 @@ mod tests {
     fn empty_and_singleton() {
         let p = prepared();
         assert!(responsibilities(&p, &[], None).unwrap().is_empty());
-        assert_eq!(responsibilities(&p, &["GDP".to_string()], None).unwrap(), vec![1.0]);
+        assert_eq!(
+            responsibilities(&p, &["GDP".to_string()], None).unwrap(),
+            vec![1.0]
+        );
     }
 
     #[test]

@@ -38,7 +38,13 @@ pub struct SubgroupConfig {
 
 impl Default for SubgroupConfig {
     fn default() -> Self {
-        SubgroupConfig { top_k: 5, tau: 0.2, refine_on: Vec::new(), min_group_size: 20, max_depth: 2 }
+        SubgroupConfig {
+            top_k: 5,
+            tau: 0.2,
+            refine_on: Vec::new(),
+            min_group_size: 20,
+            max_depth: 2,
+        }
     }
 }
 
@@ -113,7 +119,11 @@ fn gen_children(
             if v.is_null() {
                 continue;
             }
-            by_value.entry(v.render()).or_insert_with(|| (v.clone(), Vec::new())).1.push(row);
+            by_value
+                .entry(v.render())
+                .or_insert_with(|| (v.clone(), Vec::new()))
+                .1
+                .push(row);
         }
         for (_, (value, rows)) in by_value {
             if rows.len() < min_size || rows.len() == parent_rows.len() {
@@ -164,7 +174,7 @@ pub fn unexplained_subgroups(
                 prepared
                     .encoded
                     .cardinality(c)
-                    .map(|card| card >= 2 && card <= 40)
+                    .map(|card| (2..=40).contains(&card))
                     .unwrap_or(false)
             })
             .cloned()
@@ -185,16 +195,24 @@ pub fn unexplained_subgroups(
             break;
         }
         let score = group_score(frame, &entry.rows, outcome, exposure, explanation)?;
-        let group = Subgroup { terms: entry.terms.clone(), size: entry.rows.len(), score };
+        let group = Subgroup {
+            terms: entry.terms.clone(),
+            size: entry.rows.len(),
+            score,
+        };
         if score > config.tau {
             // Only report when no ancestor is already reported.
             if !results.iter().any(|r| r.is_ancestor_of(&group)) {
                 results.push(group);
             }
         } else if entry.terms.len() < config.max_depth {
-            for child in
-                gen_children(frame, &entry.rows, &entry.terms, &refine_on, config.min_group_size)?
-            {
+            for child in gen_children(
+                frame,
+                &entry.rows,
+                &entry.terms,
+                &refine_on,
+                config.min_group_size,
+            )? {
                 heap.push(child);
             }
         }
@@ -226,12 +244,20 @@ mod tests {
             country.push(Some(c));
             // Europe: all very-high HDI (so HDI cannot explain the European
             // spread); Africa: one HDI level per country (fully explained).
-            let h = if eu { "very high" } else { ["mid", "low", "very low"][cid - 3] };
+            let h = if eu {
+                "very high"
+            } else {
+                ["mid", "low", "very low"][cid - 3]
+            };
             hdi.push(Some(h));
             // Gini varies inside Europe and drives the salary spread there
             let g = ["low", "mid", "high", "mid", "mid", "high"][cid];
             gini.push(Some(g));
-            let base = if eu { 70.0 } else { [40.0, 25.0, 24.0][cid - 3] };
+            let base = if eu {
+                70.0
+            } else {
+                [40.0, 25.0, 24.0][cid - 3]
+            };
             let gini_penalty = match g {
                 "high" => 18.0,
                 "mid" => 9.0,
@@ -266,7 +292,10 @@ mod tests {
             ..Default::default()
         };
         let groups = unexplained_subgroups(&p, &["HDI".to_string()], &config).unwrap();
-        assert!(!groups.is_empty(), "Europe should be reported as unexplained");
+        assert!(
+            !groups.is_empty(),
+            "Europe should be reported as unexplained"
+        );
         let top = &groups[0];
         assert_eq!(top.terms.len(), 1);
         assert_eq!(top.terms[0].0, "Continent");
@@ -321,7 +350,11 @@ mod tests {
 
     #[test]
     fn ancestor_relation() {
-        let a = Subgroup { terms: vec![("x".into(), Value::Int(1))], size: 10, score: 0.5 };
+        let a = Subgroup {
+            terms: vec![("x".into(), Value::Int(1))],
+            size: 10,
+            score: 0.5,
+        };
         let b = Subgroup {
             terms: vec![("x".into(), Value::Int(1)), ("y".into(), Value::Int(2))],
             size: 5,
@@ -334,7 +367,10 @@ mod tests {
     #[test]
     fn default_refinement_attributes_exclude_explanation() {
         let p = prepared();
-        let config = SubgroupConfig { tau: 10.0, ..Default::default() };
+        let config = SubgroupConfig {
+            tau: 10.0,
+            ..Default::default()
+        };
         // tau so high nothing is reported; we just check it runs over the
         // default refinement attributes without error
         let groups = unexplained_subgroups(&p, &["HDI".to_string()], &config).unwrap();

@@ -9,7 +9,9 @@ use kg::KnowledgeGraph;
 
 use crate::error::Result;
 use crate::mcimr::{mcimr, McimrConfig, McimrTrace};
-use crate::missing::{analyze_candidates, fully_observed_columns, MissingPolicy, SelectionBiasInfo};
+use crate::missing::{
+    analyze_candidates, fully_observed_columns, MissingPolicy, SelectionBiasInfo,
+};
 use crate::problem::{prepare_query, Explanation, PrepareConfig, PreparedQuery};
 use crate::pruning::{prune, PruningConfig, PruningReport};
 use crate::subgroups::{unexplained_subgroups, Subgroup, SubgroupConfig};
@@ -41,7 +43,10 @@ impl Default for MesaConfig {
 impl MesaConfig {
     /// The MESA⁻ variant: identical to MESA but with pruning disabled.
     pub fn mesa_minus() -> Self {
-        MesaConfig { pruning: PruningConfig::disabled(), ..Default::default() }
+        MesaConfig {
+            pruning: PruningConfig::disabled(),
+            ..Default::default()
+        }
     }
 
     /// Sets the explanation-size bound `k`.
@@ -102,7 +107,9 @@ pub struct Mesa {
 impl Mesa {
     /// A MESA instance with the default configuration.
     pub fn new() -> Self {
-        Mesa { config: MesaConfig::default() }
+        Mesa {
+            config: MesaConfig::default(),
+        }
     }
 
     /// A MESA instance with a custom configuration.
@@ -215,7 +222,9 @@ mod tests {
             let male = (i / 6) % 2 == 0;
             gender.push(Some(if male { "M" } else { "W" }));
             let ineq = if gini[cid] > 40.0 { 8.0 } else { 0.0 };
-            salary.push(Some(gdp[cid] - ineq + (i % 5) as f64 + if male { 4.0 } else { 0.0 }));
+            salary.push(Some(
+                gdp[cid] - ineq + (i % 5) as f64 + if male { 4.0 } else { 0.0 },
+            ));
         }
         let code_refs: Vec<Option<&str>> = code.iter().map(|c| c.as_deref()).collect();
         let df = DataFrameBuilder::new()
@@ -240,11 +249,19 @@ mod tests {
         let (df, g) = setup();
         let mesa = Mesa::new();
         let report = mesa
-            .explain(&df, &AggregateQuery::avg("Country", "Salary"), Some(&g), &["Country"])
+            .explain(
+                &df,
+                &AggregateQuery::avg("Country", "Salary"),
+                Some(&g),
+                &["Country"],
+            )
             .unwrap();
         let attrs = &report.explanation.attributes;
         assert!(attrs.contains(&"GDP per capita".to_string()), "{attrs:?}");
-        assert!(!attrs.contains(&"CountryCode".to_string()), "FD attribute must be pruned");
+        assert!(
+            !attrs.contains(&"CountryCode".to_string()),
+            "FD attribute must be pruned"
+        );
         assert!(!attrs.contains(&"wikiID".to_string()));
         assert!(report.explanation.explainability < report.explanation.baseline_cmi * 0.6);
         assert!(report.n_extracted >= 2);
@@ -256,14 +273,20 @@ mod tests {
     fn without_graph_only_table_attributes_are_available() {
         let (df, _) = setup();
         let mesa = Mesa::new();
-        let report =
-            mesa.explain(&df, &AggregateQuery::avg("Country", "Salary"), None, &[]).unwrap();
+        let report = mesa
+            .explain(&df, &AggregateQuery::avg("Country", "Salary"), None, &[])
+            .unwrap();
         assert!(report.n_extracted == 0);
         // The table has no genuine confounder, so the explanation is weaker
         // than what the KG-powered run achieves.
         let (df2, g) = setup();
         let with_kg = mesa
-            .explain(&df2, &AggregateQuery::avg("Country", "Salary"), Some(&g), &["Country"])
+            .explain(
+                &df2,
+                &AggregateQuery::avg("Country", "Salary"),
+                Some(&g),
+                &["Country"],
+            )
             .unwrap();
         assert!(with_kg.explanation.explainability <= report.explanation.explainability + 1e-9);
     }
@@ -273,12 +296,22 @@ mod tests {
         let (df, g) = setup();
         let mesa = Mesa::with_config(MesaConfig::mesa_minus());
         let report = mesa
-            .explain(&df, &AggregateQuery::avg("Country", "Salary"), Some(&g), &["Country"])
+            .explain(
+                &df,
+                &AggregateQuery::avg("Country", "Salary"),
+                Some(&g),
+                &["Country"],
+            )
             .unwrap();
         assert!(report.pruning.dropped.is_empty());
         // quality should not degrade much relative to MESA (paper's finding)
         let default_report = Mesa::new()
-            .explain(&df, &AggregateQuery::avg("Country", "Salary"), Some(&g), &["Country"])
+            .explain(
+                &df,
+                &AggregateQuery::avg("Country", "Salary"),
+                Some(&g),
+                &["Country"],
+            )
             .unwrap();
         assert!(
             (report.explanation.explainability - default_report.explanation.explainability).abs()
@@ -291,7 +324,12 @@ mod tests {
         let (df, g) = setup();
         let mesa = Mesa::with_config(MesaConfig::default().with_k(1));
         let report = mesa
-            .explain(&df, &AggregateQuery::avg("Country", "Salary"), Some(&g), &["Country"])
+            .explain(
+                &df,
+                &AggregateQuery::avg("Country", "Salary"),
+                Some(&g),
+                &["Country"],
+            )
             .unwrap();
         assert!(report.explanation.len() <= 1);
     }
@@ -318,7 +356,11 @@ mod tests {
             .unexplained_subgroups(
                 &prepared,
                 &report.explanation,
-                &SubgroupConfig { tau: 0.0, min_group_size: 10, ..Default::default() },
+                &SubgroupConfig {
+                    tau: 0.0,
+                    min_group_size: 10,
+                    ..Default::default()
+                },
             )
             .unwrap();
         // with tau = 0 some refinement always scores above threshold unless

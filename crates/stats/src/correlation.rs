@@ -51,7 +51,11 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
 /// Ranks with average ties (1-based ranks as used by Spearman).
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < idx.len() {

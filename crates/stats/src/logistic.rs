@@ -60,7 +60,11 @@ pub struct LogisticConfig {
 
 impl Default for LogisticConfig {
     fn default() -> Self {
-        LogisticConfig { max_iter: 50, tol: 1e-8, ridge: 1e-6 }
+        LogisticConfig {
+            max_iter: 50,
+            tol: 1e-8,
+            ridge: 1e-6,
+        }
     }
 }
 
@@ -88,7 +92,9 @@ pub fn logistic_fit(
     }
     for &v in y {
         if v != 0.0 && v != 1.0 {
-            return Err(FitError::ShapeMismatch(format!("outcome value {v} is not 0/1")));
+            return Err(FitError::ShapeMismatch(format!(
+                "outcome value {v} is not 0/1"
+            )));
         }
     }
 
@@ -142,7 +148,11 @@ pub fn logistic_fit(
         // Damp the step while preserving its direction: a hard element-wise
         // clamp would distort the Newton direction under quasi-separation.
         let step_norm: f64 = (0..p).map(|j| step[(j, 0)].abs()).fold(0.0, f64::max);
-        let scale = if step_norm > 5.0 { 5.0 / step_norm } else { 1.0 };
+        let scale = if step_norm > 5.0 {
+            5.0 / step_norm
+        } else {
+            1.0
+        };
         let mut max_update: f64 = 0.0;
         for j in 0..p {
             let delta = step[(j, 0)] * scale;
@@ -169,7 +179,13 @@ pub fn logistic_fit(
     let mut names = Vec::with_capacity(p);
     names.push("(intercept)".to_string());
     names.extend(predictors.iter().map(|(n, _)| n.clone()));
-    Ok(LogisticFit { coefficients: beta, names, iterations, converged, log_likelihood })
+    Ok(LogisticFit {
+        coefficients: beta,
+        names,
+        iterations,
+        converged,
+        log_likelihood,
+    })
 }
 
 #[cfg(test)]
@@ -223,7 +239,11 @@ mod tests {
             Err(FitError::ShapeMismatch(_))
         ));
         assert!(matches!(
-            logistic_fit(&[0.0], &[("x".to_string(), vec![1.0, 2.0])], LogisticConfig::default()),
+            logistic_fit(
+                &[0.0],
+                &[("x".to_string(), vec![1.0, 2.0])],
+                LogisticConfig::default()
+            ),
             Err(FitError::TooFewRows { .. })
         ));
         assert!(matches!(
@@ -240,7 +260,10 @@ mod tests {
     fn separable_data_stays_finite() {
         // Perfectly separable: without ridge/step capping this diverges.
         let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&x| if x >= 25.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&x| if x >= 25.0 { 1.0 } else { 0.0 })
+            .collect();
         let model = fit(&y, &[("x".to_string(), x)]);
         assert!(model.coefficients.iter().all(|c| c.is_finite()));
         assert!(model.predict_proba(&[49.0]) > 0.9);

@@ -35,7 +35,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -59,7 +63,11 @@ impl Matrix {
     /// Builds a column vector.
     pub fn column_vector(data: Vec<f64>) -> Self {
         let rows = data.len();
-        Matrix { rows, cols: 1, data }
+        Matrix {
+            rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -110,10 +118,14 @@ impl Matrix {
     /// partial pivoting. `self` must be square.
     pub fn solve(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
         if self.rows != self.cols {
-            return Err(MatrixError::ShapeMismatch("solve requires a square matrix".into()));
+            return Err(MatrixError::ShapeMismatch(
+                "solve requires a square matrix".into(),
+            ));
         }
         if rhs.rows != self.rows {
-            return Err(MatrixError::ShapeMismatch("rhs row count must match".into()));
+            return Err(MatrixError::ShapeMismatch(
+                "rhs row count must match".into(),
+            ));
         }
         let n = self.rows;
         let mut a = self.clone();

@@ -14,7 +14,12 @@ use crate::special::student_t_sf;
 #[derive(Debug, Clone, PartialEq)]
 pub enum FitError {
     /// Not enough rows for the number of predictors.
-    TooFewRows { rows: usize, params: usize },
+    TooFewRows {
+        /// Number of observations provided.
+        rows: usize,
+        /// Number of parameters the design matrix needs.
+        params: usize,
+    },
     /// The design matrix is rank deficient / singular.
     Singular,
     /// The inputs have inconsistent lengths.
@@ -140,12 +145,27 @@ pub fn ols_fit(y: &[f64], predictors: &[(String, Vec<f64>)]) -> Result<OlsFit, F
         let estimate = beta[(j, 0)];
         let var = (sigma2 * xtx_inv[(j, j)]).max(0.0);
         let std_error = var.sqrt();
-        let t_value = if std_error > 0.0 { estimate / std_error } else { 0.0 };
+        let t_value = if std_error > 0.0 {
+            estimate / std_error
+        } else {
+            0.0
+        };
         let p_value = 2.0 * student_t_sf(t_value.abs(), dof as f64);
-        coefficients.push(Coefficient { name, estimate, std_error, t_value, p_value });
+        coefficients.push(Coefficient {
+            name,
+            estimate,
+            std_error,
+            t_value,
+            p_value,
+        });
     }
 
-    Ok(OlsFit { coefficients, r_squared, dof, n })
+    Ok(OlsFit {
+        coefficients,
+        r_squared,
+        dof,
+        n,
+    })
 }
 
 #[cfg(test)]
@@ -176,8 +196,7 @@ mod tests {
             .enumerate()
             .map(|(i, (a, b))| 1.0 + 2.0 * a - 1.5 * b + 0.001 * ((i % 3) as f64 - 1.0))
             .collect();
-        let fit =
-            ols_fit(&y, &[("a".to_string(), a), ("b".to_string(), b)]).unwrap();
+        let fit = ols_fit(&y, &[("a".to_string(), a), ("b".to_string(), b)]).unwrap();
         assert!((fit.coefficient("a").unwrap().estimate - 2.0).abs() < 0.01);
         assert!((fit.coefficient("b").unwrap().estimate + 1.5).abs() < 0.01);
         // strong relationship => significant
@@ -189,8 +208,14 @@ mod tests {
     fn irrelevant_predictor_not_significant() {
         // y depends only on a; b alternates independently of y
         let a: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
-        let b: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
-        let y: Vec<f64> = a.iter().enumerate().map(|(i, a)| 5.0 * a + ((i * 17 % 13) as f64) * 0.3).collect();
+        let b: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let y: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, a)| 5.0 * a + ((i * 17 % 13) as f64) * 0.3)
+            .collect();
         let fit = ols_fit(&y, &[("a".to_string(), a), ("b".to_string(), b)]).unwrap();
         assert!(fit.coefficient("a").unwrap().p_value < 0.001);
         assert!(fit.coefficient("b").unwrap().p_value > 0.05);

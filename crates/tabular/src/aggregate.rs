@@ -44,7 +44,10 @@ impl AggFn {
         let mut values: Vec<f64> = Vec::with_capacity(rows.len());
         for &i in rows {
             if i >= numeric.len() {
-                return Err(TabularError::RowOutOfBounds { index: i, len: numeric.len() });
+                return Err(TabularError::RowOutOfBounds {
+                    index: i,
+                    len: numeric.len(),
+                });
             }
             if let Some(v) = numeric[i] {
                 values.push(v);
@@ -100,8 +103,8 @@ impl AggFn {
                     None
                 } else {
                     let mean = values.iter().sum::<f64>() / values.len() as f64;
-                    let var =
-                        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+                    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                        / values.len() as f64;
                     Some(var.sqrt())
                 }
             }

@@ -24,7 +24,9 @@ pub enum BinStrategy {
 /// already discrete).
 pub fn bin_column(column: &Column, n_bins: usize, strategy: BinStrategy) -> Result<Column> {
     if n_bins == 0 {
-        return Err(TabularError::InvalidArgument("n_bins must be positive".into()));
+        return Err(TabularError::InvalidArgument(
+            "n_bins must be positive".into(),
+        ));
     }
     if !column.dtype().is_numeric() {
         return Ok(column.clone());
@@ -35,8 +37,10 @@ pub fn bin_column(column: &Column, n_bins: usize, strategy: BinStrategy) -> Resu
         return Ok(Column::from_i64(column.name(), vec![None; column.len()]));
     }
     let edges = bin_edges(&present, n_bins, strategy);
-    let binned: Vec<Option<i64>> =
-        values.iter().map(|v| v.map(|v| assign_bin(v, &edges) as i64)).collect();
+    let binned: Vec<Option<i64>> = values
+        .iter()
+        .map(|v| v.map(|v| assign_bin(v, &edges) as i64))
+        .collect();
     Ok(Column::from_i64(column.name(), binned))
 }
 
@@ -126,7 +130,10 @@ mod tests {
 
     #[test]
     fn equal_width_binning() {
-        let c = Column::from_f64("x", vec![Some(0.0), Some(2.5), Some(5.0), Some(7.5), Some(10.0), None]);
+        let c = Column::from_f64(
+            "x",
+            vec![Some(0.0), Some(2.5), Some(5.0), Some(7.5), Some(10.0), None],
+        );
         let b = bin_column(&c, 4, BinStrategy::EqualWidth).unwrap();
         assert_eq!(b.dtype(), DType::Int);
         assert_eq!(b.get(0).unwrap(), Value::Int(0));
@@ -208,7 +215,9 @@ mod tests {
         let c = Column::from_f64("x", vals.clone());
         for strategy in [BinStrategy::EqualWidth, BinStrategy::EqualFrequency] {
             let b = bin_column(&c, 3, strategy).unwrap();
-            let bins: Vec<i64> = (0..b.len()).map(|i| b.get(i).unwrap().as_i64().unwrap()).collect();
+            let bins: Vec<i64> = (0..b.len())
+                .map(|i| b.get(i).unwrap().as_i64().unwrap())
+                .collect();
             for i in 0..vals.len() {
                 for j in 0..vals.len() {
                     if vals[i].unwrap() <= vals[j].unwrap() {

@@ -21,7 +21,12 @@ pub enum ColumnData {
     /// Booleans with per-cell nullability.
     Bool(Vec<Option<bool>>),
     /// Dictionary-encoded strings: `codes[i]` indexes into `dict`.
-    Categorical { dict: Vec<String>, codes: Vec<Option<u32>> },
+    Categorical {
+        /// The dictionary of distinct string values.
+        dict: Vec<String>,
+        /// Per-row dictionary codes (`None` = null).
+        codes: Vec<Option<u32>>,
+    },
 }
 
 /// A named, typed, null-aware column.
@@ -34,17 +39,26 @@ pub struct Column {
 impl Column {
     /// Builds an integer column.
     pub fn from_i64(name: impl Into<String>, values: Vec<Option<i64>>) -> Self {
-        Column { name: name.into(), data: ColumnData::Int(values) }
+        Column {
+            name: name.into(),
+            data: ColumnData::Int(values),
+        }
     }
 
     /// Builds a float column.
     pub fn from_f64(name: impl Into<String>, values: Vec<Option<f64>>) -> Self {
-        Column { name: name.into(), data: ColumnData::Float(values) }
+        Column {
+            name: name.into(),
+            data: ColumnData::Float(values),
+        }
     }
 
     /// Builds a boolean column.
     pub fn from_bool(name: impl Into<String>, values: Vec<Option<bool>>) -> Self {
-        Column { name: name.into(), data: ColumnData::Bool(values) }
+        Column {
+            name: name.into(),
+            data: ColumnData::Bool(values),
+        }
     }
 
     /// Builds a categorical column from string values, dictionary-encoding
@@ -71,7 +85,10 @@ impl Column {
                 }
             }
         }
-        Column { name: name.into(), data: ColumnData::Categorical { dict, codes } }
+        Column {
+            name: name.into(),
+            data: ColumnData::Categorical { dict, codes },
+        }
     }
 
     /// Builds a column from dynamically typed values, inferring the type from
@@ -94,15 +111,9 @@ impl Column {
             }
         }
         match dtype.unwrap_or(DType::Categorical) {
-            DType::Int => {
-                Column::from_i64(name, values.iter().map(|v| v.as_i64()).collect())
-            }
-            DType::Float => {
-                Column::from_f64(name, values.iter().map(|v| v.as_f64()).collect())
-            }
-            DType::Bool => {
-                Column::from_bool(name, values.iter().map(|v| v.as_bool()).collect())
-            }
+            DType::Int => Column::from_i64(name, values.iter().map(|v| v.as_i64()).collect()),
+            DType::Float => Column::from_f64(name, values.iter().map(|v| v.as_f64()).collect()),
+            DType::Bool => Column::from_bool(name, values.iter().map(|v| v.as_bool()).collect()),
             DType::Categorical => Column::from_str_values(
                 name,
                 values
@@ -130,7 +141,10 @@ impl Column {
 
     /// Returns a copy of the column with a new name.
     pub fn with_name(&self, name: impl Into<String>) -> Self {
-        Column { name: name.into(), data: self.data.clone() }
+        Column {
+            name: name.into(),
+            data: self.data.clone(),
+        }
     }
 
     /// The logical type of the column.
@@ -195,7 +209,10 @@ impl Column {
     /// Fetches the i-th cell as a dynamic value.
     pub fn get(&self, i: usize) -> Result<Value> {
         if i >= self.len() {
-            return Err(TabularError::RowOutOfBounds { index: i, len: self.len() });
+            return Err(TabularError::RowOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
         }
         Ok(match &self.data {
             ColumnData::Int(v) => v[i].map(Value::Int).unwrap_or(Value::Null),
@@ -218,7 +235,10 @@ impl Column {
         match &self.data {
             ColumnData::Int(v) => v.iter().map(|x| x.map(|x| x as f64)).collect(),
             ColumnData::Float(v) => v.clone(),
-            ColumnData::Bool(v) => v.iter().map(|x| x.map(|b| if b { 1.0 } else { 0.0 })).collect(),
+            ColumnData::Bool(v) => v
+                .iter()
+                .map(|x| x.map(|b| if b { 1.0 } else { 0.0 }))
+                .collect(),
             ColumnData::Categorical { codes, .. } => codes.iter().map(|_| None).collect(),
         }
     }
@@ -234,16 +254,27 @@ impl Column {
                 codes: indices.iter().map(|&i| codes[i]).collect(),
             },
         };
-        Column { name: self.name.clone(), data }
+        Column {
+            name: self.name.clone(),
+            data,
+        }
     }
 
     /// Keeps only rows where `mask[i]` is true. The mask length must equal the
     /// column length.
     pub fn filter(&self, mask: &[bool]) -> Result<Column> {
         if mask.len() != self.len() {
-            return Err(TabularError::LengthMismatch { expected: self.len(), got: mask.len() });
+            return Err(TabularError::LengthMismatch {
+                expected: self.len(),
+                got: mask.len(),
+            });
         }
-        let indices: Vec<usize> = mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
         Ok(self.take(&indices))
     }
 
@@ -262,11 +293,17 @@ impl Column {
             (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
             (
                 ColumnData::Categorical { dict, codes },
-                ColumnData::Categorical { dict: odict, codes: ocodes },
+                ColumnData::Categorical {
+                    dict: odict,
+                    codes: ocodes,
+                },
             ) => {
                 // Re-map the other dictionary into ours.
-                let mut index: HashMap<String, u32> =
-                    dict.iter().enumerate().map(|(i, s)| (s.clone(), i as u32)).collect();
+                let mut index: HashMap<String, u32> = dict
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.clone(), i as u32))
+                    .collect();
                 let mut remap = Vec::with_capacity(odict.len());
                 for s in odict {
                     let code = match index.get(s.as_str()) {
@@ -290,7 +327,10 @@ impl Column {
     /// Sets the i-th cell to null (used by missing-data injectors).
     pub fn set_null(&mut self, i: usize) -> Result<()> {
         if i >= self.len() {
-            return Err(TabularError::RowOutOfBounds { index: i, len: self.len() });
+            return Err(TabularError::RowOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
         }
         match &mut self.data {
             ColumnData::Int(v) => v[i] = None,
@@ -304,21 +344,34 @@ impl Column {
     /// Overwrites the i-th cell with a new value of a compatible type.
     pub fn set(&mut self, i: usize, value: Value) -> Result<()> {
         if i >= self.len() {
-            return Err(TabularError::RowOutOfBounds { index: i, len: self.len() });
+            return Err(TabularError::RowOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
         }
         if value.is_null() {
             return self.set_null(i);
         }
         match &mut self.data {
             ColumnData::Int(v) => {
-                let x = value.as_f64().ok_or_else(|| TabularError::InvalidValue(value.render()))?;
+                let x = value
+                    .as_f64()
+                    .ok_or_else(|| TabularError::InvalidValue(value.render()))?;
                 v[i] = Some(x.round() as i64);
             }
             ColumnData::Float(v) => {
-                v[i] = Some(value.as_f64().ok_or_else(|| TabularError::InvalidValue(value.render()))?)
+                v[i] = Some(
+                    value
+                        .as_f64()
+                        .ok_or_else(|| TabularError::InvalidValue(value.render()))?,
+                )
             }
             ColumnData::Bool(v) => {
-                v[i] = Some(value.as_bool().ok_or_else(|| TabularError::InvalidValue(value.render()))?)
+                v[i] = Some(
+                    value
+                        .as_bool()
+                        .ok_or_else(|| TabularError::InvalidValue(value.render()))?,
+                )
             }
             ColumnData::Categorical { dict, codes } => {
                 let s = value.render();
@@ -381,7 +434,11 @@ impl Column {
                         }
                     }
                 }
-                EncodedColumn { codes: out, cardinality: labels.len(), labels }
+                EncodedColumn {
+                    codes: out,
+                    cardinality: labels.len(),
+                    labels,
+                }
             }
             ColumnData::Int(v) => {
                 let mut index: HashMap<i64, u32> = HashMap::new();
@@ -400,7 +457,11 @@ impl Column {
                         }
                     }
                 }
-                EncodedColumn { codes: out, cardinality: labels.len(), labels }
+                EncodedColumn {
+                    codes: out,
+                    cardinality: labels.len(),
+                    labels,
+                }
             }
             ColumnData::Bool(v) => {
                 let mut index: HashMap<bool, u32> = HashMap::new();
@@ -419,7 +480,11 @@ impl Column {
                         }
                     }
                 }
-                EncodedColumn { codes: out, cardinality: labels.len(), labels }
+                EncodedColumn {
+                    codes: out,
+                    cardinality: labels.len(),
+                    labels,
+                }
             }
             ColumnData::Float(v) => {
                 // Floats are encoded by bit pattern of their canonical form.
@@ -433,7 +498,11 @@ impl Column {
                     match x {
                         None => out.push(None),
                         Some(x) => {
-                            let key = if *x == 0.0 { 0.0f64.to_bits() } else { x.to_bits() };
+                            let key = if *x == 0.0 {
+                                0.0f64.to_bits()
+                            } else {
+                                x.to_bits()
+                            };
                             let next = index.len() as u32;
                             let code = *index.entry(key).or_insert_with(|| {
                                 labels.push(format!("{x}"));
@@ -443,7 +512,11 @@ impl Column {
                         }
                     }
                 }
-                EncodedColumn { codes: out, cardinality: labels.len(), labels }
+                EncodedColumn {
+                    codes: out,
+                    cardinality: labels.len(),
+                    labels,
+                }
             }
         }
     }

@@ -114,7 +114,11 @@ fn escape_field(s: &str) -> String {
 pub fn write_csv_str(df: &DataFrame) -> String {
     let mut out = String::new();
     out.push_str(
-        &df.column_names().iter().map(|n| escape_field(n)).collect::<Vec<_>>().join(","),
+        &df.column_names()
+            .iter()
+            .map(|n| escape_field(n))
+            .collect::<Vec<_>>()
+            .join(","),
     );
     out.push('\n');
     for i in 0..df.n_rows() {
@@ -182,7 +186,10 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let df = DataFrameBuilder::new().int("x", vec![Some(1), Some(2)]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .int("x", vec![Some(1), Some(2)])
+            .build()
+            .unwrap();
         let path = std::env::temp_dir().join("tabular_csv_test.csv");
         write_csv(&df, &path).unwrap();
         let back = read_csv(&path).unwrap();

@@ -84,9 +84,13 @@ impl DataFrame {
             return Err(TabularError::DuplicateColumn(column.name().to_string()));
         }
         if !self.columns.is_empty() && column.len() != self.n_rows() {
-            return Err(TabularError::LengthMismatch { expected: self.n_rows(), got: column.len() });
+            return Err(TabularError::LengthMismatch {
+                expected: self.n_rows(),
+                got: column.len(),
+            });
         }
-        self.index.insert(column.name().to_string(), self.columns.len());
+        self.index
+            .insert(column.name().to_string(), self.columns.len());
         self.columns.push(column);
         Ok(())
     }
@@ -94,7 +98,10 @@ impl DataFrame {
     /// Replaces an existing column with the same name, or adds it if absent.
     pub fn set_column(&mut self, column: Column) -> Result<()> {
         if !self.columns.is_empty() && column.len() != self.n_rows() {
-            return Err(TabularError::LengthMismatch { expected: self.n_rows(), got: column.len() });
+            return Err(TabularError::LengthMismatch {
+                expected: self.n_rows(),
+                got: column.len(),
+            });
         }
         match self.index.get(column.name()) {
             Some(&i) => {
@@ -139,16 +146,26 @@ impl DataFrame {
     /// reordering allowed).
     pub fn take(&self, indices: &[usize]) -> DataFrame {
         let columns = self.columns.iter().map(|c| c.take(indices)).collect();
-        DataFrame { columns, index: self.index.clone() }
+        DataFrame {
+            columns,
+            index: self.index.clone(),
+        }
     }
 
     /// Returns a new frame keeping rows where `mask` is true.
     pub fn filter_mask(&self, mask: &[bool]) -> Result<DataFrame> {
         if mask.len() != self.n_rows() {
-            return Err(TabularError::LengthMismatch { expected: self.n_rows(), got: mask.len() });
+            return Err(TabularError::LengthMismatch {
+                expected: self.n_rows(),
+                got: mask.len(),
+            });
         }
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
         Ok(self.take(&indices))
     }
 
@@ -166,7 +183,10 @@ impl DataFrame {
     /// Returns one row as `(column name, value)` pairs.
     pub fn row(&self, i: usize) -> Result<Vec<(String, Value)>> {
         if i >= self.n_rows() {
-            return Err(TabularError::RowOutOfBounds { index: i, len: self.n_rows() });
+            return Err(TabularError::RowOutOfBounds {
+                index: i,
+                len: self.n_rows(),
+            });
         }
         self.columns
             .iter()
@@ -178,7 +198,10 @@ impl DataFrame {
     /// names, same order not required).
     pub fn vstack(&mut self, other: &DataFrame) -> Result<()> {
         if self.n_cols() != other.n_cols() {
-            return Err(TabularError::LengthMismatch { expected: self.n_cols(), got: other.n_cols() });
+            return Err(TabularError::LengthMismatch {
+                expected: self.n_cols(),
+                got: other.n_cols(),
+            });
         }
         // Validate first so a failure cannot leave the frame partially stacked.
         for col in &self.columns {
@@ -232,15 +255,27 @@ impl DataFrame {
             cells.push(row);
         }
         let mut out = String::new();
-        let header: Vec<String> =
-            names.iter().zip(&widths).map(|(n, w)| format!("{n:<w$}", w = *w)).collect();
+        let header: Vec<String> = names
+            .iter()
+            .zip(&widths)
+            .map(|(n, w)| format!("{n:<w$}", w = *w))
+            .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in cells {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(s, w)| format!("{s:<w$}", w = *w)).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(s, w)| format!("{s:<w$}", w = *w))
+                .collect();
             out.push_str(&line.join(" | "));
             out.push('\n');
         }
@@ -266,7 +301,10 @@ pub struct DataFrameBuilder {
 impl DataFrameBuilder {
     /// Starts an empty builder.
     pub fn new() -> Self {
-        DataFrameBuilder { df: DataFrame::new(), error: None }
+        DataFrameBuilder {
+            df: DataFrame::new(),
+            error: None,
+        }
     }
 
     /// Adds an integer column.
@@ -328,7 +366,10 @@ mod tests {
 
     fn sample() -> DataFrame {
         DataFrameBuilder::new()
-            .cat("country", vec![Some("DE"), Some("US"), Some("DE"), Some("FR")])
+            .cat(
+                "country",
+                vec![Some("DE"), Some("US"), Some("DE"), Some("FR")],
+            )
             .float("salary", vec![Some(60.0), Some(90.0), Some(65.0), None])
             .int("age", vec![Some(30), Some(40), Some(35), Some(28)])
             .build()
@@ -385,9 +426,14 @@ mod tests {
         // index still consistent after removal
         assert_eq!(df.get(3, "age").unwrap(), Value::Int(28));
 
-        df.set_column(Column::from_i64("age", vec![Some(1), Some(2), Some(3), Some(4)])).unwrap();
+        df.set_column(Column::from_i64(
+            "age",
+            vec![Some(1), Some(2), Some(3), Some(4)],
+        ))
+        .unwrap();
         assert_eq!(df.get(0, "age").unwrap(), Value::Int(1));
-        df.set_column(Column::from_f64("new", vec![Some(0.0); 4])).unwrap();
+        df.set_column(Column::from_f64("new", vec![Some(0.0); 4]))
+            .unwrap();
         assert!(df.has_column("new"));
     }
 
@@ -409,7 +455,10 @@ mod tests {
         assert_eq!(a.get(4, "country").unwrap(), Value::Str("DE".into()));
 
         let mut c = sample();
-        let bad = DataFrameBuilder::new().cat("country", vec![Some("X")]).build().unwrap();
+        let bad = DataFrameBuilder::new()
+            .cat("country", vec![Some("X")])
+            .build()
+            .unwrap();
         assert!(c.vstack(&bad).is_err());
     }
 

@@ -10,13 +10,30 @@ pub enum TabularError {
     /// A column with this name already exists.
     DuplicateColumn(String),
     /// Columns in one frame (or appended data) have mismatched lengths.
-    LengthMismatch { expected: usize, got: usize },
+    LengthMismatch {
+        /// Length the operation expected.
+        expected: usize,
+        /// Length actually found.
+        got: usize,
+    },
     /// The operation needs a different column type than the one found.
-    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    TypeMismatch {
+        /// The offending column.
+        column: String,
+        /// Type the operation expected.
+        expected: &'static str,
+        /// Type actually found.
+        got: &'static str,
+    },
     /// A value could not be converted to the requested type.
     InvalidValue(String),
     /// A row index is out of bounds.
-    RowOutOfBounds { index: usize, len: usize },
+    RowOutOfBounds {
+        /// The requested row index.
+        index: usize,
+        /// The number of rows in the column or frame.
+        len: usize,
+    },
     /// The operation is not defined for an empty input.
     Empty(String),
     /// CSV parsing / formatting failure.
@@ -33,8 +50,15 @@ impl fmt::Display for TabularError {
             TabularError::LengthMismatch { expected, got } => {
                 write!(f, "length mismatch: expected {expected}, got {got}")
             }
-            TabularError::TypeMismatch { column, expected, got } => {
-                write!(f, "type mismatch on column {column}: expected {expected}, got {got}")
+            TabularError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on column {column}: expected {expected}, got {got}"
+                )
             }
             TabularError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
             TabularError::RowOutOfBounds { index, len } => {
@@ -64,7 +88,11 @@ mod tests {
 
     #[test]
     fn display_type_mismatch() {
-        let e = TabularError::TypeMismatch { column: "gdp".into(), expected: "float", got: "categorical" };
+        let e = TabularError::TypeMismatch {
+            column: "gdp".into(),
+            expected: "float",
+            got: "categorical",
+        };
         assert!(e.to_string().contains("gdp"));
         assert!(e.to_string().contains("float"));
     }

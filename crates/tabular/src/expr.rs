@@ -67,9 +67,9 @@ impl Predicate {
     /// Builds the conjunction of a list of `(column, value)` equality terms —
     /// the shape of every context refinement in Algorithm 2.
     pub fn conjunction(terms: &[(String, Value)]) -> Self {
-        terms
-            .iter()
-            .fold(Predicate::True, |acc, (c, v)| acc.and(Predicate::Eq(c.clone(), v.clone())))
+        terms.iter().fold(Predicate::True, |acc, (c, v)| {
+            acc.and(Predicate::Eq(c.clone(), v.clone()))
+        })
     }
 
     /// Whether the predicate is the trivial `True` context.
@@ -113,13 +113,20 @@ impl Predicate {
             Predicate::True => Ok(vec![true; n]),
             Predicate::Eq(c, v) => {
                 let col = df.column(c)?;
-                Ok((0..n).map(|i| col.get(i).map(|x| !x.is_null() && x == *v).unwrap_or(false)).collect())
+                Ok((0..n)
+                    .map(|i| col.get(i).map(|x| !x.is_null() && x == *v).unwrap_or(false))
+                    .collect())
             }
             Predicate::Ne(c, v) => {
                 let col = df.column(c)?;
-                Ok((0..n).map(|i| col.get(i).map(|x| !x.is_null() && x != *v).unwrap_or(false)).collect())
+                Ok((0..n)
+                    .map(|i| col.get(i).map(|x| !x.is_null() && x != *v).unwrap_or(false))
+                    .collect())
             }
-            Predicate::Lt(c, v) | Predicate::Le(c, v) | Predicate::Gt(c, v) | Predicate::Ge(c, v) => {
+            Predicate::Lt(c, v)
+            | Predicate::Le(c, v)
+            | Predicate::Gt(c, v)
+            | Predicate::Ge(c, v) => {
                 let col = df.column(c)?;
                 let target = v.as_f64();
                 Ok((0..n)
@@ -143,7 +150,7 @@ impl Predicate {
                 Ok((0..n)
                     .map(|i| {
                         col.get(i)
-                            .map(|x| !x.is_null() && values.iter().any(|v| *v == x))
+                            .map(|x| !x.is_null() && values.contains(&x))
                             .unwrap_or(false)
                     })
                     .collect())
@@ -190,7 +197,10 @@ impl Predicate {
             Predicate::Ge(c, v) => format!("{c} >= {v}"),
             Predicate::In(c, vs) => format!(
                 "{c} IN ({})",
-                vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                vs.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             Predicate::IsNull(c) => format!("{c} IS NULL"),
             Predicate::NotNull(c) => format!("{c} IS NOT NULL"),
@@ -208,7 +218,10 @@ mod tests {
 
     fn df() -> DataFrame {
         DataFrameBuilder::new()
-            .cat("continent", vec![Some("Europe"), Some("Asia"), Some("Europe"), None])
+            .cat(
+                "continent",
+                vec![Some("Europe"), Some("Asia"), Some("Europe"), None],
+            )
             .float("salary", vec![Some(60.0), Some(30.0), None, Some(80.0)])
             .int("age", vec![Some(30), Some(40), Some(25), Some(50)])
             .build()
@@ -220,7 +233,9 @@ mod tests {
         let d = df();
         let m = Predicate::eq("continent", "Europe").eval(&d).unwrap();
         assert_eq!(m, vec![true, false, true, false]);
-        let m = Predicate::Ne("continent".into(), "Europe".into()).eval(&d).unwrap();
+        let m = Predicate::Ne("continent".into(), "Europe".into())
+            .eval(&d)
+            .unwrap();
         assert_eq!(m, vec![false, true, false, false]); // null never matches
     }
 
@@ -228,19 +243,27 @@ mod tests {
     fn numeric_comparisons() {
         let d = df();
         assert_eq!(
-            Predicate::Gt("salary".into(), Value::Float(50.0)).eval(&d).unwrap(),
+            Predicate::Gt("salary".into(), Value::Float(50.0))
+                .eval(&d)
+                .unwrap(),
             vec![true, false, false, true]
         );
         assert_eq!(
-            Predicate::Le("age".into(), Value::Int(30)).eval(&d).unwrap(),
+            Predicate::Le("age".into(), Value::Int(30))
+                .eval(&d)
+                .unwrap(),
             vec![true, false, true, false]
         );
         assert_eq!(
-            Predicate::Lt("salary".into(), Value::Float(40.0)).eval(&d).unwrap(),
+            Predicate::Lt("salary".into(), Value::Float(40.0))
+                .eval(&d)
+                .unwrap(),
             vec![false, true, false, false]
         );
         assert_eq!(
-            Predicate::Ge("age".into(), Value::Int(40)).eval(&d).unwrap(),
+            Predicate::Ge("age".into(), Value::Int(40))
+                .eval(&d)
+                .unwrap(),
             vec![false, true, false, true]
         );
     }
@@ -254,14 +277,21 @@ mod tests {
                 .unwrap(),
             vec![true, true, true, false]
         );
-        assert_eq!(Predicate::IsNull("salary".into()).eval(&d).unwrap(), vec![false, false, true, false]);
-        assert_eq!(Predicate::NotNull("continent".into()).eval(&d).unwrap(), vec![true, true, true, false]);
+        assert_eq!(
+            Predicate::IsNull("salary".into()).eval(&d).unwrap(),
+            vec![false, false, true, false]
+        );
+        assert_eq!(
+            Predicate::NotNull("continent".into()).eval(&d).unwrap(),
+            vec![true, true, true, false]
+        );
     }
 
     #[test]
     fn boolean_combinators() {
         let d = df();
-        let p = Predicate::eq("continent", "Europe").and(Predicate::Gt("age".into(), Value::Int(26)));
+        let p =
+            Predicate::eq("continent", "Europe").and(Predicate::Gt("age".into(), Value::Int(26)));
         assert_eq!(p.eval(&d).unwrap(), vec![true, false, false, false]);
         let p = Predicate::eq("continent", "Asia").or(Predicate::eq("continent", "Europe"));
         assert_eq!(p.eval(&d).unwrap(), vec![true, true, true, false]);
@@ -274,7 +304,10 @@ mod tests {
         let d = df();
         assert_eq!(Predicate::True.eval(&d).unwrap(), vec![true; 4]);
         assert!(Predicate::True.is_trivial());
-        assert_eq!(Predicate::True.and(Predicate::eq("age", 30)), Predicate::eq("age", 30));
+        assert_eq!(
+            Predicate::True.and(Predicate::eq("age", 30)),
+            Predicate::eq("age", 30)
+        );
         let applied = Predicate::True.apply(&d).unwrap();
         assert_eq!(applied.n_rows(), 4);
     }
@@ -310,7 +343,10 @@ mod tests {
         assert_eq!(p.describe(), "c IN (1, 2)");
         assert_eq!(Predicate::IsNull("x".into()).describe(), "x IS NULL");
         assert_eq!(Predicate::True.describe(), "TRUE");
-        assert!(Predicate::eq("a", 1).or(Predicate::eq("b", 2)).describe().contains("OR"));
+        assert!(Predicate::eq("a", 1)
+            .or(Predicate::eq("b", 2))
+            .describe()
+            .contains("OR"));
         assert!(Predicate::eq("a", 1).negate().describe().starts_with("NOT"));
     }
 }

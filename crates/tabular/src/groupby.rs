@@ -41,14 +41,19 @@ pub fn group_by(df: &DataFrame, keys: &[&str]) -> Result<Vec<Group>> {
     let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
     let mut groups: Vec<Group> = Vec::new();
     for row in 0..n {
-        let composite: Vec<u32> =
-            encoded.iter().map(|e| e.codes[row].map(|c| c + 1).unwrap_or(0)).collect();
+        let composite: Vec<u32> = encoded
+            .iter()
+            .map(|e| e.codes[row].map(|c| c + 1).unwrap_or(0))
+            .collect();
         let gi = *index.entry(composite).or_insert_with(|| {
             let key = keys
                 .iter()
                 .map(|k| df.get(row, k).expect("column checked"))
                 .collect();
-            groups.push(Group { key, rows: Vec::new() });
+            groups.push(Group {
+                key,
+                rows: Vec::new(),
+            });
             groups.len() - 1
         });
         groups[gi].rows.push(row);
@@ -81,7 +86,10 @@ pub fn group_aggregate(
     for (i, k) in keys.iter().enumerate() {
         columns.push(Column::from_values(*k, std::mem::take(&mut key_values[i])));
     }
-    columns.push(Column::from_f64(format!("{}({})", agg.name(), target), agg_values));
+    columns.push(Column::from_f64(
+        format!("{}({})", agg.name(), target),
+        agg_values,
+    ));
     columns.push(Column::from_i64("group_size", sizes));
     DataFrame::from_columns(columns)
 }
@@ -93,9 +101,18 @@ mod tests {
 
     fn df() -> DataFrame {
         DataFrameBuilder::new()
-            .cat("country", vec![Some("DE"), Some("US"), Some("DE"), Some("FR"), None])
-            .cat("gender", vec![Some("M"), Some("F"), Some("F"), Some("M"), Some("F")])
-            .float("salary", vec![Some(60.0), Some(90.0), Some(70.0), Some(50.0), Some(40.0)])
+            .cat(
+                "country",
+                vec![Some("DE"), Some("US"), Some("DE"), Some("FR"), None],
+            )
+            .cat(
+                "gender",
+                vec![Some("M"), Some("F"), Some("F"), Some("M"), Some("F")],
+            )
+            .float(
+                "salary",
+                vec![Some(60.0), Some(90.0), Some(70.0), Some(50.0), Some(40.0)],
+            )
             .build()
             .unwrap()
     }
@@ -125,7 +142,10 @@ mod tests {
     fn group_aggregate_mean() {
         let out = group_aggregate(&df(), &["country"], "salary", AggFn::Mean).unwrap();
         assert_eq!(out.n_rows(), 4);
-        assert_eq!(out.column_names(), vec!["country", "avg(salary)", "group_size"]);
+        assert_eq!(
+            out.column_names(),
+            vec!["country", "avg(salary)", "group_size"]
+        );
         assert_eq!(out.get(0, "avg(salary)").unwrap(), Value::Float(65.0));
         assert_eq!(out.get(0, "group_size").unwrap(), Value::Int(2));
     }

@@ -50,7 +50,11 @@ pub fn join(
     let mut right_rows: Vec<Option<usize>> = Vec::new();
     for i in 0..left_key.len() {
         let v = left_key.get(i)?;
-        let matched = if v.is_null() { None } else { index.get(&v.render()).copied() };
+        let matched = if v.is_null() {
+            None
+        } else {
+            index.get(&v.render()).copied()
+        };
         match (kind, matched) {
             (JoinKind::Inner, Some(r)) => {
                 left_rows.push(i);
@@ -97,7 +101,10 @@ mod tests {
     fn left() -> DataFrame {
         DataFrameBuilder::new()
             .cat("country", vec![Some("DE"), Some("US"), Some("XX"), None])
-            .float("salary", vec![Some(60.0), Some(90.0), Some(10.0), Some(20.0)])
+            .float(
+                "salary",
+                vec![Some(60.0), Some(90.0), Some(10.0), Some(20.0)],
+            )
             .build()
             .unwrap()
     }
@@ -118,7 +125,7 @@ mod tests {
         assert_eq!(out.get(0, "gdp").unwrap(), Value::Float(4.0));
         assert_eq!(out.get(2, "gdp").unwrap(), Value::Null); // XX unmatched
         assert_eq!(out.get(3, "gdp").unwrap(), Value::Null); // null key unmatched
-        // name collision suffixed
+                                                             // name collision suffixed
         assert!(out.has_column("salary_right"));
         assert_eq!(out.get(1, "salary_right").unwrap(), Value::Float(2.0));
     }

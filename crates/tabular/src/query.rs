@@ -89,7 +89,12 @@ impl AggregateQuery {
                 self.context.describe()
             )));
         }
-        group_aggregate(&filtered, &[self.exposure.as_str()], &self.outcome, self.agg)
+        group_aggregate(
+            &filtered,
+            &[self.exposure.as_str()],
+            &self.outcome,
+            self.agg,
+        )
     }
 
     /// SQL rendering of the query, used in reports and examples.
@@ -122,12 +127,24 @@ mod tests {
 
     fn so() -> DataFrame {
         DataFrameBuilder::new()
-            .cat("country", vec![Some("DE"), Some("DE"), Some("US"), Some("FR"), Some("US")])
+            .cat(
+                "country",
+                vec![Some("DE"), Some("DE"), Some("US"), Some("FR"), Some("US")],
+            )
             .cat(
                 "continent",
-                vec![Some("Europe"), Some("Europe"), Some("NA"), Some("Europe"), Some("NA")],
+                vec![
+                    Some("Europe"),
+                    Some("Europe"),
+                    Some("NA"),
+                    Some("Europe"),
+                    Some("NA"),
+                ],
             )
-            .float("salary", vec![Some(60.0), Some(70.0), Some(100.0), Some(50.0), Some(120.0)])
+            .float(
+                "salary",
+                vec![Some(60.0), Some(70.0), Some(100.0), Some(50.0), Some(120.0)],
+            )
             .build()
             .unwrap()
     }

@@ -15,14 +15,26 @@ fn main() {
 
     let query = AggregateQuery::avg("Country", "Deaths_per_100_cases");
     println!("{}\n", query.to_sql("Covid-Data"));
-    let per_country = query.run(&covid).expect("query").sort_by("avg(Deaths_per_100_cases)").unwrap();
-    println!("lowest death rates:\n{}", per_country.head(5).to_pretty_string(5));
+    let per_country = query
+        .run(&covid)
+        .expect("query")
+        .sort_by("avg(Deaths_per_100_cases)")
+        .unwrap();
+    println!(
+        "lowest death rates:\n{}",
+        per_country.head(5).to_pretty_string(5)
+    );
     println!("(… {} countries total)\n", per_country.n_rows());
 
     // MESA mines candidate confounders (HDI, GDP, density, …) from the KG.
     let mesa = Mesa::new();
     let report = mesa
-        .explain(&covid, &query, Some(&graph), Dataset::Covid.extraction_columns())
+        .explain(
+            &covid,
+            &query,
+            Some(&graph),
+            Dataset::Covid.extraction_columns(),
+        )
         .expect("explanation");
     println!("Why does the death rate differ so much between countries?\n");
     println!("{}", explanation_details(&report.explanation));

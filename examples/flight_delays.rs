@@ -30,9 +30,18 @@ fn main() {
             .explain(&flights, &query, Some(&graph), &extraction)
             .expect("explanation");
         println!("== {label} ==");
-        println!("  baseline I(O;T)      = {:.3} bits", report.explanation.baseline_cmi);
-        println!("  explanation          = {}", explanation_line(&report.explanation));
-        println!("  residual I(O;T|E)    = {:.3} bits", report.explanation.explainability);
+        println!(
+            "  baseline I(O;T)      = {:.3} bits",
+            report.explanation.baseline_cmi
+        );
+        println!(
+            "  explanation          = {}",
+            explanation_line(&report.explanation)
+        );
+        println!(
+            "  residual I(O;T|E)    = {:.3} bits",
+            report.explanation.explainability
+        );
         println!(
             "  candidates: {} (of which {} extracted from the KG), pruned: {}\n",
             report.n_candidates,

@@ -14,18 +14,19 @@ fn main() {
     let mesa = Mesa::new();
 
     for category in ["Actors", "Athletes", "Directors/Producers"] {
-        let query = AggregateQuery::avg("Name", "Pay")
-            .with_context(Predicate::eq("Category", category));
+        let query =
+            AggregateQuery::avg("Name", "Pay").with_context(Predicate::eq("Category", category));
         let report = mesa
             .explain(&forbes, &query, Some(&graph), &["Name"])
             .expect("explanation");
         println!("== Pay of {category} ==");
-        println!("  explanation       = {}", explanation_line(&report.explanation));
+        println!(
+            "  explanation       = {}",
+            explanation_line(&report.explanation)
+        );
         println!(
             "  I(O;T) {:.3} -> I(O;T|E) {:.3} bits, {} KG attributes considered\n",
-            report.explanation.baseline_cmi,
-            report.explanation.explainability,
-            report.n_extracted
+            report.explanation.baseline_cmi, report.explanation.explainability, report.n_extracted
         );
     }
     println!(

@@ -5,12 +5,12 @@
 //! Run with `cargo run --release --example missing_data_robustness`.
 
 use mesa_repro::datagen::{build_kg, generate_so, KgConfig, World, WorldConfig};
+use mesa_repro::infotheory::CiTestConfig;
 use mesa_repro::kg::{impute_mean, remove_biased};
 use mesa_repro::mesa::{
     analyze_attribute, fully_observed_columns, prepare_query, Mesa, MesaConfig, MissingPolicy,
     PrepareConfig,
 };
-use mesa_repro::infotheory::CiTestConfig;
 use mesa_repro::tabular::AggregateQuery;
 
 fn main() {
@@ -19,7 +19,9 @@ fn main() {
     let so = generate_so(&world, 10_000, 3).expect("SO data");
     let query = AggregateQuery::avg("Country", "Salary");
     let mesa = Mesa::new();
-    let prepared = mesa.prepare(&so, &query, Some(&graph), &["Country"]).expect("prepare");
+    let prepared = mesa
+        .prepare(&so, &query, Some(&graph), &["Country"])
+        .expect("prepare");
 
     // Remove the top 40% of HDI values — a heavily biased removal.
     let degraded = remove_biased(&prepared.frame, "HDI", 0.4).expect("biased removal");
@@ -27,20 +29,48 @@ fn main() {
     // 1. Detect the selection bias.
     let encoded = mesa_repro::infotheory::EncodedFrame::from_frame(&degraded);
     let features = fully_observed_columns(&degraded);
-    let info = analyze_attribute(&encoded, "HDI", "Salary", "Country", &features, CiTestConfig::default())
-        .expect("analysis");
-    println!("HDI missing fraction : {:.1}%", info.missing_fraction * 100.0);
-    println!("selection bias       : {}", if info.biased { "detected" } else { "not detected" });
+    let info = analyze_attribute(
+        &encoded,
+        "HDI",
+        "Salary",
+        "Country",
+        &features,
+        CiTestConfig::default(),
+    )
+    .expect("analysis");
+    println!(
+        "HDI missing fraction : {:.1}%",
+        info.missing_fraction * 100.0
+    );
+    println!(
+        "selection bias       : {}",
+        if info.biased {
+            "detected"
+        } else {
+            "not detected"
+        }
+    );
 
     // 2. Compare explanations under IPW vs complete-case vs imputation.
     for (label, frame, policy) in [
         ("IPW (MESA)", degraded.clone(), MissingPolicy::Ipw),
-        ("complete-case", degraded.clone(), MissingPolicy::CompleteCase),
-        ("mean imputation", impute_mean(&degraded, "HDI").expect("impute"), MissingPolicy::CompleteCase),
+        (
+            "complete-case",
+            degraded.clone(),
+            MissingPolicy::CompleteCase,
+        ),
+        (
+            "mean imputation",
+            impute_mean(&degraded, "HDI").expect("impute"),
+            MissingPolicy::CompleteCase,
+        ),
     ] {
         let prepared =
             prepare_query(&frame, &query, None, &[], PrepareConfig::default()).expect("prepare");
-        let system = Mesa::with_config(MesaConfig { missing: policy, ..MesaConfig::default() });
+        let system = Mesa::with_config(MesaConfig {
+            missing: policy,
+            ..MesaConfig::default()
+        });
         let report = system.explain_prepared(&prepared).expect("explain");
         println!(
             "{label:<16} -> explanation [{}], residual I(O;T|E) = {:.4}",

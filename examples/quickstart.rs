@@ -18,7 +18,7 @@ fn main() {
     let mut salary_col = Vec::with_capacity(n);
     for i in 0..n {
         let c = i % countries.len();
-        let male = (i / countries.len()) % 2 == 0;
+        let male = (i / countries.len()).is_multiple_of(2);
         country_col.push(Value::from(countries[c]));
         gender_col.push(Value::from(if male { "Man" } else { "Woman" }));
         salary_col.push(Value::Float(
@@ -35,7 +35,10 @@ fn main() {
     // The analyst's query: average salary per country.
     let query = AggregateQuery::avg("Country", "Salary");
     println!("{}\n", query.to_sql("Developers"));
-    println!("{}\n", query.run(&df).expect("query runs").to_pretty_string(10));
+    println!(
+        "{}\n",
+        query.run(&df).expect("query runs").to_pretty_string(10)
+    );
 
     // A tiny knowledge graph with country-level economic facts (the role
     // DBpedia plays in the paper).

@@ -17,7 +17,9 @@ fn main() {
     // SO Q1: average salary per country.
     let q1 = AggregateQuery::avg("Country", "Salary");
     let mesa = Mesa::new();
-    let prepared = mesa.prepare(&so, &q1, Some(&graph), &["Country", "Continent"]).expect("prepare");
+    let prepared = mesa
+        .prepare(&so, &q1, Some(&graph), &["Country", "Continent"])
+        .expect("prepare");
     let report = mesa.explain_prepared(&prepared).expect("explain");
     println!("== SO Q1: average salary per country ==\n");
     println!("{}", explanation_details(&report.explanation));
@@ -27,15 +29,19 @@ fn main() {
         .unexplained_subgroups(
             &prepared,
             &report.explanation,
-            &SubgroupConfig { top_k: 5, tau: 0.2, ..Default::default() },
+            &SubgroupConfig {
+                top_k: 5,
+                tau: 0.2,
+                ..Default::default()
+            },
         )
         .expect("subgroups");
     println!("== Unexplained subgroups (needs a different explanation) ==\n");
     println!("{}", subgroup_table(&groups));
 
     // SO Q3: the refined query restricted to Europe gets its own explanation.
-    let q3 = AggregateQuery::avg("Country", "Salary")
-        .with_context(Predicate::eq("Continent", "Europe"));
+    let q3 =
+        AggregateQuery::avg("Country", "Salary").with_context(Predicate::eq("Continent", "Europe"));
     let report_eu = mesa
         .explain(&so, &q3, Some(&graph), &["Country", "Continent"])
         .expect("explanation for Europe");

@@ -18,13 +18,19 @@ fn method_ordering_on_covid_query() {
     });
     let graph = build_kg(
         &world,
-        KgConfig { random_missing: 0.05, biased_missing: 0.1, ..Default::default() },
+        KgConfig {
+            random_missing: 0.05,
+            biased_missing: 0.1,
+            ..Default::default()
+        },
     );
     let covid = generate_covid(&world, 2).unwrap();
     let query = AggregateQuery::avg("Country", "Deaths_per_100_cases");
 
     let mesa = Mesa::new();
-    let prepared = mesa.prepare(&covid, &query, Some(&graph), &["Country"]).unwrap();
+    let prepared = mesa
+        .prepare(&covid, &query, Some(&graph), &["Country"])
+        .unwrap();
     let pruned = prune(
         &prepared.encoded,
         &prepared.candidates,
@@ -33,15 +39,23 @@ fn method_ordering_on_covid_query() {
         &PruningConfig::default(),
     )
     .unwrap();
-    assert!(pruned.kept.len() >= 3, "pruning should leave real candidates: {:?}", pruned.kept);
+    assert!(
+        pruned.kept.len() >= 3,
+        "pruning should leave real candidates: {:?}",
+        pruned.kept
+    );
 
     let mesa_result = mesa.explain_prepared(&prepared).unwrap().explanation;
     let capped: Vec<String> = pruned.kept.iter().take(12).cloned().collect();
     let brute = brute_force(&prepared, &capped, 3).unwrap();
     let topk = top_k(&prepared, &pruned.kept, 3).unwrap();
     let lr = linear_regression(&prepared, &pruned.kept, 3).unwrap();
-    let table_only: Vec<String> =
-        pruned.kept.iter().filter(|c| !prepared.extracted.contains(c)).cloned().collect();
+    let table_only: Vec<String> = pruned
+        .kept
+        .iter()
+        .filter(|c| !prepared.extracted.contains(c))
+        .cloned()
+        .collect();
     let hyp = hypdb(&prepared, &table_only, HypDbConfig::default()).unwrap();
 
     let baseline = prepared.baseline_cmi();

@@ -16,7 +16,14 @@ fn small_world() -> (World, mesa_repro::kg::KnowledgeGraph) {
     });
     // No random sparsity here: these tests check the explanation logic, the
     // missing-data path has its own integration test.
-    let graph = build_kg(&world, KgConfig { random_missing: 0.02, biased_missing: 0.1, ..Default::default() });
+    let graph = build_kg(
+        &world,
+        KgConfig {
+            random_missing: 0.02,
+            biased_missing: 0.1,
+            ..Default::default()
+        },
+    );
     (world, graph)
 }
 
@@ -26,7 +33,9 @@ fn covid_deaths_explained_by_economy_and_density() {
     let covid = generate_covid(&world, 3).unwrap();
     let query = AggregateQuery::avg("Country", "Deaths_per_100_cases");
     let mesa = Mesa::new();
-    let report = mesa.explain(&covid, &query, Some(&graph), &["Country"]).unwrap();
+    let report = mesa
+        .explain(&covid, &query, Some(&graph), &["Country"])
+        .unwrap();
 
     assert!(
         !report.explanation.is_empty(),
@@ -59,10 +68,15 @@ fn so_salaries_use_kg_attributes_and_beat_table_only() {
     let query = AggregateQuery::avg("Country", "Salary");
     let mesa = Mesa::new();
 
-    let with_kg = mesa.explain(&so, &query, Some(&graph), &["Country"]).unwrap();
+    let with_kg = mesa
+        .explain(&so, &query, Some(&graph), &["Country"])
+        .unwrap();
     let table_only = mesa.explain(&so, &query, None, &[]).unwrap();
 
-    assert!(with_kg.n_extracted > 10, "KG extraction should add many candidates");
+    assert!(
+        with_kg.n_extracted > 10,
+        "KG extraction should add many candidates"
+    );
     // With the KG the correlation must be substantially explained; the
     // table-only run has no access to the economic drivers, so it serves as a
     // sanity reference rather than a strict bound (plug-in CMI estimates are
@@ -83,7 +97,9 @@ fn so_salaries_use_kg_attributes_and_beat_table_only() {
             .explanation
             .attributes
             .iter()
-            .any(|a| ["GDP", "Gini", "HDI", "Currency"].iter().any(|p| a.contains(p))),
+            .any(|a| ["GDP", "Gini", "HDI", "Currency"]
+                .iter()
+                .any(|p| a.contains(p))),
         "expected an economic attribute, got {:?}",
         with_kg.explanation.attributes
     );
@@ -95,11 +111,16 @@ fn responsibilities_are_normalised_and_ranked() {
     let so = generate_so(&world, 3_000, 6).unwrap();
     let query = AggregateQuery::avg("Country", "Salary");
     let mesa = Mesa::new();
-    let report = mesa.explain(&so, &query, Some(&graph), &["Country"]).unwrap();
+    let report = mesa
+        .explain(&so, &query, Some(&graph), &["Country"])
+        .unwrap();
     let e = &report.explanation;
     if e.len() >= 2 {
         let sum: f64 = e.responsibilities.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "responsibilities must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "responsibilities must sum to 1, got {sum}"
+        );
         let ranked = e.ranked_attributes();
         for w in ranked.windows(2) {
             assert!(w[0].1 >= w[1].1);
@@ -115,10 +136,15 @@ fn context_refinement_changes_the_explanation_requirement() {
 
     // Global query and its restriction to Europe (SO Q1 vs SO Q3).
     let q_global = AggregateQuery::avg("Country", "Salary");
-    let q_europe =
-        q_global.clone().with_context(Predicate::eq("Continent", "Europe"));
-    let global = mesa.explain(&so, &q_global, Some(&graph), &["Country"]).unwrap();
-    let europe = mesa.explain(&so, &q_europe, Some(&graph), &["Country"]).unwrap();
+    let q_europe = q_global
+        .clone()
+        .with_context(Predicate::eq("Continent", "Europe"));
+    let global = mesa
+        .explain(&so, &q_global, Some(&graph), &["Country"])
+        .unwrap();
+    let europe = mesa
+        .explain(&so, &q_europe, Some(&graph), &["Country"])
+        .unwrap();
     // Both runs must succeed and produce valid reports; the European context
     // has fewer rows and a different correlation to explain.
     assert!(europe.explanation.baseline_cmi >= 0.0);
@@ -131,13 +157,20 @@ fn unexplained_subgroups_run_on_so_query() {
     let so = generate_so(&world, 4_000, 9).unwrap();
     let query = AggregateQuery::avg("Country", "Salary");
     let mesa = Mesa::new();
-    let prepared = mesa.prepare(&so, &query, Some(&graph), &["Country"]).unwrap();
+    let prepared = mesa
+        .prepare(&so, &query, Some(&graph), &["Country"])
+        .unwrap();
     let report = mesa.explain_prepared(&prepared).unwrap();
     let groups = mesa
         .unexplained_subgroups(
             &prepared,
             &report.explanation,
-            &SubgroupConfig { top_k: 5, tau: 0.2, min_group_size: 50, ..Default::default() },
+            &SubgroupConfig {
+                top_k: 5,
+                tau: 0.2,
+                min_group_size: 50,
+                ..Default::default()
+            },
         )
         .unwrap();
     // The groups, if any, must be ordered by size and above the threshold.
@@ -158,8 +191,12 @@ fn mesa_minus_matches_mesa_quality_with_more_work() {
 
     let mesa = Mesa::new();
     let minus = Mesa::with_config(MesaConfig::mesa_minus());
-    let a = mesa.explain(&covid, &query, Some(&graph), &["Country"]).unwrap();
-    let b = minus.explain(&covid, &query, Some(&graph), &["Country"]).unwrap();
+    let a = mesa
+        .explain(&covid, &query, Some(&graph), &["Country"])
+        .unwrap();
+    let b = minus
+        .explain(&covid, &query, Some(&graph), &["Country"])
+        .unwrap();
     // Pruning must not change the explanation quality much (paper §5.1) ...
     assert!((a.explanation.explainability - b.explanation.explainability).abs() < 0.4);
     // ... while MESA- evaluates every candidate (no pruning).

@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use mesa_repro::infotheory::{
-    conditional_entropy, conditional_mutual_information, entropy, joint_entropy,
-    mutual_information,
+    conditional_entropy, conditional_mutual_information, entropy, joint_entropy, mutual_information,
 };
 use mesa_repro::tabular::{bin_column, BinStrategy, Column, DataFrame, Value};
 

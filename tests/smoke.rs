@@ -1,0 +1,75 @@
+//! Workspace smoke test: the full pipeline — synthetic world, knowledge
+//! graph, dataset generation, KG extraction, pruning, MCIMR — on a world
+//! small enough that tier-1 exercises every layer in well under a second.
+
+use mesa_repro::datagen::{build_kg, generate_covid, KgConfig, World, WorldConfig};
+use mesa_repro::mesa::{report_summary, Mesa};
+use mesa_repro::tabular::AggregateQuery;
+
+#[test]
+fn facade_explains_tiny_world() {
+    let world = World::generate(WorldConfig {
+        n_countries: 40,
+        n_cities: 8,
+        n_airlines: 3,
+        n_celebrities: 10,
+        seed: 5,
+    });
+    let graph = build_kg(
+        &world,
+        KgConfig {
+            random_missing: 0.0,
+            biased_missing: 0.0,
+            ..Default::default()
+        },
+    );
+    let covid = generate_covid(&world, 2).unwrap();
+    assert_eq!(covid.n_rows(), 40, "one row per country");
+
+    let query = AggregateQuery::avg("Country", "Deaths_per_100_cases");
+    let report = Mesa::new()
+        .explain(&covid, &query, Some(&graph), &["Country"])
+        .unwrap();
+
+    assert!(
+        !report.explanation.is_empty(),
+        "smoke world should yield a non-empty explanation"
+    );
+    assert!(
+        report.n_extracted > 0,
+        "the knowledge graph should contribute candidate attributes"
+    );
+    assert!(
+        report.explanation.explainability <= report.explanation.baseline_cmi + 1e-9,
+        "conditioning on the explanation must not increase the CMI"
+    );
+    // The human-readable rendering works and mentions the selected attributes.
+    let summary = report_summary(&report);
+    for attr in &report.explanation.attributes {
+        assert!(summary.contains(attr), "summary should mention {attr}");
+    }
+}
+
+#[test]
+fn facade_is_deterministic_across_runs() {
+    let run = || {
+        let world = World::generate(WorldConfig {
+            n_countries: 40,
+            n_cities: 8,
+            n_airlines: 3,
+            n_celebrities: 10,
+            seed: 5,
+        });
+        let graph = build_kg(&world, KgConfig::default());
+        let covid = generate_covid(&world, 2).unwrap();
+        let query = AggregateQuery::avg("Country", "Deaths_per_100_cases");
+        let report = Mesa::new()
+            .explain(&covid, &query, Some(&graph), &["Country"])
+            .unwrap();
+        (
+            report.explanation.attributes.clone(),
+            report.explanation.explainability,
+        )
+    };
+    assert_eq!(run(), run(), "same seeds must give the same explanation");
+}

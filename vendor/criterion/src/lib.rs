@@ -1,0 +1,256 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crate registry, so this
+//! crate implements the subset of the `criterion 0.5` API the workspace's
+//! benches use — [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, `iter`, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — as a plain wall-clock
+//! harness: each benchmark is warmed up, then timed for the configured
+//! measurement window, and the mean/min per-iteration times are printed.
+//!
+//! No statistics, plots, or baselines; swap the real crate back in for those.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name, an optional
+/// parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` at parameter `parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly — first for the warm-up window, then for
+    /// the measurement window — and records one duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let measure_until = Instant::now() + self.measurement_time;
+        while self.samples.len() < self.sample_size || Instant::now() < measure_until {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Shared knobs for a [`Criterion`] instance or a benchmark group.
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The benchmark manager: entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+    /// True when the binary was invoked by `cargo test`'s `--test` pass-through;
+    /// benchmarks then run a single iteration as a smoke test.
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` switches to one-shot smoke
+    /// mode; everything else is accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            config: None,
+        }
+    }
+
+    /// Benchmarks `f` under `name` (ungrouped).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let config = self.config.clone();
+        let test_mode = self.test_mode;
+        run_one(name, &config, test_mode, f);
+        self
+    }
+
+    /// Prints the closing line after all groups have run.
+    pub fn final_summary(&self) {
+        println!("benchmark run complete");
+    }
+}
+
+/// A named collection of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: Option<Config>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn config_mut(&mut self) -> &mut Config {
+        let base = self.criterion.config.clone();
+        self.config.get_or_insert(base)
+    }
+
+    /// Sets the target number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config_mut().sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up window for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config_mut().warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config_mut().measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let config = self
+            .config
+            .clone()
+            .unwrap_or_else(|| self.criterion.config.clone());
+        run_one(&label, &config, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        let config = self
+            .config
+            .clone()
+            .unwrap_or_else(|| self.criterion.config.clone());
+        run_one(&label, &config, self.criterion.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, config: &Config, test_mode: bool, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        warm_up_time: if test_mode {
+            Duration::ZERO
+        } else {
+            config.warm_up_time
+        },
+        measurement_time: if test_mode {
+            Duration::ZERO
+        } else {
+            config.measurement_time
+        },
+        sample_size: if test_mode { 1 } else { config.sample_size },
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<50} mean {mean:>12?}  min {min:>12?}  ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
