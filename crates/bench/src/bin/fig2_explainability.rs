@@ -1,12 +1,17 @@
 //! Figure 2: distance of each method's explainability score from
 //! Brute-Force's, on the Covid and Forbes queries (the two datasets where the
-//! exhaustive search is feasible).
+//! exhaustive search is feasible). The per-query MESA running time is
+//! recorded in `BENCH_fig2.json`.
 
-use bench::{prepare_workload, run_all_methods, ExperimentData, Method, Scale};
+use bench::{
+    prepare_workload, run_all_methods, run_method, BenchReport, ExperimentData, Method, Scale,
+    DEFAULT_REPS,
+};
 use datagen::{representative_queries, Dataset};
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let mut bench_report = BenchReport::new("fig2");
     println!("== Figure 2: distance from Brute-Force explainability ==\n");
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -24,6 +29,14 @@ fn main() {
             Ok(r) => r,
             Err(_) => continue,
         };
+        bench_report.time(
+            &format!("{}/MESA", wq.id.replace(' ', "-")),
+            prepared.frame.n_rows(),
+            DEFAULT_REPS,
+            || {
+                let _ = run_method(&prepared, Method::Mesa, 5);
+            },
+        );
         let score = |m: Method| {
             results
                 .iter()
@@ -46,4 +59,5 @@ fn main() {
     println!(
         "\n(lower is better; the paper's Figure 2 shows MESA and MESA- closest to Brute-Force)"
     );
+    bench_report.write_or_warn();
 }

@@ -1,9 +1,9 @@
 //! Figure 4: running time as a function of the number of candidate
-//! attributes, for No-Pruning, Offline-Pruning, and full MCIMR.
+//! attributes, for No-Pruning, Offline-Pruning, and full MCIMR. Timings are
+//! medians over [`bench::DEFAULT_REPS`] repetitions, also written to
+//! `BENCH_fig4.json`.
 
-use std::time::Instant;
-
-use bench::{prepare_workload, ExperimentData, Scale};
+use bench::{prepare_workload, BenchReport, ExperimentData, Scale, DEFAULT_REPS};
 use datagen::{representative_queries_for, Dataset};
 use mesa::{Mesa, MesaConfig, PruningConfig};
 use rand::rngs::StdRng;
@@ -26,6 +26,7 @@ fn variant(name: &str) -> MesaConfig {
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let mut report = BenchReport::new("fig4");
     println!("== Figure 4: running time vs number of candidate attributes ==\n");
     for dataset in [Dataset::StackOverflow, Dataset::Flights, Dataset::Forbes] {
         let queries = representative_queries_for(dataset);
@@ -60,9 +61,11 @@ fn main() {
             let mut times = Vec::new();
             for name in ["No Pruning", "Offline Pruning", "MCIMR"] {
                 let system = Mesa::with_config(variant(name));
-                let start = Instant::now();
-                let _ = system.explain_prepared(&sub).expect("explain");
-                times.push(start.elapsed().as_secs_f64());
+                let label = format!("{}/{}/{}attrs", dataset.name(), name, n_attrs);
+                let median = report.time(&label, sub.frame.n_rows(), DEFAULT_REPS, || {
+                    let _ = system.explain_prepared(&sub).expect("explain");
+                });
+                times.push(median / 1e3);
             }
             println!(
                 "{:>8} {:>13.3}s {:>17.3}s {:>11.3}s",
@@ -72,4 +75,5 @@ fn main() {
         println!();
     }
     println!("(expected shape: near-linear growth in |A|; No Pruning slowest, MCIMR fastest on large datasets)");
+    report.write_or_warn();
 }

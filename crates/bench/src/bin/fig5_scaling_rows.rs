@@ -1,9 +1,9 @@
 //! Figure 5: running time as a function of the number of rows in the dataset
-//! (rows removed uniformly at random).
+//! (rows removed uniformly at random). Timings are medians over
+//! [`bench::DEFAULT_REPS`] repetitions and are also written to
+//! `BENCH_fig5.json`.
 
-use std::time::Instant;
-
-use bench::{prepare_workload, ExperimentData, Scale};
+use bench::{prepare_workload, BenchReport, ExperimentData, Scale, DEFAULT_REPS};
 use datagen::{representative_queries_for, Dataset};
 use mesa::{Mesa, MesaConfig, PruningConfig};
 use rand::rngs::StdRng;
@@ -12,6 +12,7 @@ use rand::SeedableRng;
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let mut report = BenchReport::new("fig5");
     println!("== Figure 5: running time vs number of rows ==\n");
     for dataset in [Dataset::StackOverflow, Dataset::Flights, Dataset::Forbes] {
         let queries = representative_queries_for(dataset);
@@ -43,22 +44,29 @@ fn main() {
                 Err(_) => continue,
             };
             let mut times = Vec::new();
-            for config in [
-                MesaConfig {
-                    pruning: PruningConfig::disabled(),
-                    ..Default::default()
-                },
-                MesaConfig {
-                    pruning: PruningConfig::offline_only(),
-                    ..Default::default()
-                },
-                MesaConfig::default(),
+            for (variant, config) in [
+                (
+                    "No Pruning",
+                    MesaConfig {
+                        pruning: PruningConfig::disabled(),
+                        ..Default::default()
+                    },
+                ),
+                (
+                    "Offline Pruning",
+                    MesaConfig {
+                        pruning: PruningConfig::offline_only(),
+                        ..Default::default()
+                    },
+                ),
+                ("MCIMR", MesaConfig::default()),
             ] {
-                let start = Instant::now();
-                let _ = Mesa::with_config(config)
-                    .explain_prepared(&prepared)
-                    .expect("explain");
-                times.push(start.elapsed().as_secs_f64());
+                let system = Mesa::with_config(config);
+                let label = format!("{}/{}/{}", dataset.name(), variant, rows.len());
+                let median = report.time(&label, rows.len(), DEFAULT_REPS, || {
+                    let _ = system.explain_prepared(&prepared).expect("explain");
+                });
+                times.push(median / 1e3);
             }
             println!(
                 "{:>10} {:>13.3}s {:>17.3}s {:>11.3}s",
@@ -74,4 +82,5 @@ fn main() {
         "(expected shape: SO and Flights are nearly flat in the row count because group sizes stay\n\
          large; Forbes grows roughly linearly because its groups are tiny — as in the paper's Figure 5)"
     );
+    report.write_or_warn();
 }

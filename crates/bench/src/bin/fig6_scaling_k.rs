@@ -1,14 +1,14 @@
 //! Figure 6: running time as a function of the bound `k` on the explanation
-//! size.
+//! size. Timings are medians over [`bench::DEFAULT_REPS`] repetitions, also
+//! written to `BENCH_fig6.json`.
 
-use std::time::Instant;
-
-use bench::{prepare_workload, ExperimentData, Scale};
+use bench::{prepare_workload, BenchReport, ExperimentData, Scale, DEFAULT_REPS};
 use datagen::{representative_queries_for, Dataset};
 use mesa::{Mesa, MesaConfig, PruningConfig};
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let mut bench_report = BenchReport::new("fig6");
     println!("== Figure 6: running time vs explanation-size bound k ==\n");
     for dataset in [Dataset::StackOverflow, Dataset::Flights, Dataset::Forbes] {
         let queries = representative_queries_for(dataset);
@@ -25,25 +25,33 @@ fn main() {
         for k in 1..=10 {
             let mut times = Vec::new();
             let mut found = 0;
-            for config in [
-                MesaConfig {
-                    pruning: PruningConfig::disabled(),
-                    ..Default::default()
-                }
-                .with_k(k),
-                MesaConfig {
-                    pruning: PruningConfig::offline_only(),
-                    ..Default::default()
-                }
-                .with_k(k),
-                MesaConfig::default().with_k(k),
+            for (variant, config) in [
+                (
+                    "No Pruning",
+                    MesaConfig {
+                        pruning: PruningConfig::disabled(),
+                        ..Default::default()
+                    }
+                    .with_k(k),
+                ),
+                (
+                    "Offline Pruning",
+                    MesaConfig {
+                        pruning: PruningConfig::offline_only(),
+                        ..Default::default()
+                    }
+                    .with_k(k),
+                ),
+                ("MCIMR", MesaConfig::default().with_k(k)),
             ] {
-                let start = Instant::now();
-                let report = Mesa::with_config(config)
-                    .explain_prepared(&prepared)
-                    .expect("explain");
-                times.push(start.elapsed().as_secs_f64());
-                found = report.explanation.len();
+                let system = Mesa::with_config(config);
+                let label = format!("{}/{}/k{}", dataset.name(), variant, k);
+                let median =
+                    bench_report.time(&label, prepared.frame.n_rows(), DEFAULT_REPS, || {
+                        let report = system.explain_prepared(&prepared).expect("explain");
+                        found = report.explanation.len();
+                    });
+                times.push(median / 1e3);
             }
             println!(
                 "{:>4} {:>13.3}s {:>17.3}s {:>11.3}s {:>10}",
@@ -56,4 +64,5 @@ fn main() {
         "(expected shape: k has almost no effect because the responsibility test stops the search\n\
          after at most 3-4 attributes — as in the paper's Figure 6)"
     );
+    bench_report.write_or_warn();
 }

@@ -19,9 +19,11 @@
 pub mod ground_truth;
 pub mod judge;
 pub mod methods;
+pub mod report;
 pub mod setup;
 
 pub use ground_truth::ground_truth_for;
 pub use judge::{judge_explanation, GroundTruth, JudgeScore};
 pub use methods::{run_all_methods, run_method, Method, MethodResult};
+pub use report::{median_ms, BenchEntry, BenchReport, DEFAULT_REPS};
 pub use setup::{experiment_world, prepare_workload, scaled_rows, ExperimentData, Scale};

@@ -1,0 +1,231 @@
+//! Machine-readable benchmark results.
+//!
+//! Every `fig*` experiment binary writes a `BENCH_<name>.json` next to its
+//! human-readable table so the performance trajectory of the repository can
+//! be tracked across commits without parsing stdout. Timings are wall-clock
+//! milliseconds summarised as median/min/max over at least
+//! [`DEFAULT_REPS`] repetitions.
+//!
+//! The JSON is hand-rolled (no serde in the dependency tree); the schema is
+//! one object with a `name` and an `entries` array of
+//! `{label, rows, reps, median_ms, min_ms, max_ms}`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Default number of repetitions per timed entry.
+pub const DEFAULT_REPS: usize = 3;
+
+/// One timed measurement: a label, the input size, and the wall-clock
+/// summary over the repetitions.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// What was measured (e.g. `"Flights/MCIMR/20000"`).
+    pub label: String,
+    /// Input rows behind the measurement.
+    pub rows: usize,
+    /// Number of repetitions.
+    pub reps: usize,
+    /// Median wall-clock milliseconds.
+    pub median_ms: f64,
+    /// Fastest repetition.
+    pub min_ms: f64,
+    /// Slowest repetition.
+    pub max_ms: f64,
+}
+
+/// Collects [`BenchEntry`] records and writes `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    entries: Vec<BenchEntry>,
+}
+
+/// Median of an unsorted sample set (mean of the middle pair for even sizes).
+pub fn median_ms(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+impl BenchReport {
+    /// A report that will be written as `BENCH_<name>.json`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Times `f` over `reps` repetitions (at least [`DEFAULT_REPS`]), records
+    /// an entry, and returns the median milliseconds.
+    pub fn time<F: FnMut()>(&mut self, label: &str, rows: usize, reps: usize, mut f: F) -> f64 {
+        let reps = reps.max(DEFAULT_REPS);
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            f();
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        self.record(label, rows, &samples)
+    }
+
+    /// Records pre-measured samples (milliseconds); returns the median.
+    pub fn record(&mut self, label: &str, rows: usize, samples_ms: &[f64]) -> f64 {
+        let median = median_ms(samples_ms);
+        let min = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples_ms.iter().copied().fold(0.0f64, f64::max);
+        self.entries.push(BenchEntry {
+            label: label.to_string(),
+            rows,
+            reps: samples_ms.len(),
+            median_ms: median,
+            min_ms: if min.is_finite() { min } else { 0.0 },
+            max_ms: max,
+        });
+        median
+    }
+
+    /// The entries recorded so far.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Renders the report as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"rows\": {}, \"reps\": {}, \
+                 \"median_ms\": {:.3}, \"min_ms\": {:.3}, \"max_ms\": {:.3}}}{}\n",
+                escape(&e.label),
+                e.rows,
+                e.reps,
+                e.median_ms,
+                e.min_ms,
+                e.max_ms,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into `$MESA_BENCH_DIR` (or the current
+    /// directory) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("MESA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = PathBuf::from(dir).join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// [`write`](BenchReport::write), reporting the outcome on stdout/stderr
+    /// instead of propagating the error (experiment binaries should still
+    /// print their tables when the working directory is read-only).
+    pub fn write_or_warn(&self) {
+        match self.write() {
+            Ok(path) => println!("(benchmark results written to {})", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", self.name),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median_ms(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_ms(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_ms(&[]), 0.0);
+    }
+
+    #[test]
+    fn time_enforces_min_reps_and_records() {
+        let mut report = BenchReport::new("unit");
+        let mut calls = 0;
+        let median = report.time("noop", 10, 1, || calls += 1);
+        assert_eq!(calls, DEFAULT_REPS);
+        assert!(median >= 0.0);
+        let e = &report.entries()[0];
+        assert_eq!(e.reps, DEFAULT_REPS);
+        assert!(e.min_ms <= e.median_ms && e.median_ms <= e.max_ms);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut report = BenchReport::new("unit");
+        report.record("with \"quotes\"\n", 5, &[1.0, 2.0, 3.0]);
+        let json = report.to_json();
+        assert!(json.contains("\"name\": \"unit\""));
+        assert!(json.contains("\\\"quotes\\\"\\n"));
+        assert!(json.contains("\"median_ms\": 2.000"));
+        assert!(json.contains("\"rows\": 5"));
+        // trailing comma only between entries
+        report.record("second", 1, &[1.0]);
+        let json = report.to_json();
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    /// Restores (or removes) `MESA_BENCH_DIR` on drop, so a failing
+    /// assertion cannot leak the override into other tests in the process.
+    struct EnvGuard(Option<String>);
+
+    impl EnvGuard {
+        fn set(value: &std::path::Path) -> Self {
+            let prior = std::env::var("MESA_BENCH_DIR").ok();
+            std::env::set_var("MESA_BENCH_DIR", value);
+            EnvGuard(prior)
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match &self.0 {
+                Some(prior) => std::env::set_var("MESA_BENCH_DIR", prior),
+                None => std::env::remove_var("MESA_BENCH_DIR"),
+            }
+        }
+    }
+
+    #[test]
+    fn write_respects_bench_dir() {
+        let dir = std::env::temp_dir().join("mesa_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _guard = EnvGuard::set(&dir);
+        let mut report = BenchReport::new("unit_write");
+        report.record("x", 1, &[1.0, 2.0, 3.0]);
+        let path = report.write().unwrap();
+        assert!(path.ends_with("BENCH_unit_write.json"));
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"entries\""));
+    }
+}

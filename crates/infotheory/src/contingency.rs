@@ -5,17 +5,22 @@
 //! columns are dropped (complete-case analysis); Inverse Probability Weighting
 //! re-weights the remaining rows, which is why every count is an `f64` weight
 //! rather than an integer.
-
-use std::collections::HashMap;
+//!
+//! Storage is delegated to the [`kernel`](crate::kernel) module: small cross
+//! products (the overwhelmingly common case after binning) are accumulated
+//! into a flat dense vector via mixed-radix code packing; larger ones fall
+//! back to the sparse hash-map path.
 
 use tabular::EncodedColumn;
+
+use crate::kernel::{self, JointCounts};
 
 /// A weighted joint distribution over the cross product of a set of encoded
 /// columns.
 #[derive(Debug, Clone)]
 pub struct JointTable {
-    /// Weighted count for each observed joint key.
-    counts: HashMap<Vec<u32>, f64>,
+    /// Weighted count per observed joint key (dense or sparse).
+    counts: JointCounts,
     /// Total weight over all observed keys.
     total: f64,
     /// Number of rows that participated (complete cases).
@@ -29,42 +34,37 @@ impl JointTable {
     /// * Rows with a missing value in any column are skipped.
     /// * `weights`, when given, must have the same length as the columns and
     ///   assigns a non-negative weight to each row (IPW weights). Without
-    ///   weights every complete row counts 1.
+    ///   weights every complete row counts 1. Rows with zero weight are
+    ///   skipped.
     ///
     /// # Panics
-    /// Panics if the columns (or the weight vector) have inconsistent lengths.
+    /// Panics if the columns (or the weight vector) have inconsistent
+    /// lengths, or if any weight is negative or non-finite (NaN / infinite
+    /// weights would silently corrupt the counts).
     pub fn build(columns: &[&EncodedColumn], weights: Option<&[f64]>) -> Self {
         let n = columns.first().map(|c| c.len()).unwrap_or(0);
-        for c in columns {
-            assert_eq!(c.len(), n, "all columns must have equal length");
-        }
-        if let Some(w) = weights {
-            assert_eq!(w.len(), n, "weights must have one entry per row");
-        }
-        let mut counts: HashMap<Vec<u32>, f64> = HashMap::new();
-        let mut total = 0.0;
-        let mut complete_cases = 0usize;
-        'rows: for row in 0..n {
-            let mut key = Vec::with_capacity(columns.len());
-            for c in columns {
-                match c.codes[row] {
-                    Some(code) => key.push(code),
-                    None => continue 'rows,
-                }
-            }
-            let w = weights.map(|w| w[row]).unwrap_or(1.0);
-            if w <= 0.0 {
-                continue;
-            }
-            *counts.entry(key).or_insert(0.0) += w;
-            total += w;
-            complete_cases += 1;
-        }
+        Self::build_with_threshold(columns, weights, kernel::adaptive_dense_cells(n))
+    }
+
+    /// Like [`build`](JointTable::build) but with an explicit dense-cell
+    /// threshold: cross products with at most `dense_cells` cells use the
+    /// dense kernel, larger ones the sparse hash path. `0` forces sparse.
+    pub fn build_with_threshold(
+        columns: &[&EncodedColumn],
+        weights: Option<&[f64]>,
+        dense_cells: usize,
+    ) -> Self {
+        let acc = kernel::accumulate(columns, weights, dense_cells);
         JointTable {
-            counts,
-            total,
-            complete_cases,
+            counts: acc.counts,
+            total: acc.total,
+            complete_cases: acc.complete_cases,
         }
+    }
+
+    /// Whether the table is stored densely.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.counts, JointCounts::Dense { .. })
     }
 
     /// Total weight of the table.
@@ -79,44 +79,28 @@ impl JointTable {
 
     /// Number of observed (non-zero) cells.
     pub fn n_cells(&self) -> usize {
-        self.counts.len()
+        self.counts.n_cells()
     }
 
     /// Whether no row survived the complete-case filter.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty() || self.total <= 0.0
+        self.complete_cases == 0 || self.total <= 0.0
     }
 
-    /// Iterates `(joint key, weighted count)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u32>, f64)> {
-        self.counts.iter().map(|(k, &v)| (k, v))
+    /// Iterates `(joint key, weighted count)` pairs of the observed cells.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<u32>, f64)> + '_ {
+        self.counts.iter_keyed()
     }
 
     /// Plug-in Shannon entropy (base 2) of the joint distribution.
     pub fn entropy(&self) -> f64 {
-        if self.is_empty() {
-            return 0.0;
-        }
-        let mut h = 0.0;
-        for &count in self.counts.values() {
-            if count > 0.0 {
-                let p = count / self.total;
-                h -= p * p.log2();
-            }
-        }
-        // Clamp tiny negative values arising from floating point error.
-        h.max(0.0)
+        self.counts.entropy(self.total)
     }
 
     /// Marginalises the table onto a subset of its dimensions (by position).
     pub fn marginal(&self, dims: &[usize]) -> JointTable {
-        let mut counts: HashMap<Vec<u32>, f64> = HashMap::new();
-        for (key, count) in self.iter() {
-            let sub: Vec<u32> = dims.iter().map(|&d| key[d]).collect();
-            *counts.entry(sub).or_insert(0.0) += count;
-        }
         JointTable {
-            counts,
+            counts: self.counts.marginalize(dims),
             total: self.total,
             complete_cases: self.complete_cases,
         }
@@ -127,7 +111,7 @@ impl JointTable {
         if self.total <= 0.0 {
             return 0.0;
         }
-        self.counts.get(key).copied().unwrap_or(0.0) / self.total
+        self.counts.get(key) / self.total
     }
 }
 
@@ -201,5 +185,41 @@ mod tests {
         let x = enc(&[Some("a")]);
         let y = enc(&[Some("a"), Some("b")]);
         JointTable::build(&[&x, &y], None);
+    }
+
+    #[test]
+    fn dense_and_sparse_tables_agree() {
+        let x = enc(&[Some("a"), Some("a"), Some("b"), None, Some("b"), Some("c")]);
+        let y = enc(&[Some("0"), Some("1"), Some("0"), Some("1"), None, Some("1")]);
+        let w = [1.0, 2.0, 0.5, 1.0, 1.0, 3.0];
+        let dense = JointTable::build(&[&x, &y], Some(&w));
+        let sparse = JointTable::build_with_threshold(&[&x, &y], Some(&w), 0);
+        assert!(dense.is_dense());
+        assert!(!sparse.is_dense());
+        assert_eq!(dense.total(), sparse.total());
+        assert_eq!(dense.complete_cases(), sparse.complete_cases());
+        assert_eq!(dense.n_cells(), sparse.n_cells());
+        assert!((dense.entropy() - sparse.entropy()).abs() < 1e-12);
+        for dims in [vec![0], vec![1]] {
+            let dm = dense.marginal(&dims);
+            let sm = sparse.marginal(&dims);
+            assert!((dm.entropy() - sm.entropy()).abs() < 1e-12);
+            assert_eq!(dm.n_cells(), sm.n_cells());
+        }
+        assert!((dense.probability(&[0, 1]) - sparse.probability(&[0, 1])).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IPW weight")]
+    fn non_finite_weights_are_rejected() {
+        let x = enc(&[Some("a"), Some("b")]);
+        JointTable::build(&[&x], Some(&[1.0, f64::INFINITY]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IPW weight")]
+    fn negative_weights_are_rejected() {
+        let x = enc(&[Some("a"), Some("b")]);
+        JointTable::build(&[&x], Some(&[-1.0, 1.0]));
     }
 }

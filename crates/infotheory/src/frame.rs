@@ -139,17 +139,16 @@ impl EncodedFrame {
 
     /// Number of distinct non-null values of a column.
     pub fn cardinality(&self, x: &str) -> Result<usize> {
-        Ok(self.column(x)?.cardinality)
+        Ok(self.column(x)?.cardinality())
     }
 
-    /// Fraction of missing values of a column.
+    /// Fraction of missing values of a column (from the validity bitmap).
     pub fn missing_fraction(&self, x: &str) -> Result<f64> {
         let col = self.column(x)?;
         if col.is_empty() {
             return Ok(0.0);
         }
-        let missing = col.codes.iter().filter(|c| c.is_none()).count();
-        Ok(missing as f64 / col.len() as f64)
+        Ok(col.null_count() as f64 / col.len() as f64)
     }
 }
 

@@ -1,0 +1,398 @@
+//! The columnar counting kernel behind every estimator in this crate.
+//!
+//! A joint count table over encoded columns can be stored two ways:
+//!
+//! * **Dense**: when the cross-product cardinality of the involved columns is
+//!   at most [`DEFAULT_DENSE_CELLS`], counts live in a flat `Vec<f64>`
+//!   indexed by mixed-radix packing of the per-column codes
+//!   (`idx = c_0 + r_0·(c_1 + r_1·(c_2 + …))`, radix `r_i` = cardinality of
+//!   column `i`). Accumulation is then one multiply-add per column per
+//!   complete row — no hashing, no per-row key allocation — and marginals
+//!   are dense folds.
+//! * **Sparse**: above the threshold the kernel falls back to the hash-map
+//!   representation (`Vec<u32>` joint key → weight), which handles
+//!   pathological cardinalities without allocating the cross product.
+//!
+//! The complete-case mask (rows non-null in *every* involved column) is fused
+//! into one word-wise bitmap `AND` over the columns' validity bitmaps instead
+//! of a per-row `continue` chain.
+
+use std::collections::HashMap;
+
+use tabular::{Bitmap, EncodedColumn};
+
+/// Hard maximum number of dense cells (8 MiB of `f64` counts). Cross
+/// products larger than this fall back to the sparse hash path.
+pub const DEFAULT_DENSE_CELLS: usize = 1 << 20;
+
+/// The row-aware dense threshold used by default builds: a dense table pays
+/// for allocating, zeroing, and scanning *every* cell of the cross product,
+/// so it only wins while the cell count stays within a small multiple of the
+/// number of rows feeding it. Capped at [`DEFAULT_DENSE_CELLS`].
+pub fn adaptive_dense_cells(n_rows: usize) -> usize {
+    n_rows
+        .saturating_mul(8)
+        .saturating_add(1024)
+        .min(DEFAULT_DENSE_CELLS)
+}
+
+/// The complete-case mask of a set of columns over `n_rows` rows: bit `i` is
+/// set iff row `i` is non-null in every column.
+///
+/// # Panics
+/// Panics if any column's length differs from `n_rows`.
+pub fn complete_case_mask(columns: &[&EncodedColumn], n_rows: usize) -> Bitmap {
+    let mut mask = Bitmap::new_all_set(n_rows);
+    for c in columns {
+        mask.intersect_with(c.validity());
+    }
+    mask
+}
+
+/// Number of cells of the dense cross product, or `None` when it exceeds
+/// `threshold` (or overflows `usize`). Columns with cardinality 0 (entirely
+/// missing) contribute a radix of 1 so the product stays well-defined.
+pub fn dense_cell_count(columns: &[&EncodedColumn], threshold: usize) -> Option<usize> {
+    let mut cells: usize = 1;
+    for c in columns {
+        cells = cells.checked_mul(c.cardinality().max(1))?;
+        if cells > threshold {
+            return None;
+        }
+    }
+    Some(cells)
+}
+
+/// Joint counts in either storage layout.
+#[derive(Debug, Clone)]
+pub enum JointCounts {
+    /// Flat mixed-radix counts; `radices[i]` is the cardinality of dimension
+    /// `i` and `counts.len()` is the product of all radices.
+    Dense {
+        /// Weighted count per cell of the cross product.
+        counts: Vec<f64>,
+        /// Per-dimension radix (column cardinality, at least 1).
+        radices: Vec<usize>,
+    },
+    /// Hash-map counts keyed by the joint code vector.
+    Sparse {
+        /// Weighted count per observed joint key.
+        counts: HashMap<Vec<u32>, f64>,
+    },
+}
+
+/// What the kernel accumulated for one set of columns.
+#[derive(Debug, Clone)]
+pub struct Accumulated {
+    /// The joint counts.
+    pub counts: JointCounts,
+    /// Total weight over all cells.
+    pub total: f64,
+    /// Number of rows that participated (complete cases with positive
+    /// weight).
+    pub complete_cases: usize,
+}
+
+/// Accumulates the weighted joint counts of `columns`, choosing the dense
+/// layout when the cross product has at most `dense_cells` cells.
+///
+/// Rows with a missing value in any column are dropped (complete-case
+/// analysis); rows with zero weight are dropped from the counts and the
+/// complete-case tally.
+///
+/// # Panics
+/// Panics if the columns (or the weight vector) have inconsistent lengths,
+/// or if any weight is negative or non-finite (NaN / infinite weights would
+/// silently corrupt every downstream entropy).
+pub fn accumulate(
+    columns: &[&EncodedColumn],
+    weights: Option<&[f64]>,
+    dense_cells: usize,
+) -> Accumulated {
+    let n = columns.first().map(|c| c.len()).unwrap_or(0);
+    for c in columns {
+        assert_eq!(c.len(), n, "all columns must have equal length");
+    }
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "weights must have one entry per row");
+        for (i, &wi) in w.iter().enumerate() {
+            assert!(
+                wi.is_finite() && wi >= 0.0,
+                "invalid IPW weight {wi} at row {i}: weights must be finite and non-negative"
+            );
+        }
+    }
+    let mask = complete_case_mask(columns, n);
+    let mut total = 0.0;
+    let mut complete_cases = 0usize;
+    let counts = match dense_cell_count(columns, dense_cells) {
+        Some(cells) => {
+            let mut counts = vec![0.0f64; cells];
+            let radices: Vec<usize> = columns.iter().map(|c| c.cardinality().max(1)).collect();
+            for row in mask.iter_set() {
+                let w = weights.map(|w| w[row]).unwrap_or(1.0);
+                if w == 0.0 {
+                    continue;
+                }
+                let mut idx = 0usize;
+                let mut mult = 1usize;
+                for (c, &radix) in columns.iter().zip(&radices) {
+                    idx += c.codes()[row] as usize * mult;
+                    mult *= radix;
+                }
+                counts[idx] += w;
+                total += w;
+                complete_cases += 1;
+            }
+            JointCounts::Dense { counts, radices }
+        }
+        None => {
+            let mut counts: HashMap<Vec<u32>, f64> = HashMap::new();
+            for row in mask.iter_set() {
+                let w = weights.map(|w| w[row]).unwrap_or(1.0);
+                if w == 0.0 {
+                    continue;
+                }
+                let key: Vec<u32> = columns.iter().map(|c| c.codes()[row]).collect();
+                *counts.entry(key).or_insert(0.0) += w;
+                total += w;
+                complete_cases += 1;
+            }
+            JointCounts::Sparse { counts }
+        }
+    };
+    Accumulated {
+        counts,
+        total,
+        complete_cases,
+    }
+}
+
+impl JointCounts {
+    /// Number of observed (non-zero) cells.
+    pub fn n_cells(&self) -> usize {
+        match self {
+            JointCounts::Dense { counts, .. } => counts.iter().filter(|&&c| c > 0.0).count(),
+            JointCounts::Sparse { counts } => counts.len(),
+        }
+    }
+
+    /// Plug-in Shannon entropy (base 2) of the counts normalised by `total`.
+    /// Returns 0 for an empty table.
+    pub fn entropy(&self, total: f64) -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        match self {
+            JointCounts::Dense { counts, .. } => {
+                for &count in counts {
+                    if count > 0.0 {
+                        let p = count / total;
+                        h -= p * p.log2();
+                    }
+                }
+            }
+            JointCounts::Sparse { counts } => {
+                for &count in counts.values() {
+                    if count > 0.0 {
+                        let p = count / total;
+                        h -= p * p.log2();
+                    }
+                }
+            }
+        }
+        // Clamp tiny negative values arising from floating point error.
+        h.max(0.0)
+    }
+
+    /// The count of one joint key (0 when unobserved or out of range).
+    pub fn get(&self, key: &[u32]) -> f64 {
+        match self {
+            JointCounts::Dense { counts, radices } => {
+                if key.len() != radices.len() {
+                    return 0.0;
+                }
+                let mut idx = 0usize;
+                let mut mult = 1usize;
+                for (&code, &radix) in key.iter().zip(radices) {
+                    if code as usize >= radix {
+                        return 0.0;
+                    }
+                    idx += code as usize * mult;
+                    mult *= radix;
+                }
+                counts[idx]
+            }
+            JointCounts::Sparse { counts } => counts.get(key).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Folds the counts onto a subset of the dimensions (by position). The
+    /// result keeps the storage layout of the source.
+    pub fn marginalize(&self, dims: &[usize]) -> JointCounts {
+        match self {
+            JointCounts::Dense { counts, radices } => {
+                // Stride of each source dimension in the flat index.
+                let mut strides = Vec::with_capacity(radices.len());
+                let mut mult = 1usize;
+                for &r in radices {
+                    strides.push(mult);
+                    mult *= r;
+                }
+                let out_radices: Vec<usize> = dims.iter().map(|&d| radices[d]).collect();
+                let out_cells: usize = out_radices.iter().product::<usize>().max(1);
+                let mut out = vec![0.0f64; out_cells];
+                for (idx, &count) in counts.iter().enumerate() {
+                    if count == 0.0 {
+                        continue;
+                    }
+                    let mut oidx = 0usize;
+                    let mut omult = 1usize;
+                    for (&d, &out_radix) in dims.iter().zip(&out_radices) {
+                        let code = (idx / strides[d]) % radices[d];
+                        oidx += code * omult;
+                        omult *= out_radix;
+                    }
+                    out[oidx] += count;
+                }
+                JointCounts::Dense {
+                    counts: out,
+                    radices: out_radices,
+                }
+            }
+            JointCounts::Sparse { counts } => {
+                let mut out: HashMap<Vec<u32>, f64> = HashMap::new();
+                for (key, &count) in counts {
+                    let sub: Vec<u32> = dims.iter().map(|&d| key[d]).collect();
+                    *out.entry(sub).or_insert(0.0) += count;
+                }
+                JointCounts::Sparse { counts: out }
+            }
+        }
+    }
+
+    /// Iterates `(joint key, weighted count)` pairs of the observed cells
+    /// (keys are materialised; dense cells with zero count are skipped).
+    pub fn iter_keyed(&self) -> Box<dyn Iterator<Item = (Vec<u32>, f64)> + '_> {
+        match self {
+            JointCounts::Dense { counts, radices } => {
+                Box::new(counts.iter().enumerate().filter_map(move |(idx, &count)| {
+                    if count <= 0.0 {
+                        return None;
+                    }
+                    let mut key = Vec::with_capacity(radices.len());
+                    let mut rest = idx;
+                    for &r in radices {
+                        key.push((rest % r) as u32);
+                        rest /= r;
+                    }
+                    Some((key, count))
+                }))
+            }
+            JointCounts::Sparse { counts } => Box::new(counts.iter().map(|(k, &v)| (k.clone(), v))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Column;
+
+    fn enc(vals: &[Option<&str>]) -> EncodedColumn {
+        Column::from_str_values("c", vals.to_vec()).encode()
+    }
+
+    #[test]
+    fn mask_is_intersection_of_validities() {
+        let x = enc(&[Some("a"), None, Some("b"), Some("a")]);
+        let y = enc(&[Some("0"), Some("1"), None, Some("0")]);
+        let mask = complete_case_mask(&[&x, &y], 4);
+        let rows: Vec<usize> = mask.iter_set().collect();
+        assert_eq!(rows, vec![0, 3]);
+    }
+
+    #[test]
+    fn cell_count_respects_threshold_and_overflow() {
+        let x = enc(&[Some("a"), Some("b"), Some("c")]);
+        let y = enc(&[Some("0"), Some("1"), Some("0")]);
+        assert_eq!(dense_cell_count(&[&x, &y], 100), Some(6));
+        assert_eq!(dense_cell_count(&[&x, &y], 5), None);
+        assert_eq!(dense_cell_count(&[], 1), Some(1));
+        // all-missing column contributes radix 1
+        let empty = enc(&[None, None, None]);
+        assert_eq!(dense_cell_count(&[&x, &empty], 100), Some(3));
+    }
+
+    #[test]
+    fn dense_and_sparse_accumulate_identically() {
+        let x = enc(&[Some("a"), Some("a"), Some("b"), None, Some("b")]);
+        let y = enc(&[Some("0"), Some("1"), Some("0"), Some("1"), None]);
+        let dense = accumulate(&[&x, &y], None, DEFAULT_DENSE_CELLS);
+        let sparse = accumulate(&[&x, &y], None, 0);
+        assert!(matches!(dense.counts, JointCounts::Dense { .. }));
+        assert!(matches!(sparse.counts, JointCounts::Sparse { .. }));
+        assert_eq!(dense.total, sparse.total);
+        assert_eq!(dense.complete_cases, sparse.complete_cases);
+        assert_eq!(dense.counts.n_cells(), sparse.counts.n_cells());
+        let mut d: Vec<(Vec<u32>, f64)> = dense.counts.iter_keyed().collect();
+        let mut s: Vec<(Vec<u32>, f64)> = sparse.counts.iter_keyed().collect();
+        d.sort_by(|a, b| a.0.cmp(&b.0));
+        s.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            d.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            s.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>()
+        );
+        for ((_, dc), (_, sc)) in d.iter().zip(&s) {
+            assert!((dc - sc).abs() < 1e-12);
+        }
+        assert!(
+            (dense.counts.entropy(dense.total) - sparse.counts.entropy(sparse.total)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn marginalize_matches_between_layouts() {
+        let x = enc(&[Some("a"), Some("a"), Some("b"), Some("b"), Some("a")]);
+        let y = enc(&[Some("0"), Some("1"), Some("0"), Some("1"), Some("1")]);
+        let dense = accumulate(&[&x, &y], None, DEFAULT_DENSE_CELLS);
+        let sparse = accumulate(&[&x, &y], None, 0);
+        for dims in [vec![0], vec![1], vec![1, 0], vec![0, 1]] {
+            let dm = dense.counts.marginalize(&dims);
+            let sm = sparse.counts.marginalize(&dims);
+            let mut d: Vec<(Vec<u32>, f64)> = dm.iter_keyed().collect();
+            let mut s: Vec<(Vec<u32>, f64)> = sm.iter_keyed().collect();
+            d.sort_by(|a, b| a.0.cmp(&b.0));
+            s.sort_by(|a, b| a.0.cmp(&b.0));
+            assert_eq!(d.len(), s.len(), "dims {dims:?}");
+            for ((dk, dc), (sk, sc)) in d.iter().zip(&s) {
+                assert_eq!(dk, sk);
+                assert!((dc - sc).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn get_handles_out_of_range_keys() {
+        let x = enc(&[Some("a"), Some("b")]);
+        let acc = accumulate(&[&x], None, DEFAULT_DENSE_CELLS);
+        assert_eq!(acc.counts.get(&[0]), 1.0);
+        assert_eq!(acc.counts.get(&[7]), 0.0);
+        assert_eq!(acc.counts.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IPW weight")]
+    fn nan_weight_is_rejected() {
+        let x = enc(&[Some("a"), Some("b")]);
+        accumulate(&[&x], Some(&[1.0, f64::NAN]), DEFAULT_DENSE_CELLS);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IPW weight")]
+    fn negative_weight_is_rejected() {
+        let x = enc(&[Some("a"), Some("b")]);
+        accumulate(&[&x], Some(&[1.0, -0.5]), DEFAULT_DENSE_CELLS);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod contingency;
 pub mod frame;
 pub mod independence;
+pub mod kernel;
 pub mod measures;
 pub mod special;
 
@@ -43,6 +44,7 @@ pub use independence::{
     approx_functional_dependency, ci_test, is_conditionally_independent, logically_equivalent,
     CiTestConfig, CiTestResult,
 };
+pub use kernel::{adaptive_dense_cells, complete_case_mask, dense_cell_count, DEFAULT_DENSE_CELLS};
 pub use measures::{
     conditional_entropy, conditional_mutual_information, entropy, interaction_information,
     joint_entropy, mutual_information, normalized_mutual_information,

@@ -293,19 +293,17 @@ mod tests {
         let z = enc(&["p", "p", "q", "q", "q", "p", "q", "p"]);
         // joint of (y,z) as a single variable via building a combined coding
         let yz_codes: Vec<Option<u32>> = y
-            .codes
-            .iter()
-            .zip(&z.codes)
+            .iter_codes()
+            .zip(z.iter_codes())
             .map(|(a, b)| match (a, b) {
                 (Some(a), Some(b)) => Some(a * 2 + b),
                 _ => None,
             })
             .collect();
-        let yz = EncodedColumn {
-            codes: yz_codes,
-            cardinality: 4,
-            labels: vec!["00".into(), "01".into(), "10".into(), "11".into()],
-        };
+        let yz = EncodedColumn::from_option_codes(
+            yz_codes,
+            vec!["00".into(), "01".into(), "10".into(), "11".into()],
+        );
         let lhs = mutual_information(&x, &yz, None);
         let rhs =
             mutual_information(&x, &y, None) + conditional_mutual_information(&x, &z, &[&y], None);

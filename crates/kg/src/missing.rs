@@ -76,15 +76,15 @@ pub fn impute_mean(df: &DataFrame, column: &str) -> Result<DataFrame> {
     } else {
         // Mode imputation for discrete columns.
         let enc = col.encode();
-        let mut counts = vec![0usize; enc.cardinality];
-        for c in enc.codes.iter().flatten() {
-            counts[*c as usize] += 1;
+        let mut counts = vec![0usize; enc.cardinality()];
+        for c in enc.iter_codes().flatten() {
+            counts[c as usize] += 1;
         }
         let mode = counts
             .iter()
             .enumerate()
             .max_by_key(|(_, &c)| c)
-            .map(|(i, _)| enc.labels[i].clone());
+            .map(|(i, _)| enc.label(i as u32).to_string());
         let mode = match mode {
             Some(m) => m,
             None => return Ok(out),

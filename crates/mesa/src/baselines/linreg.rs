@@ -41,11 +41,11 @@ pub fn linear_regression(
     let n = outcome_col.len();
     let mut rows: Vec<usize> = Vec::with_capacity(n);
     'row: for i in 0..n {
-        if outcome_col.codes[i].is_none() {
+        if !outcome_col.is_present(i) {
             continue;
         }
         for c in &cand_cols {
-            if c.codes[i].is_none() {
+            if !c.is_present(i) {
                 continue 'row;
             }
         }
@@ -56,7 +56,7 @@ pub fn linear_regression(
     }
     let y: Vec<f64> = rows
         .iter()
-        .map(|&i| outcome_col.codes[i].unwrap() as f64)
+        .map(|&i| outcome_col.codes()[i] as f64)
         .collect();
     let predictors: Vec<(String, Vec<f64>)> = candidates
         .iter()
@@ -64,7 +64,7 @@ pub fn linear_regression(
         .map(|(name, col)| {
             (
                 name.clone(),
-                rows.iter().map(|&i| col.codes[i].unwrap() as f64).collect(),
+                rows.iter().map(|&i| col.codes()[i] as f64).collect(),
             )
         })
         .collect();

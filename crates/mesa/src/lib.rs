@@ -30,6 +30,7 @@ pub mod baselines;
 pub mod error;
 pub mod mcimr;
 pub mod missing;
+pub mod parallel;
 pub mod problem;
 pub mod pruning;
 pub mod report;
@@ -43,6 +44,7 @@ pub use missing::{
     analyze_attribute, analyze_candidates, combine_weights, fully_observed_columns,
     impute_candidates, selection_indicator, MissingPolicy, SelectionBiasInfo,
 };
+pub use parallel::parallel_map;
 pub use problem::{prepare_query, Explanation, PrepareConfig, PreparedQuery};
 pub use pruning::{prune, prune_offline, prune_online, PruneReason, PruningConfig, PruningReport};
 pub use report::{explanation_details, explanation_line, report_summary, subgroup_table};

@@ -13,6 +13,13 @@
 //!
 //! Per-attribute IPW weights (from the selection-bias analysis) are applied
 //! to every term that involves the corresponding attribute.
+//!
+//! Two implementation notes on the greedy loop: the relevance term
+//! `I(O;T|E_cand)` and the pairwise redundancy terms `I(E_cand; E_i)` are
+//! memoised across rounds (each is computed exactly once per
+//! candidate/pair), and the per-candidate computations of a round run in
+//! parallel via scoped threads. Both are pure optimisations — the selected
+//! attributes and their scores are identical to the naive loop.
 
 use std::collections::HashMap;
 
@@ -20,6 +27,7 @@ use infotheory::CiTestConfig;
 
 use crate::error::Result;
 use crate::missing::SelectionBiasInfo;
+use crate::parallel::parallel_map;
 use crate::problem::{Explanation, PreparedQuery};
 use crate::responsibility::responsibilities;
 
@@ -48,7 +56,8 @@ impl Default for McimrConfig {
 /// Diagnostics of a single MCIMR run (used by the efficiency experiments).
 #[derive(Debug, Clone, Default)]
 pub struct McimrTrace {
-    /// Number of candidate evaluations (CMI computations of the `v1` term).
+    /// Number of candidate evaluations (CMI computations of the `v1` term;
+    /// with memoisation this is one per distinct candidate).
     pub n_evaluations: usize,
     /// Number of iterations executed (attributes considered for addition).
     pub n_iterations: usize,
@@ -77,29 +86,61 @@ pub fn mcimr(
     let weight_of =
         |attr: &str| -> Option<&[f64]> { bias.get(attr).and_then(|info| info.weights.as_deref()) };
 
+    // The relevance term `v1 = I(O; T | E_cand)` conditions only on the
+    // candidate itself, never on the selected set, so it is constant across
+    // greedy rounds: compute every candidate's term once (in parallel) and
+    // reuse it. Keyed by candidate name.
+    let v1_terms: Vec<Result<f64>> = parallel_map(&remaining, |_, cand| {
+        Ok(prepared
+            .encoded
+            .cmi(&outcome, &exposure, &[cand.as_str()], weight_of(cand))?)
+    });
+    let mut v1: HashMap<String, f64> = HashMap::with_capacity(remaining.len());
+    for (cand, term) in remaining.iter().zip(v1_terms) {
+        v1.insert(cand.clone(), term?);
+        trace.n_evaluations += 1;
+    }
+    // Memoised pairwise redundancy terms: `mi_terms[cand][r]` holds
+    // `I(E_cand; E_r)` against the attribute selected in round `r`, so round
+    // `r + 1` only computes the terms against the newest selection and
+    // scoring sums a per-candidate slice (in selection order, matching the
+    // naive loop's summation order).
+    let mut mi_terms: HashMap<String, Vec<f64>> = HashMap::new();
+
     for _iteration in 0..config.k {
         if remaining.is_empty() {
             break;
         }
         trace.n_iterations += 1;
+        if let Some(newest) = selected.last().cloned() {
+            let new_terms: Vec<Result<f64>> = parallel_map(&remaining, |_, cand| {
+                Ok(prepared
+                    .encoded
+                    .mutual_information(cand, &newest, weight_of(cand))?)
+            });
+            for (cand, term) in remaining.iter().zip(new_terms) {
+                let term = term?;
+                match mi_terms.get_mut(cand.as_str()) {
+                    Some(terms) => terms.push(term),
+                    None => {
+                        mi_terms.insert(cand.clone(), vec![term]);
+                    }
+                }
+            }
+        }
         // NextBestAtt: minimise v1 + v2 / |selected|.
         let mut best: Option<(usize, f64)> = None;
         for (idx, cand) in remaining.iter().enumerate() {
-            let weights = weight_of(cand);
-            let v1 = prepared
-                .encoded
-                .cmi(&outcome, &exposure, &[cand.as_str()], weights)?;
-            trace.n_evaluations += 1;
             let v2 = if selected.is_empty() {
                 0.0
             } else {
                 let mut sum = 0.0;
-                for s in &selected {
-                    sum += prepared.encoded.mutual_information(cand, s, weights)?;
+                for term in &mi_terms[cand.as_str()] {
+                    sum += term;
                 }
                 sum / selected.len() as f64
             };
-            let score = v1 + v2;
+            let score = v1[cand] + v2;
             if best.map(|(_, b)| score < b).unwrap_or(true) {
                 best = Some((idx, score));
             }

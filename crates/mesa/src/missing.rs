@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use infotheory::{CiTestConfig, EncodedFrame};
-use stats::{logistic_fit, LogisticConfig};
+use stats::{logistic_fit, logistic_fit_weighted, LogisticConfig};
 use tabular::{Column, EncodedColumn};
 
 use crate::error::{MesaError, Result};
@@ -55,16 +55,10 @@ pub struct SelectionBiasInfo {
 /// Builds the selection indicator `R_E` for an attribute as an encoded
 /// column: code 1 = observed, code 0 = missing.
 pub fn selection_indicator(column: &EncodedColumn) -> EncodedColumn {
-    let codes: Vec<Option<u32>> = column
-        .codes
-        .iter()
-        .map(|c| Some(if c.is_some() { 1 } else { 0 }))
+    let codes: Vec<u32> = (0..column.len())
+        .map(|i| u32::from(column.is_present(i)))
         .collect();
-    EncodedColumn {
-        codes,
-        cardinality: 2,
-        labels: vec!["missing".into(), "observed".into()],
-    }
+    EncodedColumn::from_codes(codes, vec!["missing".into(), "observed".into()])
 }
 
 /// Analyses one candidate attribute for selection bias and, when detected,
@@ -110,43 +104,121 @@ pub fn analyze_attribute(
 
     // Fit P(R_E = 1 | X) on fully observed features.
     let n = r.len();
-    let y: Vec<f64> = r
-        .codes
-        .iter()
-        .map(|c| if c == &Some(1) { 1.0 } else { 0.0 })
-        .collect();
-    let mut predictors: Vec<(String, Vec<f64>)> = Vec::new();
+    // The indicator is fully observed, so its raw codes are all meaningful.
+    let y: Vec<f64> = r.codes().iter().map(|&c| f64::from(c)).collect();
+    let mut features: Vec<(&str, &EncodedColumn)> = Vec::new();
     for f in feature_columns {
         if f == attribute {
             continue;
         }
         let fc = encoded.column(f)?;
-        if fc.codes.iter().any(|c| c.is_none()) {
+        if fc.null_count() > 0 {
             continue; // only fully observed features are usable
         }
-        if fc.cardinality <= 1 {
+        if fc.cardinality() <= 1 {
             continue;
         }
-        let vals: Vec<f64> = fc.codes.iter().map(|c| c.unwrap_or(0) as f64).collect();
-        predictors.push((f.clone(), vals));
-        if predictors.len() >= 6 {
+        features.push((f.as_str(), fc));
+        if features.len() >= 6 {
             break; // keep the model small; it only supplies weights
         }
     }
     let marginal = y.iter().sum::<f64>() / n as f64;
-    let weights = match logistic_fit(&y, &predictors, LogisticConfig::default()) {
-        Ok(model) => {
-            let mut w = Vec::with_capacity(n);
-            for i in 0..n {
-                let features: Vec<f64> = predictors.iter().map(|(_, v)| v[i]).collect();
-                let p = model.predict_proba(&features).clamp(0.05, 1.0);
-                // Weights only matter for complete cases; incomplete rows are
-                // dropped by the estimators regardless of their weight.
-                w.push(if y[i] > 0.5 { marginal / p } else { 1.0 });
+
+    // The features are discrete codes with small cardinalities, so rows with
+    // the same feature combination are interchangeable for the fit. Group
+    // them by mixed-radix code packing (the entropy kernel's trick) and run
+    // IRLS over the distinct combinations with binomial weights — same
+    // optimum, orders of magnitude fewer rows.
+    let dense_cap = infotheory::adaptive_dense_cells(n);
+    let cells = features.iter().try_fold(1usize, |acc, (_, c)| {
+        let next = acc.checked_mul(c.cardinality())?;
+        (next <= dense_cap).then_some(next)
+    });
+    let weights = match cells {
+        Some(cells) => {
+            let mut combo_of = Vec::with_capacity(n);
+            let mut tallies = vec![(0.0f64, 0.0f64); cells]; // (rows, observed)
+            for (i, &yi) in y.iter().enumerate() {
+                let mut idx = 0usize;
+                let mut mult = 1usize;
+                for (_, c) in &features {
+                    idx += c.codes()[i] as usize * mult;
+                    mult *= c.cardinality();
+                }
+                combo_of.push(idx);
+                tallies[idx].0 += 1.0;
+                tallies[idx].1 += yi;
             }
-            Some(w)
+            let mut grouped_combos = Vec::new();
+            let mut gy = Vec::new();
+            let mut gw = Vec::new();
+            let mut gpred: Vec<(String, Vec<f64>)> = features
+                .iter()
+                .map(|(name, _)| (name.to_string(), Vec::new()))
+                .collect();
+            for (idx, &(count, observed)) in tallies.iter().enumerate() {
+                if count == 0.0 {
+                    continue;
+                }
+                grouped_combos.push(idx);
+                gy.push(observed / count);
+                gw.push(count);
+                let mut rest = idx;
+                for ((_, c), (_, vals)) in features.iter().zip(gpred.iter_mut()) {
+                    vals.push((rest % c.cardinality()) as f64);
+                    rest /= c.cardinality();
+                }
+            }
+            match logistic_fit_weighted(&gy, &gpred, Some(&gw), LogisticConfig::default()) {
+                Ok(model) => {
+                    // Selection probability per combination, then one lookup
+                    // per row. Weights only matter for complete cases;
+                    // incomplete rows are dropped by the estimators
+                    // regardless of their weight.
+                    let mut p_of = vec![1.0f64; cells];
+                    for (gi, &idx) in grouped_combos.iter().enumerate() {
+                        let feats: Vec<f64> = gpred.iter().map(|(_, v)| v[gi]).collect();
+                        p_of[idx] = model.predict_proba(&feats).clamp(0.05, 1.0);
+                    }
+                    let w = (0..n)
+                        .map(|i| {
+                            if y[i] > 0.5 {
+                                marginal / p_of[combo_of[i]]
+                            } else {
+                                1.0
+                            }
+                        })
+                        .collect();
+                    Some(w)
+                }
+                Err(_) => None,
+            }
         }
-        Err(_) => None,
+        // Pathological cross product: fall back to the row-level fit.
+        None => {
+            let predictors: Vec<(String, Vec<f64>)> = features
+                .iter()
+                .map(|(name, c)| {
+                    (
+                        name.to_string(),
+                        c.codes().iter().map(|&v| v as f64).collect(),
+                    )
+                })
+                .collect();
+            match logistic_fit(&y, &predictors, LogisticConfig::default()) {
+                Ok(model) => {
+                    let mut w = Vec::with_capacity(n);
+                    for i in 0..n {
+                        let feats: Vec<f64> = predictors.iter().map(|(_, v)| v[i]).collect();
+                        let p = model.predict_proba(&feats).clamp(0.05, 1.0);
+                        w.push(if y[i] > 0.5 { marginal / p } else { 1.0 });
+                    }
+                    Some(w)
+                }
+                Err(_) => None,
+            }
+        }
     };
     Ok(SelectionBiasInfo {
         attribute: attribute.to_string(),
@@ -171,8 +243,13 @@ pub fn analyze_candidates(
     if policy == MissingPolicy::CompleteCase {
         return Ok(out);
     }
-    for c in candidates {
-        let info = analyze_attribute(encoded, c, outcome, exposure, feature_columns, ci)?;
+    // Each attribute's analysis is independent read-only work over the
+    // encoded frame — fan it out across scoped threads.
+    let analyses = crate::parallel::parallel_map(candidates, |_, c| {
+        analyze_attribute(encoded, c, outcome, exposure, feature_columns, ci)
+    });
+    for (c, info) in candidates.iter().zip(analyses) {
+        let info = info?;
         if info.biased {
             out.insert(c.clone(), info);
         }
@@ -269,8 +346,11 @@ mod tests {
     fn selection_indicator_is_binary() {
         let col = tabular::Column::from_str_values("x", vec![Some("a"), None, Some("b")]).encode();
         let r = selection_indicator(&col);
-        assert_eq!(r.codes, vec![Some(1), Some(0), Some(1)]);
-        assert_eq!(r.cardinality, 2);
+        assert_eq!(
+            r.iter_codes().collect::<Vec<_>>(),
+            vec![Some(1), Some(0), Some(1)]
+        );
+        assert_eq!(r.cardinality(), 2);
     }
 
     #[test]

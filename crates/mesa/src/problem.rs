@@ -187,7 +187,7 @@ pub fn prepare_query(
             }
             // Distinct values of the extraction column.
             let encoded = joined.column(col)?.encode();
-            let values: Vec<String> = encoded.labels.clone();
+            let values: Vec<String> = encoded.labels().to_vec();
             if values.is_empty() {
                 continue;
             }

@@ -27,7 +27,7 @@ pub mod ols;
 pub mod special;
 
 pub use correlation::{mean, pearson, spearman, std_dev, variance};
-pub use logistic::{logistic_fit, LogisticConfig, LogisticFit};
+pub use logistic::{logistic_fit, logistic_fit_weighted, LogisticConfig, LogisticFit};
 pub use matrix::{Matrix, MatrixError};
 pub use ols::{ols_fit, Coefficient, FitError, OlsFit};
 pub use special::{beta_inc, erf, ln_gamma, normal_cdf, student_t_sf};

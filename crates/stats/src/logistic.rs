@@ -77,6 +77,30 @@ pub fn logistic_fit(
     predictors: &[(String, Vec<f64>)],
     config: LogisticConfig,
 ) -> Result<LogisticFit, FitError> {
+    for &v in y {
+        if v != 0.0 && v != 1.0 {
+            return Err(FitError::ShapeMismatch(format!(
+                "outcome value {v} is not 0/1"
+            )));
+        }
+    }
+    logistic_fit_weighted(y, predictors, None, config)
+}
+
+/// Weighted (binomial) logistic regression: `y` entries are success
+/// *proportions* in `[0, 1]` and `row_weights` gives the number of
+/// observations (or any non-negative weight) behind each row.
+///
+/// This is the grouped form of [`logistic_fit`]: collapsing rows with
+/// identical discrete feature vectors into one weighted row reaches the same
+/// optimum while running IRLS over the number of *distinct combinations*
+/// instead of the number of rows.
+pub fn logistic_fit_weighted(
+    y: &[f64],
+    predictors: &[(String, Vec<f64>)],
+    row_weights: Option<&[f64]>,
+    config: LogisticConfig,
+) -> Result<LogisticFit, FitError> {
     let n = y.len();
     let p = predictors.len() + 1;
     if n < p {
@@ -91,56 +115,83 @@ pub fn logistic_fit(
         }
     }
     for &v in y {
-        if v != 0.0 && v != 1.0 {
+        if !(0.0..=1.0).contains(&v) {
             return Err(FitError::ShapeMismatch(format!(
-                "outcome value {v} is not 0/1"
+                "outcome value {v} is not a proportion in [0, 1]"
             )));
         }
     }
+    if let Some(w) = row_weights {
+        if w.len() != n {
+            return Err(FitError::ShapeMismatch(format!(
+                "row weights have {} entries, outcome has {n}",
+                w.len()
+            )));
+        }
+        for &v in w {
+            if !v.is_finite() || v < 0.0 {
+                return Err(FitError::ShapeMismatch(format!(
+                    "row weight {v} is not finite and non-negative"
+                )));
+            }
+        }
+    }
 
-    // Design matrix with intercept.
-    let mut design = Matrix::zeros(n, p);
+    // Design matrix with intercept, flat row-major: row slices keep the hot
+    // IRLS loop free of per-access index arithmetic. The accumulation order
+    // is identical to the textbook nested loop, so results are bit-for-bit
+    // unchanged.
+    let mut design = vec![0.0f64; n * p];
     for i in 0..n {
-        design[(i, 0)] = 1.0;
+        design[i * p] = 1.0;
         for (j, (_, col)) in predictors.iter().enumerate() {
-            design[(i, j + 1)] = col[i];
+            design[i * p + j + 1] = col[i];
         }
     }
 
     let mut beta = vec![0.0; p];
     let mut converged = false;
     let mut iterations = 0;
+    let mut grad = vec![0.0f64; p];
+    let mut hess_flat = vec![0.0f64; p * p];
     for iter in 0..config.max_iter {
         iterations = iter + 1;
-        // Gradient and Hessian.
-        let mut grad = vec![0.0; p];
-        let mut hess = Matrix::zeros(p, p);
+        // Gradient and Hessian (upper triangle).
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        hess_flat.iter_mut().for_each(|h| *h = 0.0);
         for i in 0..n {
+            let row = &design[i * p..(i + 1) * p];
             let mut z = 0.0;
-            for j in 0..p {
-                z += design[(i, j)] * beta[j];
+            for (x, b) in row.iter().zip(&beta) {
+                z += x * b;
             }
+            let wi = row_weights.map(|w| w[i]).unwrap_or(1.0);
             let mu = sigmoid(z);
-            let w = (mu * (1.0 - mu)).max(1e-10);
-            let resid = y[i] - mu;
+            let w = (mu * (1.0 - mu)).max(1e-10) * wi;
+            let resid = (y[i] - mu) * wi;
             for j in 0..p {
-                grad[j] += design[(i, j)] * resid;
-                for k in j..p {
-                    hess[(j, k)] += design[(i, j)] * design[(i, k)] * w;
+                let xj = row[j];
+                grad[j] += xj * resid;
+                let hrow = &mut hess_flat[j * p + j..j * p + p];
+                for (h, &xk) in hrow.iter_mut().zip(&row[j..]) {
+                    *h += xj * xk * w;
                 }
             }
         }
-        // Symmetrise and add the ridge term (not on the intercept).
+        // Symmetrise into a matrix and add the ridge term (not on the
+        // intercept).
+        let mut hess = Matrix::zeros(p, p);
         for j in 0..p {
-            for k in 0..j {
-                hess[(j, k)] = hess[(k, j)];
+            for k in j..p {
+                hess[(j, k)] = hess_flat[j * p + k];
+                hess[(k, j)] = hess_flat[j * p + k];
             }
         }
         for j in 1..p {
             hess[(j, j)] += config.ridge;
             grad[j] -= config.ridge * beta[j];
         }
-        let step = match hess.solve(&Matrix::column_vector(grad)) {
+        let step = match hess.solve(&Matrix::column_vector(grad.clone())) {
             Ok(s) => s,
             Err(MatrixError::Singular) => return Err(FitError::Singular),
             Err(MatrixError::ShapeMismatch(m)) => return Err(FitError::ShapeMismatch(m)),
@@ -165,15 +216,18 @@ pub fn logistic_fit(
         }
     }
 
-    // Final log-likelihood.
+    // Final log-likelihood (weighted; constant binomial coefficients of the
+    // grouped form are omitted).
     let mut log_likelihood = 0.0;
     for i in 0..n {
+        let row = &design[i * p..(i + 1) * p];
         let mut z = 0.0;
-        for j in 0..p {
-            z += design[(i, j)] * beta[j];
+        for (x, b) in row.iter().zip(&beta) {
+            z += x * b;
         }
+        let wi = row_weights.map(|w| w[i]).unwrap_or(1.0);
         let mu = sigmoid(z).clamp(1e-12, 1.0 - 1e-12);
-        log_likelihood += y[i] * mu.ln() + (1.0 - y[i]) * (1.0 - mu).ln();
+        log_likelihood += wi * (y[i] * mu.ln() + (1.0 - y[i]) * (1.0 - mu).ln());
     }
 
     let mut names = Vec::with_capacity(p);
@@ -268,6 +322,65 @@ mod tests {
         assert!(model.coefficients.iter().all(|c| c.is_finite()));
         assert!(model.predict_proba(&[49.0]) > 0.9);
         assert!(model.predict_proba(&[0.0]) < 0.1);
+    }
+
+    #[test]
+    fn grouped_fit_matches_ungrouped() {
+        // 300 rows over 3 distinct feature values, collapsed to 3 weighted
+        // binomial rows: same optimum.
+        let x: Vec<f64> = (0..300).map(|i| (i % 3) as f64).collect();
+        let y: Vec<f64> = (0..300)
+            .map(|i| {
+                if (i % 3) as f64 + ((i / 3) % 4) as f64 > 2.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let full = fit(&y, &[("x".to_string(), x.clone())]);
+        let mut tallies = [(0.0f64, 0.0f64); 3];
+        for (xi, yi) in x.iter().zip(&y) {
+            tallies[*xi as usize].0 += 1.0;
+            tallies[*xi as usize].1 += yi;
+        }
+        let gx: Vec<f64> = vec![0.0, 1.0, 2.0];
+        let gy: Vec<f64> = tallies.iter().map(|(n, k)| k / n).collect();
+        let gw: Vec<f64> = tallies.iter().map(|(n, _)| *n).collect();
+        let grouped = logistic_fit_weighted(
+            &gy,
+            &[("x".to_string(), gx)],
+            Some(&gw),
+            LogisticConfig::default(),
+        )
+        .unwrap();
+        for (a, b) in full.coefficients.iter().zip(&grouped.coefficients) {
+            assert!((a - b).abs() < 1e-6, "coefficients diverge: {a} vs {b}");
+        }
+        assert!((full.log_likelihood - grouped.log_likelihood).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_rejects_bad_inputs() {
+        let y = [0.5, 0.25];
+        let preds = [("x".to_string(), vec![0.0, 1.0])];
+        assert!(
+            logistic_fit_weighted(&y, &preds, Some(&[1.0]), LogisticConfig::default()).is_err()
+        );
+        assert!(logistic_fit_weighted(
+            &y,
+            &preds,
+            Some(&[1.0, f64::NAN]),
+            LogisticConfig::default()
+        )
+        .is_err());
+        assert!(
+            logistic_fit_weighted(&[1.5, 0.0], &preds, None, LogisticConfig::default()).is_err()
+        );
+        // proportions are accepted by the weighted entry point
+        assert!(
+            logistic_fit_weighted(&y, &preds, Some(&[4.0, 4.0]), LogisticConfig::default()).is_ok()
+        );
     }
 
     #[test]

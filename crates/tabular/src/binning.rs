@@ -148,11 +148,11 @@ mod tests {
         let c = Column::from_f64("x", vals);
         let b = bin_column(&c, 4, BinStrategy::EqualFrequency).unwrap();
         let enc = b.encode();
-        assert_eq!(enc.cardinality, 4);
+        assert_eq!(enc.cardinality(), 4);
         // each bin should hold about 25 values
         let mut counts = vec![0usize; 4];
-        for code in enc.codes.iter().flatten() {
-            counts[*code as usize] += 1;
+        for code in enc.iter_codes().flatten() {
+            counts[code as usize] += 1;
         }
         for c in counts {
             assert!((20..=30).contains(&c), "unbalanced bin: {c}");

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use crate::bitmap::Bitmap;
 use crate::error::{Result, TabularError};
 use crate::value::{DType, Value};
 
@@ -390,7 +391,7 @@ impl Column {
 
     /// Number of distinct non-null values.
     pub fn n_distinct(&self) -> usize {
-        self.encode().cardinality
+        self.encode().cardinality()
     }
 
     /// Mean of the numeric view (ignores nulls and non-numeric cells).
@@ -412,129 +413,160 @@ impl Column {
     /// a code in `0..cardinality`. This is the representation consumed by the
     /// information-theoretic estimators.
     pub fn encode(&self) -> EncodedColumn {
+        /// Shared encoding loop: dictionary-encodes the distinct keys of the
+        /// cells in order of first appearance, writing packed codes and the
+        /// validity bitmap in one pass.
+        fn encode_cells<K, L, I>(n: usize, cells: I, mut render: L) -> EncodedColumn
+        where
+            K: std::hash::Hash + Eq + Copy,
+            L: FnMut(K) -> String,
+            I: Iterator<Item = Option<K>>,
+        {
+            let mut index: HashMap<K, u32> = HashMap::new();
+            let mut labels = Vec::new();
+            let mut codes = Vec::with_capacity(n);
+            let mut validity = Bitmap::with_capacity(n);
+            for cell in cells {
+                match cell {
+                    None => {
+                        codes.push(0);
+                        validity.push(false);
+                    }
+                    Some(key) => {
+                        let next = index.len() as u32;
+                        let code = *index.entry(key).or_insert_with(|| {
+                            labels.push(render(key));
+                            next
+                        });
+                        codes.push(code);
+                        validity.push(true);
+                    }
+                }
+            }
+            EncodedColumn {
+                codes,
+                validity,
+                labels,
+            }
+        }
+
+        let n = self.len();
         match &self.data {
+            // Already dictionary-encoded; reuse codes but compute the set of
+            // codes actually present so cardinality reflects the data, not
+            // the dictionary (which may contain stale entries after
+            // filtering).
             ColumnData::Categorical { dict, codes } => {
-                // Already dictionary-encoded; reuse codes but compute the set
-                // of codes actually present so cardinality reflects the data,
-                // not the dictionary (which may contain stale entries after
-                // filtering).
-                let mut present: HashMap<u32, u32> = HashMap::new();
-                let mut labels = Vec::new();
-                let mut out = Vec::with_capacity(codes.len());
-                for c in codes {
-                    match c {
-                        None => out.push(None),
-                        Some(c) => {
-                            let next = present.len() as u32;
-                            let code = *present.entry(*c).or_insert_with(|| {
-                                labels.push(dict[*c as usize].clone());
-                                next
-                            });
-                            out.push(Some(code));
-                        }
-                    }
-                }
-                EncodedColumn {
-                    codes: out,
-                    cardinality: labels.len(),
-                    labels,
-                }
+                encode_cells(n, codes.iter().copied(), |c| dict[c as usize].clone())
             }
-            ColumnData::Int(v) => {
-                let mut index: HashMap<i64, u32> = HashMap::new();
-                let mut labels = Vec::new();
-                let mut out = Vec::with_capacity(v.len());
-                for x in v {
-                    match x {
-                        None => out.push(None),
-                        Some(x) => {
-                            let next = index.len() as u32;
-                            let code = *index.entry(*x).or_insert_with(|| {
-                                labels.push(x.to_string());
-                                next
-                            });
-                            out.push(Some(code));
+            ColumnData::Int(v) => encode_cells(n, v.iter().copied(), |x| x.to_string()),
+            ColumnData::Bool(v) => encode_cells(n, v.iter().copied(), |x| x.to_string()),
+            // Floats are encoded by bit pattern of their canonical form.
+            // Typically callers bin numeric columns before encoding, but
+            // exact encoding keeps small domains (like per-group means)
+            // usable directly.
+            ColumnData::Float(v) => encode_cells(
+                n,
+                v.iter().map(|x| {
+                    x.map(|x| {
+                        if x == 0.0 {
+                            0.0f64.to_bits()
+                        } else {
+                            x.to_bits()
                         }
-                    }
-                }
-                EncodedColumn {
-                    codes: out,
-                    cardinality: labels.len(),
-                    labels,
-                }
-            }
-            ColumnData::Bool(v) => {
-                let mut index: HashMap<bool, u32> = HashMap::new();
-                let mut labels = Vec::new();
-                let mut out = Vec::with_capacity(v.len());
-                for x in v {
-                    match x {
-                        None => out.push(None),
-                        Some(x) => {
-                            let next = index.len() as u32;
-                            let code = *index.entry(*x).or_insert_with(|| {
-                                labels.push(x.to_string());
-                                next
-                            });
-                            out.push(Some(code));
-                        }
-                    }
-                }
-                EncodedColumn {
-                    codes: out,
-                    cardinality: labels.len(),
-                    labels,
-                }
-            }
-            ColumnData::Float(v) => {
-                // Floats are encoded by bit pattern of their canonical form.
-                // Typically callers bin numeric columns before encoding, but
-                // exact encoding keeps small domains (like per-group means)
-                // usable directly.
-                let mut index: HashMap<u64, u32> = HashMap::new();
-                let mut labels = Vec::new();
-                let mut out = Vec::with_capacity(v.len());
-                for x in v {
-                    match x {
-                        None => out.push(None),
-                        Some(x) => {
-                            let key = if *x == 0.0 {
-                                0.0f64.to_bits()
-                            } else {
-                                x.to_bits()
-                            };
-                            let next = index.len() as u32;
-                            let code = *index.entry(key).or_insert_with(|| {
-                                labels.push(format!("{x}"));
-                                next
-                            });
-                            out.push(Some(code));
-                        }
-                    }
-                }
-                EncodedColumn {
-                    codes: out,
-                    cardinality: labels.len(),
-                    labels,
-                }
-            }
+                    })
+                }),
+                |bits| format!("{}", f64::from_bits(bits)),
+            ),
         }
     }
 }
 
-/// The discrete encoding of a column: integer codes plus the label of each
-/// code. Cardinality is the number of distinct non-null values present.
+/// The discrete encoding of a column: packed integer codes, a validity bitmap
+/// marking which rows are non-null, and the label of each code.
+///
+/// The codes are stored densely (`Vec<u32>`, one slot per row) with a
+/// separate [`Bitmap`] null mask instead of `Vec<Option<u32>>`. This halves
+/// the memory per cell and lets the information-theoretic kernel compute the
+/// complete-case mask of a multi-column build with one word-wise bitmap `AND`
+/// per column. Slots at invalid positions hold `0` and must never be read
+/// directly; use [`code_at`](EncodedColumn::code_at) or consult
+/// [`validity`](EncodedColumn::validity) before touching
+/// [`codes`](EncodedColumn::codes).
+///
+/// Invariant: every code at a valid position is `< cardinality`, where the
+/// cardinality (number of distinct non-null values present) always equals
+/// `labels.len()`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncodedColumn {
-    /// Per-row code (None for missing cells).
-    pub codes: Vec<Option<u32>>,
-    /// Number of distinct codes.
-    pub cardinality: usize,
-    /// Human-readable label for each code, indexed by code.
-    pub labels: Vec<String>,
+    codes: Vec<u32>,
+    validity: Bitmap,
+    labels: Vec<String>,
 }
 
 impl EncodedColumn {
+    /// Builds an encoding from packed parts: one code slot per row and a
+    /// validity bitmap of the same length. Slots at invalid positions are
+    /// normalised to `0` so that equal encodings compare equal regardless of
+    /// what the caller left in the dead slots.
+    ///
+    /// # Panics
+    /// Panics if the bitmap length differs from the code count, or if a valid
+    /// slot holds a code `>= labels.len()`.
+    pub fn from_parts(mut codes: Vec<u32>, validity: Bitmap, labels: Vec<String>) -> Self {
+        assert_eq!(
+            codes.len(),
+            validity.len(),
+            "validity bitmap must have one bit per code slot"
+        );
+        let card = labels.len() as u32;
+        for (row, code) in codes.iter_mut().enumerate() {
+            if validity.get(row) {
+                assert!(
+                    *code < card,
+                    "code {code} at row {row} exceeds cardinality {card}"
+                );
+            } else {
+                *code = 0;
+            }
+        }
+        EncodedColumn {
+            codes,
+            validity,
+            labels,
+        }
+    }
+
+    /// Compatibility constructor from per-row optional codes (`None` =
+    /// missing). Call sites that used to fill `Vec<Option<u32>>` migrate here
+    /// mechanically.
+    ///
+    /// # Panics
+    /// Panics if a present code is `>= labels.len()`.
+    pub fn from_option_codes<I>(codes: I, labels: Vec<String>) -> Self
+    where
+        I: IntoIterator<Item = Option<u32>>,
+    {
+        let iter = codes.into_iter();
+        let hint = iter.size_hint().0;
+        let mut packed = Vec::with_capacity(hint);
+        let mut validity = Bitmap::with_capacity(hint);
+        for code in iter {
+            packed.push(code.unwrap_or(0));
+            validity.push(code.is_some());
+        }
+        EncodedColumn::from_parts(packed, validity, labels)
+    }
+
+    /// Builds a fully observed encoding (no missing rows).
+    ///
+    /// # Panics
+    /// Panics if a code is `>= labels.len()`.
+    pub fn from_codes(codes: Vec<u32>, labels: Vec<String>) -> Self {
+        let validity = Bitmap::new_all_set(codes.len());
+        EncodedColumn::from_parts(codes, validity, labels)
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.codes.len()
@@ -543,6 +575,72 @@ impl EncodedColumn {
     /// Whether the encoding has no rows.
     pub fn is_empty(&self) -> bool {
         self.codes.is_empty()
+    }
+
+    /// Number of distinct codes (equal to the number of labels).
+    pub fn cardinality(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Human-readable label for each code, indexed by code.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The label of one code.
+    ///
+    /// # Panics
+    /// Panics if `code >= cardinality`.
+    pub fn label(&self, code: u32) -> &str {
+        &self.labels[code as usize]
+    }
+
+    /// The packed per-row codes. Slots where the validity bit is unset hold
+    /// `0` and carry no meaning.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The validity bitmap: bit `i` set ⇔ row `i` is non-null.
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// Whether row `i` is non-null.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn is_present(&self, i: usize) -> bool {
+        self.validity.get(i)
+    }
+
+    /// The code of row `i`, or `None` when the row is null.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn code_at(&self, i: usize) -> Option<u32> {
+        if self.validity.get(i) {
+            Some(self.codes[i])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates all rows as optional codes, in row order.
+    pub fn iter_codes(&self) -> impl Iterator<Item = Option<u32>> + '_ {
+        (0..self.len()).map(move |i| self.code_at(i))
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        self.validity.count_unset()
+    }
+
+    /// Number of non-null rows.
+    pub fn n_present(&self) -> usize {
+        self.validity.count_set()
     }
 }
 
@@ -574,9 +672,18 @@ mod tests {
         assert_eq!(c.get(2).unwrap(), Value::Str("DE".into()));
         assert!(c.is_null_at(3));
         let enc = c.encode();
-        assert_eq!(enc.cardinality, 2);
-        assert_eq!(enc.codes, vec![Some(0), Some(1), Some(0), None]);
-        assert_eq!(enc.labels, vec!["DE".to_string(), "US".to_string()]);
+        assert_eq!(enc.cardinality(), 2);
+        assert_eq!(
+            enc.iter_codes().collect::<Vec<_>>(),
+            vec![Some(0), Some(1), Some(0), None]
+        );
+        assert_eq!(enc.labels(), &["DE".to_string(), "US".to_string()]);
+        assert_eq!(enc.null_count(), 1);
+        assert_eq!(enc.n_present(), 3);
+        assert_eq!(enc.code_at(1), Some(1));
+        assert_eq!(enc.code_at(3), None);
+        assert!(!enc.is_present(3));
+        assert_eq!(enc.label(0), "DE");
     }
 
     #[test]
@@ -614,7 +721,7 @@ mod tests {
         assert_eq!(a.get(2).unwrap(), Value::Str("y".into()));
         assert_eq!(a.get(3).unwrap(), Value::Str("z".into()));
         assert!(a.is_null_at(4));
-        assert_eq!(a.encode().cardinality, 3);
+        assert_eq!(a.encode().cardinality(), 3);
     }
 
     #[test]
@@ -641,7 +748,7 @@ mod tests {
         let c = cat(&[Some("a"), Some("b"), Some("c"), Some("a")]);
         let f = c.filter(&[true, false, false, true]).unwrap();
         // dictionary still contains b and c, but only "a" is present
-        assert_eq!(f.encode().cardinality, 1);
+        assert_eq!(f.encode().cardinality(), 1);
     }
 
     #[test]
@@ -668,6 +775,35 @@ mod tests {
         let c = Column::constant("k", Value::Str("same".into()), 4);
         assert_eq!(c.len(), 4);
         assert_eq!(c.n_distinct(), 1);
+    }
+
+    #[test]
+    fn encoded_column_constructors_agree() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let from_opts =
+            EncodedColumn::from_option_codes(vec![Some(0), None, Some(1), Some(0)], labels.clone());
+        let from_parts = EncodedColumn::from_parts(
+            vec![0, 0, 1, 0],
+            [true, false, true, true].into_iter().collect(),
+            labels.clone(),
+        );
+        assert_eq!(from_opts, from_parts);
+        assert_eq!(from_opts.cardinality(), 2);
+        let full = EncodedColumn::from_codes(vec![0, 1, 1], labels);
+        assert_eq!(full.null_count(), 0);
+        assert_eq!(full.code_at(2), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cardinality")]
+    fn encoded_column_rejects_out_of_range_codes() {
+        EncodedColumn::from_codes(vec![0, 2], vec!["only".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit per code slot")]
+    fn encoded_column_rejects_length_mismatch() {
+        EncodedColumn::from_parts(vec![0], Bitmap::new_all_set(2), vec!["a".to_string()]);
     }
 
     #[test]

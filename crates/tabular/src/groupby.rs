@@ -43,7 +43,7 @@ pub fn group_by(df: &DataFrame, keys: &[&str]) -> Result<Vec<Group>> {
     for row in 0..n {
         let composite: Vec<u32> = encoded
             .iter()
-            .map(|e| e.codes[row].map(|c| c + 1).unwrap_or(0))
+            .map(|e| e.code_at(row).map(|c| c + 1).unwrap_or(0))
             .collect();
         let gi = *index.entry(composite).or_insert_with(|| {
             let key = keys

@@ -33,6 +33,7 @@
 
 pub mod aggregate;
 pub mod binning;
+pub mod bitmap;
 pub mod column;
 pub mod csv;
 pub mod dataframe;
@@ -45,6 +46,7 @@ pub mod value;
 
 pub use aggregate::AggFn;
 pub use binning::{bin_column, bin_frame, quantile, BinStrategy};
+pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData, EncodedColumn};
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_str};
 pub use dataframe::{DataFrame, DataFrameBuilder};

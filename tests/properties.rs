@@ -27,7 +27,7 @@ proptest! {
         let x = to_encoded(&codes);
         let h = entropy(&x, None);
         prop_assert!(h >= 0.0);
-        prop_assert!(h <= (x.cardinality.max(1) as f64).log2() + 1e-9);
+        prop_assert!(h <= (x.cardinality().max(1) as f64).log2() + 1e-9);
     }
 
     /// I(X;Y) is symmetric, non-negative, and bounded by min(H(X), H(Y)).

@@ -7,9 +7,25 @@
 //! `bench_with_input`, `iter`, [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros — as a plain wall-clock
 //! harness: each benchmark is warmed up, then timed for the configured
-//! measurement window, and the mean/min per-iteration times are printed.
+//! measurement window, and the **median**, min, max, and interquartile
+//! spread of the per-iteration times are printed. The median is robust to
+//! scheduler noise and GC-like stalls in a way a plain mean is not; compare
+//! medians across commits, and treat runs whose IQR is a large fraction of
+//! the median as too noisy to conclude anything from.
 //!
-//! No statistics, plots, or baselines; swap the real crate back in for those.
+//! ## Measurement protocol
+//!
+//! For stable numbers on Linux:
+//!
+//! * pin the process to one core — `taskset -c 2 cargo bench ...` — so the
+//!   scheduler cannot migrate it mid-sample;
+//! * disable frequency scaling on that core if possible
+//!   (`cpupower frequency-set -g performance`), or at least let the warm-up
+//!   window (default 300 ms) bring the core to its sustained clock;
+//! * close other CPU consumers; on shared CI runners expect the IQR to be
+//!   wide and compare medians only across runs of the same machine.
+//!
+//! No plots or baselines; swap the real crate back in for those.
 
 #![warn(missing_docs)]
 
@@ -204,6 +220,24 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// The duration at rank `q` (in `[0, 1]`) of an ascending-sorted sample set,
+/// interpolating linearly between neighbours.
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = pos - lo as f64;
+    let a = sorted[lo].as_secs_f64();
+    let b = sorted[hi].as_secs_f64();
+    Duration::from_secs_f64(a + (b - a) * frac)
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, config: &Config, test_mode: bool, mut f: F) {
     let mut bencher = Bencher {
         samples: Vec::new(),
@@ -224,12 +258,16 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, config: &Config, test_mode: bool
         println!("{label:<50} (no samples)");
         return;
     }
-    let total: Duration = bencher.samples.iter().sum();
-    let mean = total / bencher.samples.len() as u32;
-    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let median = quantile(&sorted, 0.5);
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    // Interquartile range: the spread of the central half of the samples.
+    let iqr = quantile(&sorted, 0.75).saturating_sub(quantile(&sorted, 0.25));
     println!(
-        "{label:<50} mean {mean:>12?}  min {min:>12?}  ({} samples)",
-        bencher.samples.len()
+        "{label:<50} median {median:>12?}  min {min:>12?}  max {max:>12?}  iqr {iqr:>10?}  ({} samples)",
+        sorted.len()
     );
 }
 
@@ -253,4 +291,20 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_interpolates() {
+        let samples: Vec<Duration> = (1..=5).map(Duration::from_secs).collect();
+        assert_eq!(quantile(&samples, 0.5), Duration::from_secs(3));
+        assert_eq!(quantile(&samples, 0.0), Duration::from_secs(1));
+        assert_eq!(quantile(&samples, 1.0), Duration::from_secs(5));
+        let two: Vec<Duration> = vec![Duration::from_secs(1), Duration::from_secs(2)];
+        assert_eq!(quantile(&two, 0.5), Duration::from_millis(1500));
+        assert_eq!(quantile(&[], 0.5), Duration::ZERO);
+    }
 }
