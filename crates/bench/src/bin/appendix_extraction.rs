@@ -1,0 +1,161 @@
+//! Appendix experiment: the KG extraction pipeline itself — entity linking
+//! and attribute extraction wall-clock per dataset and hop count, plus the
+//! end-to-end workloads of `table1_datasets` (extraction over every dataset's
+//! extraction columns) and `appendix_multihop` (prepare + explain at 1 and 2
+//! hops).
+//!
+//! Emits `BENCH_extraction.json`; the committed copy is the canonical
+//! post-optimization baseline for the interned/CSR extraction path. With
+//! `MESA_SCALE=paper` the run additionally generates the paper-scale Flights
+//! dataset (~1M rows) and times generation + extraction end to end.
+
+use std::time::Instant;
+
+use bench::report::BenchReport;
+use bench::{scaled_rows, ExperimentData, Scale};
+use datagen::Dataset;
+use kg::{extract_attributes, EntityLinker, ExtractionConfig};
+use mesa::{Mesa, MesaConfig, PrepareConfig};
+use tabular::AggregateQuery;
+
+fn main() {
+    // The per-dataset entries are always measured at quick scale so the
+    // committed record stays comparable across machines and commits; the
+    // paper-scale Flights entry is appended when MESA_SCALE=paper.
+    let data = ExperimentData::generate(Scale::Quick);
+    let mut report = BenchReport::new("extraction");
+    println!("== Appendix: extraction pipeline ==\n");
+
+    for (dataset, frame) in &data.frames {
+        // Distinct surface forms across all of the dataset's extraction
+        // columns — the linker's actual workload.
+        let columns: Vec<Vec<String>> = dataset
+            .extraction_columns()
+            .iter()
+            .map(|col| {
+                frame
+                    .column(col)
+                    .expect("column exists")
+                    .encode()
+                    .labels()
+                    .to_vec()
+            })
+            .collect();
+        let n_values: usize = columns.iter().map(|v| v.len()).sum();
+
+        let link_ms = report.time(&format!("{}/link", dataset.name()), n_values, 5, || {
+            let linker = EntityLinker::new(&data.graph);
+            for values in &columns {
+                for v in values {
+                    std::hint::black_box(linker.link(v));
+                }
+            }
+        });
+        println!(
+            "{:<12} link   {n_values:>6} values  {link_ms:>9.3} ms",
+            dataset.name()
+        );
+
+        for hops in [1usize, 2] {
+            let config = ExtractionConfig {
+                hops,
+                ..Default::default()
+            };
+            let label = format!("{}/hops{hops}/extract", dataset.name());
+            let ms = report.time(&label, n_values, 5, || {
+                for values in &columns {
+                    let res =
+                        extract_attributes(&data.graph, values, "key", config).expect("extraction");
+                    std::hint::black_box(res.stats.n_attributes);
+                }
+            });
+            println!(
+                "{:<12} hops={hops} {n_values:>6} values  {ms:>9.3} ms",
+                dataset.name()
+            );
+        }
+    }
+
+    // End-to-end workload of `table1_datasets`: default-config extraction
+    // over every dataset and extraction column.
+    let table1_ms = report.time("table1_workload", 0, 5, || {
+        for (dataset, frame) in &data.frames {
+            for col in dataset.extraction_columns() {
+                let values = frame.column(col).expect("column exists").encode();
+                let res = extract_attributes(
+                    &data.graph,
+                    values.labels(),
+                    "key",
+                    ExtractionConfig::default(),
+                )
+                .expect("extraction");
+                std::hint::black_box(res.stats.n_attributes);
+            }
+        }
+    });
+    println!("\ntable1_workload (all datasets, 1 hop): {table1_ms:.3} ms");
+
+    // End-to-end workload of `appendix_multihop`: prepare + explain the Covid
+    // query at 1 and 2 hops.
+    let query = AggregateQuery::avg("Country", "Deaths_per_100_cases");
+    let covid = data.frame(Dataset::Covid);
+    for hops in [1usize, 2] {
+        let config = MesaConfig {
+            prepare: PrepareConfig {
+                extraction: ExtractionConfig {
+                    hops,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mesa = Mesa::with_config(config);
+        let label = format!("multihop_workload/hops{hops}");
+        let ms = report.time(&label, covid.n_rows(), 5, || {
+            let prepared = mesa
+                .prepare(
+                    covid,
+                    &query,
+                    Some(&data.graph),
+                    Dataset::Covid.extraction_columns(),
+                )
+                .expect("prepare");
+            let report = mesa.explain_prepared(&prepared).expect("explain");
+            std::hint::black_box(report.explanation.len());
+        });
+        println!("multihop_workload hops={hops}: {ms:.3} ms");
+    }
+
+    if Scale::from_env() == Scale::Paper {
+        let rows = scaled_rows(Dataset::Flights, Scale::Paper);
+        println!("\npaper-scale Flights: generating {rows} rows + extracting ...");
+        let start = Instant::now();
+        let frame = Dataset::Flights
+            .generate(&data.world, rows, 1234)
+            .expect("paper-scale generation");
+        let gen_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let mut total_attrs = 0usize;
+        for col in Dataset::Flights.extraction_columns() {
+            let values = frame.column(col).expect("column exists").encode();
+            let res = extract_attributes(
+                &data.graph,
+                values.labels(),
+                "key",
+                ExtractionConfig::default(),
+            )
+            .expect("extraction");
+            total_attrs += res.stats.n_attributes;
+        }
+        let extract_ms = start.elapsed().as_secs_f64() * 1e3;
+        report.record("Flights/paper/generate", rows, &[gen_ms]);
+        report.record("Flights/paper/extract", rows, &[extract_ms]);
+        println!(
+            "paper-scale Flights: generate {gen_ms:.1} ms, extract {extract_ms:.1} ms \
+             ({total_attrs} attributes)"
+        );
+    }
+
+    report.write_or_warn();
+}

@@ -14,14 +14,14 @@ fn main() {
     for (dataset, frame) in &data.frames {
         let mut total_attrs = 0usize;
         for col in dataset.extraction_columns() {
-            let values = frame
-                .column(col)
-                .expect("column exists")
-                .encode()
-                .labels()
-                .to_vec();
-            let res = extract_attributes(&data.graph, &values, "key", ExtractionConfig::default())
-                .expect("extraction");
+            let encoded = frame.column(col).expect("column exists").encode();
+            let res = extract_attributes(
+                &data.graph,
+                encoded.labels(),
+                "key",
+                ExtractionConfig::default(),
+            )
+            .expect("extraction");
             total_attrs += res.stats.n_attributes;
         }
         println!(

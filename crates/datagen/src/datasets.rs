@@ -83,16 +83,14 @@ pub fn generate_so(world: &World, n_rows: usize, seed: u64) -> Result<DataFrame>
         let s = (country_factor * dt_factor * gender_factor * (1.0 + 0.012 * years)
             + normal(&mut rng, 0.0, 6.0))
         .max(2.0);
-        country.push(Some(c.dataset_name.clone()));
-        continent.push(Some(c.continent.clone()));
-        gender.push(Some(g.to_string()));
+        country.push(Some(c.dataset_name.as_str()));
+        continent.push(Some(c.continent.as_str()));
+        gender.push(Some(g));
         age.push(Some(a as i64));
-        dev_type.push(Some(dt.to_string()));
-        education.push(Some(choose(&mut rng, EDUCATION).to_string()));
+        dev_type.push(Some(dt));
+        education.push(Some(*choose(&mut rng, EDUCATION)));
         years_code.push(Some(years as i64));
-        hobby.push(Some(
-            if rng.gen_bool(0.6) { "Yes" } else { "No" }.to_string(),
-        ));
+        hobby.push(Some(if rng.gen_bool(0.6) { "Yes" } else { "No" }));
         salary.push(Some((s * 1000.0).round()));
     }
 
@@ -187,11 +185,11 @@ pub fn generate_flights(world: &World, n_rows: usize, seed: u64) -> Result<DataF
             + normal(&mut rng, 0.0, 9.0))
         .max(-10.0);
         let security = (1.5 + 6.0 * o.congestion + normal(&mut rng, 0.0, 1.0)).max(0.0);
-        airline.push(Some(a.name.clone()));
-        origin_city.push(Some(o.name.clone()));
-        origin_state.push(Some(o.state.clone()));
-        dest_city.push(Some(d.name.clone()));
-        dest_state.push(Some(d.state.clone()));
+        airline.push(Some(a.name.as_str()));
+        origin_city.push(Some(o.name.as_str()));
+        origin_state.push(Some(o.state.as_str()));
+        dest_city.push(Some(d.name.as_str()));
+        dest_state.push(Some(d.state.as_str()));
         day.push(Some(rng.gen_range(1..366)));
         distance.push(Some(dist));
         dep_delay.push(Some((delay * 10.0).round() / 10.0));
@@ -235,8 +233,8 @@ pub fn generate_forbes(world: &World, n_rows: usize, seed: u64) -> Result<DataFr
             "Directors/Producers" => 6.0 + 2.4 * c.awards + 0.04 * c.net_worth,
             _ => 5.0 + 1.2 * c.awards + 0.055 * c.net_worth,
         };
-        name.push(Some(c.name.clone()));
-        category.push(Some(c.category.clone()));
+        name.push(Some(c.name.as_str()));
+        category.push(Some(c.category.as_str()));
         year.push(Some(2005 + (i % 11) as i64));
         pay.push(Some((base + normal(&mut rng, 0.0, 4.0)).max(0.5).round()));
     }

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use kg::{KnowledgeGraph, Object};
+use kg::{KnowledgeGraph, Object, StoredObject, Sym};
 
 use crate::world::World;
 
@@ -55,12 +55,27 @@ struct FactWriter<'a> {
 }
 
 impl<'a> FactWriter<'a> {
+    /// Interns `name` as an entity, returning the symbol the fact-adding
+    /// methods take. Called once per entity loop iteration, so per-fact
+    /// symbol lookups disappear from the build.
+    fn entity(&mut self, name: &str) -> Sym {
+        self.graph.intern_entity(name)
+    }
+
+    /// Converts a convenience [`Object`] into interned storage form.
+    fn store(&mut self, object: Object) -> StoredObject {
+        match object {
+            Object::Entity(e) => self.graph.object_entity(&e),
+            Object::Literal(v) => StoredObject::Literal(v),
+        }
+    }
+
     /// Adds a fact subject to random and (optionally) biased dropout.
     /// `bias_score` in [0,1] controls value-dependent dropout: higher scores
     /// are more likely to be dropped when the property is in the biased list.
     fn add(
         &mut self,
-        subject: &str,
+        subject: Sym,
         predicate: &str,
         object: Object,
         biased: bool,
@@ -78,17 +93,40 @@ impl<'a> FactWriter<'a> {
                 return;
             }
         }
-        self.graph.add_fact(subject, predicate, object);
+        let p = self.graph.intern_predicate(predicate);
+        let o = self.store(object);
+        self.graph.add_fact_ids(subject, p, o);
     }
 
-    fn add_always(&mut self, subject: &str, predicate: &str, object: Object) {
-        self.graph.add_fact(subject, predicate, object);
+    fn add_always(&mut self, subject: Sym, predicate: &str, object: Object) {
+        let p = self.graph.intern_predicate(predicate);
+        let o = self.store(object);
+        self.graph.add_fact_ids(subject, p, o);
     }
+}
+
+/// Rough per-entity fact counts used to preallocate the triple arrays.
+fn estimated_sizes(world: &World, config: &KgConfig) -> (usize, usize) {
+    let per_country = 20 + config.n_noise_properties + 2; // facts + leader facts
+    let per_city = 17 + config.n_noise_properties;
+    let per_celebrity = 12 + config.n_noise_properties;
+    let n_triples = world.countries.len() * per_country
+        + world.cities.len() * per_city
+        + world.airlines.len() * 7
+        + world.celebrities.len() * per_celebrity
+        + 200; // regions, states, aggregates
+    let n_entities = 2 * world.countries.len() // country + leader
+        + world.cities.len()
+        + world.airlines.len()
+        + world.celebrities.len()
+        + 100; // regions + states
+    (n_triples, n_entities)
 }
 
 /// Builds the knowledge graph for the whole world.
 pub fn build_kg(world: &World, config: KgConfig) -> KnowledgeGraph {
-    let mut graph = KnowledgeGraph::new();
+    let (n_triples, n_entities) = estimated_sizes(world, &config);
+    let mut graph = KnowledgeGraph::with_capacity(n_triples, n_entities);
     let rng = StdRng::seed_from_u64(config.seed);
     let mut w = FactWriter {
         graph: &mut graph,
@@ -101,6 +139,9 @@ pub fn build_kg(world: &World, config: KgConfig) -> KnowledgeGraph {
     add_airlines(&mut w, world);
     add_celebrities(&mut w, world);
 
+    // Pre-build the CSR index and cached linker so the first extraction
+    // doesn't pay for indexing.
+    graph.finalize();
     graph
 }
 
@@ -140,93 +181,71 @@ fn add_countries(w: &mut FactWriter<'_>, world: &World) {
 
     for (i, c) in world.countries.iter().enumerate() {
         let name = c.name.as_str();
+        let s = w.entity(name);
         let hdi_bias = (c.hdi - 0.3) / 0.7; // high-HDI countries more likely missing
-        w.add(name, "HDI", Object::number(round3(c.hdi)), true, hdi_bias);
-        w.add(name, "HDI rank", Object::integer(hdi_rank[i]), false, 0.0);
-        w.add(name, "GDP", Object::number(round3(c.gdp_total)), false, 0.0);
+        w.add(s, "HDI", Object::number(round3(c.hdi)), true, hdi_bias);
+        w.add(s, "HDI rank", Object::integer(hdi_rank[i]), false, 0.0);
+        w.add(s, "GDP", Object::number(round3(c.gdp_total)), false, 0.0);
         w.add(
-            name,
+            s,
             "GDP nominal per capita",
             Object::number(round3(c.gdp_per_capita)),
             false,
             0.0,
         );
-        w.add(name, "GDP rank", Object::integer(gdp_rank[i]), false, 0.0);
+        w.add(s, "GDP rank", Object::integer(gdp_rank[i]), false, 0.0);
         let gini_bias = (c.gini - 22.0) / 43.0;
+        w.add(s, "Gini", Object::number(round3(c.gini)), true, gini_bias);
+        w.add(s, "Gini rank", Object::integer(gini_rank[i]), false, 0.0);
+        w.add(s, "Density", Object::number(round3(c.density)), false, 0.0);
         w.add(
-            name,
-            "Gini",
-            Object::number(round3(c.gini)),
-            true,
-            gini_bias,
-        );
-        w.add(name, "Gini rank", Object::integer(gini_rank[i]), false, 0.0);
-        w.add(
-            name,
-            "Density",
-            Object::number(round3(c.density)),
-            false,
-            0.0,
-        );
-        w.add(
-            name,
+            s,
             "Population census",
             Object::number(round3(c.population)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Population estimate",
             Object::number(round3(c.population * 1.02)),
             false,
             0.0,
         );
-        w.add(name, "Area km", Object::number(round3(c.area)), false, 0.0);
-        w.add(name, "Area rank", Object::integer(area_rank[i]), false, 0.0);
+        w.add(s, "Area km", Object::number(round3(c.area)), false, 0.0);
+        w.add(s, "Area rank", Object::integer(area_rank[i]), false, 0.0);
+        w.add(s, "Currency", Object::text(c.currency.clone()), false, 0.0);
+        w.add(s, "Language", Object::text(c.language.clone()), false, 0.0);
         w.add(
-            name,
-            "Currency",
-            Object::text(c.currency.clone()),
-            false,
-            0.0,
-        );
-        w.add(
-            name,
-            "Language",
-            Object::text(c.language.clone()),
-            false,
-            0.0,
-        );
-        w.add(
-            name,
+            s,
             "Established date",
             Object::integer(c.established),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Time zone",
             Object::text(format!("UTC{:+}", (i as i64 % 25) - 12)),
             false,
             0.0,
         );
         // Attributes MESA must prune:
-        w.add_always(name, "wikiID", Object::integer(1_000_000 + i as i64));
-        w.add_always(name, "type", Object::text("Country"));
-        w.add_always(name, "country code", Object::text(format!("C{i:03}")));
+        w.add_always(s, "wikiID", Object::integer(1_000_000 + i as i64));
+        w.add_always(s, "type", Object::text("Country"));
+        w.add_always(s, "country code", Object::text(format!("C{i:03}")));
         for k in 0..n_noise {
             let obj = noise_value(&mut w.rng);
-            w.add(name, &format!("noise country {k}"), obj, false, 0.0);
+            w.add(s, &format!("noise country {k}"), obj, false, 0.0);
         }
         // Leader: entity-valued property for the multi-hop experiments.
         let leader = format!("Leader of {name}");
-        w.add(name, "leader", Object::entity(leader.clone()), false, 0.0);
+        w.add(s, "leader", Object::entity(leader.clone()), false, 0.0);
+        let leader_sym = w.entity(&leader);
         let leader_age = 45 + (i as i64 % 30);
-        w.add_always(&leader, "age", Object::integer(leader_age));
+        w.add_always(leader_sym, "age", Object::integer(leader_age));
         w.add_always(
-            &leader,
+            leader_sym,
             "gender",
             Object::text(if i % 4 == 0 { "Female" } else { "Male" }),
         );
@@ -257,54 +276,49 @@ fn add_countries(w: &mut FactWriter<'_>, world: &World) {
         if kind == "who" && w.graph.has_entity(name) {
             continue;
         }
+        let s = w.entity(name);
         let n = members.len() as f64;
         let sum = |f: fn(&crate::world::Country) -> f64| members.iter().map(|c| f(c)).sum::<f64>();
         let avg = |f: fn(&crate::world::Country) -> f64| sum(f) / n;
         w.add(
-            name,
+            s,
             "GDP",
             Object::number(round3(sum(|c| c.gdp_total))),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "GDP rank",
             Object::integer(((1.0 / avg(|c| c.gdp_per_capita)) * 100.0) as i64),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Density",
             Object::number(round3(avg(|c| c.density))),
             false,
             0.0,
         );
-        w.add(name, "Area rank", Object::integer(i as i64 + 1), false, 0.0);
+        w.add(s, "Area rank", Object::integer(i as i64 + 1), false, 0.0);
         w.add(
-            name,
+            s,
             "Area km",
             Object::number(round3(sum(|c| c.area))),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Population census",
             Object::number(round3(sum(|c| c.population))),
             false,
             0.0,
         );
-        w.add(
-            name,
-            "HDI",
-            Object::number(round3(avg(|c| c.hdi))),
-            false,
-            0.0,
-        );
-        w.add_always(name, "type", Object::text("Region"));
-        w.add_always(name, "wikiID", Object::integer(6_000_000 + i as i64));
+        w.add(s, "HDI", Object::number(round3(avg(|c| c.hdi))), false, 0.0);
+        w.add_always(s, "type", Object::text("Region"));
+        w.add_always(s, "wikiID", Object::integer(6_000_000 + i as i64));
     }
 }
 
@@ -315,44 +329,44 @@ fn round3(v: f64) -> f64 {
 fn add_cities(w: &mut FactWriter<'_>, world: &World) {
     let n_noise = w.config.n_noise_properties;
     for (i, city) in world.cities.iter().enumerate() {
-        let name = city.name.as_str();
+        let s = w.entity(&city.name);
         w.add(
-            name,
+            s,
             "Population total",
             Object::number(round3(city.population)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Population urban",
             Object::number(round3(city.population_urban)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Population metropolitan",
             Object::number(round3(city.population_metro)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Population ranking",
             Object::integer(city.population_rank),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Population estimation",
             Object::number(round3(city.population * 1.01)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Density",
             Object::number(round3(city.density)),
             false,
@@ -360,60 +374,60 @@ fn add_cities(w: &mut FactWriter<'_>, world: &World) {
         );
         let income_bias = (city.median_income - 38.0) / 45.0;
         w.add(
-            name,
+            s,
             "Median household income",
             Object::number(round3(city.median_income)),
             true,
             income_bias,
         );
         w.add(
-            name,
+            s,
             "Precipitation days",
             Object::number(round3(city.precipitation_days)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Year snow",
             Object::number(round3(city.year_snow)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Year low F",
             Object::number(round3(city.year_low_f)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Year avg F",
             Object::number(round3(city.year_avg_f)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "December low F",
             Object::number(round3(city.december_low_f)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "December percent sun",
             Object::number(round3(city.percent_sun)),
             false,
             0.0,
         );
-        w.add_always(name, "wikiID", Object::integer(2_000_000 + i as i64));
-        w.add_always(name, "type", Object::text("City"));
-        w.add(name, "State", Object::text(city.state.clone()), false, 0.0);
+        w.add_always(s, "wikiID", Object::integer(2_000_000 + i as i64));
+        w.add_always(s, "type", Object::text("City"));
+        w.add(s, "State", Object::text(city.state.clone()), false, 0.0);
         for k in 0..n_noise {
             let obj = noise_value(&mut w.rng);
-            w.add(name, &format!("noise city {k}"), obj, false, 0.0);
+            w.add(s, &format!("noise city {k}"), obj, false, 0.0);
         }
     }
     // State-level aggregate entities (the Flights queries also group by state).
@@ -422,136 +436,131 @@ fn add_cities(w: &mut FactWriter<'_>, world: &World) {
         states.entry(city.state.as_str()).or_default().push(city);
     }
     for (i, (state, cities)) in states.into_iter().enumerate() {
+        let s = w.entity(state);
         let n = cities.len() as f64;
         let avg = |f: fn(&crate::world::City) -> f64| cities.iter().map(|c| f(c)).sum::<f64>() / n;
         w.add(
-            state,
+            s,
             "Population estimation",
             Object::number(round3(avg(|c| c.population) * n)),
             false,
             0.0,
         );
         w.add(
-            state,
+            s,
             "Population urban",
             Object::number(round3(avg(|c| c.population_urban) * n)),
             false,
             0.0,
         );
         w.add(
-            state,
+            s,
             "Population rank",
             Object::integer(i as i64 + 1),
             false,
             0.0,
         );
         w.add(
-            state,
+            s,
             "Density",
             Object::number(round3(avg(|c| c.density))),
             false,
             0.0,
         );
         w.add(
-            state,
+            s,
             "Year snow",
             Object::number(round3(avg(|c| c.year_snow))),
             false,
             0.0,
         );
         w.add(
-            state,
+            s,
             "Year low F",
             Object::number(round3(avg(|c| c.year_low_f))),
             false,
             0.0,
         );
         w.add(
-            state,
+            s,
             "Record low F",
             Object::number(round3(avg(|c| c.year_low_f) - 20.0)),
             false,
             0.0,
         );
         w.add(
-            state,
+            s,
             "Median household income",
             Object::number(round3(avg(|c| c.median_income))),
             false,
             0.0,
         );
-        w.add_always(state, "type", Object::text("State"));
-        w.add_always(state, "wikiID", Object::integer(3_000_000 + i as i64));
+        w.add_always(s, "type", Object::text("State"));
+        w.add_always(s, "wikiID", Object::integer(3_000_000 + i as i64));
     }
 }
 
 fn add_airlines(w: &mut FactWriter<'_>, world: &World) {
     for (i, a) in world.airlines.iter().enumerate() {
-        let name = a.name.as_str();
+        let s = w.entity(&a.name);
         w.add(
-            name,
+            s,
             "Fleet size",
             Object::number(round3(a.fleet_size)),
             false,
             0.0,
         );
-        w.add(name, "Equity", Object::number(round3(a.equity)), false, 0.0);
+        w.add(s, "Equity", Object::number(round3(a.equity)), false, 0.0);
+        w.add(s, "Revenue", Object::number(round3(a.revenue)), false, 0.0);
         w.add(
-            name,
-            "Revenue",
-            Object::number(round3(a.revenue)),
-            false,
-            0.0,
-        );
-        w.add(
-            name,
+            s,
             "Net income",
             Object::number(round3(a.net_income)),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Num of employees",
             Object::number(round3(a.employees)),
             false,
             0.0,
         );
-        w.add_always(name, "wikiID", Object::integer(4_000_000 + i as i64));
-        w.add_always(name, "type", Object::text("Airline"));
+        w.add_always(s, "wikiID", Object::integer(4_000_000 + i as i64));
+        w.add_always(s, "type", Object::text("Airline"));
     }
 }
 
 fn add_celebrities(w: &mut FactWriter<'_>, world: &World) {
     let n_noise = w.config.n_noise_properties;
     for (i, c) in world.celebrities.iter().enumerate() {
-        let name = c.name.as_str();
+        let s = w.entity(&c.name);
         let worth_bias = (c.net_worth / 950.0).clamp(0.0, 1.0);
         w.add(
-            name,
+            s,
             "Net worth",
             Object::number(round3(c.net_worth)),
             true,
             worth_bias,
         );
-        w.add(name, "Gender", Object::text(c.gender.clone()), false, 0.0);
-        w.add(name, "Age", Object::number(round3(c.age)), false, 0.0);
+        w.add(s, "Gender", Object::text(c.gender.clone()), false, 0.0);
+        w.add(s, "Age", Object::number(round3(c.age)), false, 0.0);
         w.add(
-            name,
+            s,
             "ActiveSince",
             Object::integer(c.active_since),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Years active",
             Object::integer(2022 - c.active_since),
             false,
             0.0,
         );
         w.add(
-            name,
+            s,
             "Citizenship",
             Object::entity(c.citizenship.clone()),
             false,
@@ -561,27 +570,27 @@ fn add_celebrities(w: &mut FactWriter<'_>, world: &World) {
         // why Forbes has the highest missing-value rate in Table 1 / Sec 5.2.
         match c.category.as_str() {
             "Athletes" => {
-                w.add(name, "Cups", Object::number(c.cups), false, 0.0);
+                w.add(s, "Cups", Object::number(c.cups), false, 0.0);
                 w.add(
-                    name,
+                    s,
                     "National cups",
                     Object::number((c.cups * 1.5).floor()),
                     false,
                     0.0,
                 );
                 w.add(
-                    name,
+                    s,
                     "Total cups",
                     Object::number((c.cups * 2.2).floor()),
                     false,
                     0.0,
                 );
-                w.add(name, "Draft pick", Object::number(c.draft_pick), false, 0.0);
+                w.add(s, "Draft pick", Object::number(c.draft_pick), false, 0.0);
             }
             "Actors" | "Directors/Producers" => {
-                w.add(name, "Awards", Object::number(c.awards), false, 0.0);
+                w.add(s, "Awards", Object::number(c.awards), false, 0.0);
                 w.add(
-                    name,
+                    s,
                     "Honors",
                     Object::number((c.awards / 2.0).floor()),
                     false,
@@ -589,14 +598,14 @@ fn add_celebrities(w: &mut FactWriter<'_>, world: &World) {
                 );
             }
             _ => {
-                w.add(name, "Awards", Object::number(c.awards), false, 0.0);
+                w.add(s, "Awards", Object::number(c.awards), false, 0.0);
             }
         }
-        w.add_always(name, "wikiID", Object::integer(5_000_000 + i as i64));
-        w.add_always(name, "type", Object::text("Person"));
+        w.add_always(s, "wikiID", Object::integer(5_000_000 + i as i64));
+        w.add_always(s, "type", Object::text("Person"));
         for k in 0..n_noise {
             let obj = noise_value(&mut w.rng);
-            w.add(name, &format!("noise person {k}"), obj, false, 0.0);
+            w.add(s, &format!("noise person {k}"), obj, false, 0.0);
         }
     }
     // One deliberately ambiguous celebrity alias (the paper's Ronaldo case).

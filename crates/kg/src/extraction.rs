@@ -9,13 +9,24 @@
 //! property that is missing for an entity — or any value that fails to link —
 //! becomes a null, which is exactly where the selection-bias machinery of
 //! Section 3.2 enters.
+//!
+//! The pipeline is id-based end to end: values are linked to interned
+//! symbols by the graph's cached [`EntityLinker`], the multi-hop expansion
+//! runs **once per distinct entity** (rows sharing `"United States"` share
+//! one BFS) and fans out over [`parallel::parallel_map`], per-entity
+//! property scans walk borrowed CSR slices, and results are scattered into
+//! dense per-column builders keyed by an attribute-name index instead of a
+//! `BTreeMap<String, HashMap<usize, Value>>`.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{HashMap, HashSet};
 
+use parallel::parallel_map;
 use tabular::{Column, DataFrame, Result, Value};
 
-use crate::graph::KnowledgeGraph;
-use crate::linking::{EntityLinker, LinkOutcome};
+use crate::graph::{KnowledgeGraph, StoredObject};
+use crate::intern::Sym;
+use crate::linking::LinkId;
+#[cfg(test)]
 use crate::triple::Object;
 
 /// How to collapse a one-to-many property (several objects for one subject
@@ -35,6 +46,7 @@ pub enum OneToManyAgg {
 }
 
 impl OneToManyAgg {
+    #[cfg(test)]
     fn apply(self, objects: &[&Object]) -> Value {
         match self {
             OneToManyAgg::First => objects.first().map(|o| o.to_value()).unwrap_or(Value::Null),
@@ -44,18 +56,44 @@ impl OneToManyAgg {
                     .iter()
                     .filter_map(|o| o.to_value().as_f64())
                     .collect();
-                if nums.is_empty() {
-                    return Value::Null;
-                }
-                let v = match self {
-                    OneToManyAgg::Mean => nums.iter().sum::<f64>() / nums.len() as f64,
-                    OneToManyAgg::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-                    OneToManyAgg::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
-                    _ => unreachable!(),
-                };
-                Value::Float(v)
+                self.fold_numeric(&nums)
             }
         }
+    }
+
+    /// The aggregation over a CSR run of stored objects; semantically
+    /// identical to `apply` but without materialising [`Object`]s.
+    fn apply_stored(self, graph: &KnowledgeGraph, run: &[u32]) -> Value {
+        match self {
+            OneToManyAgg::First => run
+                .first()
+                .map(|&t| graph.object_value(graph.triple_object(t)))
+                .unwrap_or(Value::Null),
+            OneToManyAgg::Count => Value::Int(run.len() as i64),
+            OneToManyAgg::Mean | OneToManyAgg::Max | OneToManyAgg::Min => {
+                let nums: Vec<f64> = run
+                    .iter()
+                    .filter_map(|&t| match graph.triple_object(t) {
+                        StoredObject::Literal(v) => v.as_f64(),
+                        StoredObject::Entity(_) => None,
+                    })
+                    .collect();
+                self.fold_numeric(&nums)
+            }
+        }
+    }
+
+    fn fold_numeric(self, nums: &[f64]) -> Value {
+        if nums.is_empty() {
+            return Value::Null;
+        }
+        let v = match self {
+            OneToManyAgg::Mean => nums.iter().sum::<f64>() / nums.len() as f64,
+            OneToManyAgg::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            OneToManyAgg::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
+            _ => unreachable!(),
+        };
+        Value::Float(v)
     }
 
     fn label(self) -> &'static str {
@@ -127,117 +165,200 @@ impl ExtractionResult {
     }
 }
 
-/// Gathers the properties of one entity, collapsing one-to-many predicates.
-///
-/// Returns `(attribute name -> value, entity-valued single links)` — the
-/// latter feed the next hop.
-fn entity_properties(
+/// The hop-1 fast path: attributes are keyed by `(predicate symbol, plain |
+/// aggregated)` — a dense `u32` — so neither the per-entity expansions nor
+/// the row scatter ever touch a `String`. Column names are materialised once
+/// per distinct attribute when its column builder is created.
+fn scatter_one_hop(
     graph: &KnowledgeGraph,
-    entity: &str,
-    agg: OneToManyAgg,
-) -> (BTreeMap<String, Value>, Vec<(String, String)>) {
-    let mut by_pred: BTreeMap<&str, Vec<&Object>> = BTreeMap::new();
-    for (pred, obj) in graph.properties(entity) {
-        by_pred.entry(pred).or_default().push(obj);
+    config: ExtractionConfig,
+    distinct: &[Sym],
+    row_entity: &[Option<u32>],
+    n_rows: usize,
+) -> (Vec<String>, Vec<Vec<Value>>) {
+    let expansions: Vec<Vec<(u32, Value)>> = parallel_map(distinct, |_, &sym| {
+        expand_node(graph, sym, config.one_to_many).attrs
+    });
+
+    // Dense key -> column slot table (2 slots per predicate).
+    let mut col_lookup = vec![usize::MAX; graph.n_predicates() * 2];
+    let mut col_names: Vec<String> = Vec::new();
+    let mut col_cells: Vec<Vec<Value>> = Vec::new();
+    for (row, slot) in row_entity.iter().enumerate() {
+        let Some(slot) = slot else { continue };
+        for (key, value) in &expansions[*slot as usize] {
+            let mut ci = col_lookup[*key as usize];
+            if ci == usize::MAX {
+                ci = col_names.len();
+                col_lookup[*key as usize] = ci;
+                col_names.push(leaf_name(graph, *key, config.one_to_many));
+                col_cells.push(vec![Value::Null; n_rows]);
+            }
+            col_cells[ci][row] = value.clone();
+        }
     }
-    let mut attrs = BTreeMap::new();
+    (col_names, col_cells)
+}
+
+/// Renders a packed leaf key — `(predicate symbol << 1) | aggregated-bit` —
+/// as an attribute name: the predicate name itself, or
+/// `"<agg-label> <predicate>"` for a collapsed one-to-many. The single
+/// naming rule shared by the hop-1 scatter and the multi-hop path renderer.
+fn leaf_name(graph: &KnowledgeGraph, leaf: u32, agg: OneToManyAgg) -> String {
+    let pred_name = graph.predicate_name(Sym::from_index((leaf >> 1) as usize));
+    if leaf & 1 == 0 {
+        pred_name.to_string()
+    } else {
+        format!("{} {}", agg.label(), pred_name)
+    }
+}
+
+/// The symbol-keyed properties of one entity, shared by every BFS node that
+/// reaches it: `attrs` carries `(leaf key, value)` pairs where the leaf key
+/// packs `(predicate symbol, plain | aggregated)`, and `links` carries the
+/// entity-valued hops in traversal order.
+struct NodeProps {
+    attrs: Vec<(u32, Value)>,
+    links: Vec<(Sym, Sym)>,
+}
+
+fn expand_node(graph: &KnowledgeGraph, entity: Sym, agg: OneToManyAgg) -> NodeProps {
+    let idxs = graph.properties_of(entity);
+    let mut attrs = Vec::with_capacity(idxs.len());
     let mut links = Vec::new();
-    for (pred, objects) in by_pred {
-        if objects.len() == 1 {
-            let obj = objects[0];
-            attrs.insert(pred.to_string(), obj.to_value());
-            if let Object::Entity(e) = obj {
-                links.push((pred.to_string(), e.clone()));
+    let mut i = 0;
+    while i < idxs.len() {
+        let pred = graph.triple_pred(idxs[i]);
+        let mut j = i + 1;
+        while j < idxs.len() && graph.triple_pred(idxs[j]) == pred {
+            j += 1;
+        }
+        let run = &idxs[i..j];
+        if let [single] = run {
+            let obj = graph.triple_object(*single);
+            attrs.push((pred.id() << 1, graph.object_value(obj)));
+            if let StoredObject::Entity(e) = obj {
+                links.push((pred, *e));
             }
         } else {
-            // One-to-many: aggregate. Entity-valued multi-links are followed
-            // at the next hop through their aggregated numeric sub-properties,
-            // mirroring the paper's "Avg Population size of Ethnic-Group".
-            let name = format!("{} {}", agg.label(), pred);
-            attrs.insert(name, agg.apply(&objects));
-            if objects.iter().all(|o| o.is_entity()) {
-                for obj in &objects {
-                    if let Object::Entity(e) = obj {
-                        links.push((pred.to_string(), e.clone()));
+            attrs.push(((pred.id() << 1) | 1, agg.apply_stored(graph, run)));
+            if run.iter().all(|&t| graph.triple_object(t).is_entity()) {
+                for &t in run {
+                    if let StoredObject::Entity(e) = graph.triple_object(t) {
+                        links.push((pred, *e));
                     }
                 }
             }
         }
+        i = j;
     }
-    (attrs, links)
+    NodeProps { attrs, links }
 }
 
-/// Extracts KG attributes for the given distinct table values.
-///
-/// The returned table has one row per input value (in input order), a key
-/// column named `key_column` holding the original value, and one column per
-/// extracted property. Unlinked values have nulls everywhere.
-pub fn extract_attributes(
+/// The multi-hop path, memoized at the *node* level: every entity reachable
+/// within `hops` is expanded exactly once (level-synchronous BFS, each
+/// level's new entities fanned out in parallel), then each root's attribute
+/// fold walks the memoized nodes. Attribute identities are
+/// `(prefix path id, leaf key)` pairs — dotted names are materialised once
+/// per distinct attribute, not per entity.
+fn scatter_multi_hop(
     graph: &KnowledgeGraph,
-    values: &[String],
-    key_column: &str,
     config: ExtractionConfig,
-) -> Result<ExtractionResult> {
-    let linker = EntityLinker::new(graph);
-    let mut stats = ExtractionStats {
-        n_values: values.len(),
-        ..Default::default()
-    };
+    distinct: &[Sym],
+    row_entity: &[Option<u32>],
+    n_rows: usize,
+) -> (Vec<String>, Vec<Vec<Value>>) {
+    let agg = config.one_to_many;
 
-    // attribute name -> (row index -> value)
-    let mut attributes: BTreeMap<String, HashMap<usize, Value>> = BTreeMap::new();
+    // 1. Discover + expand: level 0 is the distinct roots; each next level
+    //    is the not-yet-expanded link targets of the current one.
+    let mut memo: HashMap<Sym, NodeProps> = HashMap::new();
+    let mut level: Vec<Sym> = Vec::new();
+    let mut seen: HashSet<Sym> = HashSet::new();
+    for &root in distinct {
+        if seen.insert(root) {
+            level.push(root);
+        }
+    }
+    for hop in 0..config.hops.max(1) {
+        if level.is_empty() {
+            break;
+        }
+        let expanded: Vec<NodeProps> = parallel_map(&level, |_, &sym| expand_node(graph, sym, agg));
+        let mut next: Vec<Sym> = Vec::new();
+        if hop + 1 < config.hops.max(1) {
+            for props in &expanded {
+                for &(_, target) in &props.links {
+                    if seen.insert(target) {
+                        next.push(target);
+                    }
+                }
+            }
+        }
+        for (sym, props) in level.iter().zip(expanded) {
+            memo.insert(*sym, props);
+        }
+        level = next;
+    }
 
-    for (row, value) in values.iter().enumerate() {
-        let outcome = linker.link(value);
-        let entity = match outcome {
-            LinkOutcome::Matched(e) => {
-                stats.n_linked += 1;
-                e
-            }
-            LinkOutcome::Ambiguous(_) => {
-                stats.n_ambiguous += 1;
-                continue;
-            }
-            LinkOutcome::NotFound => {
-                stats.n_not_found += 1;
-                continue;
-            }
-        };
+    // 2. Fold per root over the memoized nodes, replicating the BFS of the
+    //    string-keyed implementation: frontier entries carry an interned
+    //    prefix path instead of a dotted string.
+    let mut prefix_table: HashMap<(u32, Sym), u32> = HashMap::new();
+    let mut prefix_info: Vec<(u32, Sym)> = vec![(0, Sym::from_index(0))]; // slot 0 = empty prefix
+    let mut attr_slots: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut col_names: Vec<String> = Vec::new();
+    let mut col_cells: Vec<Vec<Value>> = Vec::new();
 
-        // Breadth-first expansion up to `hops` levels. Each frontier entry is
-        // (prefix for attribute names, entity).
-        let mut frontier: Vec<(String, String)> = vec![(String::new(), entity)];
+    // Rows that share a root share its folded expansion.
+    let mut root_rows: Vec<Vec<u32>> = vec![Vec::new(); distinct.len()];
+    for (row, slot) in row_entity.iter().enumerate() {
+        if let Some(slot) = slot {
+            root_rows[*slot as usize].push(row as u32);
+        }
+    }
+
+    let mut folded: Vec<(usize, Value)> = Vec::new();
+    let mut fold_index: HashMap<(u32, u32), usize> = HashMap::new();
+    for (root_idx, &root) in distinct.iter().enumerate() {
+        folded.clear();
+        fold_index.clear();
+        let mut frontier: Vec<(u32, Sym)> = vec![(0, root)];
         for _hop in 0..config.hops.max(1) {
             let mut next_frontier = Vec::new();
-            for (prefix, ent) in &frontier {
-                let (attrs, links) = entity_properties(graph, ent, config.one_to_many);
-                for (name, value) in attrs {
-                    let full = if prefix.is_empty() {
-                        name
-                    } else {
-                        format!("{prefix}.{name}")
-                    };
-                    // Numeric aggregation across several linked entities that
-                    // share the same attribute name (multi-valued hop): average
-                    // them; otherwise first-wins.
-                    attributes
-                        .entry(full)
-                        .or_default()
-                        .entry(row)
-                        .and_modify(|existing| {
+            for &(prefix, ent) in &frontier {
+                let Some(props) = memo.get(&ent) else {
+                    continue;
+                };
+                for (leaf, value) in &props.attrs {
+                    let attr = (prefix, *leaf);
+                    // Numeric aggregation across several linked entities
+                    // that share the same attribute (multi-valued hop):
+                    // average them; otherwise first-wins.
+                    match fold_index.get(&attr) {
+                        Some(&slot) => {
+                            let existing = &mut folded[slot].1;
                             if let (Some(a), Some(b)) = (existing.as_f64(), value.as_f64()) {
                                 *existing = Value::Float((a + b) / 2.0);
                             }
-                        })
-                        .or_insert(value);
+                        }
+                        None => {
+                            let col = *attr_slots.entry(attr).or_insert_with(|| {
+                                col_names.push(attr_name(graph, &prefix_info, attr, agg));
+                                col_cells.push(vec![Value::Null; n_rows]);
+                                col_names.len() - 1
+                            });
+                            fold_index.insert(attr, folded.len());
+                            folded.push((col, value.clone()));
+                        }
+                    }
                 }
-                for (pred, target) in links {
-                    let new_prefix = if prefix.is_empty() {
-                        pred.clone()
-                    } else {
-                        format!("{prefix}.{pred}")
-                    };
-                    next_frontier.push((new_prefix, target));
+                for &(pred, target) in &props.links {
+                    let next_prefix = *prefix_table.entry((prefix, pred)).or_insert_with(|| {
+                        prefix_info.push((prefix, pred));
+                        (prefix_info.len() - 1) as u32
+                    });
+                    next_frontier.push((next_prefix, target));
                 }
             }
             frontier = next_frontier;
@@ -245,21 +366,151 @@ pub fn extract_attributes(
                 break;
             }
         }
+        // 3. Scatter the shared fold into every row linked to this root.
+        for &row in &root_rows[root_idx] {
+            for (col, value) in &folded {
+                col_cells[*col][row as usize] = value.clone();
+            }
+        }
+    }
+    (col_names, col_cells)
+}
+
+/// Materialises the dotted name of a `(prefix path, leaf key)` attribute.
+fn attr_name(
+    graph: &KnowledgeGraph,
+    prefix_info: &[(u32, Sym)],
+    (prefix, leaf): (u32, u32),
+    agg: OneToManyAgg,
+) -> String {
+    let mut segments: Vec<&str> = Vec::new();
+    let mut cursor = prefix;
+    while cursor != 0 {
+        let (parent, pred) = prefix_info[cursor as usize];
+        segments.push(graph.predicate_name(pred));
+        cursor = parent;
+    }
+    segments.reverse();
+    let leaf_name = leaf_name(graph, leaf, agg);
+    segments.push(&leaf_name);
+    segments.join(".")
+}
+
+/// Extracts KG attributes for the given distinct table values.
+///
+/// The returned table has one row per input value (in input order), a key
+/// column named `key_column` holding the original value, and one column per
+/// extracted property (sorted by name). Unlinked values have nulls
+/// everywhere.
+pub fn extract_attributes(
+    graph: &KnowledgeGraph,
+    values: &[String],
+    key_column: &str,
+    config: ExtractionConfig,
+) -> Result<ExtractionResult> {
+    graph.finalize();
+    let linker = graph.linker();
+    let mut stats = ExtractionStats {
+        n_values: values.len(),
+        ..Default::default()
+    };
+
+    // 1. Link every value; map rows to a dense index over distinct entities
+    //    (first-appearance order) so the expansion below is memoized per
+    //    entity, not per row.
+    let mut dense: HashMap<Sym, u32> = HashMap::new();
+    let mut distinct: Vec<Sym> = Vec::new();
+    let mut row_entity: Vec<Option<u32>> = Vec::with_capacity(values.len());
+    for value in values {
+        match linker.link_id(value) {
+            LinkId::Matched(sym) => {
+                stats.n_linked += 1;
+                let slot = *dense.entry(sym).or_insert_with(|| {
+                    distinct.push(sym);
+                    (distinct.len() - 1) as u32
+                });
+                row_entity.push(Some(slot));
+            }
+            LinkId::Ambiguous(_) => {
+                stats.n_ambiguous += 1;
+                row_entity.push(None);
+            }
+            LinkId::NotFound => {
+                stats.n_not_found += 1;
+                row_entity.push(None);
+            }
+        }
     }
 
-    // Assemble the universal relation.
-    let mut columns: Vec<Column> = Vec::with_capacity(attributes.len() + 1);
+    // 2.+3. One expansion per distinct entity (fanned out over scoped
+    //    threads; degenerates to the serial loop for small inputs),
+    //    scattered into dense per-column builders. The single-hop default
+    //    stays symbol-keyed end to end; multi-hop composes dotted prefixes.
+    let (mut col_names, mut col_cells) = if config.hops.max(1) == 1 {
+        scatter_one_hop(graph, config, &distinct, &row_entity, values.len())
+    } else {
+        scatter_multi_hop(graph, config, &distinct, &row_entity, values.len())
+    };
+
+    // 4. Merge duplicate column names. Distinct attribute keys can render to
+    //    the same name when a predicate is literally named like an
+    //    aggregate (a plain `"avg X"` next to a one-to-many `"X"`); fold
+    //    such collisions into one column with the cross-entity fold rule:
+    //    first-wins per cell, averaging when both are numeric. This is a
+    //    deliberate divergence from the string-keyed implementation, which
+    //    mixed two accidental behaviours (silent last-wins overwrite when
+    //    the collision happened within one BFS node, averaging across
+    //    nodes); the datasets never trigger it, so the golden fixtures are
+    //    unaffected.
+    {
+        let mut first_by_name: HashMap<String, usize> = HashMap::new();
+        let mut keep: Vec<bool> = vec![true; col_names.len()];
+        for i in 0..col_names.len() {
+            match first_by_name.get(&col_names[i]) {
+                None => {
+                    first_by_name.insert(col_names[i].clone(), i);
+                }
+                Some(&j) => {
+                    keep[i] = false;
+                    let donor = std::mem::take(&mut col_cells[i]);
+                    for (row, v) in donor.into_iter().enumerate() {
+                        if matches!(v, Value::Null) {
+                            continue;
+                        }
+                        let existing = &mut col_cells[j][row];
+                        if matches!(existing, Value::Null) {
+                            *existing = v;
+                        } else if let (Some(a), Some(b)) = (existing.as_f64(), v.as_f64()) {
+                            *existing = Value::Float((a + b) / 2.0);
+                        }
+                    }
+                }
+            }
+        }
+        if keep.iter().any(|k| !k) {
+            let mut k = keep.iter();
+            col_names.retain(|_| *k.next().unwrap());
+            let mut k = keep.iter();
+            col_cells.retain(|_| *k.next().unwrap());
+        }
+    }
+
+    // 5. Assemble the universal relation: key column first, then the
+    //    attribute columns sorted by name.
+    let mut order: Vec<usize> = (0..col_names.len()).collect();
+    order.sort_unstable_by(|&a, &b| col_names[a].cmp(&col_names[b]));
+    let mut columns: Vec<Column> = Vec::with_capacity(col_names.len() + 1);
     columns.push(Column::from_str_values(
         key_column,
         values.iter().map(|v| Some(v.as_str())).collect(),
     ));
-    for (name, cells) in &attributes {
-        let col_values: Vec<Value> = (0..values.len())
-            .map(|row| cells.get(&row).cloned().unwrap_or(Value::Null))
-            .collect();
-        columns.push(Column::from_values(name.clone(), col_values));
+    for &i in &order {
+        columns.push(Column::from_values(
+            col_names[i].clone(),
+            std::mem::take(&mut col_cells[i]),
+        ));
     }
-    stats.n_attributes = attributes.len();
+    stats.n_attributes = col_names.len();
     let table = DataFrame::from_columns(columns)?;
     Ok(ExtractionResult {
         table,
@@ -375,6 +626,67 @@ mod tests {
         assert_eq!(OneToManyAgg::Count.apply(&erefs), Value::Int(2));
         assert_eq!(OneToManyAgg::First.apply(&erefs), Value::Str("A".into()));
         assert_eq!(OneToManyAgg::First.apply(&[]), Value::Null);
+    }
+
+    #[test]
+    fn agg_stored_matches_object_variant() {
+        let g = graph();
+        let us = g.entity_id("United States").unwrap();
+        let idxs = g.properties_of(us);
+        // the "ethnic group" run: two entity-valued objects
+        let run: Vec<u32> = idxs
+            .iter()
+            .copied()
+            .filter(|&t| g.predicate_name(g.triple_pred(t)) == "ethnic group")
+            .collect();
+        assert_eq!(run.len(), 2);
+        assert_eq!(OneToManyAgg::Mean.apply_stored(&g, &run), Value::Null);
+        assert_eq!(OneToManyAgg::Count.apply_stored(&g, &run), Value::Int(2));
+        assert_eq!(
+            OneToManyAgg::First.apply_stored(&g, &run),
+            Value::Str("Group A".into())
+        );
+    }
+
+    #[test]
+    fn memoized_rows_share_expansion() {
+        // "USA" (alias) and "United States" (exact) link to the same entity:
+        // the expansion runs once and both rows carry identical values.
+        let res = extract_attributes(
+            &graph(),
+            &values(&["United States", "USA", "United States"]),
+            "Country",
+            ExtractionConfig {
+                hops: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.stats.n_linked, 3);
+        for col in res.attribute_names() {
+            let v0 = res.table.get(0, &col).unwrap();
+            assert_eq!(v0, res.table.get(1, &col).unwrap(), "column {col}");
+            assert_eq!(v0, res.table.get(2, &col).unwrap(), "column {col}");
+        }
+    }
+
+    #[test]
+    fn colliding_attribute_names_fold_into_one_column() {
+        // A predicate literally named "avg score" collides with the
+        // aggregated rendering of the one-to-many "score": both columns are
+        // called "avg score" and fold into one by numeric averaging. (The
+        // string-keyed implementation silently overwrote the earlier value
+        // instead — an accident of BTreeMap::insert — so this locks in the
+        // new, deliberate rule, not seed parity.)
+        let mut g = KnowledgeGraph::new();
+        g.add_fact("X", "score", Object::number(1.0));
+        g.add_fact("X", "score", Object::number(3.0)); // -> "avg score" = 2.0
+        g.add_fact("X", "avg score", Object::number(4.0));
+        let res =
+            extract_attributes(&g, &values(&["X"]), "Key", ExtractionConfig::default()).unwrap();
+        assert_eq!(res.stats.n_attributes, 1);
+        let folded = res.table.get(0, "avg score").unwrap();
+        assert_eq!(folded, Value::Float(3.0)); // avg(2.0, 4.0)
     }
 
     #[test]

@@ -1,25 +1,87 @@
-//! The knowledge graph store: triples indexed by subject, plus the alias
-//! table the entity linker consults.
+//! The knowledge graph store: an interned, columnar triple store with a CSR
+//! adjacency index, plus the alias table the entity linker consults.
+//!
+//! Layout: entity and predicate names live in [`Interner`] symbol tables and
+//! triples are stored struct-of-arrays — three parallel vectors of
+//! `(subject Sym, predicate Sym, object)` where entity-valued objects hold
+//! symbols instead of cloned `String`s. Property lookup goes through a CSR
+//! index (`offsets` + neighbor array sorted by predicate *name*) built
+//! lazily on first read and invalidated by mutation, so
+//! [`KnowledgeGraph::properties_of`] returns a borrowed slice with zero
+//! allocation. The [`crate::EntityLinker`] built from the graph is cached
+//! the same way, which is what makes repeated `extract_attributes` calls
+//! cheap.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use tabular::Value;
+
+use crate::intern::{Interner, Sym};
+use crate::linking::EntityLinker;
 use crate::triple::{Object, Triple};
+
+/// The object position of a stored triple: an interned entity reference or a
+/// literal value. The id-based mirror of [`Object`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredObject {
+    /// A reference to another entity, by symbol.
+    Entity(Sym),
+    /// A literal value (number, string, boolean).
+    Literal(Value),
+}
+
+impl StoredObject {
+    /// Whether the object references an entity.
+    #[inline]
+    pub fn is_entity(&self) -> bool {
+        matches!(self, StoredObject::Entity(_))
+    }
+}
+
+/// The CSR adjacency index over the triple arrays.
+///
+/// `adjacency[offsets[s.index()]..offsets[s.index() + 1]]` holds the triple
+/// indices whose subject is `s`, sorted by the *lexicographic rank of the
+/// predicate name* and then by insertion order — so one linear scan visits
+/// an entity's properties grouped by predicate, in predicate-name order,
+/// with each group's objects in insertion order. That is exactly the
+/// iteration order attribute extraction needs.
+#[derive(Debug, Clone, Default)]
+struct CsrIndex {
+    offsets: Vec<u32>,
+    adjacency: Vec<u32>,
+    /// Predicate symbols sorted by name.
+    sorted_preds: Vec<Sym>,
+}
 
 /// An in-memory knowledge graph.
 ///
-/// The graph plays the role DBpedia plays in the paper: a large collection of
-/// `(entity, property, value)` facts from which MESA mines candidate
+/// The graph plays the role DBpedia plays in the paper: a large collection
+/// of `(entity, property, value)` facts from which MESA mines candidate
 /// confounding attributes. Subjects are indexed for fast per-entity property
 /// lookup during extraction.
 #[derive(Debug, Clone, Default)]
 pub struct KnowledgeGraph {
-    triples: Vec<Triple>,
-    by_subject: HashMap<String, Vec<usize>>,
-    entities: HashSet<String>,
-    /// alias -> canonical entity names (e.g. "USA" -> ["United States"]).
+    /// Entity names and alias targets. `entity_flags` marks the symbols that
+    /// were registered as actual entities (subjects or entity-valued
+    /// objects); alias targets without facts stay unflagged.
+    symbols: Interner,
+    entity_flags: Vec<bool>,
+    n_entities: usize,
+    predicates: Interner,
+    /// Struct-of-arrays triple storage.
+    subjects: Vec<Sym>,
+    preds: Vec<Sym>,
+    objects: Vec<StoredObject>,
+    /// alias name -> canonical target symbols, in alias insertion order.
     /// An alias registered for several entities is *ambiguous*: the linker
     /// refuses to resolve it (the paper's "Ronaldo" example).
-    aliases: HashMap<String, Vec<String>>,
+    alias_index: HashMap<String, usize>,
+    alias_entries: Vec<(String, Vec<Sym>)>,
+    /// Lazily built, invalidated by mutation.
+    index: OnceLock<CsrIndex>,
+    linker: OnceLock<EntityLinker>,
 }
 
 impl KnowledgeGraph {
@@ -28,18 +90,92 @@ impl KnowledgeGraph {
         KnowledgeGraph::default()
     }
 
+    /// Creates an empty graph with storage preallocated for roughly
+    /// `n_triples` facts over `n_entities` distinct entities.
+    pub fn with_capacity(n_triples: usize, n_entities: usize) -> Self {
+        KnowledgeGraph {
+            symbols: Interner::with_capacity(n_entities),
+            entity_flags: Vec::with_capacity(n_entities),
+            subjects: Vec::with_capacity(n_triples),
+            preds: Vec::with_capacity(n_triples),
+            objects: Vec::with_capacity(n_triples),
+            ..KnowledgeGraph::default()
+        }
+    }
+
+    fn invalidate(&mut self) {
+        self.index = OnceLock::new();
+        self.linker = OnceLock::new();
+    }
+
+    fn intern_symbol(&mut self, name: &str) -> Sym {
+        let sym = self.symbols.intern(name);
+        if sym.index() == self.entity_flags.len() {
+            self.entity_flags.push(false);
+        }
+        sym
+    }
+
+    /// Interns `name` and registers it as an entity, returning its symbol.
+    /// The id-based builder entry point: intern each subject once, then add
+    /// facts by symbol.
+    pub fn intern_entity(&mut self, name: &str) -> Sym {
+        let sym = self.intern_symbol(name);
+        if !self.entity_flags[sym.index()] {
+            self.entity_flags[sym.index()] = true;
+            self.n_entities += 1;
+            self.invalidate();
+        }
+        sym
+    }
+
+    /// Interns a predicate name, returning its symbol.
+    pub fn intern_predicate(&mut self, name: &str) -> Sym {
+        // Interning a new predicate changes the name ranks in the CSR index.
+        let before = self.predicates.len();
+        let sym = self.predicates.intern(name);
+        if self.predicates.len() != before {
+            self.invalidate();
+        }
+        sym
+    }
+
+    /// Adds `(subject, predicate, object)` by symbol — the allocation-free
+    /// fast path used by the data generator. Entity-valued objects must
+    /// already be registered via [`KnowledgeGraph::intern_entity`].
+    pub fn add_fact_ids(&mut self, subject: Sym, predicate: Sym, object: StoredObject) {
+        debug_assert!(subject.index() < self.symbols.len(), "unknown subject");
+        debug_assert!(
+            predicate.index() < self.predicates.len(),
+            "unknown predicate"
+        );
+        if let StoredObject::Entity(e) = object {
+            debug_assert!(
+                self.entity_flags.get(e.index()).copied().unwrap_or(false),
+                "entity-valued object must be interned via intern_entity"
+            );
+        }
+        self.subjects.push(subject);
+        self.preds.push(predicate);
+        self.objects.push(object);
+        self.invalidate();
+    }
+
+    /// Interns an entity name for use as an entity-valued object.
+    pub fn object_entity(&mut self, name: &str) -> StoredObject {
+        StoredObject::Entity(self.intern_entity(name))
+    }
+
     /// Adds a fact to the graph. The subject (and any entity-valued object)
     /// is registered as an entity.
     pub fn add(&mut self, triple: Triple) {
-        self.entities.insert(triple.subject.clone());
-        if let Object::Entity(e) = &triple.object {
-            self.entities.insert(e.clone());
-        }
-        self.by_subject
-            .entry(triple.subject.clone())
-            .or_default()
-            .push(self.triples.len());
-        self.triples.push(triple);
+        let s = self.intern_entity(&triple.subject);
+        let p = self.intern_predicate(&triple.predicate);
+        let o = match triple.object {
+            Object::Entity(e) => StoredObject::Entity(self.intern_entity(&e)),
+            Object::Literal(v) => StoredObject::Literal(v),
+        };
+        self.add_fact_ids(s, p, o);
     }
 
     /// Convenience: adds `(subject, predicate, object)`.
@@ -49,89 +185,298 @@ impl KnowledgeGraph {
         predicate: impl Into<String>,
         object: Object,
     ) {
-        self.add(Triple::new(subject, predicate, object));
+        let s = self.intern_entity(&subject.into());
+        let p = self.intern_predicate(&predicate.into());
+        let o = match object {
+            Object::Entity(e) => StoredObject::Entity(self.intern_entity(&e)),
+            Object::Literal(v) => StoredObject::Literal(v),
+        };
+        self.add_fact_ids(s, p, o);
     }
 
     /// Registers an alias for an entity (the linker resolves aliases to the
     /// canonical name). Registering an alias does not create the entity.
     /// Registering the same alias for several entities makes it ambiguous.
     pub fn add_alias(&mut self, alias: impl Into<String>, canonical: impl Into<String>) {
-        let canonical = canonical.into();
-        let entry = self.aliases.entry(alias.into()).or_default();
-        if !entry.contains(&canonical) {
-            entry.push(canonical);
+        let canonical = self.intern_symbol(&canonical.into());
+        let alias = alias.into();
+        let idx = match self.alias_index.get(&alias) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.alias_entries.len();
+                self.alias_entries.push((alias.clone(), Vec::new()));
+                self.alias_index.insert(alias, idx);
+                idx
+            }
+        };
+        let targets = &mut self.alias_entries[idx].1;
+        if !targets.contains(&canonical) {
+            targets.push(canonical);
+            self.invalidate();
         }
     }
 
     /// The canonical entity for an alias, when it resolves uniquely.
     pub fn resolve_alias(&self, alias: &str) -> Option<&str> {
-        match self.aliases.get(alias) {
-            Some(targets) if targets.len() == 1 => Some(targets[0].as_str()),
+        match self
+            .alias_index
+            .get(alias)
+            .map(|&i| &self.alias_entries[i].1)
+        {
+            Some(targets) if targets.len() == 1 => Some(self.symbols.resolve(targets[0])),
             _ => None,
         }
     }
 
-    /// All registered `(alias, canonical)` pairs, used by the entity linker.
-    /// An ambiguous alias contributes one pair per target.
-    pub fn alias_entries(&self) -> Vec<(String, String)> {
-        self.aliases
+    /// All registered `(alias, canonical)` pairs in alias registration
+    /// order, used by the entity linker. An ambiguous alias contributes one
+    /// pair per target. Borrowed — nothing is cloned.
+    pub fn alias_entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.alias_entries.iter().flat_map(move |(alias, targets)| {
+            targets
+                .iter()
+                .map(move |&t| (alias.as_str(), self.symbols.resolve(t)))
+        })
+    }
+
+    /// The full symbol table (entities and alias targets).
+    pub(crate) fn symbols(&self) -> &Interner {
+        &self.symbols
+    }
+
+    /// Like [`KnowledgeGraph::alias_entries`], but yielding target symbols.
+    pub(crate) fn alias_sym_entries(&self) -> impl Iterator<Item = (&str, &[Sym])> {
+        self.alias_entries
             .iter()
-            .flat_map(|(a, cs)| cs.iter().map(move |c| (a.clone(), c.clone())))
-            .collect()
+            .map(|(alias, targets)| (alias.as_str(), targets.as_slice()))
     }
 
     /// Whether the graph knows this exact entity name.
     pub fn has_entity(&self, name: &str) -> bool {
-        self.entities.contains(name)
+        self.entity_id(name).is_some()
     }
 
-    /// All entity names (unordered).
+    /// The symbol of an entity, when `name` is a registered entity.
+    pub fn entity_id(&self, name: &str) -> Option<Sym> {
+        self.symbols
+            .get(name)
+            .filter(|s| self.entity_flags[s.index()])
+    }
+
+    /// The name behind an entity (or alias-target) symbol.
+    #[inline]
+    pub fn entity_name(&self, sym: Sym) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// All entity names, in first-registration order.
     pub fn entities(&self) -> impl Iterator<Item = &str> {
-        self.entities.iter().map(|s| s.as_str())
+        self.symbols
+            .iter()
+            .filter(|(s, _)| self.entity_flags[s.index()])
+            .map(|(_, name)| name)
+    }
+
+    /// All entity symbols, in first-registration order.
+    pub fn entity_ids(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.symbols
+            .iter()
+            .map(|(s, _)| s)
+            .filter(|s| self.entity_flags[s.index()])
     }
 
     /// Number of distinct entities.
     pub fn n_entities(&self) -> usize {
-        self.entities.len()
+        self.n_entities
     }
 
     /// Number of triples.
     pub fn n_triples(&self) -> usize {
-        self.triples.len()
+        self.subjects.len()
+    }
+
+    /// The predicate symbol of triple `t`.
+    #[inline]
+    pub(crate) fn triple_pred(&self, t: u32) -> Sym {
+        self.preds[t as usize]
+    }
+
+    /// The stored object of triple `t`.
+    #[inline]
+    pub(crate) fn triple_object(&self, t: u32) -> &StoredObject {
+        &self.objects[t as usize]
+    }
+
+    /// The name behind a predicate symbol.
+    #[inline]
+    pub fn predicate_name(&self, sym: Sym) -> &str {
+        self.predicates.resolve(sym)
+    }
+
+    /// Number of distinct predicates.
+    pub fn n_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Materialises a stored object as an [`Object`] (cloning names/values).
+    pub fn object(&self, stored: &StoredObject) -> Object {
+        match stored {
+            StoredObject::Entity(e) => Object::Entity(self.symbols.resolve(*e).to_string()),
+            StoredObject::Literal(v) => Object::Literal(v.clone()),
+        }
+    }
+
+    /// Converts a stored object to a literal [`Value`], rendering entity
+    /// references as their name (the id-based mirror of
+    /// [`Object::to_value`]).
+    pub fn object_value(&self, stored: &StoredObject) -> Value {
+        match stored {
+            StoredObject::Entity(e) => Value::Str(self.symbols.resolve(*e).to_string()),
+            StoredObject::Literal(v) => v.clone(),
+        }
+    }
+
+    /// Builds (or returns) the CSR index and cached entity linker.
+    ///
+    /// Reads trigger this lazily, so calling `finalize` is never required
+    /// for correctness — builders call it once after bulk loading to move
+    /// the indexing cost out of the first query.
+    pub fn finalize(&self) {
+        self.csr();
+        self.linker();
+    }
+
+    fn csr(&self) -> &CsrIndex {
+        self.index.get_or_init(|| {
+            // Rank predicates by name so each subject's adjacency scans in
+            // predicate-name order (the order extraction groups by).
+            let mut sorted_preds: Vec<Sym> = self.predicates.iter().map(|(s, _)| s).collect();
+            sorted_preds.sort_unstable_by_key(|&s| self.predicates.resolve(s));
+            let mut pred_rank = vec![0u32; self.predicates.len()];
+            for (rank, &sym) in sorted_preds.iter().enumerate() {
+                pred_rank[sym.index()] = rank as u32;
+            }
+
+            // Counting sort of triple indices by subject symbol.
+            let n_syms = self.symbols.len();
+            let mut counts = vec![0u32; n_syms + 1];
+            for s in &self.subjects {
+                counts[s.index() + 1] += 1;
+            }
+            let mut offsets = counts;
+            for i in 1..offsets.len() {
+                offsets[i] += offsets[i - 1];
+            }
+            let mut adjacency = vec![0u32; self.subjects.len()];
+            let mut cursor = offsets.clone();
+            for (t, s) in self.subjects.iter().enumerate() {
+                adjacency[cursor[s.index()] as usize] = t as u32;
+                cursor[s.index()] += 1;
+            }
+            // Within a subject: predicate-name order, then insertion order.
+            // The counting sort emitted insertion order, so a stable sort by
+            // rank alone preserves it.
+            for w in offsets.windows(2) {
+                let (lo, hi) = (w[0] as usize, w[1] as usize);
+                adjacency[lo..hi].sort_by_key(|&t| pred_rank[self.preds[t as usize].index()]);
+            }
+            CsrIndex {
+                offsets,
+                adjacency,
+                sorted_preds,
+            }
+        })
+    }
+
+    /// The cached entity linker for this graph (built on first use).
+    pub fn linker(&self) -> &EntityLinker {
+        self.linker.get_or_init(|| EntityLinker::new(self))
+    }
+
+    /// The triple indices of an entity's facts as a borrowed slice, grouped
+    /// by predicate in predicate-name order, insertion order within a group.
+    /// Empty when the entity has no outgoing facts. Zero allocation.
+    pub(crate) fn properties_of(&self, subject: Sym) -> &[u32] {
+        let csr = self.csr();
+        let i = subject.index();
+        if i + 1 >= csr.offsets.len() {
+            return &[];
+        }
+        &csr.adjacency[csr.offsets[i] as usize..csr.offsets[i + 1] as usize]
     }
 
     /// All properties of an entity, as `(predicate, object)` pairs in
     /// insertion order. Empty when the entity has no outgoing facts.
-    pub fn properties(&self, subject: &str) -> Vec<(&str, &Object)> {
-        self.by_subject
-            .get(subject)
-            .map(|idxs| {
-                idxs.iter()
-                    .map(|&i| (self.triples[i].predicate.as_str(), &self.triples[i].object))
-                    .collect()
+    ///
+    /// Compatibility wrapper that materialises owned [`Object`]s; the
+    /// extraction hot path iterates [`KnowledgeGraph::properties_of`]
+    /// instead.
+    pub fn properties(&self, subject: &str) -> Vec<(&str, Object)> {
+        let Some(sym) = self.symbols.get(subject) else {
+            return Vec::new();
+        };
+        let mut idxs: Vec<u32> = self.properties_of(sym).to_vec();
+        idxs.sort_unstable();
+        idxs.into_iter()
+            .map(|t| {
+                (
+                    self.predicates.resolve(self.preds[t as usize]),
+                    self.object(&self.objects[t as usize]),
+                )
             })
-            .unwrap_or_default()
+            .collect()
     }
 
-    /// The distinct predicate names appearing anywhere in the graph.
+    /// The distinct predicate names appearing anywhere in the graph, sorted.
     pub fn predicates(&self) -> Vec<&str> {
-        let mut set: HashSet<&str> = HashSet::new();
-        for t in &self.triples {
-            set.insert(t.predicate.as_str());
-        }
-        let mut v: Vec<&str> = set.into_iter().collect();
-        v.sort_unstable();
-        v
+        self.csr()
+            .sorted_preds
+            .iter()
+            .map(|&s| self.predicates.resolve(s))
+            .collect()
     }
 
-    /// Merges another graph into this one (triples and aliases).
+    /// Merges another graph into this one (triples and aliases) as a bulk
+    /// columnar append: symbols are remapped through the interners once and
+    /// the triple arrays are extended in place — no per-triple re-hashing of
+    /// names.
     pub fn merge(&mut self, other: &KnowledgeGraph) {
-        for t in &other.triples {
-            self.add(t.clone());
+        // Remap other's symbols into self, preserving entity flags.
+        let sym_map: Vec<Sym> = other
+            .symbols
+            .iter()
+            .map(|(sym, name)| {
+                if other.entity_flags[sym.index()] {
+                    self.intern_entity(name)
+                } else {
+                    self.intern_symbol(name)
+                }
+            })
+            .collect();
+        let pred_map: Vec<Sym> = other
+            .predicates
+            .iter()
+            .map(|(_, name)| self.intern_predicate(name))
+            .collect();
+
+        self.subjects.reserve(other.subjects.len());
+        self.preds.reserve(other.preds.len());
+        self.objects.reserve(other.objects.len());
+        self.subjects
+            .extend(other.subjects.iter().map(|s| sym_map[s.index()]));
+        self.preds
+            .extend(other.preds.iter().map(|p| pred_map[p.index()]));
+        self.objects.extend(other.objects.iter().map(|o| match o {
+            StoredObject::Entity(e) => StoredObject::Entity(sym_map[e.index()]),
+            StoredObject::Literal(v) => StoredObject::Literal(v.clone()),
+        }));
+
+        for (alias, targets) in &other.alias_entries {
+            for &t in targets {
+                self.add_alias(alias.clone(), other.symbols.resolve(t));
+            }
         }
-        for (a, c) in other.alias_entries() {
-            self.add_alias(a, c);
-        }
+        self.invalidate();
     }
 }
 
@@ -159,6 +504,7 @@ mod tests {
         assert!(g.has_entity("Euro"));
         assert!(!g.has_entity("USA")); // alias, not entity
         assert_eq!(g.entities().count(), 3);
+        assert_eq!(g.entity_ids().count(), 3);
     }
 
     #[test]
@@ -171,10 +517,29 @@ mod tests {
     }
 
     #[test]
+    fn csr_slice_is_pred_name_sorted() {
+        let g = sample();
+        let sym = g.entity_id("Germany").unwrap();
+        let idxs = g.properties_of(sym);
+        let names: Vec<&str> = idxs
+            .iter()
+            .map(|&t| g.predicate_name(g.triple_pred(t)))
+            .collect();
+        assert_eq!(names, vec!["GDP", "HDI", "currency"]);
+        // object slice access without allocation
+        assert!(g.triple_object(idxs[2]).is_entity());
+    }
+
+    #[test]
     fn aliases_resolve() {
         let g = sample();
         assert_eq!(g.resolve_alias("USA"), Some("United States"));
         assert_eq!(g.resolve_alias("Germany"), None);
+        let entries: Vec<(&str, &str)> = g.alias_entries().collect();
+        assert_eq!(
+            entries,
+            vec![("USA", "United States"), ("Deutschland", "Germany")]
+        );
     }
 
     #[test]
@@ -193,5 +558,46 @@ mod tests {
         assert_eq!(a.n_triples(), 5);
         assert!(a.has_entity("France"));
         assert_eq!(a.resolve_alias("FR"), Some("France"));
+    }
+
+    #[test]
+    fn merge_remaps_entity_objects_and_dedups_aliases() {
+        let mut a = sample();
+        let mut b = KnowledgeGraph::new();
+        // "Euro" already exists in `a` under a different symbol id.
+        b.add_fact("France", "currency", Object::entity("Euro"));
+        b.add_alias("USA", "United States"); // duplicate of a's alias
+        a.merge(&b);
+        let props = a.properties("France");
+        assert_eq!(props[0].0, "currency");
+        assert_eq!(props[0].1, Object::entity("Euro"));
+        // still a single (USA -> United States) pair
+        assert_eq!(a.alias_entries().filter(|(al, _)| *al == "USA").count(), 1);
+        assert_eq!(a.resolve_alias("USA"), Some("United States"));
+    }
+
+    #[test]
+    fn id_based_builder_api() {
+        let mut g = KnowledgeGraph::with_capacity(4, 2);
+        let de = g.intern_entity("Germany");
+        let hdi = g.intern_predicate("HDI");
+        let currency = g.intern_predicate("currency");
+        let euro = g.object_entity("Euro");
+        g.add_fact_ids(de, hdi, StoredObject::Literal(Value::Float(0.95)));
+        g.add_fact_ids(de, currency, euro);
+        assert_eq!(g.n_triples(), 2);
+        assert_eq!(g.n_entities(), 2);
+        assert_eq!(g.entity_name(de), "Germany");
+        let props = g.properties("Germany");
+        assert_eq!(props[1].1, Object::entity("Euro"));
+    }
+
+    #[test]
+    fn mutation_invalidates_index() {
+        let mut g = sample();
+        assert_eq!(g.properties("Germany").len(), 3);
+        g.add_fact("Germany", "Area", Object::number(357.0));
+        assert_eq!(g.properties("Germany").len(), 4);
+        assert_eq!(g.predicates(), vec!["Area", "GDP", "HDI", "currency"]);
     }
 }

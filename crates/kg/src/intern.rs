@@ -1,0 +1,139 @@
+//! String interning: the symbol tables behind the columnar triple store.
+//!
+//! Every entity and predicate name is stored exactly once and referred to by
+//! a dense `u32` [`Sym`], so triples become three machine words, lookups
+//! become array indexing, and the extraction pipeline never clones a name
+//! just to pass it around. The design follows the dictionary encoding used
+//! by columnar stores (and by `tabular::EncodedColumn` one crate below).
+
+use std::collections::HashMap;
+
+/// A dense `u32` handle for an interned string.
+///
+/// Symbols are only meaningful together with the [`Interner`] that issued
+/// them; they are assigned contiguously from zero in first-intern order, so
+/// they double as indexes into parallel side tables (entity flags, CSR
+/// offsets, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The symbol's position in first-intern order, usable as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` id.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a symbol from an index previously obtained via [`Sym::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Sym {
+        Sym(u32::try_from(index).expect("more than u32::MAX interned symbols"))
+    }
+}
+
+/// A deduplicating string → [`Sym`] table with O(1) two-way lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<String, Sym>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// An empty interner with space for `capacity` distinct strings.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Interner {
+            map: HashMap::with_capacity(capacity),
+            strings: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Interns `s`, returning the existing symbol when already present.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym::from_index(self.strings.len());
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// The symbol for `s`, if it has been interned.
+    #[inline]
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// The string behind a symbol.
+    ///
+    /// # Panics
+    /// Panics when `sym` was not issued by this interner.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// All `(symbol, string)` pairs in first-intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym::from_index(i), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_resolves() {
+        let mut i = Interner::new();
+        let a = i.intern("Germany");
+        let b = i.intern("France");
+        let a2 = i.intern("Germany");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "Germany");
+        assert_eq!(i.resolve(b), "France");
+        assert_eq!(i.get("Germany"), Some(a));
+        assert_eq!(i.get("Atlantis"), None);
+    }
+
+    #[test]
+    fn symbols_are_dense_in_first_intern_order() {
+        let mut i = Interner::with_capacity(3);
+        assert!(i.is_empty());
+        let syms: Vec<Sym> = ["a", "b", "c"].iter().map(|s| i.intern(s)).collect();
+        assert_eq!(
+            syms.iter().map(|s| s.index()).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert_eq!(
+            i.iter().map(|(s, v)| (s.id(), v)).collect::<Vec<_>>(),
+            vec![(0, "a"), (1, "b"), (2, "c")]
+        );
+    }
+}

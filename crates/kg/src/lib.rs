@@ -1,9 +1,17 @@
 //! # kg
 //!
-//! The knowledge-graph substrate of the MESA reproduction: an in-memory
-//! triple store standing in for DBpedia, a rule-based entity linker (NED),
-//! attribute extraction with multi-hop traversal and one-to-many aggregation,
-//! and the missing-value injectors used by the robustness experiments.
+//! The knowledge-graph substrate of the MESA reproduction: an interned,
+//! columnar triple store standing in for DBpedia, a rule-based entity linker
+//! (NED), attribute extraction with multi-hop traversal and one-to-many
+//! aggregation, and the missing-value injectors used by the robustness
+//! experiments.
+//!
+//! The storage layer is dictionary-encoded: entity and predicate names live
+//! in [`Interner`] symbol tables ([`Sym`] ids), triples are three parallel
+//! arrays, and per-entity property lookup goes through a lazily built CSR
+//! index. Extraction links values through the graph's cached
+//! [`EntityLinker`], expands each *distinct entity* once (in parallel), and
+//! scatters the shared expansions into dense column builders.
 //!
 //! ```
 //! use kg::{KnowledgeGraph, Object, extract_attributes, ExtractionConfig};
@@ -28,6 +36,7 @@
 
 pub mod extraction;
 pub mod graph;
+pub mod intern;
 pub mod linking;
 pub mod missing;
 pub mod triple;
@@ -35,7 +44,8 @@ pub mod triple;
 pub use extraction::{
     extract_attributes, ExtractionConfig, ExtractionResult, ExtractionStats, OneToManyAgg,
 };
-pub use graph::KnowledgeGraph;
-pub use linking::{normalize, EntityLinker, LinkOutcome};
+pub use graph::{KnowledgeGraph, StoredObject};
+pub use intern::{Interner, Sym};
+pub use linking::{normalize, EntityLinker, LinkId, LinkOutcome};
 pub use missing::{impute_mean, remove_at_random, remove_biased};
 pub use triple::{Object, Triple};

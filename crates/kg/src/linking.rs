@@ -9,12 +9,19 @@
 //!   every extracted attribute is null for that value;
 //! * **ambiguous values** — `"Ronaldo"` could be two different entities; the
 //!   linker refuses to guess and the value stays unlinked.
+//!
+//! The linker is id-based: every lookup table maps a surface form to
+//! interned [`Sym`]s, the normalised forms of all entities and aliases are
+//! computed once when the linker is built (cached on the graph — see
+//! [`KnowledgeGraph::linker`]), and [`EntityLinker::link_id`] resolves a
+//! value without cloning a single candidate `String`.
 
 use std::collections::HashMap;
 
 use crate::graph::KnowledgeGraph;
+use crate::intern::Sym;
 
-/// The outcome of linking one table value.
+/// The outcome of linking one table value, as owned names.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinkOutcome {
     /// The value resolved to a single entity.
@@ -35,6 +42,19 @@ impl LinkOutcome {
     }
 }
 
+/// The outcome of linking one table value, as borrowed symbols — the
+/// allocation-free mirror of [`LinkOutcome`] used by the extraction hot
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkId<'a> {
+    /// The value resolved to a single symbol.
+    Matched(Sym),
+    /// Several symbols matched equally well; no link is made.
+    Ambiguous(&'a [Sym]),
+    /// No symbol matched.
+    NotFound,
+}
+
 /// Normalises a surface form for fuzzy matching: lowercase, trimmed,
 /// punctuation stripped, internal whitespace collapsed.
 pub fn normalize(name: &str) -> String {
@@ -42,8 +62,13 @@ pub fn normalize(name: &str) -> String {
     let mut last_space = true;
     for c in name.chars() {
         if c.is_alphanumeric() {
-            out.extend(c.to_lowercase());
-            last_space = false;
+            // Lowercasing can expand to several chars, some of them
+            // non-alphanumeric (e.g. 'İ' -> 'i' + combining dot); keep only
+            // the alphanumeric ones so normalisation is idempotent.
+            for lc in c.to_lowercase().filter(|lc| lc.is_alphanumeric()) {
+                out.push(lc);
+                last_space = false;
+            }
         } else if !last_space {
             out.push(' ');
             last_space = true;
@@ -56,69 +81,96 @@ pub fn normalize(name: &str) -> String {
 ///
 /// Matching precedence: exact entity name → registered alias → normalised
 /// entity name → normalised alias. A normalised form shared by several
-/// distinct entities is reported as [`LinkOutcome::Ambiguous`].
+/// distinct entities is reported as ambiguous.
 #[derive(Debug, Clone)]
 pub struct EntityLinker {
+    /// Symbol index -> name, for materialising [`LinkOutcome`]s.
+    names: Vec<String>,
     /// Exact canonical entity names.
-    exact: HashMap<String, String>,
-    /// Alias surface form -> candidate canonical entities.
-    aliases: HashMap<String, Vec<String>>,
-    /// Normalised surface form (of entities and aliases) -> candidate entities.
-    normalized: HashMap<String, Vec<String>>,
+    exact: HashMap<String, Sym>,
+    /// Alias surface form -> candidate canonical symbols.
+    aliases: HashMap<String, Vec<Sym>>,
+    /// Normalised surface form (of entities and aliases) -> candidates.
+    normalized: HashMap<String, Vec<Sym>>,
 }
 
-fn push_unique(map: &mut HashMap<String, Vec<String>>, key: String, value: &str) {
+fn push_unique(map: &mut HashMap<String, Vec<Sym>>, key: String, value: Sym) {
     let entry = map.entry(key).or_default();
-    if !entry.iter().any(|x| x == value) {
-        entry.push(value.to_string());
+    if !entry.contains(&value) {
+        entry.push(value);
     }
 }
 
 impl EntityLinker {
-    /// Builds the linker's lookup structures from the graph.
+    /// Builds the linker's lookup structures from the graph. All normalised
+    /// forms are computed here, once; prefer [`KnowledgeGraph::linker`],
+    /// which caches the built linker on the graph.
     pub fn new(graph: &KnowledgeGraph) -> Self {
-        let mut exact: HashMap<String, String> = HashMap::new();
-        let mut aliases: HashMap<String, Vec<String>> = HashMap::new();
-        let mut normalized: HashMap<String, Vec<String>> = HashMap::new();
-        for e in graph.entities() {
-            exact.insert(e.to_string(), e.to_string());
-            push_unique(&mut normalized, normalize(e), e);
+        let names: Vec<String> = graph
+            .symbols()
+            .iter()
+            .map(|(_, name)| name.to_string())
+            .collect();
+        let mut exact: HashMap<String, Sym> = HashMap::with_capacity(graph.n_entities());
+        let mut aliases: HashMap<String, Vec<Sym>> = HashMap::new();
+        let mut normalized: HashMap<String, Vec<Sym>> = HashMap::with_capacity(graph.n_entities());
+        for sym in graph.entity_ids() {
+            let name = &names[sym.index()];
+            exact.insert(name.clone(), sym);
+            push_unique(&mut normalized, normalize(name), sym);
         }
-        for (alias, canonical) in graph.alias_entries() {
-            push_unique(&mut aliases, alias.clone(), &canonical);
-            push_unique(&mut normalized, normalize(&alias), &canonical);
+        for (alias, targets) in graph.alias_sym_entries() {
+            for &t in targets {
+                push_unique(&mut aliases, alias.to_string(), t);
+                push_unique(&mut normalized, normalize(alias), t);
+            }
         }
         EntityLinker {
+            names,
             exact,
             aliases,
             normalized,
         }
     }
 
-    /// Links a single surface form.
-    pub fn link(&self, value: &str) -> LinkOutcome {
+    /// The name behind a linked symbol.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Links a single surface form, returning symbols. No allocation.
+    pub fn link_id(&self, value: &str) -> LinkId<'_> {
         // 1. Exact canonical entity name.
-        if let Some(e) = self.exact.get(value) {
-            return LinkOutcome::Matched(e.clone());
+        if let Some(&sym) = self.exact.get(value) {
+            return LinkId::Matched(sym);
         }
         // 2. Registered alias (ambiguous when it points at several entities).
         if let Some(candidates) = self.aliases.get(value) {
-            return match candidates.len() {
-                1 => LinkOutcome::Matched(candidates[0].clone()),
-                _ => LinkOutcome::Ambiguous(candidates.clone()),
+            return match candidates.as_slice() {
+                [single] => LinkId::Matched(*single),
+                several => LinkId::Ambiguous(several),
             };
         }
         // 3. Normalised fallback over entities and aliases.
         let n = normalize(value);
         if n.is_empty() {
-            return LinkOutcome::NotFound;
+            return LinkId::NotFound;
         }
-        match self.normalized.get(&n) {
-            Some(candidates) if candidates.len() == 1 => {
-                LinkOutcome::Matched(candidates[0].clone())
+        match self.normalized.get(&n).map(Vec::as_slice) {
+            Some([single]) => LinkId::Matched(*single),
+            Some(several) if several.len() > 1 => LinkId::Ambiguous(several),
+            _ => LinkId::NotFound,
+        }
+    }
+
+    /// Links a single surface form, materialising names.
+    pub fn link(&self, value: &str) -> LinkOutcome {
+        match self.link_id(value) {
+            LinkId::Matched(sym) => LinkOutcome::Matched(self.names[sym.index()].clone()),
+            LinkId::Ambiguous(syms) => {
+                LinkOutcome::Ambiguous(syms.iter().map(|s| self.names[s.index()].clone()).collect())
             }
-            Some(candidates) if candidates.len() > 1 => LinkOutcome::Ambiguous(candidates.clone()),
-            _ => LinkOutcome::NotFound,
+            LinkId::NotFound => LinkOutcome::NotFound,
         }
     }
 
@@ -148,7 +200,7 @@ mod tests {
         g.add_alias("Russian Federation", "Russia");
         g.add_alias("USA", "United States");
         g.add_alias("Ronaldo", "Cristiano Ronaldo");
-        g.add_alias("Ronaldo", "Ronaldo Nazario"); // second registration ignored for exact, ambiguous for normalized
+        g.add_alias("Ronaldo", "Ronaldo Nazario"); // ambiguous from here on
         g
     }
 
@@ -205,6 +257,20 @@ mod tests {
             }
             other => panic!("expected ambiguity, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn link_id_matches_link() {
+        let g = graph();
+        let linker = g.linker();
+        match linker.link_id("USA") {
+            LinkId::Matched(sym) => assert_eq!(linker.name(sym), "United States"),
+            other => panic!("expected match, got {other:?}"),
+        }
+        assert!(matches!(linker.link_id("Ronaldo"), LinkId::Ambiguous(c) if c.len() == 2));
+        assert_eq!(linker.link_id("Atlantis"), LinkId::NotFound);
+        // the cached linker is the same object on repeated calls
+        assert!(std::ptr::eq(g.linker(), linker));
     }
 
     #[test]

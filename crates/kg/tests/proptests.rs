@@ -1,0 +1,137 @@
+//! Property tests for the interner and the entity linker.
+//!
+//! The vendored `proptest` stand-in has no string strategy, so surface forms
+//! are generated as codepoint vectors and rendered in the test bodies.
+
+use std::collections::HashSet;
+
+use kg::{normalize, EntityLinker, Interner, KnowledgeGraph, LinkId, LinkOutcome, Object};
+use proptest::prelude::*;
+
+/// Renders a codepoint vector as a printable string (codepoints are folded
+/// into a range that mixes ASCII, Latin-1 and combining marks).
+fn word(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .filter_map(|&c| char::from_u32(0x20 + (c % 0x2e0)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interner_round_trips_and_dedups(
+        words in prop::collection::vec(prop::collection::vec(0u32..0x2e0, 0..12), 1..40),
+    ) {
+        let mut interner = Interner::new();
+        let names: Vec<String> = words.iter().map(|w| word(w)).collect();
+        let syms: Vec<_> = names.iter().map(|n| interner.intern(n)).collect();
+        for (name, &sym) in names.iter().zip(&syms) {
+            // round trip: resolve(intern(s)) == s, get(s) == intern(s)
+            prop_assert_eq!(interner.resolve(sym), name.as_str());
+            prop_assert_eq!(interner.get(name), Some(sym));
+            // dedup: re-interning returns the same symbol
+            prop_assert_eq!(interner.intern(name), sym);
+        }
+        let distinct: HashSet<&String> = names.iter().collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+        // symbols are dense indices in first-intern order
+        let mut seen = HashSet::new();
+        for &sym in &syms {
+            prop_assert!(sym.index() < interner.len());
+            seen.insert(sym.index());
+        }
+        prop_assert_eq!(seen.len(), interner.len());
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_canonical(codes in prop::collection::vec(0u32..0x500, 0..30)) {
+        let s: String = codes.iter().filter_map(|&c| char::from_u32(c % 0x500)).collect();
+        let n = normalize(&s);
+        prop_assert_eq!(normalize(&n), n.clone(), "input {s:?}");
+        prop_assert!(!n.starts_with(' ') && !n.ends_with(' '));
+        prop_assert!(!n.contains("  "));
+        // Note: characters without a lowercase mapping (e.g. 'ϒ') pass
+        // through `to_lowercase` unchanged, so uppercase can survive — but
+        // only alphanumerics and single spaces ever appear.
+        prop_assert!(n.chars().all(|c| c == ' ' || c.is_alphanumeric()));
+    }
+
+    #[test]
+    fn ambiguous_aliases_refuse_to_link(
+        a in prop::collection::vec(0u32..0x2e0, 1..10),
+        b in prop::collection::vec(0u32..0x2e0, 1..10),
+    ) {
+        // Two distinct entities sharing one registered alias: the linker
+        // must refuse to guess, whatever the names are.
+        let e1 = format!("A {}", word(&a));
+        let e2 = format!("B {}", word(&b));
+        let mut g = KnowledgeGraph::new();
+        g.add_fact(e1.clone(), "p", Object::number(1.0));
+        g.add_fact(e2.clone(), "p", Object::number(2.0));
+        g.add_alias("shared alias", e1.clone());
+        g.add_alias("shared alias", e2.clone());
+        let linker = g.linker();
+        match linker.link("shared alias") {
+            LinkOutcome::Ambiguous(cands) => {
+                prop_assert_eq!(cands.len(), 2);
+                prop_assert!(cands.contains(&e1) && cands.contains(&e2));
+            }
+            other => prop_assert!(false, "expected ambiguity, got {other:?}"),
+        }
+        // registering the alias twice for the same entity stays unambiguous
+        let mut g2 = KnowledgeGraph::new();
+        g2.add_fact(e1.clone(), "p", Object::number(1.0));
+        g2.add_alias("al", e1.clone());
+        g2.add_alias("al", e1.clone());
+        prop_assert_eq!(g2.linker().link("al"), LinkOutcome::Matched(e1.clone()));
+    }
+
+    #[test]
+    fn empty_surface_forms_never_link(
+        punct in prop::collection::vec(0u32..5u32, 0..8),
+        name in prop::collection::vec(0u32..0x2e0, 1..10),
+    ) {
+        // Strings that normalise to "" (punctuation/whitespace only) must
+        // come back NotFound unless they exactly match an entity name.
+        let surface: String = punct
+            .iter()
+            .map(|&c| [' ', '.', '-', '!', '\''][c as usize])
+            .collect();
+        prop_assert_eq!(normalize(&surface), String::new());
+        let mut g = KnowledgeGraph::new();
+        g.add_fact(format!("E {}", word(&name)), "p", Object::number(1.0));
+        prop_assert_eq!(g.linker().link(&surface), LinkOutcome::NotFound);
+        prop_assert_eq!(g.linker().link_id(&surface), LinkId::NotFound);
+    }
+
+    #[test]
+    fn link_and_link_id_agree(
+        names in prop::collection::vec(prop::collection::vec(0u32..0x2e0, 1..10), 1..20),
+        probe in prop::collection::vec(0u32..0x2e0, 0..10),
+    ) {
+        let mut g = KnowledgeGraph::new();
+        for n in &names {
+            g.add_fact(format!("E {}", word(n)), "p", Object::number(1.0));
+        }
+        let linker: &EntityLinker = g.linker();
+        for surface in names
+            .iter()
+            .map(|n| format!("E {}", word(n)))
+            .chain([word(&probe), format!("e {}", word(&probe))])
+        {
+            let by_name = linker.link(&surface);
+            match (by_name, linker.link_id(&surface)) {
+                (LinkOutcome::Matched(n), LinkId::Matched(s)) => {
+                    prop_assert_eq!(n, linker.name(s));
+                }
+                (LinkOutcome::Ambiguous(ns), LinkId::Ambiguous(ss)) => {
+                    prop_assert_eq!(ns.len(), ss.len());
+                }
+                (LinkOutcome::NotFound, LinkId::NotFound) => {}
+                (a, b) => prop_assert!(false, "outcomes diverge: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,93 +1,8 @@
-//! Scoped-thread fan-out for independent per-candidate work.
+//! Re-export of the shared [`parallel`] fan-out crate.
 //!
-//! MCIMR candidate scoring and the selection-bias analysis evaluate each
-//! candidate independently against a shared read-only [`EncodedFrame`]
-//! (`infotheory::EncodedFrame`), so they parallelise with plain
-//! `std::thread::scope` chunking — no external thread-pool dependency. On a
-//! single-core host (or for small inputs) the fan-out degenerates to the
-//! serial loop, so results are identical either way: outputs are collected
-//! per chunk and re-assembled in input order.
+//! The implementation lived here until PR 3 hoisted it into
+//! `crates/parallel` so that `kg` (a dependency of `mesa`) can fan out
+//! per-entity extraction without an upward dependency. This module keeps the
+//! `mesa::parallel::parallel_map` / `mesa::parallel_map` paths working.
 
-/// Minimum number of items before threads are spawned; below this the
-/// per-thread setup cost outweighs the work.
-const MIN_ITEMS_PER_FAN_OUT: usize = 8;
-
-/// Applies `f` to every item (with its index), preserving input order in the
-/// returned vector. Uses up to `available_parallelism` scoped threads, each
-/// working one contiguous chunk.
-///
-/// # Panics
-/// Propagates panics from `f`.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
-    if threads <= 1 || items.len() < MIN_ITEMS_PER_FAN_OUT {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let chunk_len = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .enumerate()
-            .map(|(ci, chunk)| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(j, t)| f(ci * chunk_len + j, t))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for handle in handles {
-            out.extend(handle.join().expect("scoring thread panicked"));
-        }
-        out
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order_and_indices() {
-        let items: Vec<usize> = (0..100).collect();
-        let out = parallel_map(&items, |i, &x| {
-            assert_eq!(i, x);
-            x * 2
-        });
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn small_and_empty_inputs() {
-        let out = parallel_map(&[1, 2, 3], |_, &x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-        let empty: Vec<i32> = Vec::new();
-        assert!(parallel_map(&empty, |_, &x: &i32| x).is_empty());
-    }
-
-    #[test]
-    fn results_carry_errors_per_item() {
-        let items: Vec<i32> = (0..40).collect();
-        let out: Vec<Result<i32, String>> = parallel_map(&items, |_, &x| {
-            if x % 7 == 0 {
-                Err(format!("bad {x}"))
-            } else {
-                Ok(x)
-            }
-        });
-        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 6);
-        assert_eq!(out[1], Ok(1));
-    }
-}
+pub use parallel::parallel_map;

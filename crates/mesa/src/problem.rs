@@ -185,14 +185,15 @@ pub fn prepare_query(
             if !joined.has_column(col) {
                 continue;
             }
-            // Distinct values of the extraction column.
+            // Distinct values of the extraction column (borrowed from the
+            // encoding — extraction does not need its own copy).
             let encoded = joined.column(col)?.encode();
-            let values: Vec<String> = encoded.labels().to_vec();
+            let values = encoded.labels();
             if values.is_empty() {
                 continue;
             }
             let key = format!("__key_{col}");
-            let mut result = extract_attributes(graph, &values, &key, config.extraction)?;
+            let mut result = extract_attributes(graph, values, &key, config.extraction)?;
             // Avoid column collisions across extraction columns (e.g. both the
             // origin city and origin state expose a `Density` property).
             let mut renames: Vec<(String, String)> = Vec::new();

@@ -1,0 +1,158 @@
+//! Golden tests for KG attribute extraction.
+//!
+//! The interned/CSR extraction path (PR 3) must produce the *same bytes* as
+//! the seed's string-keyed implementation: identical universal relations
+//! (column names, row order, cell values down to the float bit pattern) and
+//! identical [`kg::ExtractionStats`] on the Stack Overflow, Flights, and
+//! Forbes quick fixtures, at 1 and 2 hops.
+//!
+//! The canonical dumps under `tests/golden/` were generated from the seed
+//! implementation (commit 2b7bbc1). Regenerate with
+//! `MESA_REGEN_GOLDEN=1 cargo test --test extraction_golden` — but only do
+//! that deliberately: the whole point of the files is that they pre-date the
+//! interned rewrite.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use bench::{ExperimentData, Scale};
+use datagen::Dataset;
+use kg::{extract_attributes, ExtractionConfig};
+use tabular::Value;
+
+fn fixture() -> &'static ExperimentData {
+    static DATA: OnceLock<ExperimentData> = OnceLock::new();
+    DATA.get_or_init(|| ExperimentData::generate(Scale::Quick))
+}
+
+/// Renders a cell so that equal bytes imply equal values, including the
+/// exact bit pattern of floats (`Display` would round).
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::Null => "∅".to_string(),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(f) => format!("f:{:016x}", f.to_bits()),
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Str(s) => format!("s:{s}"),
+    }
+}
+
+/// Canonical dump of one extraction run: stats, column names, then every row.
+fn dump_extraction(data: &ExperimentData, dataset: Dataset, hops: usize) -> String {
+    let frame = data.frame(dataset);
+    let mut out = String::new();
+    for col in dataset.extraction_columns() {
+        let values = frame.column(col).expect("column exists").encode();
+        let values = values.labels();
+        let config = ExtractionConfig {
+            hops,
+            ..Default::default()
+        };
+        let res = extract_attributes(&data.graph, values, "key", config).expect("extraction");
+        let s = &res.stats;
+        writeln!(
+            out,
+            "== {} / {col} / hops={hops} ==\nstats n_values={} n_linked={} n_ambiguous={} n_not_found={} n_attributes={}",
+            dataset.name(),
+            s.n_values,
+            s.n_linked,
+            s.n_ambiguous,
+            s.n_not_found,
+            s.n_attributes
+        )
+        .unwrap();
+        let names = res.table.column_names();
+        writeln!(out, "columns\t{}", names.join("\t")).unwrap();
+        for row in 0..res.table.n_rows() {
+            let cells: Vec<String> = names
+                .iter()
+                .map(|n| render_cell(&res.table.get(row, n).expect("cell")))
+                .collect();
+            writeln!(out, "{row}\t{}", cells.join("\t")).unwrap();
+        }
+    }
+    out
+}
+
+/// FNV-1a 64-bit over the canonical dump; the golden files store the digest
+/// plus the full stats/column header so mismatches are still diagnosable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn golden_path(dataset: Dataset, hops: usize) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!(
+            "extraction_{}_h{hops}.txt",
+            dataset.name().replace('-', "")
+        ))
+}
+
+/// The committed artifact: header section (everything before the first row
+/// line of each block) in the clear, plus the digest of the full dump.
+fn golden_body(dump: &str) -> String {
+    let mut out = format!("fnv1a64 {:016x}\n", fnv1a(dump.as_bytes()));
+    for line in dump.lines() {
+        if line.starts_with("==") || line.starts_with("stats") || line.starts_with("columns") {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn check(dataset: Dataset, hops: usize) {
+    let dump = dump_extraction(fixture(), dataset, hops);
+    let body = golden_body(&dump);
+    let path = golden_path(dataset, hops);
+    if std::env::var("MESA_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &body).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        expected,
+        body,
+        "extraction output for {}/hops={hops} drifted from the seed implementation",
+        dataset.name()
+    );
+}
+
+#[test]
+fn so_extraction_matches_seed_1hop() {
+    check(Dataset::StackOverflow, 1);
+}
+
+#[test]
+fn so_extraction_matches_seed_2hop() {
+    check(Dataset::StackOverflow, 2);
+}
+
+#[test]
+fn flights_extraction_matches_seed_1hop() {
+    check(Dataset::Flights, 1);
+}
+
+#[test]
+fn flights_extraction_matches_seed_2hop() {
+    check(Dataset::Flights, 2);
+}
+
+#[test]
+fn forbes_extraction_matches_seed_1hop() {
+    check(Dataset::Forbes, 1);
+}
+
+#[test]
+fn forbes_extraction_matches_seed_2hop() {
+    check(Dataset::Forbes, 2);
+}
