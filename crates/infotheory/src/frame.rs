@@ -32,6 +32,38 @@ impl EncodedFrame {
         }
     }
 
+    /// Encodes the frame, reusing precomputed encodings where available.
+    ///
+    /// `precomputed` maps column names to encodings already produced upstream
+    /// (the binning pass emits the bin codes of every column it bins); those
+    /// columns are not re-encoded. Each precomputed encoding must describe the
+    /// frame's column of the same name — same length, same row order.
+    ///
+    /// # Panics
+    /// Panics if a precomputed encoding's length differs from the frame's row
+    /// count (a mismatched encoding would silently mis-score every measure).
+    pub fn from_frame_with(df: &DataFrame, precomputed: Vec<(String, EncodedColumn)>) -> Self {
+        let n_rows = df.n_rows();
+        let mut pre: HashMap<String, EncodedColumn> = HashMap::with_capacity(precomputed.len());
+        for (name, enc) in precomputed {
+            assert_eq!(
+                enc.len(),
+                n_rows,
+                "precomputed encoding for {name:?} has {} rows, frame has {n_rows}",
+                enc.len()
+            );
+            pre.insert(name, enc);
+        }
+        let columns = df
+            .columns()
+            .map(|c| {
+                let enc = pre.remove(c.name()).unwrap_or_else(|| c.encode());
+                (c.name().to_string(), enc)
+            })
+            .collect();
+        EncodedFrame { columns, n_rows }
+    }
+
     /// Encodes only the named columns of the frame.
     pub fn from_frame_columns(df: &DataFrame, names: &[&str]) -> Result<Self> {
         let mut columns = HashMap::with_capacity(names.len());

@@ -16,10 +16,76 @@
 //! The complete-case mask (rows non-null in *every* involved column) is fused
 //! into one word-wise bitmap `AND` over the columns' validity bitmaps instead
 //! of a per-row `continue` chain.
+//!
+//! The sparse map uses a **fixed-state hasher** ([`FixedState`]), not the
+//! standard library's per-process-randomised `RandomState`: entropy and
+//! marginalisation fold the cells in map iteration order, and with a random
+//! seed that order — and therefore the floating-point summation order —
+//! changed from run to run, injecting ~1e-15 noise into CMI values that
+//! flipped exactly-tied subset choices in the Brute-Force/MESA⁻ baselines.
+//! With a fixed hasher the iteration order is a pure function of the
+//! insertion sequence (row order), so every fold is bit-stable across runs.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use tabular::{Bitmap, EncodedColumn};
+
+/// A deterministic FxHash-style hasher: multiply-xor folding with fixed
+/// constants and no per-process seed. Quality is more than sufficient for
+/// `Vec<u32>` joint keys, and determinism is the point — see the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// 2^64 / φ, the multiplicative constant used by FxHash.
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+}
+
+/// The deterministic `BuildHasher` behind every sparse joint-count map.
+pub type FixedState = BuildHasherDefault<FxHasher>;
+
+/// The sparse joint-count map: joint code vector → accumulated weight, with
+/// run-to-run deterministic iteration order.
+pub type SparseCounts = HashMap<Vec<u32>, f64, FixedState>;
 
 /// Hard maximum number of dense cells (8 MiB of `f64` counts). Cross
 /// products larger than this fall back to the sparse hash path.
@@ -74,10 +140,11 @@ pub enum JointCounts {
         /// Per-dimension radix (column cardinality, at least 1).
         radices: Vec<usize>,
     },
-    /// Hash-map counts keyed by the joint code vector.
+    /// Hash-map counts keyed by the joint code vector (fixed-state hasher,
+    /// deterministic iteration order).
     Sparse {
         /// Weighted count per observed joint key.
-        counts: HashMap<Vec<u32>, f64>,
+        counts: SparseCounts,
     },
 }
 
@@ -147,7 +214,7 @@ pub fn accumulate(
             JointCounts::Dense { counts, radices }
         }
         None => {
-            let mut counts: HashMap<Vec<u32>, f64> = HashMap::new();
+            let mut counts = SparseCounts::default();
             for row in mask.iter_set() {
                 let w = weights.map(|w| w[row]).unwrap_or(1.0);
                 if w == 0.0 {
@@ -262,7 +329,7 @@ impl JointCounts {
                 }
             }
             JointCounts::Sparse { counts } => {
-                let mut out: HashMap<Vec<u32>, f64> = HashMap::new();
+                let mut out = SparseCounts::default();
                 for (key, &count) in counts {
                     let sub: Vec<u32> = dims.iter().map(|&d| key[d]).collect();
                     *out.entry(sub).or_insert(0.0) += count;
@@ -380,6 +447,43 @@ mod tests {
         assert_eq!(acc.counts.get(&[0]), 1.0);
         assert_eq!(acc.counts.get(&[7]), 0.0);
         assert_eq!(acc.counts.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn sparse_accumulation_is_deterministic() {
+        // Two independent sparse builds over the same rows must produce the
+        // same iteration order (fixed-state hasher) and therefore bitwise
+        // identical entropies — this is the regression guard for the
+        // Brute-Force tie-break flakiness.
+        let cells: Vec<Option<&str>> = (0..200)
+            .map(|i| {
+                if i % 13 == 0 {
+                    None
+                } else {
+                    Some(["a", "b", "c", "d", "e", "f", "g"][(i * 31) % 7])
+                }
+            })
+            .collect();
+        let x = enc(&cells);
+        let y = enc(&cells.iter().rev().copied().collect::<Vec<_>>());
+        let first = accumulate(&[&x, &y], None, 0);
+        let second = accumulate(&[&x, &y], None, 0);
+        let a: Vec<(Vec<u32>, f64)> = first.counts.iter_keyed().collect();
+        let b: Vec<(Vec<u32>, f64)> = second.counts.iter_keyed().collect();
+        assert_eq!(a, b, "iteration order must match between builds");
+        assert_eq!(
+            first.counts.entropy(first.total).to_bits(),
+            second.counts.entropy(second.total).to_bits()
+        );
+    }
+
+    #[test]
+    fn fx_hasher_is_seedless_and_stable() {
+        use std::hash::BuildHasher;
+        let key = vec![3u32, 1, 4, 1, 5];
+        let h1 = FixedState::default().hash_one(&key);
+        let h2 = FixedState::default().hash_one(&key);
+        assert_eq!(h1, h2, "two fresh states must hash identically");
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub use independence::{
     approx_functional_dependency, ci_test, is_conditionally_independent, logically_equivalent,
     CiTestConfig, CiTestResult,
 };
-pub use kernel::{adaptive_dense_cells, complete_case_mask, dense_cell_count, DEFAULT_DENSE_CELLS};
+pub use kernel::{
+    adaptive_dense_cells, complete_case_mask, dense_cell_count, FixedState, SparseCounts,
+    DEFAULT_DENSE_CELLS,
+};
 pub use measures::{
     conditional_entropy, conditional_mutual_information, entropy, interaction_information,
     joint_entropy, mutual_information, normalized_mutual_information,

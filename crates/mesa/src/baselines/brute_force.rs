@@ -9,6 +9,15 @@ use crate::error::Result;
 use crate::problem::{Explanation, PreparedQuery};
 use crate::responsibility::responsibilities;
 
+/// A name-sorted copy of a subset, the tie-break key for exactly-equal
+/// objectives (subsets are enumerated in candidate order, so comparing them
+/// unsorted would leak the enumeration order back into the tie-break).
+fn sorted(subset: &[String]) -> Vec<&str> {
+    let mut names: Vec<&str> = subset.iter().map(String::as_str).collect();
+    names.sort_unstable();
+    names
+}
+
 /// Exhaustively searches all subsets of `candidates` with `1 ≤ |E| ≤ k` and
 /// returns the one minimising the Definition 2.1 objective
 /// `I(O;T|E,C) · |E|`.
@@ -40,11 +49,16 @@ pub fn brute_force(
             .collect();
         let cmi = prepared.explanation_cmi(&subset, None)?;
         let objective = cmi * size as f64;
-        if best
-            .as_ref()
-            .map(|(_, b, _)| objective < *b)
-            .unwrap_or(true)
-        {
+        // Exact objective ties are broken by the candidate names (smaller
+        // name-sorted subset wins) so the reported optimum does not depend
+        // on enumeration order.
+        let wins = match &best {
+            None => true,
+            Some((best_subset, b, _)) => {
+                objective < *b || (objective == *b && sorted(&subset) < sorted(best_subset))
+            }
+        };
+        if wins {
             best = Some((subset, objective, cmi));
         }
     }

@@ -45,7 +45,9 @@ pub use missing::{
     impute_candidates, selection_indicator, MissingPolicy, SelectionBiasInfo,
 };
 pub use parallel::parallel_map;
-pub use problem::{prepare_query, Explanation, PrepareConfig, PreparedQuery};
+pub use problem::{
+    extract_and_join, prepare_query, Explanation, ExtractionJoin, PrepareConfig, PreparedQuery,
+};
 pub use pruning::{prune, prune_offline, prune_online, PruneReason, PruningConfig, PruningReport};
 pub use report::{explanation_details, explanation_line, report_summary, subgroup_table};
 pub use responsibility::responsibilities;

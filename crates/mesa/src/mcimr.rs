@@ -128,7 +128,9 @@ pub fn mcimr(
                 }
             }
         }
-        // NextBestAtt: minimise v1 + v2 / |selected|.
+        // NextBestAtt: minimise v1 + v2 / |selected|. Exact score ties are
+        // broken by candidate name so the greedy path does not depend on the
+        // candidate enumeration order.
         let mut best: Option<(usize, f64)> = None;
         for (idx, cand) in remaining.iter().enumerate() {
             let v2 = if selected.is_empty() {
@@ -141,7 +143,11 @@ pub fn mcimr(
                 sum / selected.len() as f64
             };
             let score = v1[cand] + v2;
-            if best.map(|(_, b)| score < b).unwrap_or(true) {
+            let wins = match best {
+                None => true,
+                Some((best_idx, b)) => score < b || (score == b && *cand < remaining[best_idx]),
+            };
+            if wins {
                 best = Some((idx, score));
             }
         }

@@ -14,7 +14,7 @@
 //! subgroup search — operates on the resulting [`PreparedQuery`].
 
 use infotheory::EncodedFrame;
-use tabular::{bin_frame, AggregateQuery, BinStrategy, DataFrame, JoinKind};
+use tabular::{bin_frame_encoded, AggregateQuery, BinStrategy, DataFrame, JoinKind};
 
 use kg::{extract_attributes, ExtractionConfig, ExtractionStats, KnowledgeGraph};
 
@@ -151,6 +151,78 @@ impl Explanation {
     }
 }
 
+/// One extraction column's contribution to the KG-join stage of
+/// [`prepare_query`]: the (collision-renamed) attribute table that was
+/// left-joined in, plus its statistics.
+#[derive(Debug, Clone)]
+pub struct ExtractionJoin {
+    /// The table column whose values were linked to KG entities.
+    pub column: String,
+    /// Name of the key column inside [`ExtractionJoin::table`].
+    pub key: String,
+    /// The extracted attribute table, after collision renames — exactly what
+    /// was joined onto the frame.
+    pub table: DataFrame,
+    /// Names of the attribute columns contributed by this table.
+    pub attribute_names: Vec<String>,
+    /// Linking/extraction statistics.
+    pub stats: ExtractionStats,
+}
+
+/// The KG extraction + join stage of [`prepare_query`], exposed on its own:
+/// for each extraction column present in `df`, extracts the attributes of its
+/// distinct values, renames collisions against the progressively joined frame
+/// (`"<name> (<col>)"`), and left-joins the result. Returns the joined frame
+/// together with each stage table — the `appendix_prepare` benchmark replays
+/// the same tables through both join implementations, so what it times is by
+/// construction what the pipeline runs.
+pub fn extract_and_join(
+    df: &DataFrame,
+    graph: &KnowledgeGraph,
+    extraction_columns: &[&str],
+    config: ExtractionConfig,
+) -> Result<(DataFrame, Vec<ExtractionJoin>)> {
+    let mut joined = df.clone();
+    let mut joins = Vec::new();
+    for &col in extraction_columns {
+        if !joined.has_column(col) {
+            continue;
+        }
+        // Distinct values of the extraction column (borrowed from the
+        // encoding — extraction does not need its own copy).
+        let encoded = joined.column(col)?.encode();
+        let values = encoded.labels();
+        if values.is_empty() {
+            continue;
+        }
+        let key = format!("__key_{col}");
+        let mut result = extract_attributes(graph, values, &key, config)?;
+        // Avoid column collisions across extraction columns (e.g. both the
+        // origin city and origin state expose a `Density` property).
+        let mut renames: Vec<(String, String)> = Vec::new();
+        for name in result.attribute_names() {
+            if joined.has_column(&name) {
+                renames.push((name.clone(), format!("{name} ({col})")));
+            }
+        }
+        for (old, new) in renames {
+            let mut c = result.table.drop_column(&old)?;
+            c.rename(new.clone());
+            result.table.add_column(c)?;
+        }
+        let attribute_names = result.attribute_names();
+        joined = tabular::join(&joined, &result.table, col, &key, JoinKind::Left)?;
+        joins.push(ExtractionJoin {
+            column: col.to_string(),
+            key,
+            table: result.table,
+            attribute_names,
+            stats: result.stats,
+        });
+    }
+    Ok((joined, joins))
+}
+
 /// Prepares a query for explanation: applies the context, extracts and joins
 /// KG attributes for each extraction column, bins numeric attributes, and
 /// encodes everything.
@@ -177,49 +249,28 @@ pub fn prepare_query(
     }
 
     // 2. KG extraction + join.
-    let mut joined = filtered.clone();
+    let (joined, extraction_joins) = match graph {
+        Some(graph) => extract_and_join(&filtered, graph, extraction_columns, config.extraction)?,
+        None => (filtered.clone(), Vec::new()),
+    };
     let mut extracted_names: Vec<String> = Vec::new();
     let mut extraction_stats = Vec::new();
-    if let Some(graph) = graph {
-        for &col in extraction_columns {
-            if !joined.has_column(col) {
-                continue;
-            }
-            // Distinct values of the extraction column (borrowed from the
-            // encoding — extraction does not need its own copy).
-            let encoded = joined.column(col)?.encode();
-            let values = encoded.labels();
-            if values.is_empty() {
-                continue;
-            }
-            let key = format!("__key_{col}");
-            let mut result = extract_attributes(graph, values, &key, config.extraction)?;
-            // Avoid column collisions across extraction columns (e.g. both the
-            // origin city and origin state expose a `Density` property).
-            let mut renames: Vec<(String, String)> = Vec::new();
-            for name in result.attribute_names() {
-                if joined.has_column(&name) {
-                    renames.push((name.clone(), format!("{name} ({col})")));
-                }
-            }
-            for (old, new) in renames {
-                let mut c = result.table.drop_column(&old)?;
-                c.rename(new.clone());
-                result.table.add_column(c)?;
-            }
-            let attr_names = result.attribute_names();
-            joined = tabular::join(&joined, &result.table, col, &key, JoinKind::Left)?;
-            extracted_names.extend(attr_names);
-            extraction_stats.push((col.to_string(), result.stats));
-        }
+    for ej in extraction_joins {
+        extracted_names.extend(ej.attribute_names);
+        extraction_stats.push((ej.column, ej.stats));
     }
 
     // 3. Binning. The exposure is left unbinned only if categorical; numeric
-    //    exposures are binned like everything else (paper §2.1).
-    let binned = bin_frame(&joined, config.n_bins, config.bin_strategy, &[])?;
+    //    exposures are binned like everything else (paper §2.1). The pass
+    //    also hands back the encodings it computed along the way (bin codes
+    //    of binned columns, domain-check encodings of small numeric ones).
+    let (binned, bin_encodings) =
+        bin_frame_encoded(&joined, config.n_bins, config.bin_strategy, &[])?;
 
-    // 4. Encoding + candidate assembly.
-    let encoded = EncodedFrame::from_frame(&binned);
+    // 4. Encoding + candidate assembly. Binned columns flow code-to-code:
+    //    their encodings were produced by the binning pass, so only the
+    //    remaining (categorical/bool) columns are encoded here.
+    let encoded = EncodedFrame::from_frame_with(&binned, bin_encodings);
     let candidates: Vec<String> = binned
         .column_names()
         .into_iter()

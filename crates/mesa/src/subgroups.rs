@@ -72,16 +72,20 @@ impl Subgroup {
     }
 }
 
-/// A heap entry ordered by group size.
+/// A heap entry ordered by group size; exact size ties pop in generation
+/// order (`seq`), which is deterministic — partitioning below emits values in
+/// first-appearance order, never in hash-map order, so the reported ranking
+/// of equally-sized, equally-scored groups is bit-stable across runs.
 #[derive(Debug, Clone)]
 struct HeapEntry {
     terms: Vec<(String, Value)>,
     rows: Vec<usize>,
+    seq: usize,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.rows.len() == other.rows.len()
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for HeapEntry {}
@@ -92,18 +96,24 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.rows.len().cmp(&other.rows.len())
+        self.rows
+            .len()
+            .cmp(&other.rows.len())
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 /// Generates the children of a refinement: one new equality term per eligible
-/// attribute/value, restricted to the rows of the parent.
+/// attribute/value, restricted to the rows of the parent. Children are
+/// emitted in attribute order, then value first-appearance order, each tagged
+/// with the next sequence number from `next_seq`.
 fn gen_children(
     frame: &DataFrame,
     parent_rows: &[usize],
     parent_terms: &[(String, Value)],
     refine_on: &[String],
     min_size: usize,
+    next_seq: &mut usize,
 ) -> Result<Vec<HeapEntry>> {
     let mut children = Vec::new();
     for attr in refine_on {
@@ -111,27 +121,30 @@ fn gen_children(
             continue;
         }
         let col = frame.column(attr)?;
-        // Partition parent rows by value of `attr`.
-        let mut by_value: std::collections::HashMap<String, (Value, Vec<usize>)> =
-            std::collections::HashMap::new();
+        // Partition parent rows by value of `attr`, keeping the partitions in
+        // first-appearance order (the index map is only a lookup aid).
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut partitions: Vec<(Value, Vec<usize>)> = Vec::new();
         for &row in parent_rows {
             let v = col.get(row)?;
             if v.is_null() {
                 continue;
             }
-            by_value
-                .entry(v.render())
-                .or_insert_with(|| (v.clone(), Vec::new()))
-                .1
-                .push(row);
+            let slot = *index.entry(v.render()).or_insert_with(|| {
+                partitions.push((v.clone(), Vec::new()));
+                partitions.len() - 1
+            });
+            partitions[slot].1.push(row);
         }
-        for (_, (value, rows)) in by_value {
+        for (value, rows) in partitions {
             if rows.len() < min_size || rows.len() == parent_rows.len() {
                 continue;
             }
             let mut terms = parent_terms.to_vec();
             terms.push((attr.clone(), value));
-            children.push(HeapEntry { terms, rows });
+            let seq = *next_seq;
+            *next_seq += 1;
+            children.push(HeapEntry { terms, rows, seq });
         }
     }
     Ok(children)
@@ -185,7 +198,15 @@ pub fn unexplained_subgroups(
 
     let all_rows: Vec<usize> = (0..frame.n_rows()).collect();
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
-    for child in gen_children(frame, &all_rows, &[], &refine_on, config.min_group_size)? {
+    let mut next_seq = 0usize;
+    for child in gen_children(
+        frame,
+        &all_rows,
+        &[],
+        &refine_on,
+        config.min_group_size,
+        &mut next_seq,
+    )? {
         heap.push(child);
     }
 
@@ -212,6 +233,7 @@ pub fn unexplained_subgroups(
                 &entry.terms,
                 &refine_on,
                 config.min_group_size,
+                &mut next_seq,
             )? {
                 heap.push(child);
             }

@@ -6,7 +6,9 @@
 //! attribute"; "For simplicity, numerical attributes are assumed to be
 //! binned").
 
-use crate::column::Column;
+use std::borrow::Cow;
+
+use crate::column::{Column, ColumnData, EncodedColumn};
 use crate::dataframe::DataFrame;
 use crate::error::{Result, TabularError};
 
@@ -19,58 +21,155 @@ pub enum BinStrategy {
     EqualFrequency,
 }
 
+/// Linear interpolation at fraction `q ∈ [0, 1]` over an ascending-sorted,
+/// non-empty slice — the one quantile kernel shared by [`quantile`] and the
+/// equal-frequency edge computation.
+fn interpolate_sorted(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The numeric cells of a column as a slice: borrowed straight from the
+/// backing storage for float columns (the common case after KG extraction —
+/// no copy at all), materialised once for int/bool columns.
+fn f64_view(column: &Column) -> Cow<'_, [Option<f64>]> {
+    match column.data() {
+        ColumnData::Float(v) => Cow::Borrowed(v.as_slice()),
+        _ => Cow::Owned(column.to_f64()),
+    }
+}
+
 /// Bins a numeric column into `n_bins` integer-coded bins (0-based), keeping
 /// nulls as nulls. Non-numeric columns are returned unchanged (they are
 /// already discrete).
 pub fn bin_column(column: &Column, n_bins: usize, strategy: BinStrategy) -> Result<Column> {
+    Ok(bin_column_impl(column, n_bins, strategy, false)?.0)
+}
+
+/// Like [`bin_column`], additionally returning the discrete encoding of the
+/// binned column when binning actually happened.
+///
+/// The encoding is built directly from the bin indices while they are
+/// assigned (a dense first-appearance remap over at most `n_bins` slots), and
+/// is bit-identical to what `binned.encode()` would produce — but without
+/// re-rendering every cell to a string and re-hashing it. MESA's
+/// `prepare_query` threads these encodings straight into its encoded frame so
+/// the encode step never touches binned columns again.
+pub fn bin_column_encoded(
+    column: &Column,
+    n_bins: usize,
+    strategy: BinStrategy,
+) -> Result<(Column, Option<EncodedColumn>)> {
+    bin_column_impl(column, n_bins, strategy, true)
+}
+
+/// Shared binning core; `want_codes` controls whether the encoding is built
+/// alongside the binned column (callers that discard it skip the cost).
+fn bin_column_impl(
+    column: &Column,
+    n_bins: usize,
+    strategy: BinStrategy,
+    want_codes: bool,
+) -> Result<(Column, Option<EncodedColumn>)> {
     if n_bins == 0 {
         return Err(TabularError::InvalidArgument(
             "n_bins must be positive".into(),
         ));
     }
     if !column.dtype().is_numeric() {
-        return Ok(column.clone());
+        return Ok((column.clone(), None));
     }
-    let values = column.to_f64();
-    let present: Vec<f64> = values.iter().copied().flatten().collect();
-    if present.is_empty() {
-        return Ok(Column::from_i64(column.name(), vec![None; column.len()]));
+    let values = f64_view(column);
+    let edges = match bin_edges(&values, n_bins, strategy) {
+        Some(edges) => edges,
+        // Entirely missing: every row is null in the binned column too.
+        None => {
+            let out = Column::from_i64(column.name(), vec![None; column.len()]);
+            let encoded = want_codes.then(|| {
+                EncodedColumn::from_option_codes(
+                    std::iter::repeat_n(None, column.len()),
+                    Vec::new(),
+                )
+            });
+            return Ok((out, encoded));
+        }
+    };
+    // Assign bins and build the first-appearance code remap in one pass.
+    let mut binned: Vec<Option<i64>> = Vec::with_capacity(values.len());
+    let mut codes: Vec<Option<u32>> = Vec::with_capacity(if want_codes { values.len() } else { 0 });
+    let mut remap: Vec<Option<u32>> = vec![None; edges.len() + 1];
+    let mut labels: Vec<String> = Vec::new();
+    for v in values.iter() {
+        match v {
+            None => {
+                binned.push(None);
+                if want_codes {
+                    codes.push(None);
+                }
+            }
+            Some(v) => {
+                let bin = assign_bin(*v, &edges);
+                binned.push(Some(bin as i64));
+                if want_codes {
+                    let slot = &mut remap[bin];
+                    let code = match *slot {
+                        Some(code) => code,
+                        None => {
+                            let code = labels.len() as u32;
+                            labels.push((bin as i64).to_string());
+                            *slot = Some(code);
+                            code
+                        }
+                    };
+                    codes.push(Some(code));
+                }
+            }
+        }
     }
-    let edges = bin_edges(&present, n_bins, strategy);
-    let binned: Vec<Option<i64>> = values
-        .iter()
-        .map(|v| v.map(|v| assign_bin(v, &edges) as i64))
-        .collect();
-    Ok(Column::from_i64(column.name(), binned))
+    let encoded = want_codes.then(|| EncodedColumn::from_option_codes(codes, labels));
+    Ok((Column::from_i64(column.name(), binned), encoded))
 }
 
-/// Computes the interior bin edges (length `n_bins - 1`, sorted ascending).
-fn bin_edges(present: &[f64], n_bins: usize, strategy: BinStrategy) -> Vec<f64> {
+/// Computes the interior bin edges (length `≤ n_bins - 1`, sorted ascending)
+/// of a numeric view, or `None` when it has no present values.
+///
+/// Equal-width edges come from a single borrowed min/max scan (no gather at
+/// all); the equal-frequency path gathers and sorts the present values once
+/// and interpolates through [`interpolate_sorted`].
+fn bin_edges(values: &[Option<f64>], n_bins: usize, strategy: BinStrategy) -> Option<Vec<f64>> {
     match strategy {
         BinStrategy::EqualWidth => {
-            let min = present.iter().cloned().fold(f64::INFINITY, f64::min);
-            let max = present.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut any = false;
+            for v in values.iter().flatten() {
+                min = min.min(*v);
+                max = max.max(*v);
+                any = true;
+            }
+            if !any {
+                return None;
+            }
             if min == max {
-                return Vec::new();
+                return Some(Vec::new());
             }
             let width = (max - min) / n_bins as f64;
-            (1..n_bins).map(|i| min + width * i as f64).collect()
+            Some((1..n_bins).map(|i| min + width * i as f64).collect())
         }
         BinStrategy::EqualFrequency => {
-            let mut sorted = present.to_vec();
+            let mut sorted: Vec<f64> = values.iter().copied().flatten().collect();
+            if sorted.is_empty() {
+                return None;
+            }
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            let n = sorted.len();
             let mut edges: Vec<f64> = (1..n_bins)
-                .map(|i| {
-                    let pos = (i as f64 / n_bins as f64) * (n - 1) as f64;
-                    let lo = pos.floor() as usize;
-                    let hi = pos.ceil() as usize;
-                    let frac = pos - lo as f64;
-                    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-                })
+                .map(|i| interpolate_sorted(&sorted, i as f64 / n_bins as f64))
                 .collect();
             edges.dedup_by(|a, b| a == b);
-            edges
+            Some(edges)
         }
     }
 }
@@ -91,17 +190,91 @@ pub fn bin_frame(
     strategy: BinStrategy,
     exclude: &[&str],
 ) -> Result<DataFrame> {
+    Ok(bin_frame_impl(df, n_bins, strategy, exclude, false)?.0)
+}
+
+/// Like [`bin_frame`], additionally returning a discrete encoding for every
+/// *numeric* non-excluded column: the bin codes emitted while binning, or —
+/// when the column was left untouched because its domain already fits in
+/// `n_bins` — an ordinary [`Column::encode`] pass (cheap at that
+/// cardinality). Callers building an encoded view of the result (MESA's
+/// `prepare_query`) reuse these instead of re-encoding from scratch.
+pub fn bin_frame_encoded(
+    df: &DataFrame,
+    n_bins: usize,
+    strategy: BinStrategy,
+    exclude: &[&str],
+) -> Result<(DataFrame, Vec<(String, EncodedColumn)>)> {
+    bin_frame_impl(df, n_bins, strategy, exclude, true)
+}
+
+/// Whether a numeric column has more than `n_bins` distinct non-null values,
+/// using the same key semantics as [`Column::encode`] (exact `i64`/`bool`
+/// values; floats by canonical bit pattern, `-0.0 ≡ 0.0`) but without
+/// rendering a single label — the scan stops as soon as the threshold is
+/// exceeded, so high-cardinality columns (the ones that will be binned) never
+/// pay for a full dictionary encode just to decide that.
+fn distinct_exceeds(column: &Column, n_bins: usize) -> bool {
+    fn over<K: std::hash::Hash + Eq, I: Iterator<Item = Option<K>>>(cells: I, n: usize) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(n + 1);
+        for cell in cells.flatten() {
+            if seen.insert(cell) && seen.len() > n {
+                return true;
+            }
+        }
+        false
+    }
+    match column.data() {
+        ColumnData::Int(v) => over(v.iter().copied(), n_bins),
+        ColumnData::Bool(v) => over(v.iter().copied(), n_bins),
+        ColumnData::Float(v) => over(
+            v.iter().map(|x| {
+                x.map(|x| {
+                    if x == 0.0 {
+                        0.0f64.to_bits()
+                    } else {
+                        x.to_bits()
+                    }
+                })
+            }),
+            n_bins,
+        ),
+        // Non-numeric columns never reach this check.
+        ColumnData::Categorical { .. } => false,
+    }
+}
+
+/// Shared frame-binning core; when `want_codes` is false no encodings are
+/// built or collected (plain [`bin_frame`] callers skip that cost entirely).
+fn bin_frame_impl(
+    df: &DataFrame,
+    n_bins: usize,
+    strategy: BinStrategy,
+    exclude: &[&str],
+    want_codes: bool,
+) -> Result<(DataFrame, Vec<(String, EncodedColumn)>)> {
     let mut out = df.clone();
+    let mut encodings: Vec<(String, EncodedColumn)> = Vec::new();
     for col in df.columns() {
         if exclude.contains(&col.name()) || !col.dtype().is_numeric() {
             continue;
         }
-        if col.n_distinct() <= n_bins {
+        if !distinct_exceeds(col, n_bins) {
+            // Domain already fits: the column stays unbinned, and (when
+            // requested) its ordinary encoding — cheap at this cardinality —
+            // is exactly its final encoding.
+            if want_codes {
+                encodings.push((col.name().to_string(), col.encode()));
+            }
             continue;
         }
-        out.set_column(bin_column(col, n_bins, strategy)?)?;
+        let (binned, bin_codes) = bin_column_impl(col, n_bins, strategy, want_codes)?;
+        if let Some(bin_codes) = bin_codes {
+            encodings.push((col.name().to_string(), bin_codes));
+        }
+        out.set_column(binned)?;
     }
-    Ok(out)
+    Ok((out, encodings))
 }
 
 /// Quantile helper: the q-quantile (0..=1) of the non-null numeric view of a
@@ -110,16 +283,12 @@ pub fn quantile(column: &Column, q: f64) -> Option<f64> {
     if !(0.0..=1.0).contains(&q) {
         return None;
     }
-    let mut present: Vec<f64> = column.to_f64().into_iter().flatten().collect();
+    let mut present: Vec<f64> = f64_view(column).iter().copied().flatten().collect();
     if present.is_empty() {
         return None;
     }
     present.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let pos = q * (present.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    Some(present[lo] * (1.0 - frac) + present[hi] * frac)
+    Some(interpolate_sorted(&present, q))
 }
 
 #[cfg(test)]
@@ -206,6 +375,52 @@ mod tests {
         assert_eq!(quantile(&c, 2.0), None);
         let empty = Column::from_f64("x", vec![None]);
         assert_eq!(quantile(&empty, 0.5), None);
+    }
+
+    #[test]
+    fn bin_codes_match_reencoding_the_binned_column() {
+        // The encoding emitted while binning must be bit-identical to
+        // encoding the binned column from scratch — labels, codes, validity.
+        let vals: Vec<Option<f64>> = (0..200)
+            .map(|i| {
+                if i % 7 == 0 {
+                    None
+                } else {
+                    Some(((i * 37) % 101) as f64)
+                }
+            })
+            .collect();
+        let c = Column::from_f64("x", vals);
+        for strategy in [BinStrategy::EqualWidth, BinStrategy::EqualFrequency] {
+            let (binned, codes) = bin_column_encoded(&c, 5, strategy).unwrap();
+            assert_eq!(codes.unwrap(), binned.encode());
+        }
+        // all-null numeric column
+        let empty = Column::from_f64("x", vec![None, None, None]);
+        let (binned, codes) = bin_column_encoded(&empty, 4, BinStrategy::EqualWidth).unwrap();
+        assert_eq!(codes.unwrap(), binned.encode());
+        // categorical passthrough emits no encoding
+        let cat = Column::from_str_values("c", vec![Some("a")]);
+        let (_, codes) = bin_column_encoded(&cat, 4, BinStrategy::EqualWidth).unwrap();
+        assert!(codes.is_none());
+    }
+
+    #[test]
+    fn bin_frame_encoded_covers_every_numeric_column() {
+        let df = DataFrameBuilder::new()
+            .float("big", (0..50).map(|i| Some(i as f64)).collect())
+            .int("small", (0..50).map(|i| Some(i % 3)).collect())
+            .cat("cat", (0..50).map(|_| Some("x")).collect())
+            .build()
+            .unwrap();
+        let (out, encodings) = bin_frame_encoded(&df, 5, BinStrategy::EqualFrequency, &[]).unwrap();
+        let names: Vec<&str> = encodings.iter().map(|(n, _)| n.as_str()).collect();
+        // both numeric columns get encodings (binned and domain-checked), the
+        // categorical one does not
+        assert_eq!(names, vec!["big", "small"]);
+        for (name, enc) in &encodings {
+            assert_eq!(enc, &out.column(name).unwrap().encode(), "{name}");
+        }
     }
 
     #[test]

@@ -231,7 +231,9 @@ impl Column {
     }
 
     /// Numeric view of the column: every cell as `Option<f64>`.
-    /// Categorical cells map to `None`.
+    /// Categorical cells map to `None`. Binning and the quantile helpers
+    /// avoid this copy for float columns by borrowing the backing slice
+    /// directly (see `f64_view` in the binning module).
     pub fn to_f64(&self) -> Vec<Option<f64>> {
         match &self.data {
             ColumnData::Int(v) => v.iter().map(|x| x.map(|x| x as f64)).collect(),
@@ -253,6 +255,36 @@ impl Column {
             ColumnData::Categorical { dict, codes } => ColumnData::Categorical {
                 dict: dict.clone(),
                 codes: indices.iter().map(|&i| codes[i]).collect(),
+            },
+        };
+        Column {
+            name: self.name.clone(),
+            data,
+        }
+    }
+
+    /// Gathers rows through an optional row map: `rows[i] = Some(r)` takes row
+    /// `r`, `None` produces a null. The physical dtype (and, for categorical
+    /// columns, the dictionary) is preserved exactly — this is the typed
+    /// per-column gather kernel behind the code-based join, replacing the
+    /// boxed-`Value`-per-cell path.
+    ///
+    /// # Panics
+    /// Panics if any `Some(r)` is out of range.
+    pub fn take_opt(&self, rows: &[Option<usize>]) -> Column {
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                ColumnData::Int(rows.iter().map(|r| r.and_then(|i| v[i])).collect())
+            }
+            ColumnData::Float(v) => {
+                ColumnData::Float(rows.iter().map(|r| r.and_then(|i| v[i])).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(rows.iter().map(|r| r.and_then(|i| v[i])).collect())
+            }
+            ColumnData::Categorical { dict, codes } => ColumnData::Categorical {
+                dict: dict.clone(),
+                codes: rows.iter().map(|r| r.and_then(|i| codes[i])).collect(),
             },
         };
         Column {
@@ -452,12 +484,43 @@ impl Column {
 
         let n = self.len();
         match &self.data {
-            // Already dictionary-encoded; reuse codes but compute the set of
-            // codes actually present so cardinality reflects the data, not
-            // the dictionary (which may contain stale entries after
-            // filtering).
+            // Already dictionary-encoded: remap the existing codes through a
+            // dense `Vec` lookup (no hashing at all) so only the codes
+            // actually present get a slot — cardinality reflects the data,
+            // not the dictionary (which may contain stale entries after
+            // filtering or a gather join).
             ColumnData::Categorical { dict, codes } => {
-                encode_cells(n, codes.iter().copied(), |c| dict[c as usize].clone())
+                let mut remap: Vec<Option<u32>> = vec![None; dict.len()];
+                let mut labels = Vec::new();
+                let mut packed = Vec::with_capacity(n);
+                let mut validity = Bitmap::with_capacity(n);
+                for cell in codes {
+                    match cell {
+                        None => {
+                            packed.push(0);
+                            validity.push(false);
+                        }
+                        Some(c) => {
+                            let slot = &mut remap[*c as usize];
+                            let code = match *slot {
+                                Some(code) => code,
+                                None => {
+                                    let code = labels.len() as u32;
+                                    labels.push(dict[*c as usize].clone());
+                                    *slot = Some(code);
+                                    code
+                                }
+                            };
+                            packed.push(code);
+                            validity.push(true);
+                        }
+                    }
+                }
+                EncodedColumn {
+                    codes: packed,
+                    validity,
+                    labels,
+                }
             }
             ColumnData::Int(v) => encode_cells(n, v.iter().copied(), |x| x.to_string()),
             ColumnData::Bool(v) => encode_cells(n, v.iter().copied(), |x| x.to_string()),

@@ -45,7 +45,9 @@ pub mod query;
 pub mod value;
 
 pub use aggregate::AggFn;
-pub use binning::{bin_column, bin_frame, quantile, BinStrategy};
+pub use binning::{
+    bin_column, bin_column_encoded, bin_frame, bin_frame_encoded, quantile, BinStrategy,
+};
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData, EncodedColumn};
 pub use csv::{read_csv, read_csv_str, write_csv, write_csv_str};
@@ -53,6 +55,6 @@ pub use dataframe::{DataFrame, DataFrameBuilder};
 pub use error::{Result, TabularError};
 pub use expr::Predicate;
 pub use groupby::{group_aggregate, group_by, Group};
-pub use join::{join, JoinKind};
+pub use join::{join, join_rendered, JoinKind};
 pub use query::AggregateQuery;
 pub use value::{parse_token, DType, Value};

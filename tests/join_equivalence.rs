@@ -1,0 +1,141 @@
+//! Property tests asserting that the code-based gather join produces the
+//! same relation as the rendered-string reference join (`join_rendered`) on
+//! random frames — same column names, same row count, same cell values —
+//! across string, int, and bool keys, null keys, duplicate right keys,
+//! unmatched rows, and both join kinds.
+//!
+//! Float keys are deliberately out of scope: the code-based join matches
+//! them by canonical encoding label (`-0.0 == 0.0`, no forced `.0` suffix),
+//! which is a documented divergence from the reference's rendered strings.
+
+use proptest::prelude::*;
+
+use mesa_repro::tabular::{join, join_rendered, Column, DataFrame, JoinKind};
+
+/// Key cells encoded as integers: 0 = null, `v >= 1` = key `v - 1` drawn
+/// from a small domain so left/right overlap and duplicates are common.
+fn keys(len: usize, domain: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..=domain, len)
+}
+
+fn str_key_column(name: &str, cells: &[u32]) -> Column {
+    Column::from_str_values(
+        name,
+        cells
+            .iter()
+            .map(|&v| v.checked_sub(1).map(|k| format!("k{k}")))
+            .collect(),
+    )
+}
+
+fn int_key_column(name: &str, cells: &[u32]) -> Column {
+    Column::from_i64(
+        name,
+        cells
+            .iter()
+            .map(|&v| v.checked_sub(1).map(|k| k as i64))
+            .collect(),
+    )
+}
+
+/// A right frame with one value column per dtype, all derived from the row
+/// index so every cell is distinguishable.
+fn right_frame(key: Column) -> DataFrame {
+    let n = key.len();
+    let mut cols = vec![key];
+    cols.push(Column::from_i64(
+        "ints",
+        (0..n)
+            .map(|i| (i % 3 != 0).then_some(i as i64 * 3))
+            .collect(),
+    ));
+    cols.push(Column::from_f64(
+        "floats",
+        (0..n).map(|i| Some(i as f64 + 0.5)).collect(),
+    ));
+    cols.push(Column::from_bool(
+        "bools",
+        (0..n).map(|i| Some(i % 2 == 0)).collect(),
+    ));
+    cols.push(Column::from_str_values(
+        "cats",
+        (0..n)
+            .map(|i| (i % 4 != 0).then(|| format!("c{i}")))
+            .collect(),
+    ));
+    DataFrame::from_columns(cols).unwrap()
+}
+
+fn left_frame(key: Column) -> DataFrame {
+    let n = key.len();
+    let payload = Column::from_f64("payload", (0..n).map(|i| Some(i as f64)).collect());
+    DataFrame::from_columns(vec![key, payload]).unwrap()
+}
+
+/// Asserts both join implementations produce the same relation (panics on
+/// divergence; the vendored proptest reports the generated case).
+fn assert_equivalent(left: &DataFrame, right: &DataFrame, kind: JoinKind) {
+    let code = join(left, right, "k", "rk", kind).unwrap();
+    let reference = join_rendered(left, right, "k", "rk", kind).unwrap();
+    assert_eq!(code.column_names(), reference.column_names());
+    assert_eq!(code.n_rows(), reference.n_rows());
+    for name in code.column_names() {
+        for row in 0..code.n_rows() {
+            assert_eq!(
+                code.get(row, name).unwrap(),
+                reference.get(row, name).unwrap(),
+                "row {row} column {name}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// String keys: the pipeline's real case (entity names).
+    #[test]
+    fn string_key_joins_are_equivalent(
+        lk in keys(40, 6),
+        rk in keys(25, 6),
+    ) {
+        let left = left_frame(str_key_column("k", &lk));
+        let right = right_frame(str_key_column("rk", &rk));
+        assert_equivalent(&left, &right, JoinKind::Left);
+        assert_equivalent(&left, &right, JoinKind::Inner);
+    }
+
+    /// Int keys render identically to their encoding labels, so the two
+    /// implementations must agree exactly.
+    #[test]
+    fn int_key_joins_are_equivalent(
+        lk in keys(35, 5),
+        rk in keys(30, 5),
+    ) {
+        let left = left_frame(int_key_column("k", &lk));
+        let right = right_frame(int_key_column("rk", &rk));
+        assert_equivalent(&left, &right, JoinKind::Left);
+        assert_equivalent(&left, &right, JoinKind::Inner);
+    }
+
+    /// Mixed: categorical left key against a categorical right key rendered
+    /// from the same alphabet but with many duplicates (first match must win
+    /// identically), plus a colliding column name (`payload`).
+    #[test]
+    fn duplicate_keys_and_collisions_are_equivalent(
+        lk in keys(30, 3),
+        rk in keys(40, 3),
+    ) {
+        let left = left_frame(str_key_column("k", &lk));
+        let mut right = right_frame(str_key_column("rk", &rk));
+        // A name collision with the left frame: both joins must suffix it.
+        right
+            .add_column(Column::from_i64(
+                "payload",
+                (0..right.n_rows()).map(|i| Some(i as i64)).collect(),
+            ))
+            .unwrap();
+        assert_equivalent(&left, &right, JoinKind::Left);
+        assert_equivalent(&left, &right, JoinKind::Inner);
+    }
+}
