@@ -4,19 +4,20 @@
 
 use std::time::Instant;
 
-use bench::{prepare_workload, run_method, ExperimentData, Method, Scale};
+use bench::{run_method, DatasetSessions, ExperimentData, Method, Scale};
 use datagen::{representative_queries, Dataset};
 use mesa::baselines::brute_force;
 use mesa::{explanation_line, prune, PruningConfig};
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let sessions = DatasetSessions::new(&data);
     println!("== Ablation: MCIMR criterion vs exact subset search vs relevance-only ==\n");
     for wq in representative_queries()
         .into_iter()
         .filter(|q| matches!(q.dataset, Dataset::Covid | Dataset::Forbes))
     {
-        let prepared = match prepare_workload(&data, &wq) {
+        let prepared = match sessions.prepare(&wq) {
             Ok(p) => p,
             Err(_) => continue,
         };

@@ -2,19 +2,20 @@
 //! size. The stopping rule trades a negligible amount of explainability for
 //! much smaller (more interpretable) explanations.
 
-use bench::{prepare_workload, ExperimentData, Scale};
+use bench::{DatasetSessions, ExperimentData, Scale};
 use datagen::representative_queries;
 use mesa::{explanation_line, Mesa, MesaConfig};
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let sessions = DatasetSessions::new(&data);
     println!("== Ablation: responsibility-test stopping rule vs fixed k ==\n");
     println!(
         "{:<12} {:>6} {:>12} {:>6} {:>12}   explanations (with rule | fixed k)",
         "Query", "|E|", "I(O;T|E)", "|E|", "I(O;T|E)"
     );
     for wq in representative_queries() {
-        let prepared = match prepare_workload(&data, &wq) {
+        let prepared = match sessions.prepare(&wq) {
             Ok(p) => p,
             Err(_) => continue,
         };

@@ -1,12 +1,13 @@
 //! Appendix experiment: how many candidate attributes the offline and online
 //! pruning phases drop on each dataset.
 
-use bench::{prepare_workload, ExperimentData, Scale};
+use bench::{DatasetSessions, ExperimentData, Scale};
 use datagen::representative_queries;
 use mesa::{prune_offline, prune_online, PruningConfig};
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let sessions = DatasetSessions::new(&data);
     println!("== Appendix: impact of pruning per dataset ==\n");
     println!(
         "{:<12} {:>8} {:>16} {:>16}",
@@ -17,7 +18,7 @@ fn main() {
         if !seen.insert(wq.dataset) {
             continue; // one representative query per dataset
         }
-        let prepared = match prepare_workload(&data, &wq) {
+        let prepared = match sessions.prepare(&wq) {
             Ok(p) => p,
             Err(_) => continue,
         };

@@ -4,13 +4,14 @@
 //! recorded in `BENCH_fig2.json`.
 
 use bench::{
-    prepare_workload, run_all_methods, run_method, BenchReport, ExperimentData, Method, Scale,
+    run_all_methods, run_method, BenchReport, DatasetSessions, ExperimentData, Method, Scale,
     DEFAULT_REPS,
 };
 use datagen::{representative_queries, Dataset};
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let sessions = DatasetSessions::new(&data);
     let mut bench_report = BenchReport::new("fig2");
     println!("== Figure 2: distance from Brute-Force explainability ==\n");
     println!(
@@ -21,7 +22,7 @@ fn main() {
         .into_iter()
         .filter(|q| matches!(q.dataset, Dataset::Covid | Dataset::Forbes))
     {
-        let prepared = match prepare_workload(&data, &wq) {
+        let prepared = match sessions.prepare(&wq) {
             Ok(p) => p,
             Err(_) => continue,
         };

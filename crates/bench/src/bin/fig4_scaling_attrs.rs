@@ -3,7 +3,7 @@
 //! medians over [`bench::DEFAULT_REPS`] repetitions, also written to
 //! `BENCH_fig4.json`.
 
-use bench::{prepare_workload, BenchReport, ExperimentData, Scale, DEFAULT_REPS};
+use bench::{BenchReport, DatasetSessions, ExperimentData, Scale, DEFAULT_REPS};
 use datagen::{representative_queries_for, Dataset};
 use mesa::{Mesa, MesaConfig, PruningConfig};
 use rand::rngs::StdRng;
@@ -26,12 +26,13 @@ fn variant(name: &str) -> MesaConfig {
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let sessions = DatasetSessions::new(&data);
     let mut report = BenchReport::new("fig4");
     println!("== Figure 4: running time vs number of candidate attributes ==\n");
     for dataset in [Dataset::StackOverflow, Dataset::Flights, Dataset::Forbes] {
         let queries = representative_queries_for(dataset);
         let wq = &queries[0];
-        let prepared = match prepare_workload(&data, wq) {
+        let prepared = match sessions.prepare(wq) {
             Ok(p) => p,
             Err(e) => {
                 println!("({}: preparation failed: {e})", dataset.name());
@@ -56,7 +57,7 @@ fn main() {
             let mut cands = prepared.candidates.clone();
             cands.shuffle(&mut rng);
             cands.truncate(n_attrs);
-            let mut sub = prepared.clone();
+            let mut sub = prepared.as_ref().clone();
             sub.candidates = cands;
             let mut times = Vec::new();
             for name in ["No Pruning", "Offline Pruning", "MCIMR"] {

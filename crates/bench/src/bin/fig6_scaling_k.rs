@@ -2,18 +2,19 @@
 //! size. Timings are medians over [`bench::DEFAULT_REPS`] repetitions, also
 //! written to `BENCH_fig6.json`.
 
-use bench::{prepare_workload, BenchReport, ExperimentData, Scale, DEFAULT_REPS};
+use bench::{BenchReport, DatasetSessions, ExperimentData, Scale, DEFAULT_REPS};
 use datagen::{representative_queries_for, Dataset};
 use mesa::{Mesa, MesaConfig, PruningConfig};
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let sessions = DatasetSessions::new(&data);
     let mut bench_report = BenchReport::new("fig6");
     println!("== Figure 6: running time vs explanation-size bound k ==\n");
     for dataset in [Dataset::StackOverflow, Dataset::Flights, Dataset::Forbes] {
         let queries = representative_queries_for(dataset);
         let wq = &queries[0];
-        let prepared = match prepare_workload(&data, wq) {
+        let prepared = match sessions.prepare(wq) {
             Ok(p) => p,
             Err(_) => continue,
         };

@@ -1,16 +1,19 @@
 //! Table 2: the explanations every method produces for the 14 representative
 //! queries.
 
-use bench::{prepare_workload, run_all_methods, ExperimentData, Scale};
+use bench::{run_all_methods, DatasetSessions, ExperimentData, Scale};
 use datagen::representative_queries;
 use mesa::explanation_line;
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    // One session per dataset: queries of the same dataset share the KG
+    // extraction instead of re-extracting the universal relation per query.
+    let sessions = DatasetSessions::new(&data);
     println!("== Table 2: explanations per method for the 14 representative queries ==\n");
     for wq in representative_queries() {
         println!("--- {} — {} ---", wq.id, wq.description);
-        let prepared = match prepare_workload(&data, &wq) {
+        let prepared = match sessions.prepare(&wq) {
             Ok(p) => p,
             Err(e) => {
                 println!("  (preparation failed: {e})\n");

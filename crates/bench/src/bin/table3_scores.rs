@@ -8,17 +8,18 @@
 use std::collections::HashMap;
 
 use bench::{
-    ground_truth_for, judge_explanation, prepare_workload, run_all_methods, ExperimentData, Method,
+    ground_truth_for, judge_explanation, run_all_methods, DatasetSessions, ExperimentData, Method,
     Scale,
 };
 use datagen::representative_queries;
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
+    let sessions = DatasetSessions::new(&data);
     let mut scores: HashMap<Method, Vec<f64>> = HashMap::new();
 
     for wq in representative_queries() {
-        let prepared = match prepare_workload(&data, &wq) {
+        let prepared = match sessions.prepare(&wq) {
             Ok(p) => p,
             Err(_) => continue,
         };

@@ -4,21 +4,20 @@
 
 use std::time::Instant;
 
-use bench::{prepare_workload, ExperimentData, Scale};
+use bench::{DatasetSessions, ExperimentData, Scale};
 use datagen::representative_queries;
-use mesa::{subgroup_table, Mesa, SubgroupConfig};
+use mesa::{subgroup_table, SubgroupConfig};
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
-    let mesa = Mesa::new();
+    let sessions = DatasetSessions::new(&data);
     let queries = representative_queries();
     let so_q1 = queries
         .iter()
         .find(|q| q.id == "SO Q1")
         .expect("SO Q1 exists");
 
-    let prepared = prepare_workload(&data, so_q1).expect("prepare SO Q1");
-    let report = mesa.explain_prepared(&prepared).expect("explain SO Q1");
+    let report = sessions.explain(so_q1).expect("explain SO Q1");
     println!("== Table 4: top-5 unexplained groups for SO Q1 ==\n");
     println!(
         "explanation for the full data: {}\n",
@@ -29,26 +28,24 @@ fn main() {
         tau: 0.2,
         ..Default::default()
     };
-    let groups = mesa
-        .unexplained_subgroups(&prepared, &report.explanation, &config)
+    let groups = sessions
+        .session(so_q1.dataset)
+        .unexplained_subgroups(&so_q1.query, &config)
         .expect("subgroups");
     println!("{}", subgroup_table(&groups));
 
     // Average running time across all representative queries (the paper
-    // reports 4.4 s on its hardware).
+    // reports 4.4 s on its hardware). The prepare + explain stages are
+    // served from the session memo; only Algorithm 2 is timed.
     let mut total = 0.0;
     let mut count = 0usize;
     for wq in &queries {
-        let prepared = match prepare_workload(&data, wq) {
-            Ok(p) => p,
-            Err(_) => continue,
-        };
-        let report = match mesa.explain_prepared(&prepared) {
-            Ok(r) => r,
-            Err(_) => continue,
-        };
+        if sessions.explain(wq).is_err() {
+            continue;
+        }
+        let session = sessions.session(wq.dataset);
         let start = Instant::now();
-        let _ = mesa.unexplained_subgroups(&prepared, &report.explanation, &config);
+        let _ = session.unexplained_subgroups(&wq.query, &config);
         total += start.elapsed().as_secs_f64();
         count += 1;
     }

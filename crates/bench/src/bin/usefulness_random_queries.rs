@@ -4,13 +4,14 @@
 //! least one attribute extracted from the knowledge graph. The paper reports
 //! 72.5%.
 
-use bench::{ExperimentData, Scale};
+use bench::{DatasetSessions, ExperimentData, Scale};
 use datagen::{random_queries, Dataset};
-use mesa::Mesa;
 
 fn main() {
     let data = ExperimentData::generate(Scale::from_env());
-    let mesa = Mesa::new();
+    // Random queries share each dataset's session: overlapping contexts land
+    // on the same distinct-value sets and reuse the cached extraction.
+    let sessions = DatasetSessions::new(&data);
     let mut useful = 0usize;
     let mut total = 0usize;
     println!("== Usefulness over random aggregate queries (Section 5.1) ==\n");
@@ -19,16 +20,11 @@ fn main() {
         let queries = random_queries(dataset, frame, 10, 2023).expect("random queries");
         for wq in queries {
             total += 1;
-            let prepared = match mesa.prepare(
-                frame,
-                &wq.query,
-                Some(&data.graph),
-                dataset.extraction_columns(),
-            ) {
+            let prepared = match sessions.prepare(&wq) {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            let report = match mesa.explain_prepared(&prepared) {
+            let report = match sessions.explain(&wq) {
                 Ok(r) => r,
                 Err(_) => continue,
             };

@@ -14,7 +14,7 @@
 //! MESA_SCALE=paper cargo run --release -p bench --bin fig5_scaling_rows
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ground_truth;
 pub mod judge;
@@ -26,4 +26,6 @@ pub use ground_truth::ground_truth_for;
 pub use judge::{judge_explanation, GroundTruth, JudgeScore};
 pub use methods::{run_all_methods, run_method, Method, MethodResult};
 pub use report::{median_ms, BenchEntry, BenchReport, DEFAULT_REPS};
-pub use setup::{experiment_world, prepare_workload, scaled_rows, ExperimentData, Scale};
+pub use setup::{
+    experiment_world, prepare_workload, scaled_rows, DatasetSessions, ExperimentData, Scale,
+};

@@ -93,6 +93,11 @@ impl ExperimentData {
 
 /// Prepares a workload query against the fixture (context + KG extraction +
 /// binning) with MESA's default preparation settings.
+///
+/// This is the *cold* path: every call pays the full pipeline. Experiment
+/// binaries that iterate a whole workload should go through
+/// [`DatasetSessions`] instead, which shares the KG extraction across the
+/// queries of each dataset.
 pub fn prepare_workload(
     data: &ExperimentData,
     wq: &datagen::WorkloadQuery,
@@ -104,6 +109,68 @@ pub fn prepare_workload(
         Some(&data.graph),
         wq.dataset.extraction_columns(),
     )
+}
+
+/// One long-lived [`mesa::Session`] per dataset of the fixture — the shape a
+/// traffic-serving deployment would hold, and what the experiment binaries
+/// use to run a whole query workload without re-extracting the same
+/// universal relation per query.
+pub struct DatasetSessions<'a> {
+    sessions: Vec<(Dataset, mesa::Session<'a>)>,
+}
+
+impl<'a> DatasetSessions<'a> {
+    /// Sessions over every dataset of the fixture, under one configuration.
+    pub fn with_config(data: &'a ExperimentData, config: mesa::MesaConfig) -> Self {
+        let sessions = data
+            .frames
+            .iter()
+            .map(|(dataset, frame)| {
+                (
+                    *dataset,
+                    mesa::Session::new(
+                        frame,
+                        Some(&data.graph),
+                        dataset.extraction_columns(),
+                        config,
+                    ),
+                )
+            })
+            .collect();
+        DatasetSessions { sessions }
+    }
+
+    /// Sessions with MESA's default configuration.
+    pub fn new(data: &'a ExperimentData) -> Self {
+        DatasetSessions::with_config(data, mesa::MesaConfig::default())
+    }
+
+    /// The session serving a dataset.
+    pub fn session(&self, dataset: Dataset) -> &mesa::Session<'a> {
+        &self
+            .sessions
+            .iter()
+            .find(|(d, _)| *d == dataset)
+            .expect("all datasets have sessions")
+            .1
+    }
+
+    /// Prepares a workload query through its dataset's session (cached
+    /// extraction, memoized repeats).
+    pub fn prepare(
+        &self,
+        wq: &datagen::WorkloadQuery,
+    ) -> mesa::Result<std::sync::Arc<mesa::PreparedQuery>> {
+        self.session(wq.dataset).prepare(&wq.query)
+    }
+
+    /// Explains a workload query through its dataset's session.
+    pub fn explain(
+        &self,
+        wq: &datagen::WorkloadQuery,
+    ) -> mesa::Result<std::sync::Arc<mesa::MesaReport>> {
+        self.session(wq.dataset).explain(&wq.query)
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! assert!(graph.has_entity("Germany"));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod datasets;
 pub mod kg_builder;

@@ -6,7 +6,7 @@
 //! re-weights the remaining rows, which is why every count is an `f64` weight
 //! rather than an integer.
 //!
-//! Storage is delegated to the [`kernel`](crate::kernel) module: small cross
+//! Storage is delegated to the [`kernel`] module: small cross
 //! products (the overwhelmingly common case after binning) are accumulated
 //! into a flat dense vector via mixed-radix code packing; larger ones fall
 //! back to the sparse hash-map path.

@@ -7,7 +7,7 @@
 //!   `O ⫫ E | C, T` ⇒ drop `E`),
 //! * the **selection-bias** detection for extracted attributes (Prop. 3.1/3.2).
 //!
-//! Following HypDB (reference [63] of the paper) we use the G-test: the
+//! Following HypDB (reference \[63\] of the paper) we use the G-test: the
 //! statistic `G = 2·N·ln(2)·Î(X;Y|Z)` is asymptotically chi-squared with
 //! `(|X|-1)(|Y|-1)·|Z|` degrees of freedom under the null hypothesis of
 //! conditional independence.

@@ -29,7 +29,7 @@
 //! assert!(ef.cmi("country", "salary", &["gdp"], None).unwrap() < 1e-9);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod contingency;
 pub mod frame;

@@ -11,7 +11,7 @@
 //! Section 3.2 enters.
 //!
 //! The pipeline is id-based end to end: values are linked to interned
-//! symbols by the graph's cached [`EntityLinker`], the multi-hop expansion
+//! symbols by the graph's cached [`crate::EntityLinker`], the multi-hop expansion
 //! runs **once per distinct entity** (rows sharing `"United States"` share
 //! one BFS) and fans out over [`parallel::parallel_map`], per-entity
 //! property scans walk borrowed CSR slices, and results are scattered into
@@ -31,7 +31,7 @@ use crate::triple::Object;
 
 /// How to collapse a one-to-many property (several objects for one subject
 /// and predicate) into a single value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OneToManyAgg {
     /// Mean of numeric objects (nulls when none are numeric).
     Mean,
@@ -108,7 +108,7 @@ impl OneToManyAgg {
 }
 
 /// Configuration for the extraction process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExtractionConfig {
     /// Number of hops to follow in the graph (1 = direct properties only).
     pub hops: usize,

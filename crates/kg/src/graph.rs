@@ -7,7 +7,7 @@
 //! symbols instead of cloned `String`s. Property lookup goes through a CSR
 //! index (`offsets` + neighbor array sorted by predicate *name*) built
 //! lazily on first read and invalidated by mutation, so
-//! [`KnowledgeGraph::properties_of`] returns a borrowed slice with zero
+//! `KnowledgeGraph::properties_of` (crate-internal) returns a borrowed slice with zero
 //! allocation. The [`crate::EntityLinker`] built from the graph is cached
 //! the same way, which is what makes repeated `extract_attributes` calls
 //! cheap.
@@ -409,7 +409,7 @@ impl KnowledgeGraph {
     /// insertion order. Empty when the entity has no outgoing facts.
     ///
     /// Compatibility wrapper that materialises owned [`Object`]s; the
-    /// extraction hot path iterates [`KnowledgeGraph::properties_of`]
+    /// extraction hot path iterates `KnowledgeGraph::properties_of`
     /// instead.
     pub fn properties(&self, subject: &str) -> Vec<(&str, Object)> {
         let Some(sym) = self.symbols.get(subject) else {

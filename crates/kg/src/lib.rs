@@ -32,7 +32,7 @@
 //! assert!(res.table.has_column("HDI"));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod extraction;
 pub mod graph;

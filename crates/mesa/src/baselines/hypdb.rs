@@ -1,4 +1,4 @@
-//! The HypDB baseline (reference [63] of the paper): confounder detection by
+//! The HypDB baseline (reference \[63\] of the paper): confounder detection by
 //! causal analysis over the *input dataset only*.
 //!
 //! HypDB searches for covariates that are associated with both the exposure
@@ -49,7 +49,7 @@ impl Default for HypDbConfig {
 /// Runs the HypDB-style baseline.
 ///
 /// `candidates` should already be restricted to input-table attributes (the
-/// caller — [`crate::system::Mesa::explain_with_baselines`] — takes care of
+/// caller — `bench::run_method` — takes care of
 /// excluding extracted attributes).
 pub fn hypdb(
     prepared: &PreparedQuery,

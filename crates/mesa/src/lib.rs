@@ -15,16 +15,18 @@
 //!    (Section 4.2 of the paper).
 //! 3. [`missing`] — selection-bias detection and Inverse Probability
 //!    Weighting for attributes with missing values (Section 3.2).
-//! 4. [`mcimr`] — the MCIMR greedy selection algorithm with the
+//! 4. [`mod@mcimr`] — the MCIMR greedy selection algorithm with the
 //!    responsibility-test stopping rule (Algorithm 1).
 //! 5. [`responsibility`] — degrees of responsibility (Definition 2.2).
 //! 6. [`subgroups`] — top-k unexplained data subgroups (Algorithm 2).
 //! 7. [`baselines`] — Brute-Force, Top-K, Linear Regression, and HypDB.
 //!
-//! The [`Mesa`] facade in [`system`] wires the stages together; [`report`]
-//! renders results for humans.
+//! The [`Mesa`] facade in [`system`] wires the stages together for one-shot
+//! runs; [`session`] keeps a dataset's extraction and prepared-query caches
+//! alive across queries (and batches them with [`Session::explain_many`]);
+//! [`report`] renders results for humans.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod error;
@@ -35,6 +37,7 @@ pub mod problem;
 pub mod pruning;
 pub mod report;
 pub mod responsibility;
+pub mod session;
 pub mod subgroups;
 pub mod system;
 
@@ -46,10 +49,12 @@ pub use missing::{
 };
 pub use parallel::parallel_map;
 pub use problem::{
-    extract_and_join, prepare_query, Explanation, ExtractionJoin, PrepareConfig, PreparedQuery,
+    apply_query_context, extract_and_join, extract_and_join_with, prepare_from_joined,
+    prepare_query, ColumnExtraction, Explanation, ExtractionJoin, PrepareConfig, PreparedQuery,
 };
 pub use pruning::{prune, prune_offline, prune_online, PruneReason, PruningConfig, PruningReport};
 pub use report::{explanation_details, explanation_line, report_summary, subgroup_table};
 pub use responsibility::responsibilities;
+pub use session::{ExtractionCache, Session, SessionStats};
 pub use subgroups::{unexplained_subgroups, Subgroup, SubgroupConfig};
 pub use system::{Mesa, MesaConfig, MesaReport};

@@ -13,10 +13,12 @@
 //! Everything downstream — pruning, MCIMR, baselines, responsibility, the
 //! subgroup search — operates on the resulting [`PreparedQuery`].
 
+use std::sync::Arc;
+
 use infotheory::EncodedFrame;
 use tabular::{bin_frame_encoded, AggregateQuery, BinStrategy, DataFrame, JoinKind};
 
-use kg::{extract_attributes, ExtractionConfig, ExtractionStats, KnowledgeGraph};
+use kg::{extract_attributes, ExtractionConfig, ExtractionResult, ExtractionStats, KnowledgeGraph};
 
 use crate::error::{MesaError, Result};
 
@@ -161,12 +163,42 @@ pub struct ExtractionJoin {
     /// Name of the key column inside [`ExtractionJoin::table`].
     pub key: String,
     /// The extracted attribute table, after collision renames — exactly what
-    /// was joined onto the frame.
-    pub table: DataFrame,
+    /// was joined onto the frame. Shared (`Arc`) so a session's extraction
+    /// cache can hand the same table to many queries without copying it.
+    pub table: Arc<DataFrame>,
     /// Names of the attribute columns contributed by this table.
     pub attribute_names: Vec<String>,
     /// Linking/extraction statistics.
     pub stats: ExtractionStats,
+}
+
+/// The raw, pre-rename extraction output for one column's distinct values —
+/// the unit a [`crate::session::Session`] caches and shares across queries.
+/// It is a pure function of `(distinct values, extraction config)`: each
+/// row's attributes depend only on that row's linked entity, so reusing the
+/// table for another query with the same distinct values is byte-identical
+/// to re-extracting.
+#[derive(Debug, Clone)]
+pub struct ColumnExtraction {
+    /// The extracted attribute table, keyed by the extraction column's
+    /// distinct values (key column first, attributes sorted by name).
+    pub table: Arc<DataFrame>,
+    /// Names of the attribute columns, in table order.
+    pub attribute_names: Vec<String>,
+    /// Linking/extraction statistics.
+    pub stats: ExtractionStats,
+}
+
+impl ColumnExtraction {
+    /// Wraps a [`kg::ExtractionResult`] for sharing.
+    pub fn from_result(result: ExtractionResult) -> Self {
+        let attribute_names = result.attribute_names();
+        ColumnExtraction {
+            table: Arc::new(result.table),
+            attribute_names,
+            stats: result.stats,
+        }
+    }
 }
 
 /// The KG extraction + join stage of [`prepare_query`], exposed on its own:
@@ -182,6 +214,28 @@ pub fn extract_and_join(
     extraction_columns: &[&str],
     config: ExtractionConfig,
 ) -> Result<(DataFrame, Vec<ExtractionJoin>)> {
+    extract_and_join_with(df, extraction_columns, |_, values, key_column| {
+        Ok(ColumnExtraction::from_result(extract_attributes(
+            graph, values, key_column, config,
+        )?))
+    })
+}
+
+/// [`extract_and_join`] with the per-column extraction injected: `fetch` is
+/// called as `fetch(column, distinct_values, key_column)` and may serve the
+/// result from a cache (the session path) or extract on the spot (the cold
+/// path). Collision renames against the progressively joined frame are
+/// applied here, per query, on top of the fetched (pre-rename) table —
+/// in place when the table is unshared, on a copy-on-write clone when it
+/// came out of a cache.
+pub fn extract_and_join_with<F>(
+    df: &DataFrame,
+    extraction_columns: &[&str],
+    mut fetch: F,
+) -> Result<(DataFrame, Vec<ExtractionJoin>)>
+where
+    F: FnMut(&str, &[String], &str) -> Result<ColumnExtraction>,
+{
     let mut joined = df.clone();
     let mut joins = Vec::new();
     for &col in extraction_columns {
@@ -196,28 +250,40 @@ pub fn extract_and_join(
             continue;
         }
         let key = format!("__key_{col}");
-        let mut result = extract_attributes(graph, values, &key, config)?;
+        let fetched = fetch(col, values, &key)?;
+        let mut table = fetched.table;
         // Avoid column collisions across extraction columns (e.g. both the
         // origin city and origin state expose a `Density` property).
-        let mut renames: Vec<(String, String)> = Vec::new();
-        for name in result.attribute_names() {
-            if joined.has_column(&name) {
-                renames.push((name.clone(), format!("{name} ({col})")));
+        let renames: Vec<(String, String)> = fetched
+            .attribute_names
+            .iter()
+            .filter(|name| joined.has_column(name))
+            .map(|name| (name.clone(), format!("{name} ({col})")))
+            .collect();
+        let attribute_names = if renames.is_empty() {
+            fetched.attribute_names
+        } else {
+            let t = Arc::make_mut(&mut table);
+            for (old, new) in &renames {
+                let mut c = t.drop_column(old)?;
+                c.rename(new.clone());
+                t.add_column(c)?;
             }
-        }
-        for (old, new) in renames {
-            let mut c = result.table.drop_column(&old)?;
-            c.rename(new.clone());
-            result.table.add_column(c)?;
-        }
-        let attribute_names = result.attribute_names();
-        joined = tabular::join(&joined, &result.table, col, &key, JoinKind::Left)?;
+            // Renamed columns moved to the end of the table; re-read the
+            // names in table order.
+            t.column_names()
+                .into_iter()
+                .filter(|n| *n != key)
+                .map(|s| s.to_string())
+                .collect()
+        };
+        joined = tabular::join(&joined, &table, col, &key, JoinKind::Left)?;
         joins.push(ExtractionJoin {
             column: col.to_string(),
             key,
-            table: result.table,
+            table,
             attribute_names,
-            stats: result.stats,
+            stats: fetched.stats,
         });
     }
     Ok((joined, joins))
@@ -238,8 +304,24 @@ pub fn prepare_query(
     extraction_columns: &[&str],
     config: PrepareConfig,
 ) -> Result<PreparedQuery> {
-    query.validate(df).map_err(MesaError::from)?;
     // 1. Context.
+    let filtered = apply_query_context(df, query)?;
+
+    // 2. KG extraction + join.
+    let (joined, extraction_joins) = match graph {
+        Some(graph) => extract_and_join(&filtered, graph, extraction_columns, config.extraction)?,
+        None => (filtered, Vec::new()),
+    };
+
+    // 3.+4. Binning + encoding + candidate assembly.
+    prepare_from_joined(query, joined, extraction_joins, config)
+}
+
+/// The context stage of [`prepare_query`] on its own: validates the query
+/// against the frame and applies the `WHERE` clause, rejecting an empty
+/// selection.
+pub fn apply_query_context(df: &DataFrame, query: &AggregateQuery) -> Result<DataFrame> {
+    query.validate(df).map_err(MesaError::from)?;
     let filtered = query.apply_context(df)?;
     if filtered.is_empty() {
         return Err(MesaError::InvalidInput(format!(
@@ -247,12 +329,20 @@ pub fn prepare_query(
             query.context.describe()
         )));
     }
+    Ok(filtered)
+}
 
-    // 2. KG extraction + join.
-    let (joined, extraction_joins) = match graph {
-        Some(graph) => extract_and_join(&filtered, graph, extraction_columns, config.extraction)?,
-        None => (filtered.clone(), Vec::new()),
-    };
+/// The binning + encoding tail of [`prepare_query`], callable on a frame the
+/// caller has already joined (e.g. from a session's cached extraction
+/// tables): bins numeric attributes, threads the bin codes into the encoded
+/// frame, assembles the candidate set, and packs everything into a
+/// [`PreparedQuery`].
+pub fn prepare_from_joined(
+    query: &AggregateQuery,
+    joined: DataFrame,
+    extraction_joins: Vec<ExtractionJoin>,
+    config: PrepareConfig,
+) -> Result<PreparedQuery> {
     let mut extracted_names: Vec<String> = Vec::new();
     let mut extraction_stats = Vec::new();
     for ej in extraction_joins {

@@ -1,0 +1,650 @@
+//! Long-lived, cross-query explanation sessions.
+//!
+//! A cold [`crate::Mesa::explain`] pays the full pipeline on every call — KG
+//! extraction, join, binning, encoding, then the explanation search — even
+//! when dozens of queries hit the same dataset. A [`Session`] is constructed
+//! once per dataset (a `DataFrame`, optionally a `KnowledgeGraph`, and a
+//! [`MesaConfig`]) and amortises that work across queries, the way a
+//! traffic-serving deployment would:
+//!
+//! * **Extraction cache** ([`ExtractionCache`]) — the expensive KG stage
+//!   (entity linking + multi-hop expansion) is keyed by
+//!   `(column, hops, one-to-many policy, distinct values)`. The output of
+//!   [`kg::extract_attributes`] is a pure function of exactly that key, so a
+//!   cache hit is byte-identical to re-extracting — queries with different
+//!   contexts select different distinct values and therefore cannot alias.
+//! * **Prepared-query memo** — the fully prepared (joined, binned, encoded)
+//!   view of each query, keyed by the canonical
+//!   [`AggregateQuery::fingerprint`].
+//! * **Report memo** — the finished [`MesaReport`] per fingerprint, so
+//!   repeating a query is a hash lookup.
+//!
+//! [`Session::explain_many`] batches independent queries: cached results are
+//! resolved inline, distinct uncached queries fan out over
+//! [`parallel::parallel_map`], and all of them share the extraction cache.
+//!
+//! The one-shot [`crate::Mesa::explain`] is a thin wrapper over a transient
+//! session, so there is a single pipeline implementation; the equivalence of
+//! warm and cold paths is locked by `tests/session.rs`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use kg::{extract_attributes, ExtractionConfig, KnowledgeGraph};
+use tabular::{AggregateQuery, DataFrame};
+
+use crate::error::{MesaError, Result};
+use crate::problem::{
+    apply_query_context, extract_and_join_with, prepare_from_joined, ColumnExtraction,
+    PreparedQuery,
+};
+use crate::subgroups::{unexplained_subgroups, Subgroup, SubgroupConfig};
+use crate::system::{Mesa, MesaConfig, MesaReport};
+
+/// Cache key of one column extraction: the distinct values (and the name of
+/// the key column embedded in the cached table) are part of the key, so two
+/// queries whose contexts select different value sets — or two sessions
+/// configured with different hops / one-to-many policies — can never alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExtractionKey {
+    column: String,
+    key_column: String,
+    config: ExtractionConfig,
+    values: Vec<String>,
+}
+
+impl ExtractionKey {
+    /// Whether this stored key matches the borrowed lookup inputs (the same
+    /// tuple the hash in [`ExtractionCache::fingerprint`] covers).
+    fn matches(
+        &self,
+        column: &str,
+        key_column: &str,
+        config: ExtractionConfig,
+        values: &[String],
+    ) -> bool {
+        self.config == config
+            && self.column == column
+            && self.key_column == key_column
+            && self.values == values
+    }
+}
+
+/// A concurrent cache of per-column KG extractions over **one** knowledge
+/// graph, keyed by `(column, key column, extraction config, distinct
+/// values)`.
+///
+/// The graph is borrowed for the cache's lifetime: that makes the key a
+/// pure function of the lookup inputs (the borrow prevents mutation, and a
+/// cache can never be asked about a different graph — sharing one cache
+/// across graphs is a type error rather than silent aliasing).
+///
+/// The cached unit is the *pre-rename* [`ColumnExtraction`]; collision
+/// renames against a query's joined frame are applied per query on a
+/// copy-on-write clone (see [`extract_and_join_with`]), so the shared table
+/// is never mutated. Entries are bucketed by a hash of the borrowed lookup
+/// inputs, so a cache *hit* allocates nothing — the full owned key is only
+/// built (and the distinct values only cloned) when an extraction actually
+/// runs.
+#[derive(Debug)]
+pub struct ExtractionCache<'g> {
+    graph: &'g KnowledgeGraph,
+    entries: Mutex<HashMap<u64, Vec<(ExtractionKey, ColumnExtraction)>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<'g> ExtractionCache<'g> {
+    /// An empty cache over one knowledge graph.
+    pub fn new(graph: &'g KnowledgeGraph) -> Self {
+        ExtractionCache {
+            graph,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bucket hash over the borrowed lookup inputs; collisions are resolved
+    /// by [`ExtractionKey::matches`] on the full key.
+    fn fingerprint(
+        column: &str,
+        key_column: &str,
+        config: ExtractionConfig,
+        values: &[String],
+    ) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        column.hash(&mut hasher);
+        key_column.hash(&mut hasher);
+        config.hash(&mut hasher);
+        values.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Returns the cached extraction for `(column, key_column, config,
+    /// values)`, running [`kg::extract_attributes`] on a miss. Errors are
+    /// not cached.
+    pub fn get_or_extract(
+        &self,
+        column: &str,
+        values: &[String],
+        key_column: &str,
+        config: ExtractionConfig,
+    ) -> Result<ColumnExtraction> {
+        let bucket = Self::fingerprint(column, key_column, config, values);
+        if let Some(entries) = self.entries.lock().unwrap().get(&bucket) {
+            if let Some((_, cached)) = entries
+                .iter()
+                .find(|(key, _)| key.matches(column, key_column, config, values))
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(cached.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result =
+            extract_attributes(self.graph, values, key_column, config).map_err(MesaError::from)?;
+        let extraction = ColumnExtraction::from_result(result);
+        // Two threads may race to extract the same key; the first insert
+        // wins and both return the same (deterministic) table.
+        let mut entries = self.entries.lock().unwrap();
+        let slot = entries.entry(bucket).or_default();
+        if let Some((_, cached)) = slot
+            .iter()
+            .find(|(key, _)| key.matches(column, key_column, config, values))
+        {
+            return Ok(cached.clone());
+        }
+        let key = ExtractionKey {
+            column: column.to_string(),
+            key_column: key_column.to_string(),
+            config,
+            values: values.to_vec(),
+        };
+        slot.push((key, extraction.clone()));
+        Ok(extraction)
+    }
+
+    /// Number of cached extractions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that ran the extraction.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Cache counters of a [`Session`], for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Column extractions served from the cache.
+    pub extraction_hits: usize,
+    /// Column extractions computed.
+    pub extraction_misses: usize,
+    /// Distinct extraction cache entries.
+    pub extraction_entries: usize,
+    /// Prepared queries served from the memo.
+    pub prepared_hits: usize,
+    /// Prepared queries computed.
+    pub prepared_misses: usize,
+    /// Explanation reports served from the memo.
+    pub report_hits: usize,
+    /// Explanation reports computed.
+    pub report_misses: usize,
+}
+
+/// A long-lived explanation session over one dataset.
+///
+/// Borrows the dataset and knowledge graph (they are read-only for the
+/// session's lifetime) and owns the caches. All methods take `&self`; the
+/// session is `Sync`, so one instance can serve concurrent callers — that,
+/// plus [`Session::explain_many`], is the serving shape the ROADMAP's
+/// traffic-serving north star asks for.
+///
+/// ```
+/// use mesa::session::Session;
+/// use mesa::MesaConfig;
+/// use tabular::{AggregateQuery, DataFrameBuilder};
+/// use kg::{KnowledgeGraph, Object};
+///
+/// let df = DataFrameBuilder::new()
+///     .cat("Country", (0..120).map(|i| Some(["DE", "IT", "NG", "KE"][i % 4])).collect())
+///     .float("Salary", (0..120).map(|i| Some(if i % 4 < 2 { 80.0 } else { 30.0 } + (i % 3) as f64)).collect())
+///     .build().unwrap();
+/// let mut g = KnowledgeGraph::new();
+/// for (c, gdp) in [("DE", 50.0), ("IT", 50.0), ("NG", 6.0), ("KE", 6.0)] {
+///     g.add_fact(c, "GDP per capita", Object::number(gdp));
+/// }
+///
+/// let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+/// let q = AggregateQuery::avg("Country", "Salary");
+/// let cold = session.explain(&q).unwrap();
+/// let warm = session.explain(&q).unwrap(); // served from the report memo
+/// assert_eq!(cold.explanation, warm.explanation);
+/// assert_eq!(session.stats().report_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct Session<'a> {
+    df: &'a DataFrame,
+    extraction_columns: Vec<String>,
+    config: MesaConfig,
+    /// `None` when the session has no knowledge graph; otherwise the cache
+    /// carries the graph borrow itself.
+    extraction: Option<ExtractionCache<'a>>,
+    prepared: Mutex<HashMap<String, Arc<PreparedQuery>>>,
+    reports: Mutex<HashMap<String, Arc<MesaReport>>>,
+    prepared_hits: AtomicUsize,
+    prepared_misses: AtomicUsize,
+    report_hits: AtomicUsize,
+    report_misses: AtomicUsize,
+}
+
+impl<'a> Session<'a> {
+    /// A session over `df`, extracting candidate confounders for
+    /// `extraction_columns` from `graph` (pass `None` to restrict candidates
+    /// to the input table).
+    pub fn new(
+        df: &'a DataFrame,
+        graph: Option<&'a KnowledgeGraph>,
+        extraction_columns: &[&str],
+        config: MesaConfig,
+    ) -> Self {
+        Session {
+            df,
+            extraction_columns: extraction_columns.iter().map(|s| s.to_string()).collect(),
+            config,
+            extraction: graph.map(ExtractionCache::new),
+            prepared: Mutex::new(HashMap::new()),
+            reports: Mutex::new(HashMap::new()),
+            prepared_hits: AtomicUsize::new(0),
+            prepared_misses: AtomicUsize::new(0),
+            report_hits: AtomicUsize::new(0),
+            report_misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration every query in this session runs under.
+    pub fn config(&self) -> &MesaConfig {
+        &self.config
+    }
+
+    /// The dataset the session serves.
+    pub fn frame(&self) -> &DataFrame {
+        self.df
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> SessionStats {
+        let extraction = self.extraction.as_ref();
+        SessionStats {
+            extraction_hits: extraction.map_or(0, ExtractionCache::hits),
+            extraction_misses: extraction.map_or(0, ExtractionCache::misses),
+            extraction_entries: extraction.map_or(0, ExtractionCache::len),
+            prepared_hits: self.prepared_hits.load(Ordering::Relaxed),
+            prepared_misses: self.prepared_misses.load(Ordering::Relaxed),
+            report_hits: self.report_hits.load(Ordering::Relaxed),
+            report_misses: self.report_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Prepares a query (context, extraction, binning, encoding), serving
+    /// repeated queries from the memo and the extraction stage from the
+    /// shared cache.
+    pub fn prepare(&self, query: &AggregateQuery) -> Result<Arc<PreparedQuery>> {
+        self.prepare_keyed(&query.fingerprint(), query)
+    }
+
+    fn prepare_keyed(
+        &self,
+        fingerprint: &str,
+        query: &AggregateQuery,
+    ) -> Result<Arc<PreparedQuery>> {
+        if let Some(prepared) = self.prepared.lock().unwrap().get(fingerprint) {
+            self.prepared_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(prepared.clone());
+        }
+        self.prepared_misses.fetch_add(1, Ordering::Relaxed);
+        let filtered = apply_query_context(self.df, query)?;
+        let extraction_config = self.config.prepare.extraction;
+        let (joined, joins) = match &self.extraction {
+            Some(cache) => {
+                let columns: Vec<&str> =
+                    self.extraction_columns.iter().map(|s| s.as_str()).collect();
+                extract_and_join_with(&filtered, &columns, |column, values, key_column| {
+                    cache.get_or_extract(column, values, key_column, extraction_config)
+                })?
+            }
+            None => (filtered, Vec::new()),
+        };
+        let prepared = Arc::new(prepare_from_joined(
+            query,
+            joined,
+            joins,
+            self.config.prepare,
+        )?);
+        Ok(self
+            .prepared
+            .lock()
+            .unwrap()
+            .entry(fingerprint.to_string())
+            .or_insert(prepared)
+            .clone())
+    }
+
+    /// Explains a query end to end, serving repeats from the report memo.
+    /// The result is shared (`Arc`); clone out of it if an owned
+    /// [`MesaReport`] is needed.
+    pub fn explain(&self, query: &AggregateQuery) -> Result<Arc<MesaReport>> {
+        self.explain_keyed(&query.fingerprint(), query)
+    }
+
+    fn explain_keyed(&self, fingerprint: &str, query: &AggregateQuery) -> Result<Arc<MesaReport>> {
+        if let Some(report) = self.reports.lock().unwrap().get(fingerprint) {
+            self.report_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(report.clone());
+        }
+        self.report_misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = self.prepare_keyed(fingerprint, query)?;
+        let report = Arc::new(Mesa::with_config(self.config).explain_prepared(&prepared)?);
+        Ok(self
+            .reports
+            .lock()
+            .unwrap()
+            .entry(fingerprint.to_string())
+            .or_insert(report)
+            .clone())
+    }
+
+    /// Explains a batch of independent queries, returning one result per
+    /// query in input order.
+    ///
+    /// Cached queries are resolved inline under a single lock (a fully warm
+    /// batch is one memo pass, no thread spawns); the distinct uncached
+    /// ones fan out over [`parallel::parallel_map`] and share this
+    /// session's extraction cache. Results are byte-identical to calling
+    /// [`Session::explain`] sequentially (locked by `tests/session.rs`):
+    /// every path runs the same deterministic pipeline, and duplicates
+    /// within the batch are computed once.
+    pub fn explain_many(&self, queries: &[AggregateQuery]) -> Vec<Result<Arc<MesaReport>>> {
+        let fingerprints: Vec<String> = queries.iter().map(|q| q.fingerprint()).collect();
+        // Resolve every already-cached query in one pass; collect the first
+        // occurrence of each fingerprint that still needs computing.
+        let mut results: Vec<Option<Result<Arc<MesaReport>>>> = Vec::with_capacity(queries.len());
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let reports = self.reports.lock().unwrap();
+            let mut seen: HashSet<&str> = HashSet::new();
+            for (i, fp) in fingerprints.iter().enumerate() {
+                match reports.get(fp.as_str()) {
+                    Some(report) => {
+                        self.report_hits.fetch_add(1, Ordering::Relaxed);
+                        results.push(Some(Ok(report.clone())));
+                    }
+                    None => {
+                        if seen.insert(fp.as_str()) {
+                            misses.push(i);
+                        }
+                        results.push(None);
+                    }
+                }
+            }
+        }
+        // Fully warm batch: every slot was filled under the single lock.
+        if misses.is_empty() {
+            return results
+                .into_iter()
+                .map(|slot| slot.expect("all queries resolved from the memo"))
+                .collect();
+        }
+        // Fan the distinct uncached queries out; a single miss runs inline
+        // so a near-warm batch costs no thread spawns.
+        let computed: Vec<Result<Arc<MesaReport>>> = match misses.as_slice() {
+            [i] => vec![self.explain_keyed(&fingerprints[*i], &queries[*i])],
+            _ => parallel::parallel_map(&misses, |_, &i| {
+                self.explain_keyed(&fingerprints[i], &queries[i])
+            }),
+        };
+        // For each computed fingerprint: its result and whether the slot at
+        // hand is the occurrence that computed it.
+        let by_fingerprint: HashMap<&str, (usize, &Result<Arc<MesaReport>>)> = misses
+            .iter()
+            .zip(&computed)
+            .map(|(&i, result)| (fingerprints[i].as_str(), (i, result)))
+            .collect();
+        // Fill the remaining slots. Duplicates of a computed fingerprint
+        // share its result; duplicates of a *failed* one re-run through the
+        // memo (errors are not cached), exactly like the sequential path.
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(result) => result,
+                None => match by_fingerprint.get(fingerprints[i].as_str()) {
+                    Some((origin, result)) if *origin == i => (*result).clone(),
+                    Some((_, Ok(report))) => {
+                        self.report_hits.fetch_add(1, Ordering::Relaxed);
+                        Ok(report.clone())
+                    }
+                    _ => self.explain_keyed(&fingerprints[i], &queries[i]),
+                },
+            })
+            .collect()
+    }
+
+    /// Finds the top-k unexplained data subgroups (Algorithm 2) for a
+    /// query's cached explanation, preparing and explaining it first if
+    /// needed.
+    pub fn unexplained_subgroups(
+        &self,
+        query: &AggregateQuery,
+        config: &SubgroupConfig,
+    ) -> Result<Vec<Subgroup>> {
+        let prepared = self.prepare(query)?;
+        let report = self.explain(query)?;
+        unexplained_subgroups(&prepared, &report.explanation.attributes, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::Object;
+    use tabular::{DataFrameBuilder, Predicate};
+
+    fn setup() -> (DataFrame, KnowledgeGraph) {
+        let n = 240;
+        let mut country = Vec::new();
+        let mut region = Vec::new();
+        let mut salary = Vec::new();
+        for i in 0..n {
+            let cid = i % 4;
+            country.push(Some(["DE", "IT", "NG", "KE"][cid]));
+            region.push(Some(if cid < 2 { "Europe" } else { "Africa" }));
+            let base = if cid < 2 { 70.0 } else { 20.0 };
+            salary.push(Some(base + (i % 7) as f64));
+        }
+        let df = DataFrameBuilder::new()
+            .cat("Country", country)
+            .cat("Region", region)
+            .float("Salary", salary)
+            .build()
+            .unwrap();
+        let mut g = KnowledgeGraph::new();
+        for (c, gdp) in [("DE", 50.0), ("IT", 40.0), ("NG", 5.0), ("KE", 4.0)] {
+            g.add_fact(c, "GDP per capita", Object::number(gdp));
+            g.add_fact(c, "wikiID", Object::integer(1));
+        }
+        (df, g)
+    }
+
+    #[test]
+    fn repeat_explain_is_served_from_the_memo() {
+        let (df, g) = setup();
+        let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        let q = AggregateQuery::avg("Country", "Salary");
+        let cold = session.explain(&q).unwrap();
+        let warm = session.explain(&q).unwrap();
+        // same shared report object, not merely an equal one
+        assert!(Arc::ptr_eq(&cold, &warm));
+        let stats = session.stats();
+        assert_eq!(stats.report_misses, 1);
+        assert_eq!(stats.report_hits, 1);
+        assert_eq!(stats.prepared_misses, 1);
+    }
+
+    #[test]
+    fn different_contexts_share_nothing_in_the_extraction_cache() {
+        let (df, g) = setup();
+        let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        let q_all = AggregateQuery::avg("Country", "Salary");
+        let q_europe = AggregateQuery::avg("Country", "Salary")
+            .with_context(Predicate::eq("Region", "Europe"));
+        session.explain(&q_all).unwrap();
+        session.explain(&q_europe).unwrap();
+        let stats = session.stats();
+        // the Europe context selects a different distinct-value set, so the
+        // extraction cannot be served from the cache
+        assert_eq!(stats.extraction_misses, 2);
+        assert_eq!(stats.extraction_entries, 2);
+        assert_eq!(stats.report_misses, 2);
+    }
+
+    #[test]
+    fn same_distinct_values_share_the_extraction() {
+        let (df, g) = setup();
+        let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        // Both queries keep every row, so the distinct Country values match
+        // and the second prepare reuses the first extraction.
+        let q1 = AggregateQuery::avg("Country", "Salary");
+        let q2 = AggregateQuery::avg("Region", "Salary");
+        session.prepare(&q1).unwrap();
+        session.prepare(&q2).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.extraction_misses, 1);
+        assert_eq!(stats.extraction_hits, 1);
+        assert_eq!(stats.prepared_misses, 2);
+    }
+
+    #[test]
+    fn session_prepare_matches_cold_prepare_query() {
+        let (df, g) = setup();
+        let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        for q in [
+            AggregateQuery::avg("Country", "Salary"),
+            AggregateQuery::avg("Region", "Salary"),
+            AggregateQuery::avg("Country", "Salary")
+                .with_context(Predicate::eq("Region", "Europe")),
+        ] {
+            let warm = session.prepare(&q).unwrap();
+            let cold = crate::problem::prepare_query(
+                &df,
+                &q,
+                Some(&g),
+                &["Country"],
+                crate::problem::PrepareConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(warm.candidates, cold.candidates, "{q}");
+            assert_eq!(warm.extracted, cold.extracted, "{q}");
+            assert_eq!(warm.extraction_stats, cold.extraction_stats, "{q}");
+            assert_eq!(warm.frame.n_rows(), cold.frame.n_rows(), "{q}");
+        }
+    }
+
+    #[test]
+    fn explain_many_matches_sequential_and_dedupes() {
+        let (df, g) = setup();
+        let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        let q1 = AggregateQuery::avg("Country", "Salary");
+        let q2 = AggregateQuery::avg("Region", "Salary");
+        let batch = vec![q1.clone(), q2.clone(), q1.clone()];
+        let results = session.explain_many(&batch);
+        assert_eq!(results.len(), 3);
+        // duplicates computed once
+        assert_eq!(session.stats().report_misses, 2);
+        let r0 = results[0].as_ref().unwrap();
+        let r2 = results[2].as_ref().unwrap();
+        assert!(Arc::ptr_eq(r0, r2));
+        // identical to the sequential result
+        let fresh = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        let s1 = fresh.explain(&q1).unwrap();
+        assert_eq!(s1.explanation, r0.explanation);
+    }
+
+    #[test]
+    fn explain_many_reports_per_query_errors() {
+        let (df, g) = setup();
+        let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        let good = AggregateQuery::avg("Country", "Salary");
+        let bad = AggregateQuery::avg("Nope", "Salary");
+        let results = session.explain_many(&[good, bad]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn sessions_without_graph_work() {
+        let (df, _) = setup();
+        let session = Session::new(&df, None, &[], MesaConfig::default());
+        let q = AggregateQuery::avg("Country", "Salary");
+        let report = session.explain(&q).unwrap();
+        assert_eq!(report.n_extracted, 0);
+        assert_eq!(session.stats().extraction_misses, 0);
+    }
+
+    #[test]
+    fn extraction_cache_keys_on_config_and_values() {
+        let (_, g) = setup();
+        let cache = ExtractionCache::new(&g);
+        let values: Vec<String> = vec!["DE".into(), "IT".into()];
+        let base = ExtractionConfig::default();
+        let two_hops = ExtractionConfig { hops: 2, ..base };
+        let max_agg = ExtractionConfig {
+            one_to_many: kg::OneToManyAgg::Max,
+            ..base
+        };
+        cache
+            .get_or_extract("Country", &values, "__key_Country", base)
+            .unwrap();
+        // same key: hit
+        cache
+            .get_or_extract("Country", &values, "__key_Country", base)
+            .unwrap();
+        // different hops / policy / values / column: four more entries
+        cache
+            .get_or_extract("Country", &values, "__key_Country", two_hops)
+            .unwrap();
+        cache
+            .get_or_extract("Country", &values, "__key_Country", max_agg)
+            .unwrap();
+        let fewer: Vec<String> = vec!["DE".into()];
+        cache
+            .get_or_extract("Country", &fewer, "__key_Country", base)
+            .unwrap();
+        cache
+            .get_or_extract("Origin", &values, "__key_Origin", base)
+            .unwrap();
+        // a different key-column name yields a different cached table
+        let renamed = cache
+            .get_or_extract("Country", &values, "other_key", base)
+            .unwrap();
+        assert!(renamed.table.has_column("other_key"));
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 6);
+    }
+}

@@ -14,6 +14,7 @@ use crate::missing::{
 };
 use crate::problem::{prepare_query, Explanation, PrepareConfig, PreparedQuery};
 use crate::pruning::{prune, PruningConfig, PruningReport};
+use crate::session::Session;
 use crate::subgroups::{unexplained_subgroups, Subgroup, SubgroupConfig};
 
 /// Full configuration of a MESA run.
@@ -172,6 +173,12 @@ impl Mesa {
 
     /// End-to-end explanation of a query over a dataset and a knowledge
     /// source.
+    ///
+    /// This is a thin wrapper over a transient [`Session`]: the same staged
+    /// pipeline serves both the one-shot and the cached cross-query path,
+    /// so there is nothing for the two to diverge on. When several queries
+    /// hit the same dataset, construct the session once ([`Mesa::session`])
+    /// and let it amortise extraction and preparation.
     pub fn explain(
         &self,
         df: &DataFrame,
@@ -179,8 +186,25 @@ impl Mesa {
         graph: Option<&KnowledgeGraph>,
         extraction_columns: &[&str],
     ) -> Result<MesaReport> {
-        let prepared = self.prepare(df, query, graph, extraction_columns)?;
-        self.explain_prepared(&prepared)
+        let session = self.session(df, graph, extraction_columns);
+        let report = session.explain(query)?;
+        drop(session);
+        // The session's memo held the only other handle; unwrap without a
+        // copy now that it is gone.
+        Ok(std::sync::Arc::try_unwrap(report).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// A long-lived [`Session`] over one dataset, carrying this instance's
+    /// configuration: caches KG extraction, prepared queries, and reports
+    /// across queries, and batches independent queries with
+    /// [`Session::explain_many`].
+    pub fn session<'a>(
+        &self,
+        df: &'a DataFrame,
+        graph: Option<&'a KnowledgeGraph>,
+        extraction_columns: &[&str],
+    ) -> Session<'a> {
+        Session::new(df, graph, extraction_columns, self.config)
     }
 
     /// Finds the top-k unexplained data subgroups for an explanation

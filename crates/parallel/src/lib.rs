@@ -10,7 +10,7 @@
 //! fan-out degenerates to the serial loop, so results are identical either
 //! way: outputs are collected per chunk and re-assembled in input order.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Minimum number of items before threads are spawned; below this the
 /// per-thread setup cost outweighs the work.

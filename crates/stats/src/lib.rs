@@ -18,7 +18,7 @@
 //! assert!((fit.coefficient("x").unwrap().estimate - 2.0).abs() < 1e-8);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod correlation;
 pub mod logistic;

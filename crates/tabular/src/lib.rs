@@ -29,7 +29,7 @@
 //! assert_eq!(result.n_rows(), 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod binning;

@@ -11,6 +11,7 @@ use crate::dataframe::DataFrame;
 use crate::error::{Result, TabularError};
 use crate::expr::Predicate;
 use crate::groupby::group_aggregate;
+use crate::value::Value;
 
 /// An aggregate group-by query relating an exposure `T` to an outcome `O`
 /// under a context `C`.
@@ -97,6 +98,27 @@ impl AggregateQuery {
         )
     }
 
+    /// A canonical, collision-free fingerprint of the query, suitable as a
+    /// memoization key (`mesa`'s explanation sessions key their prepared and
+    /// explained caches on it).
+    ///
+    /// Two queries produce the same fingerprint iff they are structurally
+    /// identical: every string is length-prefixed (so `("ab", "c")` cannot
+    /// collide with `("a", "bc")`), every value carries a type tag (so
+    /// `Str("1")` differs from `Int(1)`), floats are encoded by their exact
+    /// bit pattern, and the predicate tree is serialised with explicit
+    /// operator tags and parentheses.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("q:");
+        write_token(&mut out, &self.exposure);
+        write_token(&mut out, &self.outcome);
+        out.push_str(self.agg.name());
+        out.push(';');
+        write_predicate(&mut out, &self.context);
+        out
+    }
+
     /// SQL rendering of the query, used in reports and examples.
     pub fn to_sql(&self, table: &str) -> String {
         let where_clause = if self.context.is_trivial() {
@@ -110,6 +132,79 @@ impl AggregateQuery {
             agg = self.agg.name(),
             out = self.outcome,
         )
+    }
+}
+
+/// Length-prefixes a string so adjacent tokens cannot merge ambiguously.
+fn write_token(out: &mut String, s: &str) {
+    out.push_str(&s.len().to_string());
+    out.push(':');
+    out.push_str(s);
+    out.push(';');
+}
+
+/// Type-tagged canonical encoding of a value: nulls, exact float bits, and
+/// length-prefixed strings all stay distinguishable.
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push('n'),
+        Value::Int(i) => {
+            out.push('i');
+            out.push_str(&i.to_string());
+        }
+        Value::Float(f) => {
+            out.push('f');
+            out.push_str(&format!("{:016x}", f.to_bits()));
+        }
+        Value::Bool(b) => out.push(if *b { 'B' } else { 'b' }),
+        Value::Str(s) => {
+            out.push('s');
+            write_token(out, s);
+        }
+    }
+}
+
+/// One comparison leaf: `tag(column;values)`.
+fn write_leaf(out: &mut String, tag: char, c: &str, vs: &[&Value]) {
+    out.push(tag);
+    out.push('(');
+    write_token(out, c);
+    for v in vs {
+        write_value(out, v);
+    }
+    out.push(')');
+}
+
+/// Canonical pre-order serialisation of a predicate tree.
+fn write_predicate(out: &mut String, p: &Predicate) {
+    match p {
+        Predicate::True => out.push('T'),
+        Predicate::Eq(c, v) => write_leaf(out, '=', c, &[v]),
+        Predicate::Ne(c, v) => write_leaf(out, '!', c, &[v]),
+        Predicate::Lt(c, v) => write_leaf(out, '<', c, &[v]),
+        Predicate::Le(c, v) => write_leaf(out, 'l', c, &[v]),
+        Predicate::Gt(c, v) => write_leaf(out, '>', c, &[v]),
+        Predicate::Ge(c, v) => write_leaf(out, 'g', c, &[v]),
+        Predicate::In(c, vs) => write_leaf(out, 'I', c, &vs.iter().collect::<Vec<_>>()),
+        Predicate::IsNull(c) => write_leaf(out, '0', c, &[]),
+        Predicate::NotNull(c) => write_leaf(out, '1', c, &[]),
+        Predicate::And(a, b) => {
+            out.push_str("A(");
+            write_predicate(out, a);
+            write_predicate(out, b);
+            out.push(')');
+        }
+        Predicate::Or(a, b) => {
+            out.push_str("O(");
+            write_predicate(out, a);
+            write_predicate(out, b);
+            out.push(')');
+        }
+        Predicate::Not(a) => {
+            out.push_str("N(");
+            write_predicate(out, a);
+            out.push(')');
+        }
     }
 }
 
@@ -201,6 +296,83 @@ mod tests {
         assert!(format!("{q}").contains("FROM D"));
         let plain = AggregateQuery::avg("a", "b").to_sql("T");
         assert!(!plain.contains("WHERE"));
+    }
+
+    #[test]
+    fn fingerprint_is_canonical_and_collision_free() {
+        let q = AggregateQuery::avg("country", "salary");
+        // stable for identical queries
+        assert_eq!(q.fingerprint(), q.clone().fingerprint());
+        // every component is load-bearing
+        assert_ne!(
+            q.fingerprint(),
+            AggregateQuery::avg("salary", "country").fingerprint()
+        );
+        assert_ne!(
+            q.fingerprint(),
+            q.clone().with_agg(AggFn::Max).fingerprint()
+        );
+        assert_ne!(
+            q.fingerprint(),
+            q.clone()
+                .with_context(Predicate::eq("continent", "Europe"))
+                .fingerprint()
+        );
+        // string boundaries cannot merge: ("ab","c") vs ("a","bc")
+        assert_ne!(
+            AggregateQuery::avg("ab", "c").fingerprint(),
+            AggregateQuery::avg("a", "bc").fingerprint()
+        );
+        // values carry type tags: Str("1") vs Int(1) vs Float(1.0) vs Bool
+        let with = |v: Value| {
+            AggregateQuery::avg("c", "o")
+                .with_context(Predicate::Eq("x".into(), v))
+                .fingerprint()
+        };
+        let fps = [
+            with(Value::Str("1".into())),
+            with(Value::Int(1)),
+            with(Value::Float(1.0)),
+            with(Value::Bool(true)),
+            with(Value::Null),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "{i} vs {j}");
+            }
+        }
+        // predicate structure is explicit: And(a,b) vs Or(a,b), operator kinds
+        let a = Predicate::eq("x", 1);
+        let b = Predicate::eq("y", 2);
+        let and = AggregateQuery::avg("c", "o")
+            .with_context(a.clone().and(b.clone()))
+            .fingerprint();
+        let or = AggregateQuery::avg("c", "o")
+            .with_context(a.clone().or(b.clone()))
+            .fingerprint();
+        assert_ne!(and, or);
+        let lt = AggregateQuery::avg("c", "o")
+            .with_context(Predicate::Lt("x".into(), Value::Int(1)))
+            .fingerprint();
+        let le = AggregateQuery::avg("c", "o")
+            .with_context(Predicate::Le("x".into(), Value::Int(1)))
+            .fingerprint();
+        assert_ne!(lt, le);
+        // In with two values differs from two chained Eq terms
+        let in_p = AggregateQuery::avg("c", "o")
+            .with_context(Predicate::In(
+                "x".into(),
+                vec![Value::Int(1), Value::Int(2)],
+            ))
+            .fingerprint();
+        assert_ne!(in_p, and);
+        // refinement produces a distinct, deterministic fingerprint
+        let q3 = AggregateQuery::avg("c", "o").refine("x", 1);
+        assert_eq!(q3.fingerprint(), q3.clone().fingerprint());
+        assert_ne!(
+            q3.fingerprint(),
+            AggregateQuery::avg("c", "o").fingerprint()
+        );
     }
 
     #[test]

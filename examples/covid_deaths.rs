@@ -27,6 +27,8 @@ fn main() {
     println!("(… {} countries total)\n", per_country.n_rows());
 
     // MESA mines candidate confounders (HDI, GDP, density, …) from the KG.
+    // A session would let follow-up queries reuse this extraction; for a
+    // single query the one-shot facade (a transient session) is identical.
     let mesa = Mesa::new();
     let report = mesa
         .explain(

@@ -12,23 +12,27 @@ fn main() {
     let world = World::generate(WorldConfig::default());
     let graph = build_kg(&world, KgConfig::default());
     let flights = generate_flights(&world, 30_000, 9).expect("flights data");
-    let mesa = Mesa::new();
 
-    for (label, query, extraction) in [
-        (
-            "Flights Q1: average delay per origin city",
-            AggregateQuery::avg("Origin_city", "Departure_delay"),
-            vec!["Origin_city", "Airline"],
-        ),
-        (
-            "Flights Q5: average delay per airline",
-            AggregateQuery::avg("Airline", "Departure_delay"),
-            vec!["Airline"],
-        ),
-    ] {
-        let report = mesa
-            .explain(&flights, &query, Some(&graph), &extraction)
-            .expect("explanation");
+    // One session over the Flights table; both queries are independent, so
+    // they go through the batched `explain_many` entry point and share the
+    // session's cached KG extraction. A session fixes the extraction
+    // columns for every query it serves, so Q5 now also sees Origin_city
+    // attributes among its candidates (earlier revisions of this example
+    // extracted only Airline attributes for Q5 — a deliberate change).
+    let mesa = Mesa::new();
+    let session = mesa.session(&flights, Some(&graph), &["Origin_city", "Airline"]);
+    let labels = [
+        "Flights Q1: average delay per origin city",
+        "Flights Q5: average delay per airline",
+    ];
+    let queries = [
+        AggregateQuery::avg("Origin_city", "Departure_delay"),
+        AggregateQuery::avg("Airline", "Departure_delay"),
+    ];
+    let reports = session.explain_many(&queries);
+
+    for (label, report) in labels.iter().zip(&reports) {
+        let report = report.as_ref().expect("explanation");
         println!("== {label} ==");
         println!(
             "  baseline I(O;T)      = {:.3} bits",

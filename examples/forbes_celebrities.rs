@@ -11,14 +11,16 @@ fn main() {
     let world = World::generate(WorldConfig::default());
     let graph = build_kg(&world, KgConfig::default());
     let forbes = generate_forbes(&world, 1_647, 11).expect("forbes data");
+    // The three category queries hit the same table, so one session serves
+    // them (each context selects different names, so each pays its own
+    // extraction — but a repeated query would be free).
     let mesa = Mesa::new();
+    let session = mesa.session(&forbes, Some(&graph), &["Name"]);
 
     for category in ["Actors", "Athletes", "Directors/Producers"] {
         let query =
             AggregateQuery::avg("Name", "Pay").with_context(Predicate::eq("Category", category));
-        let report = mesa
-            .explain(&forbes, &query, Some(&graph), &["Name"])
-            .expect("explanation");
+        let report = session.explain(&query).expect("explanation");
         println!("== Pay of {category} ==");
         println!(
             "  explanation       = {}",

@@ -53,9 +53,17 @@ fn main() {
     graph.add_fact("Italy", "wikiID", Object::integer(2));
 
     // Ask MESA why the correlation between Country and Salary is so strong.
+    // A `Session` caches the KG extraction and the finished report, so
+    // asking again — as an interactive analyst would — is a hash lookup.
     let mesa = Mesa::new();
-    let report = mesa
-        .explain(&df, &query, Some(&graph), &["Country"])
-        .expect("explanation");
+    let session = mesa.session(&df, Some(&graph), &["Country"]);
+    let report = session.explain(&query).expect("explanation");
     println!("== MESA explanation ==\n{}", report_summary(&report));
+
+    let again = session.explain(&query).expect("cached explanation");
+    assert_eq!(again.explanation, report.explanation);
+    println!(
+        "(asked again: served from the session cache, {} hit(s))",
+        session.stats().report_hits
+    );
 }

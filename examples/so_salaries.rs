@@ -14,21 +14,22 @@ fn main() {
     let graph = build_kg(&world, KgConfig::default());
     let so = generate_so(&world, 12_000, 7).expect("SO data");
 
+    // One session serves every SO query: extraction, prepared queries, and
+    // reports are cached across the calls below.
+    let mesa = Mesa::new();
+    let session = mesa.session(&so, Some(&graph), &["Country", "Continent"]);
+
     // SO Q1: average salary per country.
     let q1 = AggregateQuery::avg("Country", "Salary");
-    let mesa = Mesa::new();
-    let prepared = mesa
-        .prepare(&so, &q1, Some(&graph), &["Country", "Continent"])
-        .expect("prepare");
-    let report = mesa.explain_prepared(&prepared).expect("explain");
+    let report = session.explain(&q1).expect("explain");
     println!("== SO Q1: average salary per country ==\n");
     println!("{}", explanation_details(&report.explanation));
 
-    // Which parts of the data does this explanation fail to cover?
-    let groups = mesa
+    // Which parts of the data does this explanation fail to cover? The
+    // session reuses Q1's cached preparation and explanation here.
+    let groups = session
         .unexplained_subgroups(
-            &prepared,
-            &report.explanation,
+            &q1,
             &SubgroupConfig {
                 top_k: 5,
                 tau: 0.2,
@@ -42,9 +43,15 @@ fn main() {
     // SO Q3: the refined query restricted to Europe gets its own explanation.
     let q3 =
         AggregateQuery::avg("Country", "Salary").with_context(Predicate::eq("Continent", "Europe"));
-    let report_eu = mesa
-        .explain(&so, &q3, Some(&graph), &["Country", "Continent"])
-        .expect("explanation for Europe");
+    let report_eu = session.explain(&q3).expect("explanation for Europe");
     println!("== SO Q3: average salary per country in Europe ==\n");
     println!("{}", explanation_details(&report_eu.explanation));
+
+    let stats = session.stats();
+    println!(
+        "(session served {} queries: {} prepared, {} report cache hits)",
+        stats.report_hits + stats.report_misses,
+        stats.prepared_misses,
+        stats.report_hits
+    );
 }
