@@ -11,7 +11,7 @@
 //! into a flat dense vector via mixed-radix code packing; larger ones fall
 //! back to the sparse hash-map path.
 
-use tabular::EncodedColumn;
+use tabular::{ColumnView, EncodedColumn};
 
 use crate::kernel::{self, JointCounts};
 
@@ -55,6 +55,31 @@ impl JointTable {
         dense_cells: usize,
     ) -> Self {
         let acc = kernel::accumulate(columns, weights, dense_cells);
+        JointTable {
+            counts: acc.counts,
+            total: acc.total,
+            complete_cases: acc.complete_cases,
+        }
+    }
+
+    /// Builds the joint table over columns in either lifecycle state
+    /// (mutable or sealed). Semantics are identical to
+    /// [`build`](JointTable::build); sealed columns are folded through the
+    /// run-aware kernel paths without decoding, with bit-identical results.
+    pub fn build_views(columns: &[ColumnView<'_>], weights: Option<&[f64]>) -> Self {
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        Self::build_views_with_threshold(columns, weights, kernel::adaptive_dense_cells(n))
+    }
+
+    /// Like [`build_views`](JointTable::build_views) with an explicit
+    /// dense-cell threshold (see
+    /// [`build_with_threshold`](JointTable::build_with_threshold)).
+    pub fn build_views_with_threshold(
+        columns: &[ColumnView<'_>],
+        weights: Option<&[f64]>,
+        dense_cells: usize,
+    ) -> Self {
+        let acc = kernel::accumulate_views(columns, weights, dense_cells);
         JointTable {
             counts: acc.counts,
             total: acc.total,

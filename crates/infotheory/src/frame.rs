@@ -7,15 +7,56 @@
 
 use std::collections::HashMap;
 
-use tabular::{DataFrame, EncodedColumn, Result, TabularError};
+use tabular::{ColumnView, DataFrame, EncodedColumn, Encoding, Result, SealedColumn, TabularError};
 
-use crate::independence::{ci_test, CiTestConfig, CiTestResult};
+use crate::independence::{ci_test_views, CiTestConfig, CiTestResult};
 use crate::measures;
 
-/// Encoded view of a frame: one [`EncodedColumn`] per original column.
+/// One column of an [`EncodedFrame`], in one of the two lifecycle states of
+/// the storage layer (see [`tabular::storage`]).
+#[derive(Debug, Clone)]
+enum FrameColumn {
+    /// Freshly encoded: dense codes, cheap to replace.
+    Mutable(EncodedColumn),
+    /// Compressed and immutable, produced by [`EncodedFrame::seal`].
+    Sealed(SealedColumn),
+}
+
+impl FrameColumn {
+    fn view(&self) -> ColumnView<'_> {
+        match self {
+            FrameColumn::Mutable(c) => ColumnView::Plain(c),
+            FrameColumn::Sealed(c) => ColumnView::Sealed(c),
+        }
+    }
+}
+
+/// The per-column outcome of sealing a frame: which encoding was selected and
+/// the byte accounting that drove the selection. Mutable (unsealed) columns
+/// report [`Encoding::Dense`] with equal dense and sealed byte counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnEncodingReport {
+    /// Column name.
+    pub name: String,
+    /// Selected physical encoding.
+    pub encoding: Encoding,
+    /// Number of distinct codes.
+    pub cardinality: usize,
+    /// Number of maximal equal-code runs in the stream (0 when unsealed).
+    pub n_runs: usize,
+    /// Bytes of the dense (mutable) code vector.
+    pub dense_bytes: usize,
+    /// Bytes of the code payload in the selected encoding.
+    pub sealed_bytes: usize,
+}
+
+/// Encoded view of a frame: one column of codes per original column, each in
+/// the mutable or sealed state of the mutable → sealed lifecycle. Every
+/// measure accepts both states transparently (sealed columns are folded
+/// run-aware, with bit-identical results).
 #[derive(Debug, Clone)]
 pub struct EncodedFrame {
-    columns: HashMap<String, EncodedColumn>,
+    columns: HashMap<String, FrameColumn>,
     n_rows: usize,
 }
 
@@ -24,7 +65,7 @@ impl EncodedFrame {
     pub fn from_frame(df: &DataFrame) -> Self {
         let columns = df
             .columns()
-            .map(|c| (c.name().to_string(), c.encode()))
+            .map(|c| (c.name().to_string(), FrameColumn::Mutable(c.encode())))
             .collect();
         EncodedFrame {
             columns,
@@ -58,7 +99,7 @@ impl EncodedFrame {
             .columns()
             .map(|c| {
                 let enc = pre.remove(c.name()).unwrap_or_else(|| c.encode());
-                (c.name().to_string(), enc)
+                (c.name().to_string(), FrameColumn::Mutable(enc))
             })
             .collect();
         EncodedFrame { columns, n_rows }
@@ -68,7 +109,7 @@ impl EncodedFrame {
     pub fn from_frame_columns(df: &DataFrame, names: &[&str]) -> Result<Self> {
         let mut columns = HashMap::with_capacity(names.len());
         for &n in names {
-            columns.insert(n.to_string(), df.column(n)?.encode());
+            columns.insert(n.to_string(), FrameColumn::Mutable(df.column(n)?.encode()));
         }
         Ok(EncodedFrame {
             columns,
@@ -91,30 +132,86 @@ impl EncodedFrame {
         self.columns.contains_key(name)
     }
 
-    /// Adds (or replaces) an encoded column.
+    /// Adds (or replaces) an encoded column. The column enters in the
+    /// mutable state; call [`seal`](EncodedFrame::seal) again to compress a
+    /// frame that was sealed before the insert.
     pub fn insert(&mut self, name: impl Into<String>, column: EncodedColumn) {
-        self.columns.insert(name.into(), column);
+        self.columns
+            .insert(name.into(), FrameColumn::Mutable(column));
     }
 
-    /// Borrows an encoded column.
-    pub fn column(&self, name: &str) -> Result<&EncodedColumn> {
+    /// Borrows a column as a state-agnostic [`ColumnView`].
+    pub fn column(&self, name: &str) -> Result<ColumnView<'_>> {
         self.columns
             .get(name)
+            .map(FrameColumn::view)
             .ok_or_else(|| TabularError::ColumnNotFound(name.to_string()))
     }
 
-    fn columns_for(&self, names: &[&str]) -> Result<Vec<&EncodedColumn>> {
+    /// Seals every mutable column in place, re-encoding its codes into the
+    /// smallest applicable compressed layout (see [`EncodedColumn::seal`]).
+    /// Already-sealed columns are left untouched. Every measure returns
+    /// bit-identical results before and after sealing.
+    pub fn seal(&mut self) {
+        for col in self.columns.values_mut() {
+            if let FrameColumn::Mutable(c) = col {
+                *col = FrameColumn::Sealed(c.seal());
+            }
+        }
+    }
+
+    /// Whether every column is in the sealed state.
+    pub fn is_sealed(&self) -> bool {
+        self.columns
+            .values()
+            .all(|c| matches!(c, FrameColumn::Sealed(_)))
+    }
+
+    /// The per-column encoding decisions and byte footprints, sorted by
+    /// column name. Meaningful after [`seal`](EncodedFrame::seal); mutable
+    /// columns report the dense layout with zero compression.
+    pub fn encoding_report(&self) -> Vec<ColumnEncodingReport> {
+        let mut report: Vec<ColumnEncodingReport> = self
+            .columns
+            .iter()
+            .map(|(name, col)| match col {
+                FrameColumn::Mutable(c) => ColumnEncodingReport {
+                    name: name.clone(),
+                    encoding: Encoding::Dense,
+                    cardinality: c.cardinality(),
+                    n_runs: 0,
+                    dense_bytes: 4 * c.len(),
+                    sealed_bytes: 4 * c.len(),
+                },
+                FrameColumn::Sealed(c) => {
+                    let choice = c.choice();
+                    ColumnEncodingReport {
+                        name: name.clone(),
+                        encoding: choice.encoding,
+                        cardinality: c.cardinality(),
+                        n_runs: choice.n_runs,
+                        dense_bytes: choice.dense_bytes,
+                        sealed_bytes: choice.sealed_bytes,
+                    }
+                }
+            })
+            .collect();
+        report.sort_by(|a, b| a.name.cmp(&b.name));
+        report
+    }
+
+    fn columns_for(&self, names: &[&str]) -> Result<Vec<ColumnView<'_>>> {
         names.iter().map(|&n| self.column(n)).collect()
     }
 
     /// `H(X)`.
     pub fn entropy(&self, x: &str) -> Result<f64> {
-        Ok(measures::entropy(self.column(x)?, None))
+        Ok(measures::entropy_view(self.column(x)?, None))
     }
 
     /// `H(X | Z)` for a set of conditioning columns.
     pub fn conditional_entropy(&self, x: &str, given: &[&str]) -> Result<f64> {
-        Ok(measures::conditional_entropy(
+        Ok(measures::conditional_entropy_views(
             self.column(x)?,
             &self.columns_for(given)?,
             None,
@@ -123,7 +220,7 @@ impl EncodedFrame {
 
     /// `I(X; Y)`, optionally IPW-weighted.
     pub fn mutual_information(&self, x: &str, y: &str, weights: Option<&[f64]>) -> Result<f64> {
-        Ok(measures::mutual_information(
+        Ok(measures::mutual_information_views(
             self.column(x)?,
             self.column(y)?,
             weights,
@@ -133,7 +230,7 @@ impl EncodedFrame {
     /// `I(X; Y | Z)` for a set of conditioning columns, optionally
     /// IPW-weighted.
     pub fn cmi(&self, x: &str, y: &str, z: &[&str], weights: Option<&[f64]>) -> Result<f64> {
-        Ok(measures::conditional_mutual_information(
+        Ok(measures::conditional_mutual_information_views(
             self.column(x)?,
             self.column(y)?,
             &self.columns_for(z)?,
@@ -143,7 +240,7 @@ impl EncodedFrame {
 
     /// Interaction information `II(X; Y; Z)`.
     pub fn interaction(&self, x: &str, y: &str, z: &str, weights: Option<&[f64]>) -> Result<f64> {
-        Ok(measures::interaction_information(
+        Ok(measures::interaction_information_views(
             self.column(x)?,
             self.column(y)?,
             self.column(z)?,
@@ -160,7 +257,7 @@ impl EncodedFrame {
         weights: Option<&[f64]>,
         config: CiTestConfig,
     ) -> Result<CiTestResult> {
-        Ok(ci_test(
+        Ok(ci_test_views(
             self.column(x)?,
             self.column(y)?,
             &self.columns_for(z)?,
@@ -294,5 +391,79 @@ mod tests {
         let custom = tabular::Column::from_str_values("t", vec![Some("q"); 6]).encode();
         ef.insert("t", custom);
         assert_eq!(ef.cardinality("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn sealing_preserves_measures_bitwise() {
+        let ef = frame();
+        let mut sealed = ef.clone();
+        assert!(!sealed.is_sealed());
+        sealed.seal();
+        assert!(sealed.is_sealed());
+        assert_eq!(
+            ef.entropy("t").unwrap().to_bits(),
+            sealed.entropy("t").unwrap().to_bits()
+        );
+        assert_eq!(
+            ef.mutual_information("t", "o", None).unwrap().to_bits(),
+            sealed.mutual_information("t", "o", None).unwrap().to_bits()
+        );
+        assert_eq!(
+            ef.cmi("t", "o", &["z"], None).unwrap().to_bits(),
+            sealed.cmi("t", "o", &["z"], None).unwrap().to_bits()
+        );
+        assert_eq!(
+            ef.conditional_entropy("o", &["t"]).unwrap().to_bits(),
+            sealed.conditional_entropy("o", &["t"]).unwrap().to_bits()
+        );
+        let a = ef
+            .ci_test("t", "z", &[], None, CiTestConfig::default())
+            .unwrap();
+        let b = sealed
+            .ci_test("t", "z", &[], None, CiTestConfig::default())
+            .unwrap();
+        assert_eq!(a.cmi.to_bits(), b.cmi.to_bits());
+        assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+        assert_eq!(a.independent, b.independent);
+        // null bookkeeping is state-independent too
+        assert_eq!(
+            ef.missing_fraction("m").unwrap(),
+            sealed.missing_fraction("m").unwrap()
+        );
+    }
+
+    #[test]
+    fn seal_is_idempotent_and_insert_unseals() {
+        let mut ef = frame();
+        ef.seal();
+        let h = ef.entropy("t").unwrap();
+        ef.seal();
+        assert_eq!(ef.entropy("t").unwrap().to_bits(), h.to_bits());
+        // Inserting puts the new column back in the mutable state.
+        let custom = tabular::Column::from_str_values("t", vec![Some("q"); 6]).encode();
+        ef.insert("t", custom);
+        assert!(!ef.is_sealed());
+        ef.seal();
+        assert!(ef.is_sealed());
+        assert_eq!(ef.cardinality("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn encoding_report_is_sorted_and_accounts_bytes() {
+        let mut ef = frame();
+        // Before sealing: every column dense, no compression claimed.
+        for r in ef.encoding_report() {
+            assert_eq!(r.encoding, tabular::Encoding::Dense);
+            assert_eq!(r.dense_bytes, r.sealed_bytes);
+        }
+        ef.seal();
+        let report = ef.encoding_report();
+        let names: Vec<&str> = report.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["m", "o", "t", "z"]);
+        for r in &report {
+            assert_eq!(r.dense_bytes, 4 * ef.n_rows());
+            assert!(r.sealed_bytes <= r.dense_bytes.max(8));
+            assert!(r.n_runs >= 1);
+        }
     }
 }

@@ -12,10 +12,10 @@
 //! `(|X|-1)(|Y|-1)·|Z|` degrees of freedom under the null hypothesis of
 //! conditional independence.
 
-use tabular::EncodedColumn;
+use tabular::{ColumnView, EncodedColumn};
 
 use crate::contingency::JointTable;
-use crate::measures::conditional_mutual_information;
+use crate::measures::conditional_mutual_information_views;
 use crate::special::chi2_sf;
 
 /// The outcome of a conditional-independence test.
@@ -71,13 +71,25 @@ pub fn ci_test(
     weights: Option<&[f64]>,
     config: CiTestConfig,
 ) -> CiTestResult {
-    let mut all: Vec<&EncodedColumn> = Vec::with_capacity(z.len() + 2);
+    let z_views: Vec<ColumnView<'_>> = z.iter().map(|&c| c.into()).collect();
+    ci_test_views(x.into(), y.into(), &z_views, weights, config)
+}
+
+/// [`ci_test`] over columns in either lifecycle state (mutable or sealed).
+pub fn ci_test_views(
+    x: ColumnView<'_>,
+    y: ColumnView<'_>,
+    z: &[ColumnView<'_>],
+    weights: Option<&[f64]>,
+    config: CiTestConfig,
+) -> CiTestResult {
+    let mut all: Vec<ColumnView<'_>> = Vec::with_capacity(z.len() + 2);
     all.push(x);
     all.push(y);
     all.extend_from_slice(z);
-    let joint = JointTable::build(&all, weights);
+    let joint = JointTable::build_views(&all, weights);
     let n = joint.complete_cases();
-    let cmi = conditional_mutual_information(x, y, z, weights);
+    let cmi = conditional_mutual_information_views(x, y, z, weights);
     if n == 0 {
         return CiTestResult {
             cmi: 0.0,

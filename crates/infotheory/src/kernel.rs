@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use tabular::{Bitmap, EncodedColumn};
+use tabular::{Access, Bitmap, ColumnView, EncodedColumn, PackedInts, Run, RunIter};
 
 /// A deterministic FxHash-style hasher: multiply-xor folding with fixed
 /// constants and no per-process seed. Quality is more than sufficient for
@@ -91,14 +91,36 @@ pub type SparseCounts = HashMap<Vec<u32>, f64, FixedState>;
 /// products larger than this fall back to the sparse hash path.
 pub const DEFAULT_DENSE_CELLS: usize = 1 << 20;
 
-/// The row-aware dense threshold used by default builds: a dense table pays
-/// for allocating, zeroing, and scanning *every* cell of the cross product,
-/// so it only wins while the cell count stays within a small multiple of the
-/// number of rows feeding it. Capped at [`DEFAULT_DENSE_CELLS`].
+/// Dense head-room per participating row in the dense/sparse crossover.
+///
+/// A dense table pays to allocate, zero, and (for every entropy or marginal)
+/// scan *every* cell of the cross product, whether observed or not, while the
+/// sparse map only pays per observed cell — but each observed cell costs a
+/// hash, a probe, and a `Vec<u32>` key instead of one multiply-add. Since at
+/// most `rows` cells can be observed, a cross product more than a small
+/// multiple of `rows` is mostly zeros and the dense scan is wasted work; up
+/// to that multiple the dense path's branch-free accumulation wins. Eight
+/// cells of slack per row keeps the dense path through moderately sparse
+/// tables (e.g. a 50×50 product over 400 rows) where hashing would dominate.
+pub const DENSE_CELLS_PER_ROW: usize = 8;
+
+/// Additive floor of the dense/sparse crossover: tables this small are always
+/// cheaper dense, regardless of how few rows feed them — 1024 cells is one
+/// 8 KiB allocation, below any measurable hashing break-even.
+pub const DENSE_CELLS_FLOOR: usize = 1024;
+
+/// The row-aware dense threshold used by default builds:
+/// `min(DEFAULT_DENSE_CELLS, DENSE_CELLS_PER_ROW · n_rows + DENSE_CELLS_FLOOR)`.
+///
+/// See [`DENSE_CELLS_PER_ROW`] and [`DENSE_CELLS_FLOOR`] for the crossover
+/// rationale and [`DEFAULT_DENSE_CELLS`] for the hard cap. The same threshold
+/// governs every accumulation path — the dense/sparse row loops and the
+/// run-aware sealed-column folds of [`accumulate_views`] — so layout choice
+/// and storage state are independent decisions.
 pub fn adaptive_dense_cells(n_rows: usize) -> usize {
     n_rows
-        .saturating_mul(8)
-        .saturating_add(1024)
+        .saturating_mul(DENSE_CELLS_PER_ROW)
+        .saturating_add(DENSE_CELLS_FLOOR)
         .min(DEFAULT_DENSE_CELLS)
 }
 
@@ -233,6 +255,441 @@ pub fn accumulate(
         total,
         complete_cases,
     }
+}
+
+/// The complete-case mask over columns in either lifecycle state: bit `i` is
+/// set iff row `i` is non-null in every column. See [`complete_case_mask`].
+///
+/// # Panics
+/// Panics if any column's length differs from `n_rows`.
+pub fn complete_case_mask_views(columns: &[ColumnView<'_>], n_rows: usize) -> Bitmap {
+    let mut mask = Bitmap::new_all_set(n_rows);
+    for c in columns {
+        mask.intersect_with(c.validity());
+    }
+    mask
+}
+
+/// Number of cells of the dense cross product over column views, or `None`
+/// when it exceeds `threshold` (or overflows `usize`). See
+/// [`dense_cell_count`].
+pub fn dense_cell_count_views(columns: &[ColumnView<'_>], threshold: usize) -> Option<usize> {
+    let mut cells: usize = 1;
+    for c in columns {
+        cells = cells.checked_mul(c.cardinality().max(1))?;
+        if cells > threshold {
+            return None;
+        }
+    }
+    Some(cells)
+}
+
+/// Accumulates weighted joint counts over columns in either lifecycle state.
+///
+/// All-mutable inputs delegate to [`accumulate`] — the per-row dense/sparse
+/// loop stays the reference oracle and mutable frames take exactly the code
+/// path they always did. Sealed inputs are folded without a full decode:
+///
+/// * any RLE or delta column present → **run-aligned segment co-iteration**:
+///   each segment is the intersection of the participating runs, the run
+///   columns' contribution to the joint index is hoisted out of the row
+///   loop, per-segment validity comes from the word-level range iterators of
+///   the complete-case mask, and an all-run unweighted segment collapses to
+///   a single `+= count_set_range(..)`;
+/// * otherwise, any bit-packed column present → **64-row blocks** aligned to
+///   the mask words: all-null/incomplete words are skipped wholesale and
+///   each packed column unpacks one block sequentially into scratch instead
+///   of paying the random-access shift per row;
+/// * sealed-dense columns read their slices directly in either path.
+///
+/// Every path visits surviving rows in ascending row order and performs the
+/// identical floating-point operations per row as the oracle (unweighted run
+/// folds replace `n` additions of `1.0` with one `+= n`, exact for integer
+/// counts), so results are **bit-identical** to the dense/sparse reference —
+/// an equality the test suite asserts, not approximates.
+///
+/// # Panics
+/// As [`accumulate`]: inconsistent lengths, or negative/non-finite weights.
+pub fn accumulate_views(
+    columns: &[ColumnView<'_>],
+    weights: Option<&[f64]>,
+    dense_cells: usize,
+) -> Accumulated {
+    if columns.iter().all(|c| !c.is_sealed()) {
+        let plain: Vec<&EncodedColumn> = columns
+            .iter()
+            .map(|c| match c {
+                ColumnView::Plain(p) => *p,
+                ColumnView::Sealed(_) => unreachable!("checked all-plain above"),
+            })
+            .collect();
+        return accumulate(&plain, weights, dense_cells);
+    }
+    let n = columns.first().map(|c| c.len()).unwrap_or(0);
+    for c in columns {
+        assert_eq!(c.len(), n, "all columns must have equal length");
+    }
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "weights must have one entry per row");
+        for (i, &wi) in w.iter().enumerate() {
+            assert!(
+                wi.is_finite() && wi >= 0.0,
+                "invalid IPW weight {wi} at row {i}: weights must be finite and non-negative"
+            );
+        }
+    }
+    let mask = complete_case_mask_views(columns, n);
+    let cells = dense_cell_count_views(columns, dense_cells);
+    let any_runs = columns
+        .iter()
+        .any(|c| matches!(c.access(), Access::Runs(_)));
+    let (counts, total, complete_cases) = if any_runs {
+        fold_segments(columns, weights, &mask, cells, n)
+    } else {
+        fold_blocks(columns, weights, &mask, cells, n)
+    };
+    Accumulated {
+        counts,
+        total,
+        complete_cases,
+    }
+}
+
+/// Mixed-radix multipliers for the dense layout (`mults[i]` = product of the
+/// radices before dimension `i`), or zeros when the sparse layout is in use.
+fn dense_mults(radices: &[usize], dense: bool) -> Vec<usize> {
+    if !dense {
+        return vec![0; radices.len()];
+    }
+    let mut mults = Vec::with_capacity(radices.len());
+    let mut acc = 1usize;
+    for &r in radices {
+        mults.push(acc);
+        acc *= r;
+    }
+    mults
+}
+
+/// A column read run-at-a-time in the segment fold.
+struct RunCol<'a> {
+    iter: RunIter<'a>,
+    cur: Run,
+    dim: usize,
+    mult: usize,
+}
+
+/// A column read row-at-a-time in the segment fold.
+struct RowCol<'a> {
+    codes: &'a [u32],
+    dim: usize,
+    mult: usize,
+}
+
+/// Run-aligned segment co-iteration over at least one RLE/delta column.
+fn fold_segments(
+    columns: &[ColumnView<'_>],
+    weights: Option<&[f64]>,
+    mask: &Bitmap,
+    cells: Option<usize>,
+    n: usize,
+) -> (JointCounts, f64, usize) {
+    let radices: Vec<usize> = columns.iter().map(|c| c.cardinality().max(1)).collect();
+    let mults = dense_mults(&radices, cells.is_some());
+    // Bit-packed columns in the mixed run×packed case are decoded once up
+    // front; the co-iteration then reads them as plain slices.
+    let decoded: Vec<Option<Vec<u32>>> = columns
+        .iter()
+        .map(|c| match c.access() {
+            Access::Packed(p) => {
+                let mut out = vec![0u32; p.len()];
+                p.unpack_range(0, &mut out);
+                Some(out)
+            }
+            _ => None,
+        })
+        .collect();
+    let mut run_cols: Vec<RunCol<'_>> = Vec::new();
+    let mut row_cols: Vec<RowCol<'_>> = Vec::new();
+    for (dim, c) in columns.iter().enumerate() {
+        let mult = mults[dim];
+        match c.access() {
+            Access::Runs(mut iter) => {
+                let cur = iter.next().unwrap_or(Run {
+                    value: 0,
+                    start: 0,
+                    end: n,
+                });
+                run_cols.push(RunCol {
+                    iter,
+                    cur,
+                    dim,
+                    mult,
+                });
+            }
+            Access::Codes(codes) => row_cols.push(RowCol { codes, dim, mult }),
+            Access::Packed(_) => row_cols.push(RowCol {
+                codes: decoded[dim]
+                    .as_deref()
+                    .expect("packed columns decoded above"),
+                dim,
+                mult,
+            }),
+        }
+    }
+    let mut total = 0.0f64;
+    let mut complete_cases = 0usize;
+    let counts = match cells {
+        Some(cells) => {
+            let mut counts = vec![0.0f64; cells];
+            let mut pos = 0usize;
+            while pos < n {
+                let mut seg_end = n;
+                let mut base = 0usize;
+                for rc in &run_cols {
+                    seg_end = seg_end.min(rc.cur.end);
+                    base += rc.cur.value as usize * rc.mult;
+                }
+                assert!(seg_end > pos, "run iterators must partition the column");
+                if row_cols.is_empty() {
+                    if let Some(w) = weights {
+                        for row in mask.iter_set_range(pos, seg_end) {
+                            let wi = w[row];
+                            if wi == 0.0 {
+                                continue;
+                            }
+                            counts[base] += wi;
+                            total += wi;
+                            complete_cases += 1;
+                        }
+                    } else {
+                        // The all-run payoff: one word-level popcount folds
+                        // the whole segment. Exact-integer adds keep the
+                        // result bit-identical to per-row `+= 1.0`.
+                        let m = mask.count_set_range(pos, seg_end);
+                        if m > 0 {
+                            counts[base] += m as f64;
+                            total += m as f64;
+                            complete_cases += m;
+                        }
+                    }
+                } else {
+                    for row in mask.iter_set_range(pos, seg_end) {
+                        let w = weights.map(|w| w[row]).unwrap_or(1.0);
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let mut idx = base;
+                        for rc in &row_cols {
+                            idx += rc.codes[row] as usize * rc.mult;
+                        }
+                        counts[idx] += w;
+                        total += w;
+                        complete_cases += 1;
+                    }
+                }
+                pos = seg_end;
+                for rc in &mut run_cols {
+                    if rc.cur.end == pos {
+                        if let Some(next) = rc.iter.next() {
+                            rc.cur = next;
+                        }
+                    }
+                }
+            }
+            JointCounts::Dense { counts, radices }
+        }
+        None => {
+            let mut counts = SparseCounts::default();
+            let mut key: Vec<u32> = vec![0; columns.len()];
+            let mut pos = 0usize;
+            while pos < n {
+                let mut seg_end = n;
+                for rc in &run_cols {
+                    seg_end = seg_end.min(rc.cur.end);
+                }
+                assert!(seg_end > pos, "run iterators must partition the column");
+                for rc in &run_cols {
+                    key[rc.dim] = rc.cur.value;
+                }
+                if row_cols.is_empty() && weights.is_none() {
+                    let m = mask.count_set_range(pos, seg_end);
+                    if m > 0 {
+                        *counts.entry(key.clone()).or_insert(0.0) += m as f64;
+                        total += m as f64;
+                        complete_cases += m;
+                    }
+                } else {
+                    for row in mask.iter_set_range(pos, seg_end) {
+                        let w = weights.map(|w| w[row]).unwrap_or(1.0);
+                        if w == 0.0 {
+                            continue;
+                        }
+                        for rc in &row_cols {
+                            key[rc.dim] = rc.codes[row];
+                        }
+                        *counts.entry(key.clone()).or_insert(0.0) += w;
+                        total += w;
+                        complete_cases += 1;
+                    }
+                }
+                pos = seg_end;
+                for rc in &mut run_cols {
+                    if rc.cur.end == pos {
+                        if let Some(next) = rc.iter.next() {
+                            rc.cur = next;
+                        }
+                    }
+                }
+            }
+            JointCounts::Sparse { counts }
+        }
+    };
+    (counts, total, complete_cases)
+}
+
+/// A column as read in the 64-row block fold.
+enum BlockCol<'a> {
+    /// Direct slice access (mutable or sealed-dense columns).
+    Slice {
+        codes: &'a [u32],
+        dim: usize,
+        mult: usize,
+    },
+    /// Bit-packed access through a per-block scratch decode.
+    Packed {
+        ints: &'a PackedInts,
+        scratch: usize,
+        dim: usize,
+        mult: usize,
+    },
+}
+
+/// 64-row block fold over bit-packed and dense columns (no run columns).
+fn fold_blocks(
+    columns: &[ColumnView<'_>],
+    weights: Option<&[f64]>,
+    mask: &Bitmap,
+    cells: Option<usize>,
+    n: usize,
+) -> (JointCounts, f64, usize) {
+    let radices: Vec<usize> = columns.iter().map(|c| c.cardinality().max(1)).collect();
+    let mults = dense_mults(&radices, cells.is_some());
+    let mut readers: Vec<BlockCol<'_>> = Vec::new();
+    let mut n_packed = 0usize;
+    for (dim, c) in columns.iter().enumerate() {
+        let mult = mults[dim];
+        match c.access() {
+            Access::Codes(codes) => readers.push(BlockCol::Slice { codes, dim, mult }),
+            Access::Packed(ints) => {
+                readers.push(BlockCol::Packed {
+                    ints,
+                    scratch: n_packed,
+                    dim,
+                    mult,
+                });
+                n_packed += 1;
+            }
+            Access::Runs(_) => unreachable!("run columns take the segment path"),
+        }
+    }
+    let mut scratch: Vec<[u32; 64]> = vec![[0u32; 64]; n_packed];
+    let mut total = 0.0f64;
+    let mut complete_cases = 0usize;
+    let counts = match cells {
+        Some(cells) => {
+            let mut counts = vec![0.0f64; cells];
+            // Joint index of every row in the current block, accumulated
+            // column-major: one tight multiply-add pass per column keeps the
+            // reader dispatch out of the per-row loop and lets the compiler
+            // vectorise the unpack + mixed-radix packing.
+            let mut idxs = [0usize; 64];
+            for (wi, &word) in mask.words().iter().enumerate() {
+                if word == 0 {
+                    continue;
+                }
+                let start = wi << 6;
+                let block_len = (n - start).min(64);
+                idxs[..block_len].fill(0);
+                for r in &readers {
+                    match r {
+                        BlockCol::Slice { codes, mult, .. } => {
+                            let codes = &codes[start..start + block_len];
+                            for (acc, &c) in idxs[..block_len].iter_mut().zip(codes) {
+                                *acc += c as usize * mult;
+                            }
+                        }
+                        BlockCol::Packed { ints, mult, .. } => {
+                            ints.accumulate_range(start, *mult, &mut idxs[..block_len]);
+                        }
+                    }
+                }
+                if word == u64::MAX && block_len == 64 && weights.is_none() {
+                    // Fully observed block, unit weights: no bit scan needed.
+                    for &idx in &idxs {
+                        counts[idx] += 1.0;
+                    }
+                    total += 64.0;
+                    complete_cases += 64;
+                    continue;
+                }
+                let mut bits = word;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let w = weights.map(|w| w[start + bit]).unwrap_or(1.0);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    counts[idxs[bit]] += w;
+                    total += w;
+                    complete_cases += 1;
+                }
+            }
+            JointCounts::Dense { counts, radices }
+        }
+        None => {
+            let mut counts = SparseCounts::default();
+            let mut key: Vec<u32> = vec![0; columns.len()];
+            for (wi, &word) in mask.words().iter().enumerate() {
+                if word == 0 {
+                    continue;
+                }
+                let start = wi << 6;
+                let block_len = (n - start).min(64);
+                for r in &readers {
+                    if let BlockCol::Packed {
+                        ints, scratch: k, ..
+                    } = r
+                    {
+                        ints.unpack_range(start, &mut scratch[*k][..block_len]);
+                    }
+                }
+                let mut bits = word;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let row = start + bit;
+                    let w = weights.map(|w| w[row]).unwrap_or(1.0);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for r in &readers {
+                        match r {
+                            BlockCol::Slice { codes, dim, .. } => key[*dim] = codes[row],
+                            BlockCol::Packed {
+                                scratch: k, dim, ..
+                            } => key[*dim] = scratch[*k][bit],
+                        }
+                    }
+                    *counts.entry(key.clone()).or_insert(0.0) += w;
+                    total += w;
+                    complete_cases += 1;
+                }
+            }
+            JointCounts::Sparse { counts }
+        }
+    };
+    (counts, total, complete_cases)
 }
 
 impl JointCounts {
@@ -498,5 +955,138 @@ mod tests {
     fn negative_weight_is_rejected() {
         let x = enc(&[Some("a"), Some("b")]);
         accumulate(&[&x], Some(&[1.0, -0.5]), DEFAULT_DENSE_CELLS);
+    }
+
+    /// Asserts that sealed-view accumulation is bit-identical to the dense
+    /// row-loop oracle on the same columns, in both layouts.
+    fn assert_views_match_oracle(cols: &[&EncodedColumn], weights: Option<&[f64]>) {
+        let sealed: Vec<_> = cols.iter().map(|c| c.seal()).collect();
+        for dense_cells in [DEFAULT_DENSE_CELLS, 0] {
+            let oracle = accumulate(cols, weights, dense_cells);
+            let views: Vec<ColumnView<'_>> = sealed.iter().map(ColumnView::from).collect();
+            let got = accumulate_views(&views, weights, dense_cells);
+            assert_eq!(got.total.to_bits(), oracle.total.to_bits());
+            assert_eq!(got.complete_cases, oracle.complete_cases);
+            let a: Vec<(Vec<u32>, f64)> = got.counts.iter_keyed().collect();
+            let b: Vec<(Vec<u32>, f64)> = oracle.counts.iter_keyed().collect();
+            assert_eq!(a.len(), b.len());
+            for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+                assert_eq!(ka, kb, "cell keys (and sparse order) must match");
+                assert_eq!(va.to_bits(), vb.to_bits(), "cell {ka:?}");
+            }
+            assert_eq!(
+                got.counts.entropy(got.total).to_bits(),
+                oracle.counts.entropy(oracle.total).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sealed_runny_columns_match_oracle() {
+        // Long runs with interleaved nulls: the segment path with RLE inputs.
+        let x: Vec<Option<&str>> = (0..300)
+            .map(|i| {
+                if i % 37 == 0 {
+                    None
+                } else {
+                    Some(["a", "b"][i / 100 % 2])
+                }
+            })
+            .collect();
+        let y: Vec<Option<&str>> = (0..300)
+            .map(|i| {
+                if i % 41 == 0 {
+                    None
+                } else {
+                    Some(["p", "q", "r"][i / 30 % 3])
+                }
+            })
+            .collect();
+        let (x, y) = (enc(&x), enc(&y));
+        assert_views_match_oracle(&[&x, &y], None);
+        let w: Vec<f64> = (0..300).map(|i| (i % 7) as f64 * 0.25).collect();
+        assert_views_match_oracle(&[&x, &y], Some(&w));
+    }
+
+    #[test]
+    fn sealed_shuffled_columns_match_oracle() {
+        // Shuffled low-cardinality streams seal to bitpacked: the block path.
+        let x: Vec<Option<&str>> = (0..500)
+            .map(|i| {
+                if i % 53 == 0 {
+                    None
+                } else {
+                    Some(["a", "b", "c", "d", "e"][(i * 17) % 5])
+                }
+            })
+            .collect();
+        let y: Vec<Option<&str>> = (0..500)
+            .map(|i| Some(["0", "1", "2", "3", "4", "5", "6"][(i * 31) % 7]))
+            .collect();
+        let (x, y) = (enc(&x), enc(&y));
+        assert_views_match_oracle(&[&x, &y], None);
+        let w: Vec<f64> = (0..500).map(|i| 0.5 + (i % 5) as f64).collect();
+        assert_views_match_oracle(&[&x, &y], Some(&w));
+    }
+
+    #[test]
+    fn mixed_run_and_packed_columns_match_oracle() {
+        // One runny column (RLE) and one shuffled column (bitpacked) in the
+        // same fold exercises the run×dense mixed segment case.
+        let runny: Vec<Option<&str>> = (0..400).map(|i| Some(["u", "v"][i / 80 % 2])).collect();
+        let shuffled: Vec<Option<&str>> = (0..400)
+            .map(|i| Some(["a", "b", "c", "d", "e", "f"][(i * 13) % 6]))
+            .collect();
+        let (r, s) = (enc(&runny), enc(&shuffled));
+        assert_views_match_oracle(&[&r, &s], None);
+        // Mixed states too: sealed runny column alongside a mutable column.
+        let oracle = accumulate(&[&r, &s], None, DEFAULT_DENSE_CELLS);
+        let sealed_r = r.seal();
+        let got = accumulate_views(
+            &[ColumnView::from(&sealed_r), ColumnView::from(&s)],
+            None,
+            DEFAULT_DENSE_CELLS,
+        );
+        assert_eq!(got.total.to_bits(), oracle.total.to_bits());
+        assert_eq!(
+            got.counts.entropy(got.total).to_bits(),
+            oracle.counts.entropy(oracle.total).to_bits()
+        );
+    }
+
+    #[test]
+    fn all_plain_views_delegate_to_oracle() {
+        let x = enc(&[Some("a"), Some("b"), None, Some("a")]);
+        let oracle = accumulate(&[&x], None, DEFAULT_DENSE_CELLS);
+        let got = accumulate_views(&[ColumnView::from(&x)], None, DEFAULT_DENSE_CELLS);
+        let a: Vec<(Vec<u32>, f64)> = got.counts.iter_keyed().collect();
+        let b: Vec<(Vec<u32>, f64)> = oracle.counts.iter_keyed().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sealed_empty_and_all_null_columns() {
+        let empty = enc(&[]);
+        let sealed = empty.seal();
+        let got = accumulate_views(&[ColumnView::from(&sealed)], None, DEFAULT_DENSE_CELLS);
+        assert_eq!(got.complete_cases, 0);
+        assert_eq!(got.total, 0.0);
+        let all_null = enc(&[None, None, None]);
+        let sealed = all_null.seal();
+        let got = accumulate_views(&[ColumnView::from(&sealed)], None, DEFAULT_DENSE_CELLS);
+        assert_eq!(got.complete_cases, 0);
+    }
+
+    #[test]
+    fn sealed_zero_weights_are_skipped() {
+        let x = enc(&[Some("a"), Some("a"), Some("b"), Some("b")]);
+        let sealed = x.seal();
+        let got = accumulate_views(
+            &[ColumnView::from(&sealed)],
+            Some(&[1.0, 0.0, 2.0, 0.0]),
+            DEFAULT_DENSE_CELLS,
+        );
+        assert_eq!(got.complete_cases, 2);
+        assert_eq!(got.total, 3.0);
     }
 }

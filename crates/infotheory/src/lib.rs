@@ -39,17 +39,20 @@ pub mod measures;
 pub mod special;
 
 pub use contingency::JointTable;
-pub use frame::EncodedFrame;
+pub use frame::{ColumnEncodingReport, EncodedFrame};
 pub use independence::{
-    approx_functional_dependency, ci_test, is_conditionally_independent, logically_equivalent,
-    CiTestConfig, CiTestResult,
+    approx_functional_dependency, ci_test, ci_test_views, is_conditionally_independent,
+    logically_equivalent, CiTestConfig, CiTestResult,
 };
 pub use kernel::{
-    adaptive_dense_cells, complete_case_mask, dense_cell_count, FixedState, SparseCounts,
-    DEFAULT_DENSE_CELLS,
+    accumulate_views, adaptive_dense_cells, complete_case_mask, complete_case_mask_views,
+    dense_cell_count, dense_cell_count_views, FixedState, SparseCounts, DEFAULT_DENSE_CELLS,
+    DENSE_CELLS_FLOOR, DENSE_CELLS_PER_ROW,
 };
 pub use measures::{
-    conditional_entropy, conditional_mutual_information, entropy, interaction_information,
-    joint_entropy, mutual_information, normalized_mutual_information,
+    conditional_entropy, conditional_entropy_views, conditional_mutual_information,
+    conditional_mutual_information_views, entropy, entropy_view, interaction_information,
+    interaction_information_views, joint_entropy, joint_entropy_views, mutual_information,
+    mutual_information_views, normalized_mutual_information, normalized_mutual_information_views,
 };
 pub use special::{chi2_sf, gamma_p, ln_gamma};

@@ -6,21 +6,32 @@
 //! re-weighted by IPW weights. This mirrors the paper's use of the Pyitlib
 //! library for CMI estimation.
 
-use tabular::EncodedColumn;
+use tabular::{ColumnView, EncodedColumn};
 
 use crate::contingency::JointTable;
 
 /// Shannon entropy `H(X)` of a single encoded column.
 pub fn entropy(x: &EncodedColumn, weights: Option<&[f64]>) -> f64 {
-    JointTable::build(&[x], weights).entropy()
+    entropy_view(x.into(), weights)
+}
+
+/// [`entropy`] over a column in either lifecycle state (mutable or sealed).
+pub fn entropy_view(x: ColumnView<'_>, weights: Option<&[f64]>) -> f64 {
+    JointTable::build_views(&[x], weights).entropy()
 }
 
 /// Joint Shannon entropy `H(X1, ..., Xk)` of a set of encoded columns.
 pub fn joint_entropy(cols: &[&EncodedColumn], weights: Option<&[f64]>) -> f64 {
+    let views: Vec<ColumnView<'_>> = cols.iter().map(|&c| c.into()).collect();
+    joint_entropy_views(&views, weights)
+}
+
+/// [`joint_entropy`] over columns in either lifecycle state.
+pub fn joint_entropy_views(cols: &[ColumnView<'_>], weights: Option<&[f64]>) -> f64 {
     if cols.is_empty() {
         return 0.0;
     }
-    JointTable::build(cols, weights).entropy()
+    JointTable::build_views(cols, weights).entropy()
 }
 
 /// Conditional entropy `H(X | Z1, ..., Zk) = H(X, Z) - H(Z)`.
@@ -32,13 +43,23 @@ pub fn conditional_entropy(
     given: &[&EncodedColumn],
     weights: Option<&[f64]>,
 ) -> f64 {
+    let given_views: Vec<ColumnView<'_>> = given.iter().map(|&c| c.into()).collect();
+    conditional_entropy_views(x.into(), &given_views, weights)
+}
+
+/// [`conditional_entropy`] over columns in either lifecycle state.
+pub fn conditional_entropy_views(
+    x: ColumnView<'_>,
+    given: &[ColumnView<'_>],
+    weights: Option<&[f64]>,
+) -> f64 {
     if given.is_empty() {
-        return entropy(x, weights);
+        return entropy_view(x, weights);
     }
-    let mut all: Vec<&EncodedColumn> = Vec::with_capacity(given.len() + 1);
+    let mut all: Vec<ColumnView<'_>> = Vec::with_capacity(given.len() + 1);
     all.push(x);
     all.extend_from_slice(given);
-    let joint = JointTable::build(&all, weights);
+    let joint = JointTable::build_views(&all, weights);
     let z_dims: Vec<usize> = (1..all.len()).collect();
     (joint.entropy() - joint.marginal(&z_dims).entropy()).max(0.0)
 }
@@ -47,7 +68,16 @@ pub fn conditional_entropy(
 ///
 /// Computed over rows complete in both `X` and `Y`.
 pub fn mutual_information(x: &EncodedColumn, y: &EncodedColumn, weights: Option<&[f64]>) -> f64 {
-    let joint = JointTable::build(&[x, y], weights);
+    mutual_information_views(x.into(), y.into(), weights)
+}
+
+/// [`mutual_information`] over columns in either lifecycle state.
+pub fn mutual_information_views(
+    x: ColumnView<'_>,
+    y: ColumnView<'_>,
+    weights: Option<&[f64]>,
+) -> f64 {
+    let joint = JointTable::build_views(&[x, y], weights);
     let hx = joint.marginal(&[0]).entropy();
     let hy = joint.marginal(&[1]).entropy();
     (hx + hy - joint.entropy()).max(0.0)
@@ -67,14 +97,25 @@ pub fn conditional_mutual_information(
     z: &[&EncodedColumn],
     weights: Option<&[f64]>,
 ) -> f64 {
+    let z_views: Vec<ColumnView<'_>> = z.iter().map(|&c| c.into()).collect();
+    conditional_mutual_information_views(x.into(), y.into(), &z_views, weights)
+}
+
+/// [`conditional_mutual_information`] over columns in either lifecycle state.
+pub fn conditional_mutual_information_views(
+    x: ColumnView<'_>,
+    y: ColumnView<'_>,
+    z: &[ColumnView<'_>],
+    weights: Option<&[f64]>,
+) -> f64 {
     if z.is_empty() {
-        return mutual_information(x, y, weights);
+        return mutual_information_views(x, y, weights);
     }
-    let mut all: Vec<&EncodedColumn> = Vec::with_capacity(z.len() + 2);
+    let mut all: Vec<ColumnView<'_>> = Vec::with_capacity(z.len() + 2);
     all.push(x);
     all.push(y);
     all.extend_from_slice(z);
-    let joint = JointTable::build(&all, weights);
+    let joint = JointTable::build_views(&all, weights);
     if joint.is_empty() {
         return 0.0;
     }
@@ -100,9 +141,19 @@ pub fn interaction_information(
     z: &EncodedColumn,
     weights: Option<&[f64]>,
 ) -> f64 {
+    interaction_information_views(x.into(), y.into(), z.into(), weights)
+}
+
+/// [`interaction_information`] over columns in either lifecycle state.
+pub fn interaction_information_views(
+    x: ColumnView<'_>,
+    y: ColumnView<'_>,
+    z: ColumnView<'_>,
+    weights: Option<&[f64]>,
+) -> f64 {
     // Use the same complete-case set for both terms so the difference is not
     // an artefact of different row sets.
-    let joint = JointTable::build(&[x, y, z], weights);
+    let joint = JointTable::build_views(&[x, y, z], weights);
     if joint.is_empty() {
         return 0.0;
     }
@@ -124,7 +175,16 @@ pub fn normalized_mutual_information(
     y: &EncodedColumn,
     weights: Option<&[f64]>,
 ) -> f64 {
-    let joint = JointTable::build(&[x, y], weights);
+    normalized_mutual_information_views(x.into(), y.into(), weights)
+}
+
+/// [`normalized_mutual_information`] over columns in either lifecycle state.
+pub fn normalized_mutual_information_views(
+    x: ColumnView<'_>,
+    y: ColumnView<'_>,
+    weights: Option<&[f64]>,
+) -> f64 {
+    let joint = JointTable::build_views(&[x, y], weights);
     let hx = joint.marginal(&[0]).entropy();
     let hy = joint.marginal(&[1]).entropy();
     if hx <= 0.0 || hy <= 0.0 {

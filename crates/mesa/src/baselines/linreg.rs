@@ -54,17 +54,18 @@ pub fn linear_regression(
     if rows.len() < candidates.len() + 2 {
         return Ok(Explanation::empty(baseline));
     }
-    let y: Vec<f64> = rows
-        .iter()
-        .map(|&i| outcome_col.codes()[i] as f64)
-        .collect();
+    // Materialise codes once per column: sealed columns decode `codes()` into
+    // an owned buffer, so the call must stay out of the per-row maps.
+    let outcome_codes = outcome_col.codes();
+    let y: Vec<f64> = rows.iter().map(|&i| outcome_codes[i] as f64).collect();
     let predictors: Vec<(String, Vec<f64>)> = candidates
         .iter()
         .zip(&cand_cols)
         .map(|(name, col)| {
+            let codes = col.codes();
             (
                 name.clone(),
-                rows.iter().map(|&i| col.codes()[i] as f64).collect(),
+                rows.iter().map(|&i| codes[i] as f64).collect(),
             )
         })
         .collect();

@@ -20,9 +20,11 @@
 
 use std::collections::HashMap;
 
+use std::borrow::Cow;
+
 use infotheory::{CiTestConfig, EncodedFrame};
 use stats::{logistic_fit, logistic_fit_weighted, LogisticConfig};
-use tabular::{Column, EncodedColumn};
+use tabular::{Column, ColumnView, EncodedColumn};
 
 use crate::error::{MesaError, Result};
 
@@ -53,11 +55,17 @@ pub struct SelectionBiasInfo {
 }
 
 /// Builds the selection indicator `R_E` for an attribute as an encoded
-/// column: code 1 = observed, code 0 = missing.
-pub fn selection_indicator(column: &EncodedColumn) -> EncodedColumn {
-    let codes: Vec<u32> = (0..column.len())
-        .map(|i| u32::from(column.is_present(i)))
-        .collect();
+/// column: code 1 = observed, code 0 = missing. Accepts the column in either
+/// lifecycle state (`&EncodedColumn` or [`ColumnView`]).
+pub fn selection_indicator<'a>(column: impl Into<ColumnView<'a>>) -> EncodedColumn {
+    let column = column.into();
+    // The indicator is the validity bitmap re-expressed as codes; walking
+    // set-bit runs word-by-word fills it in O(words + runs) instead of one
+    // branch per row.
+    let mut codes = vec![0u32; column.len()];
+    for (start, end) in column.validity().iter_runs() {
+        codes[start..end].fill(1);
+    }
     EncodedColumn::from_codes(codes, vec!["missing".into(), "observed".into()])
 }
 
@@ -90,8 +98,8 @@ pub fn analyze_attribute(
     // Independence of the selection indicator from outcome and exposure.
     let o = encoded.column(outcome)?;
     let t = encoded.column(exposure)?;
-    let r_vs_o = infotheory::ci_test(&r, o, &[], None, ci);
-    let r_vs_t = infotheory::ci_test(&r, t, &[], None, ci);
+    let r_vs_o = infotheory::ci_test_views((&r).into(), o, &[], None, ci);
+    let r_vs_t = infotheory::ci_test_views((&r).into(), t, &[], None, ci);
     let biased = !r_vs_o.independent || !r_vs_t.independent;
     if !biased {
         return Ok(SelectionBiasInfo {
@@ -106,7 +114,7 @@ pub fn analyze_attribute(
     let n = r.len();
     // The indicator is fully observed, so its raw codes are all meaningful.
     let y: Vec<f64> = r.codes().iter().map(|&c| f64::from(c)).collect();
-    let mut features: Vec<(&str, &EncodedColumn)> = Vec::new();
+    let mut features: Vec<(&str, ColumnView<'_>)> = Vec::new();
     for f in feature_columns {
         if f == attribute {
             continue;
@@ -124,6 +132,9 @@ pub fn analyze_attribute(
         }
     }
     let marginal = y.iter().sum::<f64>() / n as f64;
+    // Materialise each feature's codes once: for sealed columns `codes()`
+    // decodes into an owned buffer, which must not happen inside the row loop.
+    let feature_codes: Vec<Cow<'_, [u32]>> = features.iter().map(|(_, c)| c.codes()).collect();
 
     // The features are discrete codes with small cardinalities, so rows with
     // the same feature combination are interchangeable for the fit. Group
@@ -142,8 +153,8 @@ pub fn analyze_attribute(
             for (i, &yi) in y.iter().enumerate() {
                 let mut idx = 0usize;
                 let mut mult = 1usize;
-                for (_, c) in &features {
-                    idx += c.codes()[i] as usize * mult;
+                for ((_, c), codes) in features.iter().zip(&feature_codes) {
+                    idx += codes[i] as usize * mult;
                     mult *= c.cardinality();
                 }
                 combo_of.push(idx);
@@ -199,11 +210,9 @@ pub fn analyze_attribute(
         None => {
             let predictors: Vec<(String, Vec<f64>)> = features
                 .iter()
-                .map(|(name, c)| {
-                    (
-                        name.to_string(),
-                        c.codes().iter().map(|&v| v as f64).collect(),
-                    )
+                .zip(&feature_codes)
+                .map(|((name, _), codes)| {
+                    (name.to_string(), codes.iter().map(|&v| v as f64).collect())
                 })
                 .collect();
             match logistic_fit(&y, &predictors, LogisticConfig::default()) {

@@ -330,12 +330,12 @@ impl<'a> Session<'a> {
             }
             None => (filtered, Vec::new()),
         };
-        let prepared = Arc::new(prepare_from_joined(
-            query,
-            joined,
-            joins,
-            self.config.prepare,
-        )?);
+        let mut prepared = prepare_from_joined(query, joined, joins, self.config.prepare)?;
+        // Seal the encoded frame before it enters the memo: cached residents
+        // hold compressed columns, and every estimator reads them through the
+        // run-aware kernel paths with bit-identical results.
+        prepared.encoded.seal();
+        let prepared = Arc::new(prepared);
         Ok(self
             .prepared
             .lock()

@@ -128,21 +128,154 @@ impl Bitmap {
         &self.words
     }
 
+    /// Whether every bit is set (vacuously true for an empty bitmap).
+    ///
+    /// Word-level: compares whole words against their expected all-ones
+    /// pattern instead of testing bits one by one. The sealer uses this to
+    /// gate encodings that cannot represent nulls (delta).
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Number of set bits in the half-open range `[start, end)`.
+    ///
+    /// Word-level: popcounts whole words, masking only the two boundary
+    /// words. This is how the kernel intersects the complete-case mask with
+    /// one run of a run-length column — a popcount over the run's span
+    /// instead of a per-row bit test.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len`.
+    pub fn count_set_range(&self, start: usize, end: usize) -> usize {
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds for bitmap of {} bits",
+            self.len
+        );
+        if start == end {
+            return 0;
+        }
+        let (ws, we) = (start / 64, (end - 1) / 64);
+        let head_mask = u64::MAX << (start % 64);
+        let tail_mask = u64::MAX >> (63 - (end - 1) % 64);
+        if ws == we {
+            return (self.words[ws] & head_mask & tail_mask).count_ones() as usize;
+        }
+        let mut n = (self.words[ws] & head_mask).count_ones() as usize;
+        for w in &self.words[ws + 1..we] {
+            n += w.count_ones() as usize;
+        }
+        n + (self.words[we] & tail_mask).count_ones() as usize
+    }
+
     /// Iterates the indices of the set bits in increasing order.
     pub fn iter_set(&self) -> SetBits<'_> {
+        self.iter_set_range(0, self.len)
+    }
+
+    /// Iterates the set-bit indices of the half-open range `[start, end)` in
+    /// increasing order, using the same word-at-a-time walk as
+    /// [`iter_set`](Bitmap::iter_set) (boundary words are masked once, then
+    /// each word is drained by clearing its lowest set bit).
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len`.
+    pub fn iter_set_range(&self, start: usize, end: usize) -> SetBits<'_> {
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds for bitmap of {} bits",
+            self.len
+        );
+        if start == end {
+            return SetBits {
+                words: &[],
+                word_idx: 0,
+                current: 0,
+                base: 0,
+                tail_mask: 0,
+            };
+        }
+        let (ws, we) = (start / 64, (end - 1) / 64);
+        let words = &self.words[ws..=we];
+        let head_mask = u64::MAX << (start % 64);
+        let tail_mask = u64::MAX >> (63 - (end - 1) % 64);
+        let mut current = words[0] & head_mask;
+        if ws == we {
+            current &= tail_mask;
+        }
         SetBits {
-            words: &self.words,
+            words,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current,
+            base: ws * 64,
+            tail_mask,
+        }
+    }
+
+    /// Iterates the maximal runs of consecutive set bits as half-open
+    /// `(start, end)` ranges, in increasing order.
+    ///
+    /// Word-level: zero words are skipped whole, and run boundaries are found
+    /// with `trailing_zeros` on the word (or its complement) instead of
+    /// testing bits one by one.
+    pub fn iter_runs(&self) -> SetRuns<'_> {
+        SetRuns {
+            bitmap: self,
+            pos: 0,
+        }
+    }
+
+    /// Index of the first set bit at or after `from`, or `None`.
+    fn next_set_bit(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut word = self.words[wi] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(wi * 64 + word.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            word = self.words[wi];
+        }
+    }
+
+    /// Index of the first *unset* bit at or after `from`, clamped to `len`.
+    fn next_unset_bit(&self, from: usize) -> usize {
+        if from >= self.len {
+            return self.len;
+        }
+        let mut wi = from / 64;
+        // Invert so unset bits become set; mask off bits below `from`.
+        let mut word = !self.words[wi] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                return (wi * 64 + word.trailing_zeros() as usize).min(self.len);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return self.len;
+            }
+            word = !self.words[wi];
         }
     }
 }
 
-/// Iterator over the set-bit indices of a [`Bitmap`].
+/// Iterator over the set-bit indices of a [`Bitmap`] (or a range of one, see
+/// [`Bitmap::iter_set_range`]).
 pub struct SetBits<'a> {
     words: &'a [u64],
     word_idx: usize,
     current: u64,
+    /// Bit index of `words[0]`'s bit 0 in the source bitmap.
+    base: usize,
+    /// Mask applied to the last word of `words` when it is loaded (range
+    /// iteration truncates the final word).
+    tail_mask: u64,
 }
 
 impl Iterator for SetBits<'_> {
@@ -156,10 +289,31 @@ impl Iterator for SetBits<'_> {
                 return None;
             }
             self.current = self.words[self.word_idx];
+            if self.word_idx == self.words.len() - 1 {
+                self.current &= self.tail_mask;
+            }
         }
         let bit = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1; // drop lowest set bit
-        Some(self.word_idx * 64 + bit)
+        Some(self.base + self.word_idx * 64 + bit)
+    }
+}
+
+/// Iterator over the maximal set-bit runs of a [`Bitmap`] as half-open
+/// `(start, end)` ranges. See [`Bitmap::iter_runs`].
+pub struct SetRuns<'a> {
+    bitmap: &'a Bitmap,
+    pos: usize,
+}
+
+impl Iterator for SetRuns<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        let start = self.bitmap.next_set_bit(self.pos)?;
+        let end = self.bitmap.next_unset_bit(start);
+        self.pos = end;
+        Some((start, end))
     }
 }
 
@@ -235,6 +389,98 @@ mod tests {
         assert_eq!(got, vec![0, 63, 126, 189]);
         assert!(Bitmap::new_all_unset(100).iter_set().next().is_none());
         assert_eq!(Bitmap::new_all_set(65).iter_set().count(), 65);
+    }
+
+    #[test]
+    fn all_set_detection() {
+        assert!(Bitmap::new_all_set(130).all_set());
+        assert!(Bitmap::new_all_set(0).all_set());
+        assert!(!Bitmap::new_all_unset(1).all_set());
+        let mut bm = Bitmap::new_all_set(65);
+        bm.clear(64);
+        assert!(!bm.all_set());
+    }
+
+    #[test]
+    fn count_set_range_matches_naive() {
+        let bm: Bitmap = (0..300).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        for &(s, e) in &[
+            (0, 0),
+            (0, 300),
+            (0, 1),
+            (5, 64),
+            (63, 65),
+            (64, 128),
+            (64, 129),
+            (10, 250),
+            (299, 300),
+            (128, 128),
+        ] {
+            let naive = (s..e).filter(|&i| bm.get(i)).count();
+            assert_eq!(bm.count_set_range(s, e), naive, "range {s}..{e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn count_set_range_rejects_bad_range() {
+        Bitmap::new_all_set(10).count_set_range(3, 11);
+    }
+
+    #[test]
+    fn iter_set_range_matches_naive() {
+        let bm: Bitmap = (0..300).map(|i| i % 5 == 0 || i % 11 == 3).collect();
+        for &(s, e) in &[
+            (0, 0),
+            (0, 300),
+            (5, 64),
+            (63, 66),
+            (64, 192),
+            (100, 101),
+            (1, 299),
+        ] {
+            let naive: Vec<usize> = (s..e).filter(|&i| bm.get(i)).collect();
+            let got: Vec<usize> = bm.iter_set_range(s, e).collect();
+            assert_eq!(got, naive, "range {s}..{e}");
+        }
+        // full-range iteration equals iter_set
+        assert_eq!(
+            bm.iter_set().collect::<Vec<_>>(),
+            bm.iter_set_range(0, bm.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn set_runs_match_naive_grouping() {
+        let patterns: Vec<Vec<bool>> = vec![
+            vec![],
+            vec![true],
+            vec![false],
+            (0..200).map(|i| i % 3 != 0).collect(),
+            (0..70).map(|_| true).collect(),
+            (0..70).map(|_| false).collect(),
+            (0..256).map(|i| (i / 64) % 2 == 0).collect(),
+            (0..130).map(|i| (60..90).contains(&i)).collect(),
+        ];
+        for bits in patterns {
+            let bm: Bitmap = bits.iter().copied().collect();
+            // naive run grouping
+            let mut naive = Vec::new();
+            let mut i = 0;
+            while i < bits.len() {
+                if bits[i] {
+                    let start = i;
+                    while i < bits.len() && bits[i] {
+                        i += 1;
+                    }
+                    naive.push((start, i));
+                } else {
+                    i += 1;
+                }
+            }
+            let got: Vec<(usize, usize)> = bm.iter_runs().collect();
+            assert_eq!(got, naive, "pattern of {} bits", bits.len());
+        }
     }
 
     #[test]

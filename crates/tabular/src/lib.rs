@@ -42,6 +42,7 @@ pub mod expr;
 pub mod groupby;
 pub mod join;
 pub mod query;
+pub mod storage;
 pub mod value;
 
 pub use aggregate::AggFn;
@@ -57,4 +58,8 @@ pub use expr::Predicate;
 pub use groupby::{group_aggregate, group_by, Group};
 pub use join::{join, join_rendered, JoinKind};
 pub use query::AggregateQuery;
+pub use storage::{
+    Access, ColumnView, Encoding, EncodingChoice, PackedInts, Run, RunIter, SealedColumn,
+    SealedView,
+};
 pub use value::{parse_token, DType, Value};

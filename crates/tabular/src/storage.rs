@@ -1,0 +1,1069 @@
+//! Compressed, immutable ("sealed") column storage.
+//!
+//! The column layer has a two-state lifecycle:
+//!
+//! * **Mutable** — [`EncodedColumn`]: dense `Vec<u32>` codes plus a validity
+//!   bitmap. Cheap to build incrementally and to index; this is the state
+//!   every encoding and binning pass produces.
+//! * **Sealed** — [`SealedColumn`]: the same logical content re-encoded into
+//!   the smallest of several physical layouts, chosen per column by
+//!   [`EncodedColumn::seal`]. A sealed column is immutable, usually several
+//!   times smaller, and exposes its codes either as a decoded slice or as a
+//!   [run iterator](RunIter) that downstream kernels can fold without
+//!   decoding.
+//!
+//! The encodings (mirroring the read-optimised stores this layer is modelled
+//! on — InfluxDB IOx's read buffer, snorkel's sealed shards):
+//!
+//! * [`Encoding::RunLength`] — `(value, cumulative end)` run pairs; wins on
+//!   low-cardinality or sorted/grouped code streams where the average run is
+//!   longer than two rows.
+//! * [`Encoding::Bitpacked`] — fixed-width packed codes
+//!   (`ceil(log2(cardinality))` bits per row); wins on shuffled
+//!   low-cardinality streams where runs are short but 32 bits per code is
+//!   overkill.
+//! * [`Encoding::Delta`] — first value plus bit-packed non-negative deltas;
+//!   wins on sorted integer keys, where deltas are tiny even though the
+//!   cardinality (and therefore the bit-packed width) is huge. Only
+//!   applicable to fully observed, non-decreasing code streams.
+//! * [`Encoding::Dense`] — the mutable layout kept verbatim; the fallback
+//!   when nothing else is smaller.
+//!
+//! The selection heuristic is simply "smallest encoded payload", with a
+//! deterministic tie-break preferring run-iterable encodings (they are the
+//! fastest to aggregate); the decision and the byte counts are recorded per
+//! column in [`EncodingChoice`] so compression ratios are measurable, not
+//! anecdotal.
+
+use std::borrow::Cow;
+
+use crate::bitmap::Bitmap;
+use crate::column::EncodedColumn;
+
+/// The physical layout of a sealed column's codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Dense `Vec<u32>`, one slot per row (the mutable layout, kept when
+    /// nothing smaller applies).
+    Dense,
+    /// Run-length encoding: `(value, cumulative exclusive end)` pairs.
+    RunLength,
+    /// Fixed-width bit-packing of every code.
+    Bitpacked,
+    /// First value plus bit-packed deltas (sorted, fully observed streams).
+    Delta,
+}
+
+impl Encoding {
+    /// Stable lower-case name, used in reports and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Dense => "dense",
+            Encoding::RunLength => "rle",
+            Encoding::Bitpacked => "bitpacked",
+            Encoding::Delta => "delta",
+        }
+    }
+}
+
+/// Why a sealed column looks the way it does: the chosen encoding and the
+/// byte counts that drove the choice. Byte counts cover the code payload only
+/// (the validity bitmap and the label dictionary are identical in both
+/// states and excluded from the comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingChoice {
+    /// The encoding the heuristic selected.
+    pub encoding: Encoding,
+    /// Bytes of the dense (mutable) code vector: `4 · rows`.
+    pub dense_bytes: usize,
+    /// Bytes of the selected encoding's code payload.
+    pub sealed_bytes: usize,
+    /// Number of maximal equal-code runs in the stream (the RLE cost driver).
+    pub n_runs: usize,
+}
+
+/// Fixed-width bit-packed unsigned integers: `len` values of `width` bits
+/// each, packed contiguously into little-endian `u64` words (a value may
+/// span two words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedInts {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl PackedInts {
+    /// Packs `values` at the given width.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=32` or a value does not fit.
+    pub fn pack(values: &[u32], width: u32) -> PackedInts {
+        assert!((1..=32).contains(&width), "width {width} out of range");
+        let w = width as usize;
+        let total_bits = values.len() * w;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        let mut bit = 0usize;
+        for &v in values {
+            assert!(
+                width == 32 || u64::from(v) < (1u64 << width),
+                "value {v} does not fit in {width} bits"
+            );
+            let wi = bit >> 6;
+            let sh = bit & 63;
+            words[wi] |= (v as u64) << sh;
+            if sh + w > 64 {
+                words[wi + 1] |= (v as u64) >> (64 - sh);
+            }
+            bit += w;
+        }
+        PackedInts {
+            words,
+            width,
+            len: values.len(),
+        }
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no values are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per value.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    #[inline]
+    fn mask(&self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+
+    /// The value at index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index {i} out of range ({})", self.len);
+        let w = self.width as usize;
+        let bit = i * w;
+        let wi = bit >> 6;
+        let sh = bit & 63;
+        let mut v = self.words[wi] >> sh;
+        if sh + w > 64 {
+            v |= self.words[wi + 1] << (64 - sh);
+        }
+        (v as u32) & self.mask()
+    }
+
+    /// Decodes `out.len()` consecutive values starting at `start` into `out`.
+    /// Sequential decode walks the bit offset incrementally, which is what
+    /// the counting kernel uses to unpack 64-row blocks.
+    ///
+    /// # Panics
+    /// Panics if `start + out.len() > len`.
+    pub fn unpack_range(&self, start: usize, out: &mut [u32]) {
+        assert!(
+            start + out.len() <= self.len,
+            "range {start}..{} out of range ({})",
+            start + out.len(),
+            self.len
+        );
+        let w = self.width as usize;
+        let mask = self.mask();
+        let mut bit = start * w;
+        for o in out.iter_mut() {
+            let wi = bit >> 6;
+            let sh = bit & 63;
+            let mut v = self.words[wi] >> sh;
+            if sh + w > 64 {
+                v |= self.words[wi + 1] << (64 - sh);
+            }
+            *o = (v as u32) & mask;
+            bit += w;
+        }
+    }
+
+    /// Fused decode + mixed-radix accumulate: adds `value * mult` of the
+    /// `acc.len()` packed values starting at `start` into `acc`, element by
+    /// element. Equivalent to [`unpack_range`](PackedInts::unpack_range)
+    /// followed by a multiply-add pass, without materialising the decoded
+    /// block — the entropy kernel's joint-index assembly runs one such pass
+    /// per packed column.
+    pub fn accumulate_range(&self, start: usize, mult: usize, acc: &mut [usize]) {
+        assert!(
+            start + acc.len() <= self.len,
+            "range {start}..{} out of range ({})",
+            start + acc.len(),
+            self.len
+        );
+        let w = self.width as usize;
+        let mask = self.mask();
+        let mut bit = start * w;
+        for a in acc.iter_mut() {
+            let wi = bit >> 6;
+            let sh = bit & 63;
+            let mut v = self.words[wi] >> sh;
+            if sh + w > 64 {
+                v |= self.words[wi + 1] << (64 - sh);
+            }
+            *a += ((v as u32) & mask) as usize * mult;
+            bit += w;
+        }
+    }
+
+    /// Iterates all values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Bytes of the backing word vector.
+    pub fn payload_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// The physical code storage of a [`SealedColumn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SealedCodes {
+    /// Dense codes kept verbatim.
+    Dense(Vec<u32>),
+    /// Run-length pairs: `values[k]` repeats over rows
+    /// `ends[k-1]..ends[k]` (with `ends[-1]` = 0).
+    Rle { values: Vec<u32>, ends: Vec<u32> },
+    /// Fixed-width packed codes.
+    Bitpacked(PackedInts),
+    /// `first` plus packed `deltas`, where `deltas[i]` (for `i >= 1`) is
+    /// `code[i] - code[i-1]` and `deltas[0]` is 0.
+    Delta { first: u32, deltas: PackedInts },
+}
+
+/// One maximal run of equal codes: `value` over rows `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// The code repeated across the run.
+    pub value: u32,
+    /// First row of the run.
+    pub start: usize,
+    /// One past the last row of the run.
+    pub end: usize,
+}
+
+enum RunIterInner<'a> {
+    Slice {
+        codes: &'a [u32],
+        pos: usize,
+    },
+    Rle {
+        values: &'a [u32],
+        ends: &'a [u32],
+        idx: usize,
+    },
+    Packed {
+        packed: &'a PackedInts,
+        pos: usize,
+    },
+    Delta {
+        deltas: &'a PackedInts,
+        value: u32,
+        pos: usize,
+    },
+}
+
+/// Iterator over the maximal equal-code runs of a column, in row order. The
+/// runs partition `0..len` (null slots carry code 0 and merge into their
+/// neighbouring runs).
+pub struct RunIter<'a> {
+    inner: RunIterInner<'a>,
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        match &mut self.inner {
+            RunIterInner::Slice { codes, pos } => {
+                if *pos >= codes.len() {
+                    return None;
+                }
+                let start = *pos;
+                let value = codes[start];
+                let mut p = start + 1;
+                while p < codes.len() && codes[p] == value {
+                    p += 1;
+                }
+                *pos = p;
+                Some(Run {
+                    value,
+                    start,
+                    end: p,
+                })
+            }
+            RunIterInner::Rle { values, ends, idx } => {
+                if *idx >= values.len() {
+                    return None;
+                }
+                let start = if *idx == 0 {
+                    0
+                } else {
+                    ends[*idx - 1] as usize
+                };
+                let run = Run {
+                    value: values[*idx],
+                    start,
+                    end: ends[*idx] as usize,
+                };
+                *idx += 1;
+                Some(run)
+            }
+            RunIterInner::Packed { packed, pos } => {
+                if *pos >= packed.len() {
+                    return None;
+                }
+                let start = *pos;
+                let value = packed.get(start);
+                let mut p = start + 1;
+                while p < packed.len() && packed.get(p) == value {
+                    p += 1;
+                }
+                *pos = p;
+                Some(Run {
+                    value,
+                    start,
+                    end: p,
+                })
+            }
+            RunIterInner::Delta { deltas, value, pos } => {
+                if *pos >= deltas.len() {
+                    return None;
+                }
+                let start = *pos;
+                let v = *value;
+                let mut p = start + 1;
+                while p < deltas.len() {
+                    let d = deltas.get(p);
+                    if d != 0 {
+                        *value = v.wrapping_add(d);
+                        break;
+                    }
+                    p += 1;
+                }
+                *pos = p;
+                Some(Run {
+                    value: v,
+                    start,
+                    end: p,
+                })
+            }
+        }
+    }
+}
+
+/// What a sealed column exposes to a consumer: either the codes as a decoded
+/// slice (zero-copy, when the column sealed to the dense layout) or a run
+/// iterator over the compressed stream.
+pub enum SealedView<'a> {
+    /// Direct access to per-row codes.
+    Slice(&'a [u32]),
+    /// Run-at-a-time access to the compressed stream.
+    Runs(RunIter<'a>),
+}
+
+/// How the counting kernel reads a column: the access path that is free for
+/// the column's physical layout.
+pub enum Access<'a> {
+    /// Per-row codes are available as a slice (mutable columns and sealed
+    /// dense columns).
+    Codes(&'a [u32]),
+    /// Per-row codes are available by fixed-width unpacking (sealed
+    /// bit-packed columns).
+    Packed(&'a PackedInts),
+    /// The column is cheapest to read run-at-a-time (sealed RLE and delta
+    /// columns).
+    Runs(RunIter<'a>),
+}
+
+/// An immutable, compressed encoded column: the sealed state of the
+/// mutable → sealed lifecycle. Produced by [`EncodedColumn::seal`]; logically
+/// identical to the column it was sealed from ([`SealedColumn::decode`]
+/// round-trips exactly), physically stored in the per-column
+/// [`Encoding`] the selection heuristic picked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedColumn {
+    codes: SealedCodes,
+    validity: Bitmap,
+    labels: Vec<String>,
+    choice: EncodingChoice,
+}
+
+/// Bits needed to represent `v` (at least 1).
+fn bits_for(v: u32) -> u32 {
+    (32 - v.leading_zeros()).max(1)
+}
+
+impl EncodedColumn {
+    /// Seals the column: re-encodes the codes into the smallest applicable
+    /// physical layout and freezes the result. See the [module
+    /// docs](crate::storage) for the encodings and the selection heuristic.
+    ///
+    /// The validity bitmap and the label dictionary are carried over
+    /// unchanged; [`SealedColumn::decode`] reproduces a column equal to
+    /// `self`.
+    pub fn seal(&self) -> SealedColumn {
+        let codes = self.codes();
+        let n = codes.len();
+        let card = self.cardinality() as u32;
+
+        // One pass over the stream for the run count (the RLE cost driver).
+        let mut n_runs = 0usize;
+        let mut prev: Option<u32> = None;
+        for &c in codes {
+            if prev != Some(c) {
+                n_runs += 1;
+                prev = Some(c);
+            }
+        }
+
+        let dense_bytes = 4 * n;
+        let rle_bytes = 8 * n_runs;
+        let packed_width = bits_for(card.saturating_sub(1));
+        let packed_bytes = (n * packed_width as usize).div_ceil(64) * 8;
+        // Delta requires a fully observed (word-level `all_set` check),
+        // non-decreasing stream; the payload is the packed deltas plus the
+        // first value.
+        let delta = if n > 0 && self.validity().all_set() && codes.windows(2).all(|w| w[0] <= w[1])
+        {
+            let max_delta = codes.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+            let width = bits_for(max_delta);
+            Some((width, 4 + (n * width as usize).div_ceil(64) * 8))
+        } else {
+            None
+        };
+
+        // Smallest payload wins; ties prefer run-iterable encodings (RLE,
+        // then delta), then bit-packing, with dense as the fallback — the
+        // kernel folds runs fastest, so at equal size the runnier layout is
+        // the better pick. The candidate order below is the documented
+        // tie-break: the first candidate achieving the minimum is chosen.
+        let candidates = [
+            (Encoding::RunLength, rle_bytes),
+            (Encoding::Delta, delta.map_or(usize::MAX, |(_, b)| b)),
+            (Encoding::Bitpacked, packed_bytes),
+            (Encoding::Dense, dense_bytes),
+        ];
+        let min_bytes = candidates.iter().map(|&(_, b)| b).min().expect("non-empty");
+        let best = *candidates
+            .iter()
+            .find(|&&(_, b)| b == min_bytes)
+            .expect("minimum exists");
+
+        let sealed_codes = match best.0 {
+            Encoding::Dense => SealedCodes::Dense(codes.to_vec()),
+            Encoding::RunLength => {
+                assert!(n <= u32::MAX as usize, "RLE run ends must fit in u32");
+                let mut values = Vec::with_capacity(n_runs);
+                let mut ends = Vec::with_capacity(n_runs);
+                let mut prev: Option<u32> = None;
+                for (i, &c) in codes.iter().enumerate() {
+                    if prev != Some(c) {
+                        if prev.is_some() {
+                            ends.push(i as u32);
+                        }
+                        values.push(c);
+                        prev = Some(c);
+                    }
+                }
+                if prev.is_some() {
+                    ends.push(n as u32);
+                }
+                SealedCodes::Rle { values, ends }
+            }
+            Encoding::Bitpacked => SealedCodes::Bitpacked(PackedInts::pack(codes, packed_width)),
+            Encoding::Delta => {
+                let (width, _) = delta.expect("delta only selectable when applicable");
+                let deltas: Vec<u32> = std::iter::once(0)
+                    .chain(codes.windows(2).map(|w| w[1] - w[0]))
+                    .collect();
+                SealedCodes::Delta {
+                    first: codes[0],
+                    deltas: PackedInts::pack(&deltas, width),
+                }
+            }
+        };
+
+        SealedColumn {
+            codes: sealed_codes,
+            validity: self.validity().clone(),
+            labels: self.labels().to_vec(),
+            choice: EncodingChoice {
+                encoding: best.0,
+                dense_bytes,
+                sealed_bytes: best.1,
+                n_runs,
+            },
+        }
+    }
+}
+
+impl SealedColumn {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.codes {
+            SealedCodes::Dense(v) => v.len(),
+            SealedCodes::Rle { ends, .. } => ends.last().map_or(0, |&e| e as usize),
+            SealedCodes::Bitpacked(p) => p.len(),
+            SealedCodes::Delta { deltas, .. } => deltas.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct codes (equal to the number of labels).
+    pub fn cardinality(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Human-readable label for each code, indexed by code.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The label of one code.
+    ///
+    /// # Panics
+    /// Panics if `code >= cardinality`.
+    pub fn label(&self, code: u32) -> &str {
+        &self.labels[code as usize]
+    }
+
+    /// The validity bitmap: bit `i` set ⇔ row `i` is non-null.
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// Whether row `i` is non-null.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn is_present(&self, i: usize) -> bool {
+        self.validity.get(i)
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        self.validity.count_unset()
+    }
+
+    /// Number of non-null rows.
+    pub fn n_present(&self) -> usize {
+        self.validity.count_set()
+    }
+
+    /// The physical encoding the sealer selected.
+    pub fn encoding(&self) -> Encoding {
+        self.choice.encoding
+    }
+
+    /// The recorded selection decision and byte accounting.
+    pub fn choice(&self) -> &EncodingChoice {
+        &self.choice
+    }
+
+    /// Bytes of the code payload in the sealed layout.
+    pub fn code_bytes(&self) -> usize {
+        self.choice.sealed_bytes
+    }
+
+    /// The code of row `i`, or `None` when the row is null.
+    ///
+    /// Random access costs depend on the layout: O(1) for dense and
+    /// bit-packed, O(log runs) for RLE, O(i) for delta (sequential prefix
+    /// sum) — consumers that walk many rows should use
+    /// [`view`](SealedColumn::view) or [`runs`](SealedColumn::runs) instead.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn code_at(&self, i: usize) -> Option<u32> {
+        if !self.validity.get(i) {
+            return None;
+        }
+        Some(self.raw_code_at(i))
+    }
+
+    /// The stored code of row `i`, ignoring validity (null slots hold 0).
+    fn raw_code_at(&self, i: usize) -> u32 {
+        match &self.codes {
+            SealedCodes::Dense(v) => v[i],
+            SealedCodes::Rle { values, ends } => {
+                let k = ends.partition_point(|&e| e as usize <= i);
+                values[k]
+            }
+            SealedCodes::Bitpacked(p) => p.get(i),
+            SealedCodes::Delta { first, deltas } => {
+                let mut v = *first;
+                for j in 1..=i {
+                    v = v.wrapping_add(deltas.get(j));
+                }
+                v
+            }
+        }
+    }
+
+    /// The sealed view: a decoded slice for dense columns, a run iterator
+    /// for every compressed layout.
+    pub fn view(&self) -> SealedView<'_> {
+        match &self.codes {
+            SealedCodes::Dense(v) => SealedView::Slice(v),
+            _ => SealedView::Runs(self.runs()),
+        }
+    }
+
+    /// Iterates the maximal equal-code runs of the column, in row order.
+    /// Available for every layout (dense and bit-packed columns group equal
+    /// adjacent codes on the fly; RLE and delta read their stored runs).
+    pub fn runs(&self) -> RunIter<'_> {
+        let inner = match &self.codes {
+            SealedCodes::Dense(v) => RunIterInner::Slice { codes: v, pos: 0 },
+            SealedCodes::Rle { values, ends } => RunIterInner::Rle {
+                values,
+                ends,
+                idx: 0,
+            },
+            SealedCodes::Bitpacked(p) => RunIterInner::Packed { packed: p, pos: 0 },
+            SealedCodes::Delta { first, deltas } => RunIterInner::Delta {
+                deltas,
+                value: *first,
+                pos: 0,
+            },
+        };
+        RunIter { inner }
+    }
+
+    /// How the counting kernel should read this column (see [`Access`]).
+    pub fn access(&self) -> Access<'_> {
+        match &self.codes {
+            SealedCodes::Dense(v) => Access::Codes(v),
+            SealedCodes::Bitpacked(p) => Access::Packed(p),
+            SealedCodes::Rle { .. } | SealedCodes::Delta { .. } => Access::Runs(self.runs()),
+        }
+    }
+
+    /// Decodes the full per-row code vector (null slots hold 0, as in the
+    /// mutable layout).
+    pub fn decode_codes(&self) -> Vec<u32> {
+        match &self.codes {
+            SealedCodes::Dense(v) => v.clone(),
+            SealedCodes::Rle { values, ends } => {
+                let mut out = Vec::with_capacity(self.len());
+                let mut start = 0usize;
+                for (&v, &e) in values.iter().zip(ends) {
+                    out.resize(e as usize, v);
+                    start = e as usize;
+                }
+                debug_assert_eq!(start, out.len());
+                out
+            }
+            SealedCodes::Bitpacked(p) => {
+                let mut out = vec![0u32; p.len()];
+                p.unpack_range(0, &mut out);
+                out
+            }
+            SealedCodes::Delta { first, deltas } => {
+                let mut out = Vec::with_capacity(deltas.len());
+                let mut v = *first;
+                for i in 0..deltas.len() {
+                    if i > 0 {
+                        v = v.wrapping_add(deltas.get(i));
+                    }
+                    out.push(v);
+                }
+                out
+            }
+        }
+    }
+
+    /// Unseals the column back to the mutable state. The result is equal
+    /// (by `==`) to the column [`seal`](EncodedColumn::seal) was called on.
+    pub fn decode(&self) -> EncodedColumn {
+        EncodedColumn::from_parts(
+            self.decode_codes(),
+            self.validity.clone(),
+            self.labels.clone(),
+        )
+    }
+}
+
+/// A borrowed view over a column in either lifecycle state — the unified
+/// currency consumers (the counting kernel, the frame-level measures, the
+/// IPW machinery) accept so they work identically on mutable and sealed
+/// columns.
+#[derive(Clone, Copy)]
+pub enum ColumnView<'a> {
+    /// A mutable (dense) column.
+    Plain(&'a EncodedColumn),
+    /// A sealed (compressed) column.
+    Sealed(&'a SealedColumn),
+}
+
+impl<'a> From<&'a EncodedColumn> for ColumnView<'a> {
+    fn from(c: &'a EncodedColumn) -> Self {
+        ColumnView::Plain(c)
+    }
+}
+
+impl<'a> From<&'a SealedColumn> for ColumnView<'a> {
+    fn from(c: &'a SealedColumn) -> Self {
+        ColumnView::Sealed(c)
+    }
+}
+
+impl<'a> ColumnView<'a> {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnView::Plain(c) => c.len(),
+            ColumnView::Sealed(c) => c.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct codes (equal to the number of labels).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            ColumnView::Plain(c) => c.cardinality(),
+            ColumnView::Sealed(c) => c.cardinality(),
+        }
+    }
+
+    /// Human-readable label for each code, indexed by code.
+    pub fn labels(&self) -> &'a [String] {
+        match self {
+            ColumnView::Plain(c) => c.labels(),
+            ColumnView::Sealed(c) => c.labels(),
+        }
+    }
+
+    /// The label of one code.
+    ///
+    /// # Panics
+    /// Panics if `code >= cardinality`.
+    pub fn label(&self, code: u32) -> &'a str {
+        &self.labels()[code as usize]
+    }
+
+    /// The validity bitmap: bit `i` set ⇔ row `i` is non-null.
+    pub fn validity(&self) -> &'a Bitmap {
+        match self {
+            ColumnView::Plain(c) => c.validity(),
+            ColumnView::Sealed(c) => c.validity(),
+        }
+    }
+
+    /// Whether row `i` is non-null.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn is_present(&self, i: usize) -> bool {
+        self.validity().get(i)
+    }
+
+    /// The code of row `i`, or `None` when the row is null. See
+    /// [`SealedColumn::code_at`] for per-layout costs.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn code_at(&self, i: usize) -> Option<u32> {
+        match self {
+            ColumnView::Plain(c) => c.code_at(i),
+            ColumnView::Sealed(c) => c.code_at(i),
+        }
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        self.validity().count_unset()
+    }
+
+    /// Number of non-null rows.
+    pub fn n_present(&self) -> usize {
+        self.validity().count_set()
+    }
+
+    /// Whether the underlying column is sealed.
+    pub fn is_sealed(&self) -> bool {
+        matches!(self, ColumnView::Sealed(_))
+    }
+
+    /// The physical encoding (mutable columns report [`Encoding::Dense`]).
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            ColumnView::Plain(_) => Encoding::Dense,
+            ColumnView::Sealed(c) => c.encoding(),
+        }
+    }
+
+    /// The per-row codes: zero-copy for mutable and sealed-dense columns, a
+    /// one-shot decode for compressed layouts. Null slots hold 0.
+    pub fn codes(&self) -> Cow<'a, [u32]> {
+        match self {
+            ColumnView::Plain(c) => Cow::Borrowed(c.codes()),
+            ColumnView::Sealed(c) => match &c.codes {
+                SealedCodes::Dense(v) => Cow::Borrowed(v.as_slice()),
+                _ => Cow::Owned(c.decode_codes()),
+            },
+        }
+    }
+
+    /// Iterates the maximal equal-code runs of the column, in row order
+    /// (mutable columns group equal adjacent codes on the fly).
+    pub fn runs(&self) -> RunIter<'a> {
+        match self {
+            ColumnView::Plain(c) => RunIter {
+                inner: RunIterInner::Slice {
+                    codes: c.codes(),
+                    pos: 0,
+                },
+            },
+            ColumnView::Sealed(c) => c.runs(),
+        }
+    }
+
+    /// How the counting kernel should read this column (see [`Access`]).
+    pub fn access(&self) -> Access<'a> {
+        match self {
+            ColumnView::Plain(c) => Access::Codes(c.codes()),
+            ColumnView::Sealed(c) => c.access(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn enc(vals: &[Option<&str>]) -> EncodedColumn {
+        Column::from_str_values("c", vals.to_vec()).encode()
+    }
+
+    #[test]
+    fn packed_ints_round_trip_all_widths() {
+        for width in 1..=32u32 {
+            let max = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let values: Vec<u32> = (0..150u32)
+                .map(|i| i.wrapping_mul(2654435761).wrapping_add(i) & max)
+                .collect();
+            let p = PackedInts::pack(&values, width);
+            assert_eq!(p.len(), values.len());
+            assert_eq!(p.width(), width);
+            let back: Vec<u32> = p.iter().collect();
+            assert_eq!(back, values, "width {width}");
+            let mut out = vec![0u32; 40];
+            p.unpack_range(37, &mut out);
+            assert_eq!(out, values[37..77], "unpack_range width {width}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn packed_ints_reject_oversize_value() {
+        PackedInts::pack(&[4], 2);
+    }
+
+    #[test]
+    fn seal_constant_column_is_rle() {
+        let c = enc(&[Some("x"); 500]);
+        let s = c.seal();
+        assert_eq!(s.encoding(), Encoding::RunLength);
+        assert_eq!(s.choice().n_runs, 1);
+        assert_eq!(s.choice().dense_bytes, 2000);
+        assert_eq!(s.choice().sealed_bytes, 8);
+        assert_eq!(s.decode(), c);
+        let runs: Vec<Run> = s.runs().collect();
+        assert_eq!(
+            runs,
+            vec![Run {
+                value: 0,
+                start: 0,
+                end: 500
+            }]
+        );
+    }
+
+    #[test]
+    fn seal_shuffled_low_cardinality_is_bitpacked() {
+        let vals: Vec<Option<String>> = (0..1000)
+            .map(|i| Some(format!("v{}", (i * 7) % 6)))
+            .collect();
+        let c = Column::from_str_values("c", vals.iter().map(|v| v.as_deref()).collect()).encode();
+        let s = c.seal();
+        assert_eq!(s.encoding(), Encoding::Bitpacked);
+        // 6 distinct values -> 3 bits per code
+        assert_eq!(s.choice().sealed_bytes, (1000 * 3usize).div_ceil(64) * 8);
+        assert!(s.choice().sealed_bytes * 2 < s.choice().dense_bytes);
+        assert_eq!(s.decode(), c);
+    }
+
+    #[test]
+    fn seal_sorted_keys_is_delta() {
+        // A sorted high-cardinality integer key: every code distinct, so
+        // bitpacking needs 10 bits but deltas need 1.
+        let codes: Vec<u32> = (0..1000).collect();
+        let labels: Vec<String> = codes.iter().map(|c| c.to_string()).collect();
+        let c = EncodedColumn::from_codes(codes, labels);
+        let s = c.seal();
+        assert_eq!(s.encoding(), Encoding::Delta);
+        assert_eq!(s.decode(), c);
+        assert_eq!(s.runs().count(), 1000);
+        assert_eq!(s.code_at(423), Some(423));
+    }
+
+    #[test]
+    fn seal_tiny_column_stays_dense() {
+        // A single-row column: 4 dense bytes beat every alternative (RLE and
+        // bitpacking both pay a full 8-byte word, delta pays 12), so the
+        // dense fallback is the minimum.
+        let c = enc(&[Some("only")]);
+        let s = c.seal();
+        assert_eq!(s.encoding(), Encoding::Dense);
+        assert_eq!(s.choice().dense_bytes, 4);
+        assert_eq!(s.choice().sealed_bytes, 4);
+        assert_eq!(s.decode(), c);
+        assert!(matches!(s.view(), SealedView::Slice(_)));
+    }
+
+    #[test]
+    fn tie_break_prefers_run_iterable() {
+        // Two rows, one value: RLE (one 8-byte run) ties dense (8 bytes);
+        // the documented tie-break picks the run-iterable layout.
+        let c = enc(&[Some("x"), Some("x")]);
+        let s = c.seal();
+        assert_eq!(s.choice().dense_bytes, 8);
+        assert_eq!(s.choice().sealed_bytes, 8);
+        assert_eq!(s.encoding(), Encoding::RunLength);
+        assert_eq!(s.decode(), c);
+    }
+
+    #[test]
+    fn seal_round_trips_with_nulls() {
+        let c = enc(&[
+            Some("a"),
+            None,
+            Some("a"),
+            Some("b"),
+            None,
+            None,
+            Some("b"),
+            Some("b"),
+        ]);
+        let s = c.seal();
+        assert_eq!(s.decode(), c);
+        assert_eq!(s.null_count(), 3);
+        assert_eq!(s.n_present(), 5);
+        assert_eq!(s.code_at(1), None);
+        assert_eq!(s.code_at(3), Some(1));
+    }
+
+    #[test]
+    fn empty_column_seals() {
+        let c = enc(&[]);
+        let s = c.seal();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.decode(), c);
+        assert_eq!(s.runs().count(), 0);
+    }
+
+    #[test]
+    fn rle_random_access_binary_search() {
+        // Three runs of 100 rows each: 24 RLE bytes vs 1200 dense, so RLE
+        // wins and `code_at` goes through the binary search.
+        let vals: Vec<Option<&str>> = (0..300).map(|i| Some(["a", "b", "c"][i / 100])).collect();
+        let c = enc(&vals);
+        let s = c.seal();
+        assert_eq!(s.encoding(), Encoding::RunLength);
+        for i in (0..c.len()).step_by(7) {
+            assert_eq!(s.code_at(i), c.code_at(i), "row {i}");
+        }
+        assert_eq!(s.code_at(99), Some(0));
+        assert_eq!(s.code_at(100), Some(1));
+        assert_eq!(s.code_at(299), Some(2));
+    }
+
+    #[test]
+    fn view_exposes_slice_or_runs() {
+        let dense = enc(&[Some("only")]).seal();
+        assert!(matches!(dense.view(), SealedView::Slice(_)));
+        let rle = enc(&[Some("a"); 100]).seal();
+        match rle.view() {
+            SealedView::Runs(mut runs) => {
+                assert_eq!(
+                    runs.next(),
+                    Some(Run {
+                        value: 0,
+                        start: 0,
+                        end: 100
+                    })
+                );
+                assert_eq!(runs.next(), None);
+            }
+            SealedView::Slice(_) => panic!("RLE column must expose runs"),
+        }
+    }
+
+    #[test]
+    fn column_view_uniform_over_states() {
+        let c = enc(&[Some("a"), Some("a"), None, Some("b"), Some("b"), Some("b")]);
+        let s = c.seal();
+        let pv = ColumnView::from(&c);
+        let sv = ColumnView::from(&s);
+        assert_eq!(pv.len(), sv.len());
+        assert_eq!(pv.cardinality(), sv.cardinality());
+        assert_eq!(pv.labels(), sv.labels());
+        assert_eq!(pv.null_count(), sv.null_count());
+        assert_eq!(pv.codes(), sv.codes());
+        assert!(!pv.is_sealed() && sv.is_sealed());
+        for i in 0..c.len() {
+            assert_eq!(pv.code_at(i), sv.code_at(i));
+        }
+        let pr: Vec<Run> = pv.runs().collect();
+        let sr: Vec<Run> = sv.runs().collect();
+        assert_eq!(pr, sr);
+        // runs partition 0..len
+        assert_eq!(pr.first().map(|r| r.start), Some(0));
+        assert_eq!(pr.last().map(|r| r.end), Some(c.len()));
+        for w in pr.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn encoding_names_are_stable() {
+        assert_eq!(Encoding::Dense.name(), "dense");
+        assert_eq!(Encoding::RunLength.name(), "rle");
+        assert_eq!(Encoding::Bitpacked.name(), "bitpacked");
+        assert_eq!(Encoding::Delta.name(), "delta");
+    }
+}

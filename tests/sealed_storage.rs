@@ -1,0 +1,221 @@
+//! Property tests for the sealed column storage layer: `seal → view/decode`
+//! must reproduce the mutable column exactly for every encoding and null
+//! pattern, and the run-aware kernel paths must produce **bit-identical**
+//! estimates to the dense reference oracle — on shuffled (bitpacked-leaning)
+//! and adversarially runny (RLE-leaning) inputs alike.
+
+use proptest::prelude::*;
+
+use mesa_repro::infotheory::{
+    conditional_mutual_information, conditional_mutual_information_views, entropy, entropy_view,
+    mutual_information, mutual_information_views, JointTable,
+};
+use mesa_repro::tabular::{ColumnView, EncodedColumn, Encoding};
+
+/// Strategy: per-row cells with `0` = missing and `v >= 1` = code `v - 1`
+/// (same convention as `tests/kernel_equivalence.rs`).
+fn cells(len: usize, card: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..=card, len)
+}
+
+/// Expands `(value, length)` pairs into adversarially runny cells — few long
+/// runs of one value each, still covering nulls (`0`). The two vectors come
+/// from independent strategies (the vendored proptest has no tuple strategy);
+/// the shorter one bounds the number of runs.
+fn expand_runs(vals: &[u32], lens: &[usize]) -> Vec<u32> {
+    vals.iter()
+        .zip(lens)
+        .flat_map(|(&v, &n)| std::iter::repeat_n(v, n))
+        .collect()
+}
+
+fn to_column(cells: &[u32], card: u32) -> EncodedColumn {
+    let labels = (0..card.max(1)).map(|c| format!("v{c}")).collect();
+    EncodedColumn::from_option_codes(cells.iter().map(|&v| v.checked_sub(1)), labels)
+}
+
+/// Asserts every observable of the sealed column matches the mutable one:
+/// whole-column decode, per-row random access, and the run view.
+fn assert_seal_round_trip(col: &EncodedColumn) {
+    let sealed = col.seal();
+    assert_eq!(sealed.len(), col.len());
+    assert_eq!(sealed.cardinality(), col.cardinality());
+    assert_eq!(sealed.null_count(), col.null_count());
+    assert_eq!(&sealed.decode(), col, "decode() must round-trip exactly");
+    for i in 0..col.len() {
+        assert_eq!(sealed.code_at(i), col.code_at(i), "row {i}");
+        assert_eq!(sealed.is_present(i), col.is_present(i), "row {i}");
+    }
+    // The run view must partition the column and agree with the raw codes
+    // (code slots under nulls included — sealing preserves them).
+    let mut pos = 0usize;
+    for run in sealed.runs() {
+        assert_eq!(run.start, pos, "runs must partition the column");
+        assert!(run.end > run.start);
+        for i in run.start..run.end {
+            assert_eq!(col.codes()[i], run.value);
+        }
+        pos = run.end;
+    }
+    assert_eq!(pos, col.len());
+}
+
+/// Compares plain-vs-sealed estimates bit-for-bit at both kernel layouts
+/// (dense mixed-radix and sparse hash), weighted and unweighted.
+fn assert_bitwise_kernel_parity(cols: &[&EncodedColumn], weights: Option<&[f64]>) {
+    let sealed: Vec<_> = cols.iter().map(|c| c.seal()).collect();
+    let plain: Vec<ColumnView<'_>> = cols.iter().map(|&c| c.into()).collect();
+    let views: Vec<ColumnView<'_>> = sealed.iter().map(ColumnView::from).collect();
+    for dense_cells in [1usize << 20, 0] {
+        let reference = JointTable::build_views_with_threshold(&plain, weights, dense_cells);
+        let run_aware = JointTable::build_views_with_threshold(&views, weights, dense_cells);
+        assert_eq!(reference.complete_cases(), run_aware.complete_cases());
+        assert_eq!(reference.n_cells(), run_aware.n_cells());
+        assert_eq!(reference.total().to_bits(), run_aware.total().to_bits());
+        assert_eq!(reference.entropy().to_bits(), run_aware.entropy().to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random (shuffled-leaning) columns round-trip through seal/view.
+    #[test]
+    fn seal_round_trips_random_columns(xs in cells(90, 6)) {
+        assert_seal_round_trip(&to_column(&xs, 6));
+    }
+
+    /// Adversarially runny columns round-trip through seal/view.
+    #[test]
+    fn seal_round_trips_runny_columns(
+        vals in prop::collection::vec(0u32..=4, 1..12),
+        lens in prop::collection::vec(1usize..40, 1..12),
+    ) {
+        let xs = expand_runs(&vals, &lens);
+        assert_seal_round_trip(&to_column(&xs, 4));
+    }
+
+    /// Sorted fully-observed integer keys round-trip (the delta encoding).
+    #[test]
+    fn seal_round_trips_sorted_keys(ks in prop::collection::vec(0u32..5000, 1..120)) {
+        let mut ks = ks.clone();
+        ks.sort_unstable();
+        let card = ks.last().copied().unwrap_or(0) + 1;
+        let labels = (0..card).map(|c| c.to_string()).collect();
+        let col = EncodedColumn::from_codes(ks, labels);
+        let sealed = col.seal();
+        // Non-decreasing fully observed keys must pick a run-iterable or
+        // packed layout, never fall back to dense (beyond trivial columns).
+        if col.len() > 8 {
+            prop_assert!(sealed.encoding() != Encoding::Dense);
+        }
+        assert_seal_round_trip(&col);
+    }
+
+    /// Kernel parity on random columns: dense oracle vs run-aware fold,
+    /// unweighted, both table layouts, bit-identical.
+    #[test]
+    fn sealed_kernel_matches_oracle_random(
+        xs in cells(80, 5),
+        ys in cells(80, 3),
+    ) {
+        let x = to_column(&xs, 5);
+        let y = to_column(&ys, 3);
+        assert_bitwise_kernel_parity(&[&x, &y], None);
+    }
+
+    /// Kernel parity on adversarially runny columns (RLE-heavy, unequal run
+    /// boundaries between the two columns), weighted with zeros included.
+    #[test]
+    fn sealed_kernel_matches_oracle_runny(
+        xvals in prop::collection::vec(0u32..=4, 1..10),
+        xlens in prop::collection::vec(1usize..40, 1..10),
+        yvals in prop::collection::vec(0u32..=3, 1..10),
+        ylens in prop::collection::vec(1usize..40, 1..10),
+    ) {
+        let xs = expand_runs(&xvals, &xlens);
+        let ys = expand_runs(&yvals, &ylens);
+        let n = xs.len().min(ys.len());
+        let x = to_column(&xs[..n], 4);
+        let y = to_column(&ys[..n], 3);
+        assert_bitwise_kernel_parity(&[&x, &y], None);
+        let w: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.5).collect();
+        assert_bitwise_kernel_parity(&[&x, &y], Some(&w));
+    }
+
+    /// Measure-level bit identity: entropy, MI, and CMI computed through
+    /// sealed views equal the mutable-column estimates bit for bit.
+    #[test]
+    fn sealed_measures_are_bit_identical(
+        xs in cells(70, 4),
+        yvals in prop::collection::vec(0u32..=3, 1..9),
+        ylens in prop::collection::vec(1usize..40, 1..9),
+        zs in cells(70, 2),
+    ) {
+        let ys = expand_runs(&yvals, &ylens);
+        let n = xs.len().min(ys.len()).min(zs.len());
+        let x = to_column(&xs[..n], 4);
+        let y = to_column(&ys[..n], 3);
+        let z = to_column(&zs[..n], 2);
+        let (sx, sy, sz) = (x.seal(), y.seal(), z.seal());
+        prop_assert_eq!(
+            entropy(&x, None).to_bits(),
+            entropy_view(ColumnView::from(&sx), None).to_bits()
+        );
+        prop_assert_eq!(
+            mutual_information(&x, &y, None).to_bits(),
+            mutual_information_views((&sx).into(), (&sy).into(), None).to_bits()
+        );
+        prop_assert_eq!(
+            conditional_mutual_information(&x, &y, &[&z], None).to_bits(),
+            conditional_mutual_information_views(
+                (&sx).into(),
+                (&sy).into(),
+                &[(&sz).into()],
+                None
+            )
+            .to_bits()
+        );
+    }
+
+    /// Mixed lifecycle states in one table (sealed exposure, mutable outcome)
+    /// still match the all-mutable oracle bit for bit.
+    #[test]
+    fn mixed_states_match_oracle(
+        xvals in prop::collection::vec(0u32..=3, 1..8),
+        xlens in prop::collection::vec(1usize..40, 1..8),
+        ys in cells(60, 4),
+    ) {
+        let xs = expand_runs(&xvals, &xlens);
+        let n = xs.len().min(ys.len());
+        let x = to_column(&xs[..n], 3);
+        let y = to_column(&ys[..n], 4);
+        let sx = x.seal();
+        for dense_cells in [1usize << 20, 0] {
+            let oracle =
+                JointTable::build_views_with_threshold(&[(&x).into(), (&y).into()], None, dense_cells);
+            let mixed =
+                JointTable::build_views_with_threshold(&[(&sx).into(), (&y).into()], None, dense_cells);
+            prop_assert_eq!(oracle.complete_cases(), mixed.complete_cases());
+            prop_assert_eq!(oracle.entropy().to_bits(), mixed.entropy().to_bits());
+        }
+    }
+
+    /// Footprint sanity: sealing never increases the code payload, and runny
+    /// columns compress.
+    #[test]
+    fn sealing_never_grows_the_payload(
+        vals in prop::collection::vec(0u32..=3, 1..6),
+        lens in prop::collection::vec(1usize..40, 1..6),
+    ) {
+        let xs = expand_runs(&vals, &lens);
+        let col = to_column(&xs, 3);
+        let sealed = col.seal();
+        let choice = sealed.choice();
+        prop_assert!(choice.sealed_bytes <= choice.dense_bytes);
+        if col.len() >= 64 {
+            // six runs over 64+ rows must beat 4 bytes/row handily
+            prop_assert!(choice.sealed_bytes * 2 <= choice.dense_bytes);
+        }
+    }
+}
