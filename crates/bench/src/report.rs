@@ -8,7 +8,11 @@
 //!
 //! The JSON is hand-rolled (no serde in the dependency tree); the schema is
 //! one object with a `name` and an `entries` array of
-//! `{label, rows, reps, median_ms, min_ms, max_ms}`.
+//! `{label, rows, reps, threads, median_ms, min_ms, max_ms}`. `threads` is
+//! the effective fan-out concurrency at record time
+//! ([`parallel::effective_threads`]) — the pool size clamped by any
+//! enclosing `with_thread_cap`, so thread-scaling sweeps are
+//! self-describing per entry.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -26,6 +30,8 @@ pub struct BenchEntry {
     pub rows: usize,
     /// Number of repetitions.
     pub reps: usize,
+    /// Effective fan-out thread count while the samples were taken.
+    pub threads: usize,
     /// Median wall-clock milliseconds.
     pub median_ms: f64,
     /// Fastest repetition.
@@ -87,6 +93,7 @@ impl BenchReport {
             label: label.to_string(),
             rows,
             reps: samples_ms.len(),
+            threads: parallel::effective_threads(),
             median_ms: median,
             min_ms: if min.is_finite() { min } else { 0.0 },
             max_ms: max,
@@ -106,11 +113,12 @@ impl BenchReport {
         out.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"label\": \"{}\", \"rows\": {}, \"reps\": {}, \
+                "    {{\"label\": \"{}\", \"rows\": {}, \"reps\": {}, \"threads\": {}, \
                  \"median_ms\": {:.3}, \"min_ms\": {:.3}, \"max_ms\": {:.3}}}{}\n",
                 escape(&e.label),
                 e.rows,
                 e.reps,
+                e.threads,
                 e.median_ms,
                 e.min_ms,
                 e.max_ms,

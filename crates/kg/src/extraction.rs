@@ -13,7 +13,10 @@
 //! The pipeline is id-based end to end: values are linked to interned
 //! symbols by the graph's cached [`crate::EntityLinker`], the multi-hop expansion
 //! runs **once per distinct entity** (rows sharing `"United States"` share
-//! one BFS) and fans out over [`parallel::parallel_map`], per-entity
+//! one BFS) and fans out over [`parallel::parallel_map`] on the persistent
+//! pool — hub entities with large neighbourhoods are absorbed by dynamic
+//! claiming, and extraction nested under a session batch or candidate
+//! fan-out shares the pool instead of spawning threads — per-entity
 //! property scans walk borrowed CSR slices, and results are scattered into
 //! dense per-column builders keyed by an attribute-name index instead of a
 //! `BTreeMap<String, HashMap<usize, Value>>`.

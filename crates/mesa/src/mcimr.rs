@@ -88,8 +88,10 @@ pub fn mcimr(
 
     // The relevance term `v1 = I(O; T | E_cand)` conditions only on the
     // candidate itself, never on the selected set, so it is constant across
-    // greedy rounds: compute every candidate's term once (in parallel) and
-    // reuse it. Keyed by candidate name.
+    // greedy rounds: compute every candidate's term once (fanned out over
+    // the persistent pool — per-candidate CMI cost is skewed by
+    // cardinality, which the pool's dynamic claiming absorbs) and reuse it.
+    // Keyed by candidate name.
     let v1_terms: Vec<Result<f64>> = parallel_map(&remaining, |_, cand| {
         Ok(prepared
             .encoded

@@ -253,7 +253,8 @@ pub fn analyze_candidates(
         return Ok(out);
     }
     // Each attribute's analysis is independent read-only work over the
-    // encoded frame — fan it out across scoped threads.
+    // encoded frame — fan it out over the persistent pool (adaptive grain:
+    // attributes with expensive IPW fits don't strand the cheap ones).
     let analyses = crate::parallel::parallel_map(candidates, |_, c| {
         analyze_attribute(encoded, c, outcome, exposure, feature_columns, ci)
     });

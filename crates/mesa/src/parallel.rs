@@ -1,8 +1,14 @@
-//! Re-export of the shared [`parallel`] fan-out crate.
+//! Re-export of the shared [`parallel`] runtime crate.
 //!
 //! The implementation lived here until PR 3 hoisted it into
 //! `crates/parallel` so that `kg` (a dependency of `mesa`) can fan out
-//! per-entity extraction without an upward dependency. This module keeps the
-//! `mesa::parallel::parallel_map` / `mesa::parallel_map` paths working.
+//! per-entity extraction without an upward dependency; PR 7 replaced the
+//! scoped-thread chunker there with the persistent pool. This module keeps
+//! the `mesa::parallel::parallel_map` / `mesa::parallel_map` paths working
+//! and surfaces the runtime controls ([`set_threads`], [`with_thread_cap`],
+//! [`effective_threads`]) to downstream users of `mesa`.
 
-pub use parallel::parallel_map;
+pub use parallel::{
+    effective_threads, parallel_map, parallel_map_with, scoped_map, set_threads, with_thread_cap,
+    FanOut,
+};

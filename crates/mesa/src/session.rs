@@ -20,8 +20,11 @@
 //!   repeating a query is a hash lookup.
 //!
 //! [`Session::explain_many`] batches independent queries: cached results are
-//! resolved inline, distinct uncached queries fan out over
-//! [`parallel::parallel_map`], and all of them share the extraction cache.
+//! resolved inline, distinct uncached queries fan out as one persistent-pool
+//! task each ([`parallel::parallel_map_with`]), and all of them share the
+//! extraction cache. The per-query pipelines' own fan-outs nest inside the
+//! batch tasks on the same pool, so batch × candidate × extraction
+//! parallelism composes at the pool's fixed thread count.
 //!
 //! The one-shot [`crate::Mesa::explain`] is a thin wrapper over a transient
 //! session, so there is a single pipeline implementation; the equivalence of
@@ -373,8 +376,8 @@ impl<'a> Session<'a> {
     /// query in input order.
     ///
     /// Cached queries are resolved inline under a single lock (a fully warm
-    /// batch is one memo pass, no thread spawns); the distinct uncached
-    /// ones fan out over [`parallel::parallel_map`] and share this
+    /// batch is one memo pass that never touches the pool); the distinct
+    /// uncached ones fan out as one pool task per query and share this
     /// session's extraction cache. Results are byte-identical to calling
     /// [`Session::explain`] sequentially (locked by `tests/session.rs`):
     /// every path runs the same deterministic pipeline, and duplicates
@@ -410,14 +413,16 @@ impl<'a> Session<'a> {
                 .map(|slot| slot.expect("all queries resolved from the memo"))
                 .collect();
         }
-        // Fan the distinct uncached queries out; a single miss runs inline
-        // so a near-warm batch costs no thread spawns.
-        let computed: Vec<Result<Arc<MesaReport>>> = match misses.as_slice() {
-            [i] => vec![self.explain_keyed(&fingerprints[*i], &queries[*i])],
-            _ => parallel::parallel_map(&misses, |_, &i| {
+        // Fan the distinct uncached queries out, one pool task per query:
+        // whole explanation pipelines are heavyweight items, so even a
+        // two-miss batch parallelises ([`parallel::FanOut::heavy`]) while a
+        // single miss stays inline on the calling thread. The fan-out
+        // composes with the pipeline's inner fan-outs (candidate scoring,
+        // extraction) through the shared pool instead of oversubscribing.
+        let computed: Vec<Result<Arc<MesaReport>>> =
+            parallel::parallel_map_with(&misses, parallel::FanOut::heavy(), |_, &i| {
                 self.explain_keyed(&fingerprints[i], &queries[i])
-            }),
-        };
+            });
         // For each computed fingerprint: its result and whether the slot at
         // hand is the occurrence that computed it.
         let by_fingerprint: HashMap<&str, (usize, &Result<Arc<MesaReport>>)> = misses

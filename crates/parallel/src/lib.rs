@@ -1,70 +1,121 @@
 //! # parallel
 //!
-//! Scoped-thread fan-out for independent per-item work, shared by every
-//! layer that needs it (MCIMR candidate scoring, the selection-bias
-//! analysis, per-entity KG attribute extraction).
+//! The persistent work-sharing runtime behind every parallel hot path in
+//! the reproduction: per-entity KG extraction, MCIMR candidate scoring,
+//! `explain_many` batch fan-out, and the selection-bias analysis.
 //!
-//! The items are evaluated independently against shared read-only state, so
-//! they parallelise with plain `std::thread::scope` chunking — no external
-//! thread-pool dependency. On a single-core host (or for small inputs) the
-//! fan-out degenerates to the serial loop, so results are identical either
-//! way: outputs are collected per chunk and re-assembled in input order.
+//! [`parallel_map`] keeps the contract the old scoped-thread chunker had —
+//! results assembled in input order, panics propagated, auto-serial for
+//! small inputs — but executes on a lazily-built process-wide pool instead
+//! of spawning fresh OS threads per call (see [`pool`] module docs for the
+//! runtime design: lock-free batch claiming with adaptive grain, parked
+//! workers, and composable nested fan-outs that never spawn or deadlock).
+//!
+//! ## Thread-count governance
+//!
+//! The pool size is resolved **once per process**, in precedence order:
+//!
+//! 1. the `MESA_THREADS` environment variable (must be a positive integer);
+//! 2. a [`set_threads`] call made before the first fan-out;
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! [`with_thread_cap`] scopes a *cap* below the pool size (inherited by
+//! nested fan-outs), which is how benchmarks sweep 1/2/4/8 threads and the
+//! determinism suite forces thread counts inside a single process. Outputs
+//! are byte-identical at every thread count by construction: each item owns
+//! an input-order result slot and every reduction runs on the calling
+//! thread in input order.
 
 #![deny(missing_docs)]
 
-/// Minimum number of items before threads are spawned; below this the
-/// per-thread setup cost outweighs the work.
+pub mod pool;
+pub mod scoped;
+
+pub use pool::{effective_threads, set_threads, with_thread_cap};
+pub use scoped::scoped_map;
+
+/// Minimum number of items before the pool is engaged; below this the
+/// submission cost outweighs the work for typical (cheap) items.
 const MIN_ITEMS_PER_FAN_OUT: usize = 8;
 
-/// Applies `f` to every item (with its index), preserving input order in the
-/// returned vector. Uses up to `available_parallelism` scoped threads, each
-/// working one contiguous chunk.
+/// Tuning knobs for one fan-out call. The default reproduces
+/// [`parallel_map`]'s behaviour; call sites whose items are individually
+/// expensive (whole explanation pipelines, not per-candidate scores) use
+/// [`FanOut::heavy`] so even a 2-item batch parallelises at grain 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FanOut {
+    /// Inputs shorter than this run serially on the calling thread.
+    pub min_items: usize,
+    /// Items claimed per scheduling step; `None` picks an adaptive grain
+    /// (about 8 claims per participating thread).
+    pub grain: Option<usize>,
+}
+
+impl Default for FanOut {
+    fn default() -> Self {
+        FanOut {
+            min_items: MIN_ITEMS_PER_FAN_OUT,
+            grain: None,
+        }
+    }
+}
+
+impl FanOut {
+    /// Settings for fan-outs over individually expensive items: any batch
+    /// of ≥ 2 parallelises and every item is its own scheduling unit.
+    pub fn heavy() -> Self {
+        FanOut {
+            min_items: 2,
+            grain: Some(1),
+        }
+    }
+}
+
+/// Applies `f` to every item (with its index), preserving input order in
+/// the returned vector. Runs on the persistent pool at up to
+/// [`effective_threads`] concurrency; small inputs (and `cap = 1`) run
+/// serially on the calling thread. Safe to call from inside a pool task:
+/// nested fan-outs share the pool instead of spawning threads.
 ///
 /// # Panics
-/// Propagates panics from `f`.
+/// Propagates the first panic raised by `f` (after all in-flight items
+/// have drained).
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
-    if threads <= 1 || items.len() < MIN_ITEMS_PER_FAN_OUT {
+    parallel_map_with(items, FanOut::default(), f)
+}
+
+/// [`parallel_map`] with explicit [`FanOut`] tuning.
+pub fn parallel_map_with<T, R, F>(items: &[T], fan_out: FanOut, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if effective_threads() <= 1 || items.len() < fan_out.min_items.max(2) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .enumerate()
-            .map(|(ci, chunk)| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(j, t)| f(ci * chunk_len + j, t))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for handle in handles {
-            out.extend(handle.join().expect("worker thread panicked"));
-        }
-        out
-    })
+    pool::run_pooled(items, fan_out.grain, f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Every pool-path test goes through this so the process resolves a
+    /// deterministic multi-thread pool even on a single-core host
+    /// (`MESA_THREADS`, when set, still wins).
+    fn pool4() -> usize {
+        set_threads(4)
+    }
+
     #[test]
     fn preserves_order_and_indices() {
+        pool4();
         let items: Vec<usize> = (0..100).collect();
         let out = parallel_map(&items, |i, &x| {
             assert_eq!(i, x);
@@ -75,6 +126,7 @@ mod tests {
 
     #[test]
     fn small_and_empty_inputs() {
+        pool4();
         let out = parallel_map(&[1, 2, 3], |_, &x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
         let empty: Vec<i32> = Vec::new();
@@ -83,6 +135,7 @@ mod tests {
 
     #[test]
     fn results_carry_errors_per_item() {
+        pool4();
         let items: Vec<i32> = (0..40).collect();
         let out: Vec<Result<i32, String>> = parallel_map(&items, |_, &x| {
             if x % 7 == 0 {
@@ -93,5 +146,81 @@ mod tests {
         });
         assert_eq!(out.iter().filter(|r| r.is_err()).count(), 6);
         assert_eq!(out[1], Ok(1));
+    }
+
+    #[test]
+    fn thread_cap_one_is_fully_serial() {
+        pool4();
+        let caller = std::thread::current().id();
+        let items: Vec<usize> = (0..64).collect();
+        let ids = with_thread_cap(1, || {
+            parallel_map(&items, |_, _| std::thread::current().id())
+        });
+        assert!(ids.iter().all(|&id| id == caller));
+        assert_eq!(effective_threads(), pool4(), "cap restored after scope");
+    }
+
+    #[test]
+    fn heavy_fan_out_parallelises_two_items() {
+        pool4();
+        // Contract check only (scheduling may still run both on one thread
+        // on a busy host): a 2-item heavy fan-out takes the pool path and
+        // returns in order.
+        let out = parallel_map_with(&[10, 20], FanOut::heavy(), |i, &x| (i, x * 2));
+        assert_eq!(out, vec![(0, 20), (1, 40)]);
+        // Below min_items it stays serial even for heavy settings.
+        let caller = std::thread::current().id();
+        let one = parallel_map_with(&[7], FanOut::heavy(), |_, _| std::thread::current().id());
+        assert_eq!(one, vec![caller]);
+    }
+
+    #[test]
+    fn panic_payload_is_resumed_once_after_drain() {
+        pool4();
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic! with format produces a String payload");
+        assert_eq!(msg, "boom 13");
+        // The pool survives a panicked job.
+        let ok = parallel_map(&items, |_, &x| x + 1);
+        assert_eq!(ok[63], 64);
+    }
+
+    #[test]
+    fn scoped_reference_joins_all_before_resuming() {
+        // Two panicking chunks: the old `join().expect()` pattern aborted
+        // here (panic during unwind in the scope guard); the fixed version
+        // joins everything and resumes the first payload.
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            scoped_map(&items, 4, |_, &x| {
+                if x % 16 == 3 {
+                    panic!("chunk panic at {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+        let ok = scoped_map(&items, 4, |i, &x| i + x);
+        assert_eq!(ok[10], 20);
+    }
+
+    #[test]
+    fn scoped_reference_matches_pool_output() {
+        pool4();
+        let items: Vec<u64> = (0..200).collect();
+        let pooled = parallel_map(&items, |i, &x| x * x + i as u64);
+        let scoped = scoped_map(&items, 4, |i, &x| x * x + i as u64);
+        assert_eq!(pooled, scoped);
     }
 }

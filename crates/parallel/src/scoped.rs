@@ -1,0 +1,69 @@
+//! The pre-pool scoped-thread chunker, kept as the measured reference
+//! baseline.
+//!
+//! This is the fan-out strategy the pool replaced: spawn fresh
+//! `std::thread::scope` threads per call and split the items into equal
+//! contiguous chunks. `appendix_parallel` times it side by side with the
+//! pool at each point of the thread-scaling sweep so `BENCH_parallel.json`
+//! records the pool's overhead (spawn/join cost avoided, dynamic vs static
+//! balance) against a live implementation instead of a historical number.
+//! Production call sites all go through [`parallel_map`](crate::parallel_map).
+
+use std::any::Any;
+use std::panic::resume_unwind;
+
+/// Applies `f` to every item (with its index) using up to `threads` fresh
+/// scoped threads, each working one contiguous equal chunk; results are
+/// reassembled in input order. Runs serially when `threads <= 1` or below
+/// the default [`FanOut`](crate::FanOut) `min_items` threshold, mirroring
+/// the pool's auto-serial contract.
+///
+/// # Panics
+/// Propagates the first worker panic after all workers are joined (a
+/// panicking chunk does not abort the process while other chunks are still
+/// unwinding — the double-panic the old `join().expect()` pattern risked).
+pub fn scoped_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 || items.len() < crate::FanOut::default().min_items {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(ci * chunk_len + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        // Join every worker before propagating anything: resuming the first
+        // panic while later handles are unjoined would make the scope guard
+        // panic during unwind and abort.
+        let mut out = Vec::with_capacity(items.len());
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => out.extend(chunk),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        out
+    })
+}

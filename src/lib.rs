@@ -27,7 +27,7 @@
 //! | §5 evaluation | Synthetic world, the four datasets, the 14-query workload | [`datagen`]; experiment binaries in `crates/bench/src/bin` |
 //! | §5 baselines | Brute-Force, Top-K, Linear Regression, HypDB | [`mesa::baselines`] |
 //! | (infrastructure) | Entropy / CMI estimators, CI tests, the dense counting kernel | [`infotheory`] ([`infotheory::EncodedFrame`], `infotheory::kernel`) |
-//! | (infrastructure) | Scoped-thread fan-out shared by extraction, scoring, sessions | `parallel` (re-exported as [`mesa::parallel_map`]) |
+//! | (infrastructure) | Persistent work-sharing pool (nested fan-outs, `MESA_THREADS`) shared by extraction, scoring, sessions | `parallel` (re-exported as [`mesa::parallel_map`], controls under [`mesa::parallel`]) |
 //!
 //! ## Two ways to run the system
 //!

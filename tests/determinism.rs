@@ -152,6 +152,71 @@ fn sparse_and_dense_paths_agree_on_the_shuffled_table() {
     assert!((dense.entropy() - sparse.entropy()).abs() < 1e-12);
 }
 
+/// A representative explain + `explain_many` workload rendered to exact
+/// bytes (summary + full-precision `Debug` floats), run entirely under one
+/// thread cap.
+fn render_workload_at(cap: usize) -> String {
+    use mesa_repro::datagen::{
+        build_kg, generate_covid, representative_queries_for, Dataset, KgConfig, World, WorldConfig,
+    };
+    use mesa_repro::mesa::{parallel, report_summary, Mesa};
+
+    parallel::with_thread_cap(cap, || {
+        let world = World::generate(WorldConfig {
+            n_countries: 60,
+            n_cities: 25,
+            n_airlines: 6,
+            n_celebrities: 80,
+            seed: 23,
+        });
+        let graph = build_kg(&world, KgConfig::default());
+        let covid = generate_covid(&world, 3).unwrap();
+        let queries: Vec<AggregateQuery> = representative_queries_for(Dataset::Covid)
+            .into_iter()
+            .map(|wq| wq.query)
+            .collect();
+        let mesa = Mesa::new();
+        let mut out = String::new();
+        // Cold one-shot explains: candidate scoring and extraction fan out
+        // inside each call.
+        let session = mesa.session(&covid, Some(&graph), &["Country"]);
+        for q in &queries {
+            let report = session.explain(q).unwrap();
+            out.push_str(&report_summary(&report));
+            out.push_str(&format!("\n{:?}\n", report.explanation));
+        }
+        // Batched misses on a fresh session: the batch-level fan-out nests
+        // the per-query pipelines' fan-outs on the same pool.
+        let batched = mesa.session(&covid, Some(&graph), &["Country"]);
+        for result in batched.explain_many(&queries) {
+            let report = result.unwrap();
+            out.push_str(&report_summary(&report));
+            out.push_str(&format!("\n{:?}\n", report.explanation));
+        }
+        out
+    })
+}
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    // Force a 4-thread pool even on a single-core host so caps 2 and 4
+    // genuinely schedule across workers (`MESA_THREADS`, when set, takes
+    // precedence; CI additionally runs the whole suite at MESA_THREADS=4).
+    let pool = mesa_repro::mesa::parallel::set_threads(4);
+    let reference = render_workload_at(1);
+    assert!(!reference.is_empty());
+    for cap in [2usize, 4] {
+        if cap > pool {
+            continue; // MESA_THREADS forced a smaller pool for the process
+        }
+        assert_eq!(
+            render_workload_at(cap),
+            reference,
+            "workload output must be byte-identical at {cap} threads vs serial"
+        );
+    }
+}
+
 #[test]
 fn encoded_frame_cmi_is_reproducible_via_prepare() {
     // End-to-end: the prepared query's scores are bit-stable across two
