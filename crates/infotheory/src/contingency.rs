@@ -11,7 +11,7 @@
 //! into a flat dense vector via mixed-radix code packing; larger ones fall
 //! back to the sparse hash-map path.
 
-use tabular::{ColumnView, EncodedColumn};
+use tabular::{ColumnView, EncodedColumn, TabularError};
 
 use crate::kernel::{self, JointCounts};
 
@@ -54,12 +54,34 @@ impl JointTable {
         weights: Option<&[f64]>,
         dense_cells: usize,
     ) -> Self {
-        let acc = kernel::accumulate(columns, weights, dense_cells);
-        JointTable {
+        Self::try_build_with_threshold(columns, weights, dense_cells)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`build`](JointTable::build) with the length/weight contract
+    /// surfaced as a structured [`TabularError`] instead of a panic — the
+    /// serving-path entry point.
+    pub fn try_build(
+        columns: &[&EncodedColumn],
+        weights: Option<&[f64]>,
+    ) -> Result<Self, TabularError> {
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        Self::try_build_with_threshold(columns, weights, kernel::adaptive_dense_cells(n))
+    }
+
+    /// [`build_with_threshold`](JointTable::build_with_threshold), returning
+    /// contract violations as [`TabularError::InvalidArgument`].
+    pub fn try_build_with_threshold(
+        columns: &[&EncodedColumn],
+        weights: Option<&[f64]>,
+        dense_cells: usize,
+    ) -> Result<Self, TabularError> {
+        let acc = kernel::try_accumulate(columns, weights, dense_cells)?;
+        Ok(JointTable {
             counts: acc.counts,
             total: acc.total,
             complete_cases: acc.complete_cases,
-        }
+        })
     }
 
     /// Builds the joint table over columns in either lifecycle state
@@ -79,12 +101,33 @@ impl JointTable {
         weights: Option<&[f64]>,
         dense_cells: usize,
     ) -> Self {
-        let acc = kernel::accumulate_views(columns, weights, dense_cells);
-        JointTable {
+        Self::try_build_views_with_threshold(columns, weights, dense_cells)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`build_views`](JointTable::build_views) with contract violations
+    /// returned as [`TabularError::InvalidArgument`] instead of panicking.
+    pub fn try_build_views(
+        columns: &[ColumnView<'_>],
+        weights: Option<&[f64]>,
+    ) -> Result<Self, TabularError> {
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        Self::try_build_views_with_threshold(columns, weights, kernel::adaptive_dense_cells(n))
+    }
+
+    /// [`build_views_with_threshold`](JointTable::build_views_with_threshold),
+    /// returning contract violations as [`TabularError::InvalidArgument`].
+    pub fn try_build_views_with_threshold(
+        columns: &[ColumnView<'_>],
+        weights: Option<&[f64]>,
+        dense_cells: usize,
+    ) -> Result<Self, TabularError> {
+        let acc = kernel::try_accumulate_views(columns, weights, dense_cells)?;
+        Ok(JointTable {
             counts: acc.counts,
             total: acc.total,
             complete_cases: acc.complete_cases,
-        }
+        })
     }
 
     /// Whether the table is stored densely.

@@ -204,6 +204,14 @@ impl EncodedFrame {
         names.iter().map(|&n| self.column(n)).collect()
     }
 
+    /// Checks the IPW weight contract (one finite, non-negative weight per
+    /// row) up front, so weighted measures return a structured
+    /// [`TabularError::InvalidArgument`] on the serving path instead of
+    /// panicking inside the counting kernel.
+    fn check_weights(&self, weights: Option<&[f64]>) -> Result<()> {
+        crate::kernel::validate_weights(self.n_rows(), weights)
+    }
+
     /// `H(X)`.
     pub fn entropy(&self, x: &str) -> Result<f64> {
         Ok(measures::entropy_view(self.column(x)?, None))
@@ -220,6 +228,7 @@ impl EncodedFrame {
 
     /// `I(X; Y)`, optionally IPW-weighted.
     pub fn mutual_information(&self, x: &str, y: &str, weights: Option<&[f64]>) -> Result<f64> {
+        self.check_weights(weights)?;
         Ok(measures::mutual_information_views(
             self.column(x)?,
             self.column(y)?,
@@ -230,6 +239,7 @@ impl EncodedFrame {
     /// `I(X; Y | Z)` for a set of conditioning columns, optionally
     /// IPW-weighted.
     pub fn cmi(&self, x: &str, y: &str, z: &[&str], weights: Option<&[f64]>) -> Result<f64> {
+        self.check_weights(weights)?;
         Ok(measures::conditional_mutual_information_views(
             self.column(x)?,
             self.column(y)?,
@@ -240,6 +250,7 @@ impl EncodedFrame {
 
     /// Interaction information `II(X; Y; Z)`.
     pub fn interaction(&self, x: &str, y: &str, z: &str, weights: Option<&[f64]>) -> Result<f64> {
+        self.check_weights(weights)?;
         Ok(measures::interaction_information_views(
             self.column(x)?,
             self.column(y)?,
@@ -257,6 +268,7 @@ impl EncodedFrame {
         weights: Option<&[f64]>,
         config: CiTestConfig,
     ) -> Result<CiTestResult> {
+        self.check_weights(weights)?;
         Ok(ci_test_views(
             self.column(x)?,
             self.column(y)?,

@@ -29,7 +29,14 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use tabular::{Access, Bitmap, ColumnView, EncodedColumn, PackedInts, Run, RunIter};
+use tabular::{Access, Bitmap, ColumnView, EncodedColumn, PackedInts, Run, RunIter, TabularError};
+
+/// Rows folded between cooperative cancellation checkpoints in the per-row
+/// accumulation loops (the segment/block folds checkpoint at their natural
+/// coarser boundaries instead). Coarse enough that the thread-local read is
+/// invisible next to the fold work, fine enough that a deadline lands
+/// within a fraction of a millisecond of kernel time.
+const CHECKPOINT_ROWS: usize = 4096;
 
 /// A deterministic FxHash-style hasher: multiply-xor folding with fixed
 /// constants and no per-process seed. Quality is more than sufficient for
@@ -192,25 +199,72 @@ pub struct Accumulated {
 /// # Panics
 /// Panics if the columns (or the weight vector) have inconsistent lengths,
 /// or if any weight is negative or non-finite (NaN / infinite weights would
-/// silently corrupt every downstream entropy).
+/// silently corrupt every downstream entropy). Serving paths that must not
+/// unwind use [`try_accumulate`] instead.
 pub fn accumulate(
     columns: &[&EncodedColumn],
     weights: Option<&[f64]>,
     dense_cells: usize,
 ) -> Accumulated {
+    try_accumulate(columns, weights, dense_cells).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`accumulate`] with the length/weight contract surfaced as a structured
+/// [`TabularError::InvalidArgument`] instead of a panic — the serving-path
+/// entry point.
+pub fn try_accumulate(
+    columns: &[&EncodedColumn],
+    weights: Option<&[f64]>,
+    dense_cells: usize,
+) -> Result<Accumulated, TabularError> {
     let n = columns.first().map(|c| c.len()).unwrap_or(0);
-    for c in columns {
-        assert_eq!(c.len(), n, "all columns must have equal length");
-    }
-    if let Some(w) = weights {
-        assert_eq!(w.len(), n, "weights must have one entry per row");
-        for (i, &wi) in w.iter().enumerate() {
-            assert!(
-                wi.is_finite() && wi >= 0.0,
-                "invalid IPW weight {wi} at row {i}: weights must be finite and non-negative"
-            );
+    validate_lengths(n, columns.iter().map(|c| c.len()))?;
+    validate_weights(n, weights)?;
+    parallel::fault_point!("infotheory.kernel.accumulate");
+    Ok(accumulate_validated(columns, weights, dense_cells, n))
+}
+
+/// Returns an error unless every column length equals `n`.
+fn validate_lengths(n: usize, lens: impl IntoIterator<Item = usize>) -> Result<(), TabularError> {
+    for len in lens {
+        if len != n {
+            return Err(TabularError::InvalidArgument(format!(
+                "all columns must have equal length (expected {n}, got {len})"
+            )));
         }
     }
+    Ok(())
+}
+
+/// Validates the IPW weight contract against `n` rows: one weight per row,
+/// every weight finite and non-negative. Shared by the accumulate entry
+/// points and by [`EncodedFrame`](crate::EncodedFrame)'s weighted measures
+/// so invalid weights surface as structured errors before any fold runs.
+pub fn validate_weights(n: usize, weights: Option<&[f64]>) -> Result<(), TabularError> {
+    let Some(w) = weights else { return Ok(()) };
+    if w.len() != n {
+        return Err(TabularError::InvalidArgument(format!(
+            "weights must have one entry per row (expected {n}, got {})",
+            w.len()
+        )));
+    }
+    for (i, &wi) in w.iter().enumerate() {
+        if !(wi.is_finite() && wi >= 0.0) {
+            return Err(TabularError::InvalidArgument(format!(
+                "invalid IPW weight {wi} at row {i}: weights must be finite and non-negative"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`accumulate`]'s body, after the input contract has been checked.
+fn accumulate_validated(
+    columns: &[&EncodedColumn],
+    weights: Option<&[f64]>,
+    dense_cells: usize,
+    n: usize,
+) -> Accumulated {
     let mask = complete_case_mask(columns, n);
     let mut total = 0.0;
     let mut complete_cases = 0usize;
@@ -218,7 +272,12 @@ pub fn accumulate(
         Some(cells) => {
             let mut counts = vec![0.0f64; cells];
             let radices: Vec<usize> = columns.iter().map(|c| c.cardinality().max(1)).collect();
+            let mut ticker = 0usize;
             for row in mask.iter_set() {
+                ticker += 1;
+                if ticker.is_multiple_of(CHECKPOINT_ROWS) {
+                    parallel::checkpoint();
+                }
                 let w = weights.map(|w| w[row]).unwrap_or(1.0);
                 if w == 0.0 {
                     continue;
@@ -237,7 +296,12 @@ pub fn accumulate(
         }
         None => {
             let mut counts = SparseCounts::default();
+            let mut ticker = 0usize;
             for row in mask.iter_set() {
+                ticker += 1;
+                if ticker.is_multiple_of(CHECKPOINT_ROWS) {
+                    parallel::checkpoint();
+                }
                 let w = weights.map(|w| w[row]).unwrap_or(1.0);
                 if w == 0.0 {
                     continue;
@@ -310,11 +374,25 @@ pub fn dense_cell_count_views(columns: &[ColumnView<'_>], threshold: usize) -> O
 ///
 /// # Panics
 /// As [`accumulate`]: inconsistent lengths, or negative/non-finite weights.
+/// Serving paths that must not unwind use [`try_accumulate_views`].
 pub fn accumulate_views(
     columns: &[ColumnView<'_>],
     weights: Option<&[f64]>,
     dense_cells: usize,
 ) -> Accumulated {
+    try_accumulate_views(columns, weights, dense_cells).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`accumulate_views`] with the length/weight contract surfaced as a
+/// structured [`TabularError::InvalidArgument`] instead of a panic.
+pub fn try_accumulate_views(
+    columns: &[ColumnView<'_>],
+    weights: Option<&[f64]>,
+    dense_cells: usize,
+) -> Result<Accumulated, TabularError> {
+    let n = columns.first().map(|c| c.len()).unwrap_or(0);
+    validate_lengths(n, columns.iter().map(|c| c.len()))?;
+    validate_weights(n, weights)?;
     if columns.iter().all(|c| !c.is_sealed()) {
         let plain: Vec<&EncodedColumn> = columns
             .iter()
@@ -323,21 +401,20 @@ pub fn accumulate_views(
                 ColumnView::Sealed(_) => unreachable!("checked all-plain above"),
             })
             .collect();
-        return accumulate(&plain, weights, dense_cells);
+        parallel::fault_point!("infotheory.kernel.accumulate");
+        return Ok(accumulate_validated(&plain, weights, dense_cells, n));
     }
-    let n = columns.first().map(|c| c.len()).unwrap_or(0);
-    for c in columns {
-        assert_eq!(c.len(), n, "all columns must have equal length");
-    }
-    if let Some(w) = weights {
-        assert_eq!(w.len(), n, "weights must have one entry per row");
-        for (i, &wi) in w.iter().enumerate() {
-            assert!(
-                wi.is_finite() && wi >= 0.0,
-                "invalid IPW weight {wi} at row {i}: weights must be finite and non-negative"
-            );
-        }
-    }
+    parallel::fault_point!("infotheory.kernel.accumulate");
+    Ok(accumulate_views_validated(columns, weights, dense_cells, n))
+}
+
+/// [`accumulate_views`]'s sealed-path body, after contract checks.
+fn accumulate_views_validated(
+    columns: &[ColumnView<'_>],
+    weights: Option<&[f64]>,
+    dense_cells: usize,
+    n: usize,
+) -> Accumulated {
     let mask = complete_case_mask_views(columns, n);
     let cells = dense_cell_count_views(columns, dense_cells);
     let any_runs = columns
@@ -443,6 +520,7 @@ fn fold_segments(
             let mut counts = vec![0.0f64; cells];
             let mut pos = 0usize;
             while pos < n {
+                parallel::checkpoint();
                 let mut seg_end = n;
                 let mut base = 0usize;
                 for rc in &run_cols {
@@ -503,6 +581,7 @@ fn fold_segments(
             let mut key: Vec<u32> = vec![0; columns.len()];
             let mut pos = 0usize;
             while pos < n {
+                parallel::checkpoint();
                 let mut seg_end = n;
                 for rc in &run_cols {
                     seg_end = seg_end.min(rc.cur.end);
@@ -604,6 +683,9 @@ fn fold_blocks(
             // vectorise the unpack + mixed-radix packing.
             let mut idxs = [0usize; 64];
             for (wi, &word) in mask.words().iter().enumerate() {
+                if wi % 64 == 0 {
+                    parallel::checkpoint();
+                }
                 if word == 0 {
                     continue;
                 }
@@ -651,6 +733,9 @@ fn fold_blocks(
             let mut counts = SparseCounts::default();
             let mut key: Vec<u32> = vec![0; columns.len()];
             for (wi, &word) in mask.words().iter().enumerate() {
+                if wi % 64 == 0 {
+                    parallel::checkpoint();
+                }
                 if word == 0 {
                     continue;
                 }

@@ -226,6 +226,7 @@ struct NodeProps {
 }
 
 fn expand_node(graph: &KnowledgeGraph, entity: Sym, agg: OneToManyAgg) -> NodeProps {
+    parallel::fault_point!("kg.extract.expand");
     let idxs = graph.properties_of(entity);
     let mut attrs = Vec::with_capacity(idxs.len());
     let mut links = Vec::new();
@@ -284,6 +285,10 @@ fn scatter_multi_hop(
         }
     }
     for hop in 0..config.hops.max(1) {
+        // One cancellation check per BFS level: levels are the coarse unit
+        // of extraction work, and the per-entity fan-out below re-checks at
+        // every pool batch claim.
+        parallel::checkpoint();
         if level.is_empty() {
             break;
         }

@@ -1,0 +1,537 @@
+//! Bounded, dedup-aware caches behind [`Session`](crate::session::Session).
+//!
+//! Every session cache tier is a [`BoundedCache`]: a keyed map of shared
+//! (`Arc`) values with
+//!
+//! * **LRU eviction** against an entry-count *and* approximate byte budget
+//!   ([`CacheBudget`]) — a logical clock stamps each hit, and inserts evict
+//!   least-recently-used `Ready` entries until both budgets hold, so a
+//!   long-running session cannot grow without bound;
+//! * **in-flight miss dedup** — the first thread to miss a key installs an
+//!   `InFlight` slot and computes; concurrent callers of the same key block
+//!   on that slot's condvar instead of duplicating ~1 s of cold pipeline,
+//!   then re-read the published value;
+//! * **panic/error safety** — a fill that returns `Err` or unwinds removes
+//!   the in-flight slot (waiters wake and one of them retries the fill), so
+//!   a poisoned entry can never be observed and the mutex itself ignores
+//!   poisoning (all guarded state is updated in single statements).
+//!
+//! Eviction only ever removes `Ready` entries; an in-flight computation is
+//! never cancelled by budget pressure. Waiting on another thread's fill is
+//! *not* interruptible by a deadline — the filling thread owns the
+//! computation and its own deadline governs it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks ignoring poisoning; see the module docs for why this is sound
+/// here.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Entry-count and approximate byte budget of one cache tier. `None`
+/// disables the respective bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheBudget {
+    /// Maximum resident entries (`None` = unbounded).
+    pub max_entries: Option<usize>,
+    /// Maximum resident bytes, by the tier's approximate per-entry
+    /// footprint (`None` = unbounded).
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheBudget {
+    /// No bounds at all.
+    pub fn unbounded() -> Self {
+        CacheBudget::default()
+    }
+
+    /// A budget bounded by entry count only.
+    pub fn entries(max_entries: usize) -> Self {
+        CacheBudget {
+            max_entries: Some(max_entries),
+            max_bytes: None,
+        }
+    }
+}
+
+/// Counters of one cache tier (see [`BoundedCache::stats`]). All counters
+/// are cumulative since session construction except `entries` /
+/// `resident_bytes`, which are the current residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: usize,
+    /// Lookups that ran the fill computation.
+    pub misses: usize,
+    /// Entries removed by LRU budget pressure.
+    pub evictions: usize,
+    /// Lookups that blocked on another thread's in-flight fill of the same
+    /// key instead of duplicating it.
+    pub coalesced: usize,
+    /// Currently resident (ready) entries.
+    pub entries: usize,
+    /// Approximate bytes of the resident entries.
+    pub resident_bytes: usize,
+}
+
+/// A key's slot: either a published value or a computation in flight.
+enum Slot<V> {
+    Ready {
+        value: Arc<V>,
+        bytes: usize,
+        last_used: u64,
+    },
+    InFlight(Arc<InFlight>),
+}
+
+/// The rendezvous waiters block on while one thread fills a key.
+struct InFlight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = lock_ignore_poison(&self.done);
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn finish(&self) {
+        *lock_ignore_poison(&self.done) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The map plus the LRU clock and byte accounting, under one mutex.
+struct CacheState<K, V> {
+    map: HashMap<K, Slot<V>>,
+    /// Logical LRU clock: bumped on every hit and insert.
+    clock: u64,
+    /// Sum of the `bytes` of all `Ready` entries.
+    resident: usize,
+}
+
+/// A bounded, coalescing cache tier. See the module docs for the design.
+pub struct BoundedCache<K, V> {
+    state: Mutex<CacheState<K, V>>,
+    budget: CacheBudget,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+    coalesced: AtomicUsize,
+}
+
+impl<K: Eq + Hash + Clone, V> std::fmt::Debug for BoundedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BoundedCache")
+            .field("budget", &self.budget)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+/// Removes the in-flight slot for a key if its fill errors or unwinds, so
+/// waiters wake up and retry rather than blocking on a corpse.
+struct FillGuard<'c, K: Eq + Hash + Clone, V> {
+    cache: &'c BoundedCache<K, V>,
+    key: &'c K,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for FillGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut state = lock_ignore_poison(&self.cache.state);
+        if let Some(Slot::InFlight(inflight)) = state.map.remove(self.key) {
+            inflight.finish();
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
+    /// An empty cache under `budget`.
+    pub fn new(budget: CacheBudget) -> Self {
+        BoundedCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                clock: 0,
+                resident: 0,
+            }),
+            budget,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            coalesced: AtomicUsize::new(0),
+        }
+    }
+
+    /// The budget this tier enforces.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// Returns the resident value for `key` (counting a hit and bumping its
+    /// recency), or computes it via `fill`, publishing on `Ok`.
+    ///
+    /// Concurrent callers of the same key coalesce: exactly one runs `fill`
+    /// while the rest block and then re-read the published entry. A `fill`
+    /// that returns `Err` or panics is **not** cached — its slot is cleared
+    /// (one waiter, if any, takes over the fill) and the error/panic
+    /// propagates to its own caller only.
+    ///
+    /// `bytes_of` prices the value for the byte budget; after publishing,
+    /// least-recently-used entries are evicted until the budget holds
+    /// (possibly including the entry just inserted, if it alone exceeds the
+    /// byte budget — the returned `Arc` is unaffected).
+    pub fn get_or_fill<E>(
+        &self,
+        key: &K,
+        bytes_of: impl FnOnce(&V) -> usize,
+        fill: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        // A lookup that blocks on another thread's fill counts once, as
+        // `coalesced` — neither its wait nor its re-read is a hit or miss.
+        let mut waited = false;
+        loop {
+            let waiter = {
+                let mut state = lock_ignore_poison(&self.state);
+                state.clock += 1;
+                let now = state.clock;
+                match state.map.get_mut(key) {
+                    Some(Slot::Ready {
+                        value, last_used, ..
+                    }) => {
+                        *last_used = now;
+                        let value = value.clone();
+                        if !waited {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok(value);
+                    }
+                    Some(Slot::InFlight(inflight)) => {
+                        if !waited {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Arc::clone(inflight)
+                    }
+                    None => {
+                        if !waited {
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        state
+                            .map
+                            .insert(key.clone(), Slot::InFlight(Arc::new(InFlight::new())));
+                        break;
+                    }
+                }
+            };
+            waited = true;
+            waiter.wait();
+        }
+        // This thread owns the fill. The guard clears the in-flight slot on
+        // every non-publishing exit (Err return or unwind).
+        let mut guard = FillGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let value = fill()?;
+        let bytes = bytes_of(&value);
+        let value = Arc::new(value);
+        let mut state = lock_ignore_poison(&self.state);
+        guard.armed = false;
+        state.clock += 1;
+        let now = state.clock;
+        if let Some(Slot::InFlight(inflight)) = state.map.insert(
+            key.clone(),
+            Slot::Ready {
+                value: value.clone(),
+                bytes,
+                last_used: now,
+            },
+        ) {
+            inflight.finish();
+        }
+        state.resident += bytes;
+        self.evict_over_budget(&mut state);
+        Ok(value)
+    }
+
+    /// Returns the resident value for `key` without filling, counting a hit
+    /// and bumping recency when present. Does not wait on in-flight fills.
+    pub fn get_if_ready(&self, key: &K) -> Option<Arc<V>> {
+        let mut state = lock_ignore_poison(&self.state);
+        state.clock += 1;
+        let now = state.clock;
+        match state.map.get_mut(key) {
+            Some(Slot::Ready {
+                value, last_used, ..
+            }) => {
+                *last_used = now;
+                let value = value.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Counts an extra hit (used when a value obtained once is fanned out
+    /// to duplicate requests, so per-request counters stay truthful).
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Evicts least-recently-used `Ready` entries until both budgets hold.
+    /// In-flight slots are never evicted and do not count toward budgets.
+    fn evict_over_budget(&self, state: &mut CacheState<K, V>) {
+        loop {
+            let ready: usize = state
+                .map
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count();
+            let over_entries = self.budget.max_entries.is_some_and(|m| ready > m);
+            let over_bytes = self.budget.max_bytes.is_some_and(|m| state.resident > m);
+            if (!over_entries && !over_bytes) || ready == 0 {
+                return;
+            }
+            let victim = state
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } => Some((*last_used, k)),
+                    Slot::InFlight(_) => None,
+                })
+                .min_by_key(|&(last_used, _)| last_used)
+                .map(|(_, k)| k.clone());
+            let Some(victim) = victim else { return };
+            if let Some(Slot::Ready { bytes, .. }) = state.map.remove(&victim) {
+                state.resident -= bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of resident (ready) entries.
+    pub fn len(&self) -> usize {
+        lock_ignore_poison(&self.state)
+            .map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes of the resident entries.
+    pub fn resident_bytes(&self) -> usize {
+        lock_ignore_poison(&self.state).resident
+    }
+
+    /// Current counters of this tier.
+    pub fn stats(&self) -> CacheStats {
+        let (entries, resident_bytes) = {
+            let state = lock_ignore_poison(&self.state);
+            let entries = state
+                .map
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count();
+            (entries, state.resident)
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            entries,
+            resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn fill_ok(v: u64) -> impl FnOnce() -> Result<u64, Infallible> {
+        move || Ok(v)
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction_by_entries() {
+        let cache: BoundedCache<String, u64> = BoundedCache::new(CacheBudget::entries(2));
+        let sized = |_: &u64| 8usize;
+        cache
+            .get_or_fill(&"a".to_string(), sized, fill_ok(1))
+            .unwrap();
+        cache
+            .get_or_fill(&"b".to_string(), sized, fill_ok(2))
+            .unwrap();
+        // touch `a` so `b` is the LRU victim when `c` arrives
+        assert_eq!(
+            *cache
+                .get_or_fill(&"a".to_string(), sized, fill_ok(9))
+                .unwrap(),
+            1
+        );
+        cache
+            .get_or_fill(&"c".to_string(), sized, fill_ok(3))
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert!(cache.get_if_ready(&"b".to_string()).is_none(), "b evicted");
+        assert!(cache.get_if_ready(&"a".to_string()).is_some(), "a survived");
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_accounts() {
+        let cache: BoundedCache<u32, Vec<u8>> = BoundedCache::new(CacheBudget {
+            max_entries: None,
+            max_bytes: Some(100),
+        });
+        let sized = |v: &Vec<u8>| v.len();
+        cache
+            .get_or_fill(&1, sized, || Ok::<_, Infallible>(vec![0u8; 60]))
+            .unwrap();
+        cache
+            .get_or_fill(&2, sized, || Ok::<_, Infallible>(vec![0u8; 30]))
+            .unwrap();
+        assert_eq!(cache.resident_bytes(), 90);
+        // 60 more bytes push the total to 150; entry 1 (LRU) is evicted.
+        cache
+            .get_or_fill(&3, sized, || Ok::<_, Infallible>(vec![0u8; 60]))
+            .unwrap();
+        assert_eq!(cache.resident_bytes(), 90);
+        assert!(cache.get_if_ready(&1).is_none());
+        // A single entry larger than the whole budget is spilled immediately
+        // but still returned to its caller.
+        let big = cache
+            .get_or_fill(&4, sized, || Ok::<_, Infallible>(vec![0u8; 500]))
+            .unwrap();
+        assert_eq!(big.len(), 500);
+        assert!(
+            cache.get_if_ready(&4).is_none(),
+            "over-budget entry spilled"
+        );
+        assert!(cache.resident_bytes() <= 100);
+    }
+
+    #[test]
+    fn errors_are_not_cached_and_slot_is_cleared() {
+        let cache: BoundedCache<u32, u64> = BoundedCache::new(CacheBudget::unbounded());
+        let r = cache.get_or_fill(&7, |_| 0, || Err::<u64, String>("boom".into()));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(cache.len(), 0);
+        // The key is immediately fillable again.
+        assert_eq!(*cache.get_or_fill(&7, |_| 0, fill_ok(42)).unwrap(), 42);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn panicking_fill_clears_the_slot() {
+        let cache: BoundedCache<u32, u64> = BoundedCache::new(CacheBudget::unbounded());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_fill(
+                &1,
+                |_| 0,
+                || -> Result<u64, Infallible> { panic!("mid-fill") },
+            )
+        }));
+        assert!(r.is_err());
+        assert_eq!(cache.len(), 0, "no poisoned residue");
+        assert_eq!(*cache.get_or_fill(&1, |_| 0, fill_ok(5)).unwrap(), 5);
+    }
+
+    #[test]
+    fn concurrent_same_key_misses_coalesce_to_one_fill() {
+        use std::sync::atomic::AtomicUsize;
+        let cache: Arc<BoundedCache<u32, u64>> =
+            Arc::new(BoundedCache::new(CacheBudget::unbounded()));
+        let fills = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let fills = Arc::clone(&fills);
+            handles.push(std::thread::spawn(move || {
+                *cache
+                    .get_or_fill(
+                        &42,
+                        |_| 8,
+                        || {
+                            fills.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok::<u64, Infallible>(99)
+                        },
+                    )
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 99);
+        }
+        assert_eq!(
+            fills.load(Ordering::SeqCst),
+            1,
+            "cold fill ran exactly once"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, 7);
+    }
+
+    #[test]
+    fn waiters_survive_a_panicking_filler() {
+        let cache: Arc<BoundedCache<u32, u64>> =
+            Arc::new(BoundedCache::new(CacheBudget::unbounded()));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let panicker = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_fill(
+                        &1,
+                        |_| 0,
+                        || -> Result<u64, Infallible> {
+                            barrier.wait(); // waiter is about to queue up
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            panic!("filler died");
+                        },
+                    )
+                }));
+            })
+        };
+        barrier.wait();
+        // This call either coalesces onto the dying fill (then retries) or
+        // arrives after the slot is cleared; both must end with 7.
+        let v = cache.get_or_fill(&1, |_| 0, fill_ok(7)).unwrap();
+        assert_eq!(*v, 7);
+        panicker.join().unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+}

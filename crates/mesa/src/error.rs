@@ -15,6 +15,13 @@ pub enum MesaError {
     InvalidInput(String),
     /// No candidate attributes survive pruning / preparation.
     NoCandidates(String),
+    /// The per-request deadline expired before the explanation finished;
+    /// the session and its caches remain fully usable.
+    DeadlineExceeded,
+    /// A worker panicked inside the pipeline. The panic was contained at
+    /// the session boundary (caches are left unpoisoned); the payload's
+    /// message, when one exists, is preserved here.
+    Internal(String),
 }
 
 impl fmt::Display for MesaError {
@@ -24,6 +31,8 @@ impl fmt::Display for MesaError {
             MesaError::Fit(msg) => write!(f, "model fit error: {msg}"),
             MesaError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             MesaError::NoCandidates(msg) => write!(f, "no candidate attributes: {msg}"),
+            MesaError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            MesaError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -25,10 +25,23 @@
 //! runs; [`session`] keeps a dataset's extraction and prepared-query caches
 //! alive across queries (and batches them with [`Session::explain_many`]);
 //! [`report`] renders results for humans.
+//!
+//! ## Serving-grade hardening
+//!
+//! [`session`] is built for long-lived serving: its cache tiers are
+//! [`cache::BoundedCache`]s (LRU budgets via [`SessionLimits`], in-flight
+//! miss deduplication), pipeline panics are contained at the session
+//! boundary as [`MesaError::Internal`], and per-request wall-clock budgets
+//! ([`Session::explain_with_deadline`]) surface as
+//! [`MesaError::DeadlineExceeded`]. With the `fault-injection` feature the
+//! deterministic fault harness (`mesa::faults`, re-exported from the
+//! `parallel` crate) can arm panics, latency, or allocation failures at
+//! named pipeline points for testing.
 
 #![deny(missing_docs)]
 
 pub mod baselines;
+pub mod cache;
 pub mod error;
 pub mod mcimr;
 pub mod missing;
@@ -41,6 +54,7 @@ pub mod session;
 pub mod subgroups;
 pub mod system;
 
+pub use cache::{BoundedCache, CacheBudget, CacheStats};
 pub use error::{MesaError, Result};
 pub use mcimr::{mcimr, McimrConfig, McimrTrace};
 pub use missing::{
@@ -55,6 +69,13 @@ pub use problem::{
 pub use pruning::{prune, prune_offline, prune_online, PruneReason, PruningConfig, PruningReport};
 pub use report::{explanation_details, explanation_line, report_summary, subgroup_table};
 pub use responsibility::responsibilities;
-pub use session::{ExtractionCache, Session, SessionStats};
+pub use session::{ExtractionCache, Session, SessionCacheStats, SessionLimits, SessionStats};
 pub use subgroups::{unexplained_subgroups, Subgroup, SubgroupConfig};
 pub use system::{Mesa, MesaConfig, MesaReport};
+
+/// The deterministic fault-injection registry (re-exported from the
+/// `parallel` runtime crate): arm named pipeline points with panics,
+/// latency, or simulated allocation failure. Only present with the
+/// `fault-injection` feature.
+#[cfg(feature = "fault-injection")]
+pub use ::parallel::faults;

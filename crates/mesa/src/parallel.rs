@@ -9,6 +9,6 @@
 //! [`effective_threads`]) to downstream users of `mesa`.
 
 pub use parallel::{
-    effective_threads, parallel_map, parallel_map_with, scoped_map, set_threads, with_thread_cap,
-    FanOut,
+    checkpoint, current_deadline, effective_threads, parallel_map, parallel_map_with, scoped_map,
+    set_threads, with_deadline, with_thread_cap, Cancelled, Deadline, FanOut,
 };

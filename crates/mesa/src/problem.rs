@@ -61,6 +61,25 @@ pub struct PreparedQuery {
 }
 
 impl PreparedQuery {
+    /// Approximate resident footprint in bytes (frame + sealed encoded
+    /// columns + name lists), pricing entries for the session's
+    /// prepared-query budget.
+    pub fn approx_bytes(&self) -> usize {
+        let encoded: usize = self
+            .encoded
+            .encoding_report()
+            .iter()
+            .map(|r| r.sealed_bytes)
+            .sum();
+        let names: usize = self
+            .candidates
+            .iter()
+            .chain(&self.extracted)
+            .map(String::len)
+            .sum();
+        self.frame.approx_bytes() + encoded + names + 256
+    }
+
     /// The exposure attribute `T`.
     pub fn exposure(&self) -> &str {
         &self.query.exposure
@@ -190,6 +209,12 @@ pub struct ColumnExtraction {
 }
 
 impl ColumnExtraction {
+    /// Approximate resident footprint in bytes, pricing entries for the
+    /// session's extraction-cache budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.table.approx_bytes() + self.attribute_names.iter().map(String::len).sum::<usize>() + 64
+    }
+
     /// Wraps a [`kg::ExtractionResult`] for sharing.
     pub fn from_result(result: ExtractionResult) -> Self {
         let attribute_names = result.attribute_names();
@@ -277,6 +302,8 @@ where
                 .map(|s| s.to_string())
                 .collect()
         };
+        parallel::fault_point!("mesa.join");
+        parallel::checkpoint();
         joined = tabular::join(&joined, &table, col, &key, JoinKind::Left)?;
         joins.push(ExtractionJoin {
             column: col.to_string(),

@@ -19,6 +19,25 @@
 //! * **Report memo** — the finished [`MesaReport`] per fingerprint, so
 //!   repeating a query is a hash lookup.
 //!
+//! Every tier is a [`BoundedCache`]: entry-count and approximate byte
+//! budgets ([`SessionLimits`]) evict least-recently-used entries instead of
+//! letting a long-running session grow without bound, and concurrent misses
+//! of the same key coalesce onto one in-flight computation instead of
+//! duplicating the cold pipeline. Eviction never changes results — a
+//! re-computed entry is byte-identical to the evicted one, because every
+//! fill is a pure function of its key (locked by `tests/determinism.rs`).
+//!
+//! **Serving-grade hardening.** The public entry points ([`Session::prepare`],
+//! [`Session::explain`], [`Session::explain_many`],
+//! [`Session::unexplained_subgroups`]) never let a pipeline panic escape:
+//! unwinds are caught at the session boundary and surfaced as
+//! [`MesaError::Internal`], with the caches left consistent (a failed fill
+//! is simply not cached). [`Session::explain_with_deadline`] runs a query
+//! under a cooperative [`parallel::Deadline`]; the kernel fold loops,
+//! extraction BFS, and pool claim boundaries all poll it, and an expired
+//! deadline surfaces as [`MesaError::DeadlineExceeded`] — again with every
+//! cache still usable for the next request.
+//!
 //! [`Session::explain_many`] batches independent queries: cached results are
 //! resolved inline, distinct uncached queries fan out as one persistent-pool
 //! task each ([`parallel::parallel_map_with`]), and all of them share the
@@ -30,13 +49,15 @@
 //! session, so there is a single pipeline implementation; the equivalence of
 //! warm and cold paths is locked by `tests/session.rs`.
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 use kg::{extract_attributes, ExtractionConfig, KnowledgeGraph};
 use tabular::{AggregateQuery, DataFrame};
 
+use crate::cache::{BoundedCache, CacheBudget, CacheStats};
 use crate::error::{MesaError, Result};
 use crate::problem::{
     apply_query_context, extract_and_join_with, prepare_from_joined, ColumnExtraction,
@@ -44,6 +65,32 @@ use crate::problem::{
 };
 use crate::subgroups::{unexplained_subgroups, Subgroup, SubgroupConfig};
 use crate::system::{Mesa, MesaConfig, MesaReport};
+
+/// Converts a caught panic payload into the structured error the session
+/// boundary reports: a cooperative-deadline unwind becomes
+/// [`MesaError::DeadlineExceeded`], anything else becomes
+/// [`MesaError::Internal`] carrying the payload's message when it has one.
+fn payload_to_error(payload: &(dyn Any + Send)) -> MesaError {
+    if payload.downcast_ref::<parallel::Cancelled>().is_some() {
+        MesaError::DeadlineExceeded
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        MesaError::Internal(msg.clone())
+    } else if let Some(msg) = payload.downcast_ref::<&'static str>() {
+        MesaError::Internal((*msg).to_string())
+    } else {
+        MesaError::Internal("worker panicked".to_string())
+    }
+}
+
+/// Runs `f`, containing any unwind as a structured [`MesaError`]. All
+/// session state `f` touches is unwind-safe by construction: the cache
+/// tiers clear their in-flight slots on unwind and ignore mutex poisoning.
+fn guard_panics<R>(f: impl FnOnce() -> Result<R>) -> Result<R> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(payload_to_error(payload.as_ref())),
+    }
+}
 
 /// Cache key of one column extraction: the distinct values (and the name of
 /// the key column embedded in the cached table) are part of the key, so two
@@ -57,26 +104,9 @@ struct ExtractionKey {
     values: Vec<String>,
 }
 
-impl ExtractionKey {
-    /// Whether this stored key matches the borrowed lookup inputs (the same
-    /// tuple the hash in [`ExtractionCache::fingerprint`] covers).
-    fn matches(
-        &self,
-        column: &str,
-        key_column: &str,
-        config: ExtractionConfig,
-        values: &[String],
-    ) -> bool {
-        self.config == config
-            && self.column == column
-            && self.key_column == key_column
-            && self.values == values
-    }
-}
-
-/// A concurrent cache of per-column KG extractions over **one** knowledge
-/// graph, keyed by `(column, key column, extraction config, distinct
-/// values)`.
+/// A concurrent, budget-bounded cache of per-column KG extractions over
+/// **one** knowledge graph, keyed by `(column, key column, extraction
+/// config, distinct values)`.
 ///
 /// The graph is borrowed for the cache's lifetime: that makes the key a
 /// pure function of the lookup inputs (the borrow prevents mutation, and a
@@ -86,49 +116,33 @@ impl ExtractionKey {
 /// The cached unit is the *pre-rename* [`ColumnExtraction`]; collision
 /// renames against a query's joined frame are applied per query on a
 /// copy-on-write clone (see [`extract_and_join_with`]), so the shared table
-/// is never mutated. Entries are bucketed by a hash of the borrowed lookup
-/// inputs, so a cache *hit* allocates nothing — the full owned key is only
-/// built (and the distinct values only cloned) when an extraction actually
-/// runs.
+/// is never mutated. Storage is a [`BoundedCache`], so entries are priced by
+/// [`ColumnExtraction::approx_bytes`] and spill in LRU order under budget
+/// pressure, and concurrent misses of the same key run the extraction
+/// exactly once.
 #[derive(Debug)]
 pub struct ExtractionCache<'g> {
     graph: &'g KnowledgeGraph,
-    entries: Mutex<HashMap<u64, Vec<(ExtractionKey, ColumnExtraction)>>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    inner: BoundedCache<ExtractionKey, ColumnExtraction>,
 }
 
 impl<'g> ExtractionCache<'g> {
-    /// An empty cache over one knowledge graph.
+    /// An unbounded cache over one knowledge graph.
     pub fn new(graph: &'g KnowledgeGraph) -> Self {
-        ExtractionCache {
-            graph,
-            entries: Mutex::new(HashMap::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-        }
+        Self::with_budget(graph, CacheBudget::unbounded())
     }
 
-    /// Bucket hash over the borrowed lookup inputs; collisions are resolved
-    /// by [`ExtractionKey::matches`] on the full key.
-    fn fingerprint(
-        column: &str,
-        key_column: &str,
-        config: ExtractionConfig,
-        values: &[String],
-    ) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        column.hash(&mut hasher);
-        key_column.hash(&mut hasher);
-        config.hash(&mut hasher);
-        values.hash(&mut hasher);
-        hasher.finish()
+    /// A cache over one knowledge graph with an explicit budget.
+    pub fn with_budget(graph: &'g KnowledgeGraph, budget: CacheBudget) -> Self {
+        ExtractionCache {
+            graph,
+            inner: BoundedCache::new(budget),
+        }
     }
 
     /// Returns the cached extraction for `(column, key_column, config,
     /// values)`, running [`kg::extract_attributes`] on a miss. Errors are
-    /// not cached.
+    /// not cached; concurrent misses of the same key extract once.
     pub fn get_or_extract(
         &self,
         column: &str,
@@ -136,58 +150,97 @@ impl<'g> ExtractionCache<'g> {
         key_column: &str,
         config: ExtractionConfig,
     ) -> Result<ColumnExtraction> {
-        let bucket = Self::fingerprint(column, key_column, config, values);
-        if let Some(entries) = self.entries.lock().unwrap().get(&bucket) {
-            if let Some((_, cached)) = entries
-                .iter()
-                .find(|(key, _)| key.matches(column, key_column, config, values))
-            {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(cached.clone());
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let result =
-            extract_attributes(self.graph, values, key_column, config).map_err(MesaError::from)?;
-        let extraction = ColumnExtraction::from_result(result);
-        // Two threads may race to extract the same key; the first insert
-        // wins and both return the same (deterministic) table.
-        let mut entries = self.entries.lock().unwrap();
-        let slot = entries.entry(bucket).or_default();
-        if let Some((_, cached)) = slot
-            .iter()
-            .find(|(key, _)| key.matches(column, key_column, config, values))
-        {
-            return Ok(cached.clone());
-        }
         let key = ExtractionKey {
             column: column.to_string(),
             key_column: key_column.to_string(),
             config,
             values: values.to_vec(),
         };
-        slot.push((key, extraction.clone()));
-        Ok(extraction)
+        let shared =
+            self.inner
+                .get_or_fill(&key, ColumnExtraction::approx_bytes, || -> Result<_> {
+                    parallel::fault_point!("mesa.session.fill_extraction");
+                    parallel::checkpoint();
+                    let result = extract_attributes(self.graph, values, key_column, config)
+                        .map_err(MesaError::from)?;
+                    Ok(ColumnExtraction::from_result(result))
+                })?;
+        Ok((*shared).clone())
     }
 
     /// Number of cached extractions.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().values().map(Vec::len).sum()
+        self.inner.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
     /// Number of lookups served from the cache.
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.inner.stats().hits
     }
 
     /// Number of lookups that ran the extraction.
     pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.inner.stats().misses
+    }
+
+    /// Full counters of the underlying cache tier.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+}
+
+/// Per-tier budgets of a [`Session`]'s caches.
+///
+/// The defaults are generous — sized so ordinary analytical workloads never
+/// evict — but finite, so a session that serves traffic for days cannot
+/// grow without bound. Use [`SessionLimits::unbounded`] to restore the
+/// pre-budget behaviour, or set tight budgets (e.g.
+/// [`CacheBudget::entries`]) to exercise eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionLimits {
+    /// Budget of the prepared-query memo (entries priced by
+    /// [`PreparedQuery::approx_bytes`]).
+    pub prepared: CacheBudget,
+    /// Budget of the report memo (entries priced by their debug rendering —
+    /// reports are small).
+    pub reports: CacheBudget,
+    /// Budget of the extraction cache (entries priced by
+    /// [`ColumnExtraction::approx_bytes`]).
+    pub extraction: CacheBudget,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            prepared: CacheBudget {
+                max_entries: Some(4096),
+                max_bytes: Some(512 << 20),
+            },
+            reports: CacheBudget {
+                max_entries: Some(65536),
+                max_bytes: Some(256 << 20),
+            },
+            extraction: CacheBudget {
+                max_entries: Some(4096),
+                max_bytes: Some(512 << 20),
+            },
+        }
+    }
+}
+
+impl SessionLimits {
+    /// No budgets at all: every tier keeps everything it ever computes.
+    pub fn unbounded() -> Self {
+        SessionLimits {
+            prepared: CacheBudget::unbounded(),
+            reports: CacheBudget::unbounded(),
+            extraction: CacheBudget::unbounded(),
+        }
     }
 }
 
@@ -210,13 +263,29 @@ pub struct SessionStats {
     pub report_misses: usize,
 }
 
+/// Full per-tier counters of a [`Session`]'s caches, including evictions,
+/// coalesced (deduplicated) misses, and approximate resident bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionCacheStats {
+    /// Counters of the prepared-query memo.
+    pub prepared: CacheStats,
+    /// Counters of the report memo.
+    pub reports: CacheStats,
+    /// Counters of the extraction cache; `None` when the session has no
+    /// knowledge graph.
+    pub extraction: Option<CacheStats>,
+}
+
 /// A long-lived explanation session over one dataset.
 ///
 /// Borrows the dataset and knowledge graph (they are read-only for the
 /// session's lifetime) and owns the caches. All methods take `&self`; the
 /// session is `Sync`, so one instance can serve concurrent callers — that,
 /// plus [`Session::explain_many`], is the serving shape the ROADMAP's
-/// traffic-serving north star asks for.
+/// traffic-serving north star asks for. Panics inside the pipeline are
+/// contained at the session boundary ([`MesaError::Internal`]), and
+/// per-request deadlines are available via
+/// [`Session::explain_with_deadline`].
 ///
 /// ```
 /// use mesa::session::Session;
@@ -245,38 +314,49 @@ pub struct Session<'a> {
     df: &'a DataFrame,
     extraction_columns: Vec<String>,
     config: MesaConfig,
+    limits: SessionLimits,
     /// `None` when the session has no knowledge graph; otherwise the cache
     /// carries the graph borrow itself.
     extraction: Option<ExtractionCache<'a>>,
-    prepared: Mutex<HashMap<String, Arc<PreparedQuery>>>,
-    reports: Mutex<HashMap<String, Arc<MesaReport>>>,
-    prepared_hits: AtomicUsize,
-    prepared_misses: AtomicUsize,
-    report_hits: AtomicUsize,
-    report_misses: AtomicUsize,
+    prepared: BoundedCache<String, PreparedQuery>,
+    reports: BoundedCache<String, MesaReport>,
 }
 
 impl<'a> Session<'a> {
     /// A session over `df`, extracting candidate confounders for
     /// `extraction_columns` from `graph` (pass `None` to restrict candidates
-    /// to the input table).
+    /// to the input table), under the default [`SessionLimits`].
     pub fn new(
         df: &'a DataFrame,
         graph: Option<&'a KnowledgeGraph>,
         extraction_columns: &[&str],
         config: MesaConfig,
     ) -> Self {
+        Self::with_limits(
+            df,
+            graph,
+            extraction_columns,
+            config,
+            SessionLimits::default(),
+        )
+    }
+
+    /// A session with explicit per-tier cache budgets.
+    pub fn with_limits(
+        df: &'a DataFrame,
+        graph: Option<&'a KnowledgeGraph>,
+        extraction_columns: &[&str],
+        config: MesaConfig,
+        limits: SessionLimits,
+    ) -> Self {
         Session {
             df,
             extraction_columns: extraction_columns.iter().map(|s| s.to_string()).collect(),
             config,
-            extraction: graph.map(ExtractionCache::new),
-            prepared: Mutex::new(HashMap::new()),
-            reports: Mutex::new(HashMap::new()),
-            prepared_hits: AtomicUsize::new(0),
-            prepared_misses: AtomicUsize::new(0),
-            report_hits: AtomicUsize::new(0),
-            report_misses: AtomicUsize::new(0),
+            limits,
+            extraction: graph.map(|g| ExtractionCache::with_budget(g, limits.extraction)),
+            prepared: BoundedCache::new(limits.prepared),
+            reports: BoundedCache::new(limits.reports),
         }
     }
 
@@ -290,25 +370,42 @@ impl<'a> Session<'a> {
         self.df
     }
 
+    /// The per-tier cache budgets the session enforces.
+    pub fn limits(&self) -> SessionLimits {
+        self.limits
+    }
+
     /// Current cache counters.
     pub fn stats(&self) -> SessionStats {
-        let extraction = self.extraction.as_ref();
+        let extraction = self.extraction.as_ref().map(ExtractionCache::stats);
+        let prepared = self.prepared.stats();
+        let reports = self.reports.stats();
         SessionStats {
-            extraction_hits: extraction.map_or(0, ExtractionCache::hits),
-            extraction_misses: extraction.map_or(0, ExtractionCache::misses),
-            extraction_entries: extraction.map_or(0, ExtractionCache::len),
-            prepared_hits: self.prepared_hits.load(Ordering::Relaxed),
-            prepared_misses: self.prepared_misses.load(Ordering::Relaxed),
-            report_hits: self.report_hits.load(Ordering::Relaxed),
-            report_misses: self.report_misses.load(Ordering::Relaxed),
+            extraction_hits: extraction.map_or(0, |s| s.hits),
+            extraction_misses: extraction.map_or(0, |s| s.misses),
+            extraction_entries: extraction.map_or(0, |s| s.entries),
+            prepared_hits: prepared.hits,
+            prepared_misses: prepared.misses,
+            report_hits: reports.hits,
+            report_misses: reports.misses,
+        }
+    }
+
+    /// Full per-tier cache counters, including evictions, coalesced misses,
+    /// and approximate resident bytes.
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        SessionCacheStats {
+            prepared: self.prepared.stats(),
+            reports: self.reports.stats(),
+            extraction: self.extraction.as_ref().map(ExtractionCache::stats),
         }
     }
 
     /// Prepares a query (context, extraction, binning, encoding), serving
     /// repeated queries from the memo and the extraction stage from the
-    /// shared cache.
+    /// shared cache. Pipeline panics surface as [`MesaError::Internal`].
     pub fn prepare(&self, query: &AggregateQuery) -> Result<Arc<PreparedQuery>> {
-        self.prepare_keyed(&query.fingerprint(), query)
+        guard_panics(|| self.prepare_keyed(&query.fingerprint(), query))
     }
 
     fn prepare_keyed(
@@ -316,87 +413,101 @@ impl<'a> Session<'a> {
         fingerprint: &str,
         query: &AggregateQuery,
     ) -> Result<Arc<PreparedQuery>> {
-        if let Some(prepared) = self.prepared.lock().unwrap().get(fingerprint) {
-            self.prepared_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(prepared.clone());
-        }
-        self.prepared_misses.fetch_add(1, Ordering::Relaxed);
-        let filtered = apply_query_context(self.df, query)?;
-        let extraction_config = self.config.prepare.extraction;
-        let (joined, joins) = match &self.extraction {
-            Some(cache) => {
-                let columns: Vec<&str> =
-                    self.extraction_columns.iter().map(|s| s.as_str()).collect();
-                extract_and_join_with(&filtered, &columns, |column, values, key_column| {
-                    cache.get_or_extract(column, values, key_column, extraction_config)
-                })?
-            }
-            None => (filtered, Vec::new()),
-        };
-        let mut prepared = prepare_from_joined(query, joined, joins, self.config.prepare)?;
-        // Seal the encoded frame before it enters the memo: cached residents
-        // hold compressed columns, and every estimator reads them through the
-        // run-aware kernel paths with bit-identical results.
-        prepared.encoded.seal();
-        let prepared = Arc::new(prepared);
-        Ok(self
-            .prepared
-            .lock()
-            .unwrap()
-            .entry(fingerprint.to_string())
-            .or_insert(prepared)
-            .clone())
+        let key = fingerprint.to_string();
+        self.prepared
+            .get_or_fill(&key, PreparedQuery::approx_bytes, || {
+                parallel::fault_point!("mesa.session.fill_prepared");
+                parallel::checkpoint();
+                let filtered = apply_query_context(self.df, query)?;
+                let extraction_config = self.config.prepare.extraction;
+                let (joined, joins) = match &self.extraction {
+                    Some(cache) => {
+                        let columns: Vec<&str> =
+                            self.extraction_columns.iter().map(|s| s.as_str()).collect();
+                        extract_and_join_with(&filtered, &columns, |column, values, key_column| {
+                            cache.get_or_extract(column, values, key_column, extraction_config)
+                        })?
+                    }
+                    None => (filtered, Vec::new()),
+                };
+                parallel::checkpoint();
+                let mut prepared = prepare_from_joined(query, joined, joins, self.config.prepare)?;
+                // Seal the encoded frame before it enters the memo: cached
+                // residents hold compressed columns, and every estimator
+                // reads them through the run-aware kernel paths with
+                // bit-identical results.
+                prepared.encoded.seal();
+                Ok(prepared)
+            })
     }
 
     /// Explains a query end to end, serving repeats from the report memo.
     /// The result is shared (`Arc`); clone out of it if an owned
-    /// [`MesaReport`] is needed.
+    /// [`MesaReport`] is needed. Pipeline panics surface as
+    /// [`MesaError::Internal`] and leave the caches usable.
     pub fn explain(&self, query: &AggregateQuery) -> Result<Arc<MesaReport>> {
-        self.explain_keyed(&query.fingerprint(), query)
+        self.explain_guarded(&query.fingerprint(), query)
+    }
+
+    /// Explains a query under a wall-clock budget. The deadline is polled
+    /// cooperatively — at pool claim boundaries, inside the kernel fold
+    /// loops, and per extraction BFS level — so an expired budget returns
+    /// [`MesaError::DeadlineExceeded`] promptly instead of hanging, and the
+    /// session (caches included) stays fully usable. A result that was
+    /// already memoised is returned regardless of how small the budget is.
+    pub fn explain_with_deadline(
+        &self,
+        query: &AggregateQuery,
+        budget: Duration,
+    ) -> Result<Arc<MesaReport>> {
+        let deadline = parallel::Deadline::after(budget);
+        parallel::with_deadline(&deadline, || self.explain(query))
+    }
+
+    fn explain_guarded(
+        &self,
+        fingerprint: &str,
+        query: &AggregateQuery,
+    ) -> Result<Arc<MesaReport>> {
+        guard_panics(|| self.explain_keyed(fingerprint, query))
     }
 
     fn explain_keyed(&self, fingerprint: &str, query: &AggregateQuery) -> Result<Arc<MesaReport>> {
-        if let Some(report) = self.reports.lock().unwrap().get(fingerprint) {
-            self.report_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(report.clone());
-        }
-        self.report_misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = self.prepare_keyed(fingerprint, query)?;
-        let report = Arc::new(Mesa::with_config(self.config).explain_prepared(&prepared)?);
-        Ok(self
-            .reports
-            .lock()
-            .unwrap()
-            .entry(fingerprint.to_string())
-            .or_insert(report)
-            .clone())
+        let key = fingerprint.to_string();
+        self.reports.get_or_fill(
+            &key,
+            |r| format!("{r:?}").len(),
+            || {
+                parallel::fault_point!("mesa.session.fill_report");
+                parallel::checkpoint();
+                let prepared = self.prepare_keyed(fingerprint, query)?;
+                Mesa::with_config(self.config).explain_prepared(&prepared)
+            },
+        )
     }
 
     /// Explains a batch of independent queries, returning one result per
     /// query in input order.
     ///
-    /// Cached queries are resolved inline under a single lock (a fully warm
-    /// batch is one memo pass that never touches the pool); the distinct
-    /// uncached ones fan out as one pool task per query and share this
-    /// session's extraction cache. Results are byte-identical to calling
-    /// [`Session::explain`] sequentially (locked by `tests/session.rs`):
-    /// every path runs the same deterministic pipeline, and duplicates
-    /// within the batch are computed once.
+    /// Cached queries are resolved inline without touching the pool; the
+    /// distinct uncached ones fan out as one pool task per query and share
+    /// this session's extraction cache. Results are byte-identical to
+    /// calling [`Session::explain`] sequentially (locked by
+    /// `tests/session.rs`): every path runs the same deterministic
+    /// pipeline, and duplicates within the batch are computed once. A panic
+    /// inside one query's pipeline fails that query alone
+    /// ([`MesaError::Internal`]); the rest of the batch completes.
     pub fn explain_many(&self, queries: &[AggregateQuery]) -> Vec<Result<Arc<MesaReport>>> {
         let fingerprints: Vec<String> = queries.iter().map(|q| q.fingerprint()).collect();
-        // Resolve every already-cached query in one pass; collect the first
+        // Resolve every already-cached query inline; collect the first
         // occurrence of each fingerprint that still needs computing.
         let mut results: Vec<Option<Result<Arc<MesaReport>>>> = Vec::with_capacity(queries.len());
         let mut misses: Vec<usize> = Vec::new();
         {
-            let reports = self.reports.lock().unwrap();
-            let mut seen: HashSet<&str> = HashSet::new();
+            let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
             for (i, fp) in fingerprints.iter().enumerate() {
-                match reports.get(fp.as_str()) {
-                    Some(report) => {
-                        self.report_hits.fetch_add(1, Ordering::Relaxed);
-                        results.push(Some(Ok(report.clone())));
-                    }
+                match self.reports.get_if_ready(fp) {
+                    Some(report) => results.push(Some(Ok(report))),
                     None => {
                         if seen.insert(fp.as_str()) {
                             misses.push(i);
@@ -406,7 +517,7 @@ impl<'a> Session<'a> {
                 }
             }
         }
-        // Fully warm batch: every slot was filled under the single lock.
+        // Fully warm batch: every slot was filled from the memo.
         if misses.is_empty() {
             return results
                 .into_iter()
@@ -419,10 +530,19 @@ impl<'a> Session<'a> {
         // single miss stays inline on the calling thread. The fan-out
         // composes with the pipeline's inner fan-outs (candidate scoring,
         // extraction) through the shared pool instead of oversubscribing.
-        let computed: Vec<Result<Arc<MesaReport>>> =
-            parallel::parallel_map_with(&misses, parallel::FanOut::heavy(), |_, &i| {
-                self.explain_keyed(&fingerprints[i], &queries[i])
-            });
+        // Each item is guarded individually, so one panicking pipeline
+        // cannot poison the batch; the outer guard covers a deadline that
+        // expires at a batch claim boundary itself.
+        let computed: Vec<Result<Arc<MesaReport>>> = match guard_panics(|| {
+            Ok(parallel::parallel_map_with(
+                &misses,
+                parallel::FanOut::heavy(),
+                |_, &i| self.explain_guarded(&fingerprints[i], &queries[i]),
+            ))
+        }) {
+            Ok(computed) => computed,
+            Err(e) => misses.iter().map(|_| Err(e.clone())).collect(),
+        };
         // For each computed fingerprint: its result and whether the slot at
         // hand is the occurrence that computed it.
         let by_fingerprint: HashMap<&str, (usize, &Result<Arc<MesaReport>>)> = misses
@@ -441,10 +561,10 @@ impl<'a> Session<'a> {
                 None => match by_fingerprint.get(fingerprints[i].as_str()) {
                     Some((origin, result)) if *origin == i => (*result).clone(),
                     Some((_, Ok(report))) => {
-                        self.report_hits.fetch_add(1, Ordering::Relaxed);
+                        self.reports.record_hit();
                         Ok(report.clone())
                     }
-                    _ => self.explain_keyed(&fingerprints[i], &queries[i]),
+                    _ => self.explain_guarded(&fingerprints[i], &queries[i]),
                 },
             })
             .collect()
@@ -460,7 +580,7 @@ impl<'a> Session<'a> {
     ) -> Result<Vec<Subgroup>> {
         let prepared = self.prepare(query)?;
         let report = self.explain(query)?;
-        unexplained_subgroups(&prepared, &report.explanation.attributes, config)
+        guard_panics(|| unexplained_subgroups(&prepared, &report.explanation.attributes, config))
     }
 }
 
@@ -651,5 +771,64 @@ mod tests {
         assert_eq!(cache.len(), 6);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 6);
+    }
+
+    #[test]
+    fn one_entry_report_memo_evicts_and_recomputes_identically() {
+        let (df, g) = setup();
+        let limits = SessionLimits {
+            reports: CacheBudget::entries(1),
+            ..SessionLimits::default()
+        };
+        let session =
+            Session::with_limits(&df, Some(&g), &["Country"], MesaConfig::default(), limits);
+        let q1 = AggregateQuery::avg("Country", "Salary");
+        let q2 = AggregateQuery::avg("Region", "Salary");
+        let first = session.explain(&q1).unwrap();
+        session.explain(&q2).unwrap(); // evicts q1's report
+        let recomputed = session.explain(&q1).unwrap(); // cold again
+        assert!(!Arc::ptr_eq(&first, &recomputed));
+        assert_eq!(first.explanation, recomputed.explanation);
+        let stats = session.cache_stats();
+        assert_eq!(stats.reports.misses, 3);
+        assert!(stats.reports.evictions >= 2);
+        assert_eq!(stats.reports.entries, 1);
+    }
+
+    #[test]
+    fn generous_default_limits_do_not_evict() {
+        let (df, g) = setup();
+        let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        for q in [
+            AggregateQuery::avg("Country", "Salary"),
+            AggregateQuery::avg("Region", "Salary"),
+        ] {
+            session.explain(&q).unwrap();
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.prepared.evictions, 0);
+        assert_eq!(stats.reports.evictions, 0);
+        assert_eq!(stats.extraction.unwrap().evictions, 0);
+        assert!(stats.prepared.resident_bytes > 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_structured_error_and_session_survives() {
+        let (df, g) = setup();
+        let session = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        let q = AggregateQuery::avg("Country", "Salary");
+        let err = session
+            .explain_with_deadline(&q, Duration::from_secs(0))
+            .unwrap_err();
+        assert_eq!(err, MesaError::DeadlineExceeded);
+        // the failed attempt is not cached, and the session still serves
+        let report = session.explain(&q).unwrap();
+        let fresh = Session::new(&df, Some(&g), &["Country"], MesaConfig::default());
+        assert_eq!(report.explanation, fresh.explain(&q).unwrap().explanation);
+        // a memoised result is returned even under an expired deadline
+        let warm = session
+            .explain_with_deadline(&q, Duration::from_secs(0))
+            .unwrap();
+        assert!(Arc::ptr_eq(&report, &warm));
     }
 }

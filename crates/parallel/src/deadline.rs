@@ -1,0 +1,200 @@
+//! Cooperative deadlines and cancellation for pool work.
+//!
+//! A [`Deadline`] is a cheap, cloneable token carrying an absolute
+//! [`Instant`] plus a sticky cancelled flag. Long-running pipelines opt in
+//! by calling [`checkpoint`] at natural boundaries (pool batch claims,
+//! BFS levels, kernel block folds): once the deadline passes, the next
+//! checkpoint unwinds with the [`Cancelled`] sentinel payload, which the
+//! session boundary's `catch_unwind` converts into a structured
+//! "deadline exceeded" error. Work that never checkpoints is simply not
+//! cancellable — the mechanism is cooperative by design, so the hot loops
+//! stay free of per-row overhead.
+//!
+//! The active deadline is thread-local and scoped by [`with_deadline`];
+//! the pool propagates it to workers for the duration of each claimed
+//! batch exactly like the thread cap, so nested fan-outs inherit the
+//! innermost enclosing deadline automatically.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+/// Panic payload used to unwind cancelled work. Deliberately a unit struct
+/// (not a `String`) so the session boundary can distinguish cancellation
+/// from genuine worker panics by downcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+/// A cloneable cancellation token with an absolute expiry instant.
+///
+/// `expired()` is cheap enough for claim-boundary checks: once the clock
+/// has been observed past the deadline (or [`cancel`](Deadline::cancel)
+/// was called) a relaxed atomic flag short-circuits further `Instant`
+/// reads.
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    inner: Arc<DeadlineInner>,
+}
+
+#[derive(Debug)]
+struct DeadlineInner {
+    deadline: Instant,
+    cancelled: AtomicBool,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline::at(Instant::now() + budget)
+    }
+
+    /// A deadline at the absolute instant `when`.
+    pub fn at(when: Instant) -> Self {
+        Deadline {
+            inner: Arc::new(DeadlineInner {
+                deadline: when,
+                cancelled: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Cancels immediately, regardless of the remaining budget.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the budget is spent (or [`cancel`](Deadline::cancel) ran).
+    /// Sticky: once `true`, stays `true`.
+    pub fn expired(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= self.inner.deadline {
+            self.inner.cancelled.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+thread_local! {
+    /// The innermost active deadline on this thread. Installed by
+    /// [`with_deadline`] on caller threads and by the pool's batch
+    /// executor on workers while they run a deadlined job's items.
+    static ACTIVE_DEADLINE: RefCell<Option<Deadline>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `deadline` installed as this thread's active deadline
+/// (restored on unwind). Fan-outs issued inside `f` propagate the deadline
+/// to the pool workers executing their items.
+pub fn with_deadline<R>(deadline: &Deadline, f: impl FnOnce() -> R) -> R {
+    let _restore = install_deadline(Some(deadline.clone()));
+    f()
+}
+
+/// The deadline currently governing this thread, if any.
+pub fn current_deadline() -> Option<Deadline> {
+    ACTIVE_DEADLINE.with(|d| d.borrow().clone())
+}
+
+/// Installs `deadline` thread-locally, returning a guard that restores the
+/// previous value on drop (including during unwind). Used by the pool to
+/// propagate a job's deadline onto workers for one batch.
+pub(crate) fn install_deadline(deadline: Option<Deadline>) -> impl Drop {
+    struct Restore(Option<Deadline>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            ACTIVE_DEADLINE.with(|d| *d.borrow_mut() = prev);
+        }
+    }
+    Restore(ACTIVE_DEADLINE.with(|d| d.replace(deadline)))
+}
+
+/// Cancellation checkpoint: if the thread's active deadline has expired,
+/// unwinds with the [`Cancelled`] payload (quietly — the default panic-hook
+/// backtrace is suppressed for this payload). No-op when no deadline is
+/// installed. Call at coarse work boundaries, not per row.
+pub fn checkpoint() {
+    let expired = ACTIVE_DEADLINE.with(|d| d.borrow().as_ref().is_some_and(Deadline::expired));
+    if expired {
+        quiet_cancel_unwind();
+    }
+}
+
+/// Unwinds with [`Cancelled`] without triggering the default panic hook's
+/// stderr message (cancellation is a routine serving outcome, not a bug).
+pub(crate) fn quiet_cancel_unwind() -> ! {
+    install_quiet_hook();
+    std::panic::panic_any(Cancelled);
+}
+
+/// Wraps the process panic hook once so that unwinds whose payload is
+/// [`Cancelled`] (or an injected fault, which embeds a recognisable
+/// prefix) stay silent; every other panic reports as before.
+pub(crate) fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Cancelled>().is_some() {
+                return;
+            }
+            if let Some(msg) = info.payload().downcast_ref::<String>() {
+                if msg.starts_with("fault-injection:") {
+                    return;
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unexpired_deadline_checkpoints_freely() {
+        let d = Deadline::after(Duration::from_secs(60));
+        with_deadline(&d, || {
+            checkpoint();
+            checkpoint();
+        });
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn expired_deadline_unwinds_with_cancelled() {
+        let d = Deadline::after(Duration::ZERO);
+        let err = std::panic::catch_unwind(|| with_deadline(&d, checkpoint))
+            .expect_err("checkpoint must unwind past an expired deadline");
+        assert!(err.downcast_ref::<Cancelled>().is_some());
+        // The thread-local was restored by the scope guard during unwind.
+        assert!(current_deadline().is_none());
+        checkpoint(); // no deadline installed → no-op
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_immediate() {
+        let d = Deadline::after(Duration::from_secs(60));
+        assert!(!d.expired());
+        d.cancel();
+        assert!(d.expired());
+        assert!(d.clone().expired(), "clones share the flag");
+    }
+
+    #[test]
+    fn nested_deadlines_restore_outer() {
+        let outer = Deadline::after(Duration::from_secs(60));
+        with_deadline(&outer, || {
+            let inner = Deadline::after(Duration::from_secs(1));
+            with_deadline(&inner, || {
+                assert!(!inner.expired());
+            });
+            let current = current_deadline().expect("outer restored");
+            assert!(!current.expired());
+        });
+    }
+}

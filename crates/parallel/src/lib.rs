@@ -15,7 +15,9 @@
 //!
 //! The pool size is resolved **once per process**, in precedence order:
 //!
-//! 1. the `MESA_THREADS` environment variable (must be a positive integer);
+//! 1. the `MESA_THREADS` environment variable (a positive integer;
+//!    malformed values are ignored with a one-time stderr warning rather
+//!    than failing the process);
 //! 2. a [`set_threads`] call made before the first fan-out;
 //! 3. `std::thread::available_parallelism()`.
 //!
@@ -25,14 +27,41 @@
 //! are byte-identical at every thread count by construction: each item owns
 //! an input-order result slot and every reduction runs on the calling
 //! thread in input order.
+//!
+//! ## Deadlines and fault injection
+//!
+//! [`with_deadline`] installs a cooperative [`Deadline`] that fan-outs
+//! propagate to pool workers; expiry unwinds at the next batch-claim
+//! boundary or explicit [`checkpoint`] with the [`Cancelled`] sentinel
+//! payload (see [`deadline`] module docs). Under the `fault-injection`
+//! cargo feature the `faults` registry arms named injection points
+//! (declared with [`fault_point!`]) to panic, inject latency, or simulate
+//! allocation failure deterministically on the Nth hit.
 
 #![deny(missing_docs)]
 
+pub mod deadline;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod pool;
 pub mod scoped;
 
+pub use deadline::{checkpoint, current_deadline, with_deadline, Cancelled, Deadline};
 pub use pool::{effective_threads, set_threads, with_thread_cap};
 pub use scoped::scoped_map;
+
+/// Declares a named fault-injection point. Expands to a
+/// `faults::hit` call when the *calling* crate enables its
+/// `fault-injection` feature (each workspace crate forwards the feature to
+/// this one) and to nothing at all otherwise — production builds carry
+/// zero overhead.
+#[macro_export]
+macro_rules! fault_point {
+    ($point:expr) => {
+        #[cfg(feature = "fault-injection")]
+        $crate::faults::hit($point);
+    };
+}
 
 /// Minimum number of items before the pool is engaged; below this the
 /// submission cost outweighs the work for typical (cheap) items.
@@ -105,6 +134,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
 
     /// Every pool-path test goes through this so the process resolves a
     /// deterministic multi-thread pool even on a single-core host
@@ -213,6 +243,58 @@ mod tests {
         assert!(result.is_err());
         let ok = scoped_map(&items, 4, |i, &x| i + x);
         assert_eq!(ok[10], 20);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_fan_out_and_pool_survives() {
+        pool4();
+        let items: Vec<usize> = (0..256).collect();
+        let d = Deadline::after(std::time::Duration::ZERO);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_deadline(&d, || parallel_map(&items, |_, &x| x * 2))
+        }));
+        let payload = result.expect_err("expired deadline must unwind the fan-out");
+        assert!(payload.downcast_ref::<Cancelled>().is_some());
+        // The pool and the calling thread are both reusable afterwards.
+        assert!(current_deadline().is_none(), "deadline scope restored");
+        let ok = parallel_map(&items, |_, &x| x + 1);
+        assert_eq!(ok[255], 256);
+    }
+
+    #[test]
+    fn workers_observe_the_submitters_deadline() {
+        pool4();
+        let items: Vec<usize> = (0..64).collect();
+        let d = Deadline::after(std::time::Duration::from_secs(60));
+        let seen = with_deadline(&d, || {
+            parallel_map(&items, |_, _| current_deadline().is_some())
+        });
+        assert!(
+            seen.iter().all(|&s| s),
+            "every item ran with the deadline installed"
+        );
+    }
+
+    #[test]
+    fn checkpoint_inside_items_cancels_mid_batch() {
+        pool4();
+        let items: Vec<usize> = (0..64).collect();
+        let d = Deadline::after(std::time::Duration::from_secs(60));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_deadline(&d, || {
+                parallel_map(&items, |_, &x| {
+                    if x == 7 {
+                        d.cancel();
+                    }
+                    checkpoint();
+                    x
+                })
+            })
+        }));
+        let payload = result.expect_err("cancel + checkpoint must unwind");
+        assert!(payload.downcast_ref::<Cancelled>().is_some());
+        let ok = parallel_map(&items, |_, &x| x);
+        assert_eq!(ok.len(), 64);
     }
 
     #[test]

@@ -51,7 +51,18 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
+
+use crate::deadline::{current_deadline, install_deadline, Cancelled, Deadline};
+
+/// Locks a mutex ignoring poisoning. Every mutex in this module guards
+/// state that stays consistent across unwinds (flags, registries and
+/// `Option` slots mutated in single statements), so a panic while holding
+/// a guard never leaves partial state — recovering the inner value is
+/// always safe and keeps a panicked job from wedging the whole pool.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Process-wide thread count, resolved once (see [`resolve_threads`]).
 static CONFIGURED_THREADS: OnceLock<usize> = OnceLock::new();
@@ -67,15 +78,32 @@ thread_local! {
     static THREAD_CAP: Cell<usize> = const { Cell::new(0) };
 }
 
-/// Parses `MESA_THREADS` if present. Panics on a malformed value — a typo'd
-/// override silently falling back to the default would invalidate every
-/// benchmark recorded under it.
-fn env_threads() -> Option<usize> {
-    let raw = std::env::var("MESA_THREADS").ok()?;
+/// Parses one `MESA_THREADS` value: a positive integer (surrounding
+/// whitespace tolerated). `None` for anything malformed.
+fn parse_threads(raw: &str) -> Option<usize> {
     match raw.trim().parse::<usize>() {
         Ok(n) if n >= 1 => Some(n),
-        _ => panic!("MESA_THREADS must be a positive integer, got {raw:?}"),
+        _ => None,
     }
+}
+
+/// Reads `MESA_THREADS` if present. A malformed value is *not* fatal — a
+/// serving process must come up even with a typo'd override — but it warns
+/// on stderr (once per process) because the silent part of a silent
+/// fallback is what would invalidate benchmarks recorded under it.
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("MESA_THREADS").ok()?;
+    let parsed = parse_threads(&raw);
+    if parsed.is_none() {
+        static WARNED: Once = Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: MESA_THREADS must be a positive integer, got {raw:?}; \
+                 ignoring it and using the default thread count"
+            );
+        });
+    }
+    parsed
 }
 
 /// The pool size: `MESA_THREADS` > [`set_threads`] > `available_parallelism`.
@@ -175,12 +203,15 @@ fn global_pool() -> &'static Pool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut registry = shared.registry.lock().unwrap();
+            let mut registry = lock_ignore_poison(&shared.registry);
             loop {
                 if let Some(job) = registry.iter().find(|j| j.claimable()) {
                     break Arc::clone(job);
                 }
-                registry = shared.work.wait(registry).unwrap();
+                registry = shared
+                    .work
+                    .wait(registry)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // The helper-slot count enforces the job's thread cap; losing the
@@ -233,6 +264,12 @@ struct JobCore {
     grain: usize,
     /// Maximum threads (including the submitter) that may execute items.
     cap: usize,
+    /// The deadline governing the submitting thread at submit time, if
+    /// any. Checked at every batch-claim boundary and installed
+    /// thread-locally while a batch's items run, so nested work and
+    /// explicit [`checkpoint`](crate::deadline::checkpoint) calls observe
+    /// it on workers too.
+    deadline: Option<Deadline>,
     /// Next unclaimed item index; claims are `fetch_add(grain)`.
     next: AtomicUsize,
     /// Threads currently enrolled to execute items (submitter counts).
@@ -284,16 +321,35 @@ impl JobCore {
         }
     }
 
+    /// Poisons the job: later claims skip execution and `payload` (if it is
+    /// the first) is resumed on the submitting thread after drain.
+    fn poison(&self, payload: Box<dyn Any + Send>) {
+        self.poisoned.store(true, Ordering::Relaxed);
+        let mut slot = lock_ignore_poison(&self.panic);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
     /// Claims and executes one batch of items. Returns `false` once nothing
     /// is left to claim (the job may still be draining on other threads).
     fn run_batch(&self) -> bool {
+        // Deadline check at the claim boundary: an expired budget poisons
+        // the job with the `Cancelled` sentinel, so at most one in-flight
+        // grain per thread runs past the deadline before the fan-out
+        // unwinds on the submitter.
+        if self.deadline.as_ref().is_some_and(Deadline::expired) {
+            self.poison(Box::new(Cancelled));
+        }
         let start = self.next.fetch_add(self.grain, Ordering::Relaxed);
         if start >= self.len {
             return false;
         }
         let end = (start + self.grain).min(self.len);
-        // Nested fan-outs issued by these items inherit this job's cap.
+        // Nested fan-outs issued by these items inherit this job's cap and
+        // deadline (the guard restores the worker's own deadline on drop).
         let inherited = THREAD_CAP.with(|c| c.replace(self.cap));
+        let _deadline_scope = install_deadline(self.deadline.clone());
         for i in start..end {
             if !self.poisoned.load(Ordering::Relaxed) {
                 // SAFETY: `i` was claimed exclusively above; the submitter
@@ -301,11 +357,7 @@ impl JobCore {
                 // happen before this batch's `fetch_add` below.
                 let item = AssertUnwindSafe(|| unsafe { (self.run_one)(self.ctx, i) });
                 if let Err(payload) = catch_unwind(item) {
-                    self.poisoned.store(true, Ordering::Relaxed);
-                    let mut slot = self.panic.lock().unwrap();
-                    if slot.is_none() {
-                        *slot = Some(payload);
-                    }
+                    self.poison(payload);
                 }
             }
         }
@@ -315,7 +367,7 @@ impl JobCore {
         // observes `finished == len` also observes every result write.
         let finished = self.finished.fetch_add(end - start, Ordering::AcqRel) + (end - start);
         if finished == self.len {
-            *self.done.lock().unwrap() = true;
+            *lock_ignore_poison(&self.done) = true;
             self.done_cv.notify_all();
         }
         true
@@ -325,9 +377,12 @@ impl JobCore {
     /// claimed). Used by the submitting thread after it runs out of
     /// batches to claim itself.
     fn wait_done(&self) {
-        let mut done = self.done.lock().unwrap();
+        let mut done = lock_ignore_poison(&self.done);
         while !*done {
-            done = self.done_cv.wait(done).unwrap();
+            done = self
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -365,6 +420,7 @@ where
         len,
         grain,
         cap,
+        deadline: current_deadline(),
         next: AtomicUsize::new(0),
         helpers: AtomicUsize::new(1), // the submitting thread
         finished: AtomicUsize::new(0),
@@ -373,7 +429,7 @@ where
         done: Mutex::new(false),
         done_cv: Condvar::new(),
     });
-    pool.shared.registry.lock().unwrap().push(Arc::clone(&job));
+    lock_ignore_poison(&pool.shared.registry).push(Arc::clone(&job));
     // Wake only as many parked workers as could actually enroll (the
     // submitter holds one helper slot and there are at most
     // ceil(len / grain) batches): waking the whole pool for a small nested
@@ -389,18 +445,36 @@ where
     // then park until the stragglers other threads claimed have finished.
     while job.run_batch() {}
     job.wait_done();
-    pool.shared
-        .registry
-        .lock()
-        .unwrap()
-        .retain(|j| !Arc::ptr_eq(j, &job));
+    lock_ignore_poison(&pool.shared.registry).retain(|j| !Arc::ptr_eq(j, &job));
     // All items have finished: no thread will touch `ctx` again (stray
     // registry scans and `run_batch` calls read only the atomics).
-    if let Some(payload) = job.panic.lock().unwrap().take() {
+    if let Some(payload) = lock_ignore_poison(&job.panic).take() {
         resume_unwind(payload);
     }
     results
         .into_iter()
         .map(|slot| slot.expect("every slot is written on the non-panicking path"))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_threads;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 8 "), Some(8));
+        assert_eq!(parse_threads("1"), Some(1));
+    }
+
+    #[test]
+    fn parse_threads_rejects_malformed_values() {
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("four"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("4.5"), None);
+        assert_eq!(parse_threads("4 threads"), None);
+    }
 }

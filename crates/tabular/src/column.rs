@@ -178,6 +178,25 @@ impl Column {
         self.len() == 0
     }
 
+    /// Approximate heap footprint in bytes (cell storage plus, for
+    /// categorical columns, the dictionary strings). Used by cache byte
+    /// budgets; an estimate, not an allocator-accurate measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let cells = match &self.data {
+            ColumnData::Int(v) => v.len() * std::mem::size_of::<Option<i64>>(),
+            ColumnData::Float(v) => v.len() * std::mem::size_of::<Option<f64>>(),
+            ColumnData::Bool(v) => v.len() * std::mem::size_of::<Option<bool>>(),
+            ColumnData::Categorical { dict, codes } => {
+                codes.len() * std::mem::size_of::<Option<u32>>()
+                    + dict
+                        .iter()
+                        .map(|s| s.len() + std::mem::size_of::<String>())
+                        .sum::<usize>()
+            }
+        };
+        cells + self.name.len()
+    }
+
     /// Number of null (missing) cells.
     pub fn null_count(&self) -> usize {
         match &self.data {

@@ -46,6 +46,13 @@ impl DataFrame {
         self.n_rows() == 0
     }
 
+    /// Approximate heap footprint in bytes: the sum of
+    /// [`Column::approx_bytes`] over all columns. Used by cache byte
+    /// budgets.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(Column::approx_bytes).sum()
+    }
+
     /// Column names in order.
     pub fn column_names(&self) -> Vec<&str> {
         self.columns.iter().map(|c| c.name()).collect()

@@ -217,6 +217,76 @@ fn reports_are_byte_identical_across_thread_counts() {
     }
 }
 
+/// The covid workload through a session whose every cache tier holds a
+/// single entry, so each query after the first evicts and re-warms — the
+/// regime where a non-deterministic rebuild would show up as byte drift.
+fn render_evict_rewarm_at(cap: usize) -> String {
+    use mesa_repro::datagen::{
+        build_kg, generate_covid, representative_queries_for, Dataset, KgConfig, World, WorldConfig,
+    };
+    use mesa_repro::mesa::{
+        parallel, report_summary, CacheBudget, MesaConfig, Session, SessionLimits,
+    };
+
+    parallel::with_thread_cap(cap, || {
+        let world = World::generate(WorldConfig {
+            n_countries: 60,
+            n_cities: 25,
+            n_airlines: 6,
+            n_celebrities: 80,
+            seed: 23,
+        });
+        let graph = build_kg(&world, KgConfig::default());
+        let covid = generate_covid(&world, 3).unwrap();
+        let limits = SessionLimits {
+            prepared: CacheBudget::entries(1),
+            reports: CacheBudget::entries(1),
+            extraction: CacheBudget::entries(1),
+        };
+        let session = Session::with_limits(
+            &covid,
+            Some(&graph),
+            &["Country"],
+            MesaConfig::default(),
+            limits,
+        );
+        let queries: Vec<AggregateQuery> = representative_queries_for(Dataset::Covid)
+            .into_iter()
+            .map(|wq| wq.query)
+            .collect();
+        let mut out = String::new();
+        for round in 0..3 {
+            for q in &queries {
+                let report = session.explain(q).unwrap();
+                out.push_str(&report_summary(&report));
+                out.push_str(&format!("\n{round} {:?}\n", report.explanation));
+            }
+        }
+        assert!(
+            session.cache_stats().reports.evictions > 0,
+            "the 1-entry budget must actually evict"
+        );
+        out
+    })
+}
+
+#[test]
+fn evict_then_rewarm_is_byte_identical_across_thread_counts() {
+    let pool = mesa_repro::mesa::parallel::set_threads(4);
+    let reference = render_evict_rewarm_at(1);
+    assert!(!reference.is_empty());
+    for cap in [2usize, 4] {
+        if cap > pool {
+            continue; // MESA_THREADS forced a smaller pool for the process
+        }
+        assert_eq!(
+            render_evict_rewarm_at(cap),
+            reference,
+            "evict/rewarm workload must be byte-identical at {cap} threads vs serial"
+        );
+    }
+}
+
 #[test]
 fn encoded_frame_cmi_is_reproducible_via_prepare() {
     // End-to-end: the prepared query's scores are bit-stable across two
