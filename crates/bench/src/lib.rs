@@ -15,6 +15,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ground_truth;
 pub mod judge;

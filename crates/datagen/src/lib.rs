@@ -24,6 +24,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod datasets;
 pub mod kg_builder;

@@ -206,6 +206,7 @@ pub fn accumulate(
     weights: Option<&[f64]>,
     dense_cells: usize,
 ) -> Accumulated {
+    // mesa-lint: allow(serving-panic-free) -- documented `# Panics` convenience wrapper; serving paths call try_accumulate
     try_accumulate(columns, weights, dense_cells).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -273,6 +274,7 @@ fn accumulate_validated(
             let mut counts = vec![0.0f64; cells];
             let radices: Vec<usize> = columns.iter().map(|c| c.cardinality().max(1)).collect();
             let mut ticker = 0usize;
+            // mesa-lint: hot-loop -- masked fold over row blocks; polls the cooperative deadline every CHECKPOINT_ROWS rows
             for row in mask.iter_set() {
                 ticker += 1;
                 if ticker.is_multiple_of(CHECKPOINT_ROWS) {
@@ -297,6 +299,7 @@ fn accumulate_validated(
         None => {
             let mut counts = SparseCounts::default();
             let mut ticker = 0usize;
+            // mesa-lint: hot-loop -- masked fold over row blocks; polls the cooperative deadline every CHECKPOINT_ROWS rows
             for row in mask.iter_set() {
                 ticker += 1;
                 if ticker.is_multiple_of(CHECKPOINT_ROWS) {
@@ -380,6 +383,7 @@ pub fn accumulate_views(
     weights: Option<&[f64]>,
     dense_cells: usize,
 ) -> Accumulated {
+    // mesa-lint: allow(serving-panic-free) -- documented `# Panics` convenience wrapper; serving paths call try_accumulate_views
     try_accumulate_views(columns, weights, dense_cells).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -507,6 +511,7 @@ fn fold_segments(
             Access::Packed(_) => row_cols.push(RowCol {
                 codes: decoded[dim]
                     .as_deref()
+                    // mesa-lint: allow(serving-panic-free) -- Some for every Packed column by the decode loop above; silently skipping would corrupt joint counts
                     .expect("packed columns decoded above"),
                 dim,
                 mult,
@@ -519,6 +524,7 @@ fn fold_segments(
         Some(cells) => {
             let mut counts = vec![0.0f64; cells];
             let mut pos = 0usize;
+            // mesa-lint: hot-loop -- run-aligned segment walk; polls the cooperative deadline once per segment
             while pos < n {
                 parallel::checkpoint();
                 let mut seg_end = n;
@@ -580,6 +586,7 @@ fn fold_segments(
             let mut counts = SparseCounts::default();
             let mut key: Vec<u32> = vec![0; columns.len()];
             let mut pos = 0usize;
+            // mesa-lint: hot-loop -- run-aligned segment walk; polls the cooperative deadline once per segment
             while pos < n {
                 parallel::checkpoint();
                 let mut seg_end = n;
@@ -682,6 +689,7 @@ fn fold_blocks(
             // reader dispatch out of the per-row loop and lets the compiler
             // vectorise the unpack + mixed-radix packing.
             let mut idxs = [0usize; 64];
+            // mesa-lint: hot-loop -- word-at-a-time fold over the mask bitmap; polls the cooperative deadline every 64 words
             for (wi, &word) in mask.words().iter().enumerate() {
                 if wi % 64 == 0 {
                     parallel::checkpoint();
@@ -732,6 +740,7 @@ fn fold_blocks(
         None => {
             let mut counts = SparseCounts::default();
             let mut key: Vec<u32> = vec![0; columns.len()];
+            // mesa-lint: hot-loop -- word-at-a-time fold over the mask bitmap; polls the cooperative deadline every 64 words
             for (wi, &word) in mask.words().iter().enumerate() {
                 if wi % 64 == 0 {
                     parallel::checkpoint();

@@ -284,6 +284,7 @@ fn scatter_multi_hop(
             level.push(root);
         }
     }
+    // mesa-lint: hot-loop -- BFS frontier expansion; one cancellation check per level
     for hop in 0..config.hops.max(1) {
         // One cancellation check per BFS level: levels are the coarse unit
         // of extraction work, and the per-entity fan-out below re-checks at

@@ -33,6 +33,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod extraction;
 pub mod graph;

@@ -1,0 +1,164 @@
+//! Structured diagnostics and inline suppressions.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{Token, TokenKind};
+
+/// One finding emitted by a rule.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `serving-panic-free`.
+    pub rule: &'static str,
+    /// File the finding points at (workspace-relative where possible).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to suppress it with a reason).
+    pub suggestion: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "error[{}]: {}\n  --> {}:{}:{}",
+            self.rule,
+            self.message,
+            self.file.display(),
+            self.line,
+            self.col
+        )?;
+        write!(f, "  help: {}", self.suggestion)
+    }
+}
+
+/// Inline suppressions parsed from `// mesa-lint: allow(rule-id) -- reason`
+/// comments. A suppression covers the comment's own line and the line after
+/// it, so it can sit above the offending expression or trail it.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    entries: Vec<(String, u32)>,
+}
+
+impl Suppressions {
+    /// True when `rule` is suppressed on `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, at)| r == rule && (line == *at || line == at.saturating_add(1)))
+    }
+
+    fn push(&mut self, rule: String, line: u32) {
+        self.entries.push((rule, line));
+    }
+}
+
+/// The text of a `mesa-lint:` control comment, if `token` is one.
+///
+/// Recognized only when the directive *starts* the comment (after comment
+/// markers and leading `!`/`*` doc sigils), so prose that merely mentions
+/// the syntax — like this sentence — is never treated as a directive.
+pub fn directive_text(token: &Token) -> Option<&str> {
+    if token.kind != TokenKind::Comment {
+        return None;
+    }
+    let body = token
+        .text
+        .trim_start_matches('/')
+        .trim_start_matches(['!', '*'])
+        .trim_start();
+    body.strip_prefix("mesa-lint:").map(str::trim)
+}
+
+/// Scan `tokens` for suppression directives.
+///
+/// Returns the active suppressions plus `lint-directive` diagnostics for
+/// malformed ones: an `allow(...)` without a ` -- reason`, an unknown
+/// rule-id, or an unrecognized directive verb. A reasonless `allow` does
+/// **not** suppress anything.
+pub fn collect_suppressions(
+    file: &Path,
+    tokens: &[Token],
+    known_rules: &[&'static str],
+) -> (Suppressions, Vec<Diagnostic>) {
+    let mut suppressions = Suppressions::default();
+    let mut diags = Vec::new();
+    for token in tokens {
+        let Some(directive) = directive_text(token) else {
+            continue;
+        };
+        if let Some(rest) = directive.strip_prefix("allow(") {
+            let Some((rule, tail)) = rest.split_once(')') else {
+                diags.push(malformed(file, token, "unclosed allow(...) directive"));
+                continue;
+            };
+            let rule = rule.trim();
+            if !known_rules.contains(&rule) {
+                diags.push(Diagnostic {
+                    rule: crate::rules::RULE_LINT_DIRECTIVE,
+                    file: file.to_path_buf(),
+                    line: token.line,
+                    col: token.col,
+                    message: format!("allow() names unknown rule `{rule}`"),
+                    suggestion: format!("known rules: {}", known_rules.join(", ")),
+                });
+                continue;
+            }
+            let reason = tail
+                .trim_start()
+                .strip_prefix("--")
+                .map(str::trim)
+                .unwrap_or("");
+            if reason.is_empty() {
+                diags.push(Diagnostic {
+                    rule: crate::rules::RULE_LINT_DIRECTIVE,
+                    file: file.to_path_buf(),
+                    line: token.line,
+                    col: token.col,
+                    message: format!("allow({rule}) has no reason; the suppression is ignored"),
+                    suggestion: "write `mesa-lint: allow(rule-id) -- why this site is safe`".into(),
+                });
+                continue;
+            }
+            suppressions.push(rule.to_string(), token.line);
+        } else if hot_loop_target(directive).is_some() {
+            // Handled by the checkpoint-coverage rule.
+        } else {
+            diags.push(malformed(file, token, "unrecognized mesa-lint directive"));
+        }
+    }
+    (suppressions, diags)
+}
+
+/// Parse a `hot-loop` directive, returning the required polling call name
+/// (`checkpoint` by default, overridable as `hot-loop(call_name)`). An
+/// optional ` -- note` tail is permitted and ignored. `None` when
+/// `directive` is not a hot-loop marker.
+pub fn hot_loop_target(directive: &str) -> Option<&str> {
+    let head = directive
+        .split_once(" -- ")
+        .map_or(directive, |(head, _)| head)
+        .trim();
+    if head == "hot-loop" {
+        return Some("checkpoint");
+    }
+    head.strip_prefix("hot-loop(")?
+        .strip_suffix(')')
+        .map(str::trim)
+}
+
+fn malformed(file: &Path, token: &Token, what: &str) -> Diagnostic {
+    Diagnostic {
+        rule: crate::rules::RULE_LINT_DIRECTIVE,
+        file: file.to_path_buf(),
+        line: token.line,
+        col: token.col,
+        message: format!("{what}: `{}`", token.text.trim_start_matches('/').trim()),
+        suggestion: "use `mesa-lint: allow(rule-id) -- reason` or `mesa-lint: hot-loop`".into(),
+    }
+}

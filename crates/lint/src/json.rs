@@ -1,0 +1,239 @@
+//! A minimal JSON reader with line tracking, used by the bench-schema rule.
+//!
+//! Supports exactly the subset the bench reporters emit: objects, arrays,
+//! strings with simple escapes, numbers, booleans and null. Parse errors
+//! carry the 1-based line so diagnostics can point into the file.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value annotated with the line it started on.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded except `\u`, which is kept verbatim).
+    Str(String),
+    /// An array with the line it opened on.
+    Arr(Vec<Value>, u32),
+    /// An object with the line it opened on. Key order is not preserved.
+    Obj(BTreeMap<String, Value>, u32),
+}
+
+impl Value {
+    /// The line this value started on (1 for scalars, which don't track it).
+    pub fn line(&self) -> u32 {
+        match self {
+            Value::Arr(_, line) | Value::Obj(_, line) => *line,
+            _ => 1,
+        }
+    }
+
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map, _) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number inside, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `src` as a single JSON document.
+///
+/// On failure returns `(message, line)` describing the first error.
+pub fn parse(src: &str) -> Result<Value, (String, u32)> {
+    let mut parser = Parser {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos < parser.chars.len() {
+        return Err(("trailing content after JSON document".into(), parser.line));
+    }
+    Ok(value)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+        }
+        Some(ch)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), (String, u32)> {
+        match self.bump() {
+            Some(got) if got == want => Ok(()),
+            Some(got) => Err((format!("expected `{want}`, found `{got}`"), self.line)),
+            None => Err((format!("expected `{want}`, found end of input"), self.line)),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, (String, u32)> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err((format!("unexpected character `{c}`"), self.line)),
+            None => Err(("unexpected end of input".into(), self.line)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, (String, u32)> {
+        let line = self.line;
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Obj(map, line));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(map, line)),
+                _ => return Err(("expected `,` or `}` in object".into(), self.line)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, (String, u32)> {
+        let line = self.line;
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Value::Arr(items, line));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items, line)),
+                _ => return Err(("expected `,` or `]` in array".into(), self.line)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, (String, u32)> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some(other) => out.push(other),
+                    None => return Err(("unterminated escape".into(), self.line)),
+                },
+                Some(ch) => out.push(ch),
+                None => return Err(("unterminated string".into(), self.line)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, (String, u32)> {
+        let line = self.line;
+        let mut text = String::new();
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || "-+.eE".contains(c))
+        {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| (format!("invalid number `{text}`"), line))
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, (String, u32)> {
+        for want in word.chars() {
+            if self.bump() != Some(want) {
+                return Err((format!("invalid literal (expected `{word}`)"), self.line));
+            }
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let doc = parse("{\n \"a\": [1, 2.5, true],\n \"b\": \"x\\\"y\"\n}").unwrap();
+        let arr = doc.get("a").unwrap();
+        assert_eq!(arr.line(), 2);
+        match arr {
+            Value::Arr(items, _) => assert_eq!(items[1].as_num(), Some(2.5)),
+            _ => panic!("expected array"),
+        }
+        assert_eq!(doc.get("b").unwrap().as_str(), Some("x\"y"));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse("{\n \"a\": [1,\n }").unwrap_err();
+        assert_eq!(err.1, 3);
+    }
+}

@@ -1,0 +1,437 @@
+//! A conservative Rust tokenizer.
+//!
+//! This is deliberately *not* a full lexer: it only distinguishes the token
+//! classes the rules need — comments, string/char literals, identifiers,
+//! numbers, lifetimes and single-character punctuation — while tracking the
+//! line/column of every token. Anything subtler (float suffix grammar,
+//! shebangs, frontmatter) is handled conservatively: the worst case is a
+//! missed diagnostic, never a bogus one on well-formed code.
+
+/// The class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `// ...`, `/* ... */` (nesting respected). Text includes the markers.
+    Comment,
+    /// String, raw-string, byte-string or char literal. Text is the
+    /// *contents* without quotes/hashes/prefix, so rules can compare values.
+    Str,
+    /// Identifier or keyword (raw idents are stored without the `r#`).
+    Ident,
+    /// Numeric literal (integers and simple floats; suffixes included).
+    Num,
+    /// A lifetime such as `'a` (text without the quote).
+    Lifetime,
+    /// Any other single character: `.`, `(`, `[`, `{`, `!`, `#`, ...
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text; see [`TokenKind`] for what is included per class.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+    /// 1-based line of the token's last character (differs from `line`
+    /// only for block comments and multi-line strings).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// True when this token is punctuation equal to `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+
+    /// True when this token is an identifier equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Tokenize `src`, returning every token including comments.
+///
+/// The lexer never fails: on malformed input (e.g. an unterminated string)
+/// it consumes to end of input and returns what it has. Rules must treat
+/// the stream as best-effort.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(ch) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if ch.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let token = if ch == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col)
+            } else if ch == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col)
+            } else if ch == '"' {
+                self.string(line, col)
+            } else if self.raw_string_prefix().is_some() {
+                self.raw_string(line, col)
+            } else if (ch == 'b' && self.peek(1) == Some('"'))
+                || (ch == 'c' && self.peek(1) == Some('"'))
+            {
+                self.bump();
+                self.string(line, col)
+            } else if ch == '\'' {
+                self.char_or_lifetime(line, col)
+            } else if ch == 'r' && self.peek(1) == Some('#') && is_ident_start(self.peek(2)) {
+                self.bump();
+                self.bump();
+                self.ident(line, col)
+            } else if is_ident_start(Some(ch)) {
+                self.ident(line, col)
+            } else if ch.is_ascii_digit() {
+                self.number(line, col)
+            } else {
+                self.bump();
+                Token {
+                    kind: TokenKind::Punct,
+                    text: ch.to_string(),
+                    line,
+                    col,
+                    end_line: line,
+                }
+            };
+            tokens.push(token);
+        }
+        tokens
+    }
+
+    /// `Some(hash_count)` when the cursor sits on `r"`, `r#"`, `br"`, ...
+    fn raw_string_prefix(&self) -> Option<usize> {
+        let mut at = 0;
+        match self.peek(0)? {
+            'r' => {}
+            'b' | 'c' if self.peek(1) == Some('r') => at = 1,
+            _ => return None,
+        }
+        let mut hashes = 0;
+        loop {
+            match self.peek(at + 1 + hashes) {
+                Some('#') => hashes += 1,
+                Some('"') => return Some(hashes),
+                _ => return None,
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) -> Token {
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if ch == '\n' {
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        Token {
+            kind: TokenKind::Comment,
+            text,
+            line,
+            col,
+            end_line: line,
+        }
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) -> Token {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(ch) = self.peek(0) {
+            if ch == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if ch == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(ch);
+                self.bump();
+            }
+        }
+        let end_line = self.line;
+        Token {
+            kind: TokenKind::Comment,
+            text,
+            line,
+            col,
+            end_line,
+        }
+    }
+
+    fn string(&mut self, line: u32, col: u32) -> Token {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if ch == '\\' {
+                text.push(ch);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if ch == '"' {
+                self.bump();
+                break;
+            } else {
+                text.push(ch);
+                self.bump();
+            }
+        }
+        let end_line = self.line;
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+            col,
+            end_line,
+        }
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) -> Token {
+        let hashes = self.raw_string_prefix().unwrap_or(0);
+        // Consume prefix (optional b/c, the r, hashes) and the opening quote.
+        while self.peek(0) != Some('"') {
+            self.bump();
+        }
+        self.bump();
+        let closer = format!("\"{}", "#".repeat(hashes));
+        let mut text = String::new();
+        'outer: while self.peek(0).is_some() {
+            if self.peek(0) == Some('"') {
+                let mut matched = true;
+                for (i, want) in closer.chars().enumerate() {
+                    if self.peek(i) != Some(want) {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    for _ in 0..closer.len() {
+                        self.bump();
+                    }
+                    break 'outer;
+                }
+            }
+            if let Some(ch) = self.bump() {
+                text.push(ch);
+            }
+        }
+        let end_line = self.line;
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+            col,
+            end_line,
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) -> Token {
+        // `'a` is a lifetime when an ident-start follows and the char after
+        // the ident is not a closing quote (`'a'` is a char literal).
+        if is_ident_start(self.peek(1)) {
+            let mut end = 2;
+            while is_ident_continue(self.peek(end)) {
+                end += 1;
+            }
+            if self.peek(end) != Some('\'') {
+                self.bump(); // quote
+                let mut text = String::new();
+                while is_ident_continue(self.peek(0)) {
+                    if let Some(ch) = self.bump() {
+                        text.push(ch);
+                    }
+                }
+                return Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                    end_line: line,
+                };
+            }
+        }
+        // Char literal: consume until the closing quote, honoring escapes.
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if ch == '\\' {
+                text.push(ch);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if ch == '\'' {
+                self.bump();
+                break;
+            } else if ch == '\n' {
+                break; // malformed; don't eat the rest of the file
+            } else {
+                text.push(ch);
+                self.bump();
+            }
+        }
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+            col,
+            end_line: line,
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) -> Token {
+        let mut text = String::new();
+        while is_ident_continue(self.peek(0)) {
+            if let Some(ch) = self.bump() {
+                text.push(ch);
+            }
+        }
+        Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+            col,
+            end_line: line,
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) -> Token {
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if ch.is_ascii_alphanumeric() || ch == '_' {
+                text.push(ch);
+                self.bump();
+            } else if ch == '.'
+                && self.peek(1).is_some_and(|next| next.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` continues the number; `1..n` and `1.method()` do not.
+                text.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::Num,
+            text,
+            line,
+            col,
+            end_line: line,
+        }
+    }
+}
+
+fn is_ident_start(ch: Option<char>) -> bool {
+    ch.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(ch: Option<char>) -> bool {
+    ch.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let toks = kinds("// line\n/* outer /* inner */ end */ \"s\" r#\"raw\"x\"# b\"by\"");
+        assert_eq!(toks[0], (TokenKind::Comment, "// line".into()));
+        assert_eq!(
+            toks[1],
+            (TokenKind::Comment, "/* outer /* inner */ end */".into())
+        );
+        assert_eq!(toks[2], (TokenKind::Str, "s".into()));
+        assert_eq!(toks[3], (TokenKind::Str, "raw\"x".into()));
+        assert_eq!(toks[4], (TokenKind::Str, "by".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("&'a str 'x' '\\n'");
+        assert!(toks.contains(&(TokenKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokenKind::Str, "x".into())));
+        assert!(toks.contains(&(TokenKind::Str, "\\n".into())));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("0..n 1.5 7.max(1)");
+        assert_eq!(toks[0], (TokenKind::Num, "0".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert!(toks.contains(&(TokenKind::Num, "1.5".into())));
+        assert!(toks.contains(&(TokenKind::Num, "7".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn raw_idents_and_positions() {
+        let toks = tokenize("a\n  r#match");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[1].text, "match");
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].col, 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! # mesa-lint
+//!
+//! A registry-free, hand-rolled static-analysis pass over this workspace's
+//! own sources. PRs 7–8 turned the reproduction into a serving system whose
+//! correctness rests on *conventions* — a panic-free serving path, an
+//! unsafe job-record protocol in the pool, string-keyed fault points, and
+//! cooperative-deadline checkpoints in every hot loop. This crate encodes
+//! those conventions as machine-checked rules so they cannot rot silently:
+//! CI runs `cargo run -p lint -- check` and fails on any diagnostic.
+//!
+//! ## Design
+//!
+//! No `syn`, no registry dependencies (consistent with the vendored-deps
+//! constraint): a conservative [`lexer`] tokenizes Rust source far enough
+//! to tell comments, strings, attributes and block structure apart, and the
+//! [`rules`] module pattern-matches invariants on the token stream. False
+//! negatives are accepted where full parsing would be needed; false
+//! positives are suppressed inline with
+//! `// mesa-lint: allow(rule-id) -- reason`, and a suppression without a
+//! reason is itself a diagnostic ([`rules::RULE_LINT_DIRECTIVE`]).
+//!
+//! The CLI lives in `src/main.rs`; the library surface exists so the test
+//! suite can run the exact production driver against both the fixture
+//! workspace in `tests/fixtures/ws` and the real workspace (the self-check
+//! that keeps the tree lint-clean).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use diag::Diagnostic;
+pub use workspace::{run_check, run_fault_points};

@@ -1,0 +1,94 @@
+//! `mesa-lint` command-line entry point.
+//!
+//! ```text
+//! cargo run -p lint -- check          # run every rule; exit 1 on findings
+//! cargo run -p lint -- fault-points   # print the fault-point registry view
+//! cargo run -p lint -- rules          # list rule ids and summaries
+//! ```
+//!
+//! All subcommands accept `--root <dir>` to lint a tree other than the
+//! current workspace (used by the fixture tests).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "check" | "fault-points" | "rules" if command.is_none() => command = Some(arg),
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(command) = command else {
+        return usage("missing subcommand");
+    };
+    match command.as_str() {
+        "rules" => {
+            for (rule, summary) in lint::rules::RULE_TABLE {
+                println!("{rule:24} {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => match lint::run_check(&root) {
+            Ok(diags) if diags.is_empty() => {
+                println!("mesa-lint: workspace clean");
+                ExitCode::SUCCESS
+            }
+            Ok(diags) => {
+                for diag in &diags {
+                    eprintln!("{diag}\n");
+                }
+                eprintln!("mesa-lint: {} diagnostic(s)", diags.len());
+                ExitCode::FAILURE
+            }
+            Err(err) => fail(&err),
+        },
+        "fault-points" => match lint::run_fault_points(&root) {
+            Ok(report) => {
+                println!("documented points ({}):", report.named.len());
+                for name in &report.named {
+                    let sites = report.sites.get(name).map(Vec::as_slice).unwrap_or(&[]);
+                    let tested = if report.tested.contains(name) {
+                        "tested"
+                    } else {
+                        "UNTESTED"
+                    };
+                    println!("  {name}  [{tested}]  {}", sites.join(", "));
+                }
+                if report.diags.is_empty() {
+                    println!("mesa-lint: fault-point registry consistent");
+                    ExitCode::SUCCESS
+                } else {
+                    for diag in &report.diags {
+                        eprintln!("{diag}\n");
+                    }
+                    eprintln!("mesa-lint: {} registry diagnostic(s)", report.diags.len());
+                    ExitCode::FAILURE
+                }
+            }
+            Err(err) => fail(&err),
+        },
+        _ => unreachable!("command validated above"),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("mesa-lint: {problem}");
+    eprintln!("usage: lint [--root <dir>] <check|fault-points|rules>");
+    ExitCode::FAILURE
+}
+
+fn fail(err: &std::io::Error) -> ExitCode {
+    eprintln!("mesa-lint: i/o error: {err}");
+    ExitCode::FAILURE
+}

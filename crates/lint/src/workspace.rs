@@ -1,0 +1,283 @@
+//! Workspace discovery and the check drivers.
+//!
+//! [`run_check`] walks a workspace root, runs every per-file rule plus the
+//! cross-file registry and bench-schema checks, and returns the sorted
+//! diagnostics. [`run_fault_points`] exposes just the fault-point registry
+//! view for the CI smoke step.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{collect_suppressions, Diagnostic};
+use crate::lexer::tokenize;
+use crate::rules::{
+    self, anchored_strings, check_bench_json, fault_call_sites, FaultSite,
+    RULE_FAULT_POINT_REGISTRY,
+};
+
+/// Directories never descended into. `fixtures` keeps the lint tool from
+/// tripping over its own known-bad test corpus; the rest are build output,
+/// vendored stand-ins and data.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github", "golden", "fixtures"];
+
+/// The documented source of truth for fault-point names.
+const FAULTS_FILE: &str = "crates/parallel/src/faults.rs";
+/// The robustness suite that must exercise every named point.
+const ROBUSTNESS_FILE: &str = "tests/robustness.rs";
+
+/// Run every rule against the workspace rooted at `root`.
+///
+/// Returns diagnostics sorted by file, line, column and rule id; an empty
+/// vector means the workspace is clean.
+pub fn run_check(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let mut registry = Registry::default();
+
+    for rel in rust_files(root)? {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let tokens = tokenize(&src);
+        let (suppressions, directive_diags) =
+            collect_suppressions(&rel, &tokens, rules::KNOWN_RULES);
+        diags.extend(directive_diags);
+        diags.extend(rules::analyze_file(&rel, &tokens, &suppressions));
+
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        registry.sites.extend(fault_call_sites(&rel, &tokens));
+        if rel_str == FAULTS_FILE {
+            registry.named = anchored_strings(&rel, &tokens, "NAMED_POINTS");
+            registry.saw_faults_file = true;
+        }
+        if rel_str == ROBUSTNESS_FILE {
+            registry.tested = anchored_strings(&rel, &tokens, "FAULT_POINTS");
+            registry.saw_robustness_file = true;
+        }
+    }
+
+    diags.extend(registry.check());
+
+    for rel in bench_files(root)? {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        diags.extend(check_bench_json(&rel, &src));
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(diags)
+}
+
+/// The fault-point registry view: every point name mapped to its call-site
+/// locations, whether it is documented in `NAMED_POINTS`, and whether the
+/// robustness suite lists it. Returned alongside the registry diagnostics
+/// so the CLI can print a table and still fail on drift.
+pub struct FaultPointReport {
+    /// Point name → call-site locations (`file:line`).
+    pub sites: BTreeMap<String, Vec<String>>,
+    /// Points documented in `parallel::faults::NAMED_POINTS`.
+    pub named: Vec<String>,
+    /// Points exercised by `tests/robustness.rs`.
+    pub tested: Vec<String>,
+    /// Drift diagnostics (empty when the three sets agree).
+    pub diags: Vec<Diagnostic>,
+}
+
+/// Cross-check `fault_point!` call sites against the documented registry
+/// and the robustness suite, returning the full report.
+pub fn run_fault_points(root: &Path) -> std::io::Result<FaultPointReport> {
+    let mut registry = Registry::default();
+    for rel in rust_files(root)? {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let tokens = tokenize(&src);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        registry.sites.extend(fault_call_sites(&rel, &tokens));
+        if rel_str == FAULTS_FILE {
+            registry.named = anchored_strings(&rel, &tokens, "NAMED_POINTS");
+            registry.saw_faults_file = true;
+        }
+        if rel_str == ROBUSTNESS_FILE {
+            registry.tested = anchored_strings(&rel, &tokens, "FAULT_POINTS");
+            registry.saw_robustness_file = true;
+        }
+    }
+    let mut sites: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for site in &registry.sites {
+        sites.entry(site.name.clone()).or_default().push(format!(
+            "{}:{}",
+            site.file.display(),
+            site.line
+        ));
+    }
+    let named = registry
+        .named
+        .iter()
+        .flatten()
+        .map(|s| s.name.clone())
+        .collect();
+    let tested = registry
+        .tested
+        .iter()
+        .flatten()
+        .map(|s| s.name.clone())
+        .collect();
+    let diags = registry.check();
+    Ok(FaultPointReport {
+        sites,
+        named,
+        tested,
+        diags,
+    })
+}
+
+#[derive(Default)]
+struct Registry {
+    sites: Vec<FaultSite>,
+    named: Option<Vec<FaultSite>>,
+    tested: Option<Vec<FaultSite>>,
+    saw_faults_file: bool,
+    saw_robustness_file: bool,
+}
+
+impl Registry {
+    fn check(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        // Only enforce when the registry files are present: the tool stays
+        // usable on partial trees, and the self-check covers the real one.
+        if !(self.saw_faults_file && self.saw_robustness_file) {
+            return diags;
+        }
+        let named = match &self.named {
+            Some(named) => named.clone(),
+            None => {
+                diags.push(missing_anchor(FAULTS_FILE, "NAMED_POINTS"));
+                return diags;
+            }
+        };
+        let tested = match &self.tested {
+            Some(tested) => tested.clone(),
+            None => {
+                diags.push(missing_anchor(ROBUSTNESS_FILE, "FAULT_POINTS"));
+                return diags;
+            }
+        };
+        let named_set: Vec<&str> = named.iter().map(|s| s.name.as_str()).collect();
+        let tested_set: Vec<&str> = tested.iter().map(|s| s.name.as_str()).collect();
+        let site_set: Vec<&str> = self.sites.iter().map(|s| s.name.as_str()).collect();
+
+        for site in &self.sites {
+            if !named_set.contains(&site.name.as_str()) {
+                diags.push(drift(
+                    site,
+                    format!(
+                        "fault_point!(\"{}\") is not documented in parallel::faults::NAMED_POINTS",
+                        site.name
+                    ),
+                    "add the point to NAMED_POINTS and cover it in tests/robustness.rs",
+                ));
+            }
+        }
+        for point in &named {
+            if !site_set.contains(&point.name.as_str()) {
+                diags.push(drift(
+                    point,
+                    format!(
+                        "NAMED_POINTS documents \"{}\" but no fault_point! call site exists",
+                        point.name
+                    ),
+                    "remove the stale entry or restore the call site",
+                ));
+            }
+            if !tested_set.contains(&point.name.as_str()) {
+                diags.push(drift(
+                    point,
+                    format!(
+                        "\"{}\" is not exercised by tests/robustness.rs FAULT_POINTS",
+                        point.name
+                    ),
+                    "add the point to the robustness suite's FAULT_POINTS list",
+                ));
+            }
+        }
+        for point in &tested {
+            if !named_set.contains(&point.name.as_str()) {
+                diags.push(drift(
+                    point,
+                    format!(
+                        "robustness FAULT_POINTS lists \"{}\" which is not in NAMED_POINTS",
+                        point.name
+                    ),
+                    "remove the stale entry or document the point in parallel::faults",
+                ));
+            }
+        }
+        diags
+    }
+}
+
+fn missing_anchor(file: &str, anchor: &str) -> Diagnostic {
+    Diagnostic {
+        rule: RULE_FAULT_POINT_REGISTRY,
+        file: PathBuf::from(file),
+        line: 1,
+        col: 1,
+        message: format!("expected a `{anchor}` const listing the fault points"),
+        suggestion: format!("declare `pub const {anchor}: &[&str]` with every point name"),
+    }
+}
+
+fn drift(at: &FaultSite, message: String, suggestion: &str) -> Diagnostic {
+    Diagnostic {
+        rule: RULE_FAULT_POINT_REGISTRY,
+        file: at.file.clone(),
+        line: at.line,
+        col: at.col,
+        message,
+        suggestion: suggestion.to_string(),
+    }
+}
+
+/// Workspace-relative paths of every `.rs` file under `root`, skipping
+/// build output, vendored code, data directories and the lint fixtures.
+fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, Path::new(""), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, rel: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(root.join(rel))? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name_str = name.to_string_lossy().into_owned();
+        let child = rel.join(&name);
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            if SKIP_DIRS.contains(&name_str.as_str()) || name_str.starts_with('.') {
+                continue;
+            }
+            walk(root, &child, files)?;
+        } else if name_str.ends_with(".rs") {
+            files.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative paths of committed `BENCH_*.json` baselines (which
+/// live at the workspace root).
+fn bench_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.file_type()?.is_file() && name.starts_with("BENCH_") && name.ends_with(".json") {
+            files.push(PathBuf::from(name));
+        }
+    }
+    files.sort();
+    Ok(files)
+}

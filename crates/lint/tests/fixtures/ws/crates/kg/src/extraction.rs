@@ -1,0 +1,29 @@
+//! Fixture: hot-loop coverage, banned macros and fault-point call sites.
+
+pub fn expand(n: usize) -> usize {
+    parallel::fault_point!("fixture.good");
+    parallel::fault_point!("fixture.rogue");
+    parallel::fault_point!("fixture.untested");
+    let mut total = 0;
+    // mesa-lint: hot-loop -- fixture: loop with no checkpoint call
+    for i in 0..n {
+        total += i;
+    }
+    // mesa-lint: hot-loop -- fixture: loop that does poll
+    for i in 0..n {
+        parallel::checkpoint();
+        total += i;
+    }
+    // mesa-lint: hot-loop(poll) -- fixture: named polling call absent
+    while busy(total) {
+        total -= 1;
+    }
+    // mesa-lint: hot-loop -- fixture: dangling marker, no loop follows
+    let snapshot = total;
+    dbg!(snapshot);
+    todo!()
+}
+
+fn busy(n: usize) -> bool {
+    n > 0
+}

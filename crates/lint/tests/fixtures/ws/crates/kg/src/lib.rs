@@ -1,0 +1,4 @@
+//! Fixture: crate root missing both `#![deny(missing_docs)]` and
+//! `#![forbid(unsafe_code)]`.
+
+pub mod extraction;

@@ -1,0 +1,17 @@
+//! Fixture: malformed `mesa-lint` directives.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+fn reasonless(xs: &[u32]) -> u32 {
+    // mesa-lint: allow(serving-panic-free)
+    xs.first().unwrap() + 1
+}
+
+fn unknown_rule(xs: &[u32]) -> u32 {
+    // mesa-lint: allow(no-such-rule) -- the rule id does not exist
+    xs.iter().sum()
+}
+
+fn unknown_verb() {
+    // mesa-lint: frobnicate the registry
+}

@@ -1,0 +1,10 @@
+//! Fixture: the documented fault-point registry, with one ghost entry and
+//! one entry the robustness list forgot.
+#![deny(missing_docs)]
+
+/// Documented injection points.
+pub const NAMED_POINTS: &[&str] = &[
+    "fixture.good",
+    "fixture.ghost",
+    "fixture.untested",
+];

@@ -1,0 +1,34 @@
+//! Fixture: SAFETY discipline and named hot-loop polling.
+
+/// Reads the first byte behind `p`.
+pub fn first_byte(p: *const u8) -> u8 {
+    // SAFETY: fixture caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// Padding so the next unsafe site sits outside the previous comment's
+/// 8-line SAFETY window:
+/// one,
+/// two,
+/// three,
+/// four,
+/// five.
+///
+/// Reads the second byte behind `p` without any justification.
+pub fn second_byte(p: *const u8) -> u8 {
+    unsafe { *p.add(1) }
+}
+
+/// Claims and drains batches; the deadline poll lives inside `run_batch`.
+pub fn drain(mut n: u32) {
+    // mesa-lint: hot-loop(run_batch) -- fixture: polling call named explicitly
+    while run_batch(&mut n) {}
+}
+
+fn run_batch(n: &mut u32) -> bool {
+    if *n == 0 {
+        return false;
+    }
+    *n -= 1;
+    true
+}

@@ -1,0 +1,4 @@
+//! Fixture umbrella crate root: carries both required attributes, so it
+//! must produce no diagnostics.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]

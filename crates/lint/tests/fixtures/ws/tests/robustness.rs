@@ -1,0 +1,8 @@
+//! Fixture robustness suite: lists one point that is not documented and
+//! misses one that is.
+
+const FAULT_POINTS: &[&str] = &[
+    "fixture.good",
+    "fixture.ghost",
+    "fixture.rogue",
+];

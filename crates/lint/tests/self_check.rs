@@ -1,0 +1,47 @@
+//! The workspace self-check: the real repository must lint clean, and the
+//! real fault-point registry must be consistent. This is the test-suite
+//! mirror of the CI `cargo run -p lint -- check` gate, so a violation
+//! fails `cargo test` even where CI is not running.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let diags = lint::run_check(&workspace_root()).expect("workspace readable");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "the workspace must produce no lint diagnostics:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn the_fault_point_registry_is_consistent() {
+    let report = lint::run_fault_points(&workspace_root()).expect("workspace readable");
+    let rendered: Vec<String> = report.diags.iter().map(ToString::to_string).collect();
+    assert!(
+        report.diags.is_empty(),
+        "fault-point registry drifted:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        !report.named.is_empty(),
+        "the registry must document at least one point"
+    );
+    // Every documented point has at least one live call site.
+    for name in &report.named {
+        assert!(
+            report.sites.contains_key(name),
+            "documented point `{name}` has no call site"
+        );
+    }
+}

@@ -39,6 +39,7 @@
 //! named pipeline points for testing.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod baselines;
 pub mod cache;

@@ -502,27 +502,20 @@ impl<'a> Session<'a> {
         // Resolve every already-cached query inline; collect the first
         // occurrence of each fingerprint that still needs computing.
         let mut results: Vec<Option<Result<Arc<MesaReport>>>> = Vec::with_capacity(queries.len());
-        let mut misses: Vec<usize> = Vec::new();
+        let mut misses: Vec<(usize, &str, &AggregateQuery)> = Vec::new();
         {
             let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
-            for (i, fp) in fingerprints.iter().enumerate() {
+            for (i, (fp, query)) in fingerprints.iter().zip(queries).enumerate() {
                 match self.reports.get_if_ready(fp) {
                     Some(report) => results.push(Some(Ok(report))),
                     None => {
                         if seen.insert(fp.as_str()) {
-                            misses.push(i);
+                            misses.push((i, fp.as_str(), query));
                         }
                         results.push(None);
                     }
                 }
             }
-        }
-        // Fully warm batch: every slot was filled from the memo.
-        if misses.is_empty() {
-            return results
-                .into_iter()
-                .map(|slot| slot.expect("all queries resolved from the memo"))
-                .collect();
         }
         // Fan the distinct uncached queries out, one pool task per query:
         // whole explanation pipelines are heavyweight items, so even a
@@ -532,39 +525,45 @@ impl<'a> Session<'a> {
         // extraction) through the shared pool instead of oversubscribing.
         // Each item is guarded individually, so one panicking pipeline
         // cannot poison the batch; the outer guard covers a deadline that
-        // expires at a batch claim boundary itself.
-        let computed: Vec<Result<Arc<MesaReport>>> = match guard_panics(|| {
-            Ok(parallel::parallel_map_with(
-                &misses,
-                parallel::FanOut::heavy(),
-                |_, &i| self.explain_guarded(&fingerprints[i], &queries[i]),
-            ))
-        }) {
-            Ok(computed) => computed,
-            Err(e) => misses.iter().map(|_| Err(e.clone())).collect(),
+        // expires at a batch claim boundary itself. A fully warm batch
+        // (no misses) never touches the pool.
+        let computed: Vec<Result<Arc<MesaReport>>> = if misses.is_empty() {
+            Vec::new()
+        } else {
+            match guard_panics(|| {
+                Ok(parallel::parallel_map_with(
+                    &misses,
+                    parallel::FanOut::heavy(),
+                    |_, &(_, fp, query)| self.explain_guarded(fp, query),
+                ))
+            }) {
+                Ok(computed) => computed,
+                Err(e) => misses.iter().map(|_| Err(e.clone())).collect(),
+            }
         };
         // For each computed fingerprint: its result and whether the slot at
         // hand is the occurrence that computed it.
         let by_fingerprint: HashMap<&str, (usize, &Result<Arc<MesaReport>>)> = misses
             .iter()
             .zip(&computed)
-            .map(|(&i, result)| (fingerprints[i].as_str(), (i, result)))
+            .map(|(&(i, fp, _), result)| (fp, (i, result)))
             .collect();
         // Fill the remaining slots. Duplicates of a computed fingerprint
         // share its result; duplicates of a *failed* one re-run through the
         // memo (errors are not cached), exactly like the sequential path.
         results
             .into_iter()
+            .zip(fingerprints.iter().zip(queries))
             .enumerate()
-            .map(|(i, slot)| match slot {
+            .map(|(i, (slot, (fp, query)))| match slot {
                 Some(result) => result,
-                None => match by_fingerprint.get(fingerprints[i].as_str()) {
+                None => match by_fingerprint.get(fp.as_str()) {
                     Some((origin, result)) if *origin == i => (*result).clone(),
                     Some((_, Ok(report))) => {
                         self.reports.record_hit();
                         Ok(report.clone())
                     }
-                    _ => self.explain_guarded(&fingerprints[i], &queries[i]),
+                    _ => self.explain_guarded(fp, query),
                 },
             })
             .collect()

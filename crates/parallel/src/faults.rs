@@ -18,6 +18,25 @@ use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
+/// Every named injection point in the workspace.
+///
+/// This is the documented source of truth for the string keys: `mesa-lint`
+/// enforces that this list, the `fault_point!("...")` call sites in source,
+/// and the robustness suite's `FAULT_POINTS` coverage list stay identical,
+/// so a renamed or added point cannot silently drift out of test coverage.
+pub const NAMED_POINTS: &[&str] = &[
+    // Session cache-fill paths, one per tier (report / prepared / extraction).
+    "mesa.session.fill_report",
+    "mesa.session.fill_prepared",
+    "mesa.session.fill_extraction",
+    // Hash-join build in mesa::problem.
+    "mesa.join",
+    // BFS frontier expansion in kg::extraction.
+    "kg.extract.expand",
+    // Contingency accumulation in infotheory::kernel.
+    "infotheory.kernel.accumulate",
+];
+
 /// What an armed injection point does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {

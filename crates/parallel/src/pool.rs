@@ -192,6 +192,7 @@ fn global_pool() -> &'static Pool {
             std::thread::Builder::new()
                 .name(format!("mesa-pool-{i}"))
                 .spawn(move || worker_loop(&shared))
+                // mesa-lint: allow(serving-panic-free) -- worker spawn failure at first pool use is unrecoverable startup misconfiguration, not a request-path error
                 .expect("failed to spawn pool worker");
         }
         Pool { shared, threads }
@@ -217,14 +218,15 @@ fn worker_loop(shared: &Shared) {
         // The helper-slot count enforces the job's thread cap; losing the
         // race (another worker took the last slot) just re-enters the scan.
         if job.try_add_helper() {
+            // mesa-lint: hot-loop(run_batch) -- deadline polled at every batch-claim boundary inside run_batch
             while job.run_batch() {}
         }
     }
 }
 
 /// Monomorphized item executor: `(ctx, i)` runs item `i` and writes its
-/// result slot. `unsafe` because `ctx` must point at a live [`Ctx`] of the
-/// matching concrete types.
+/// result slot. SAFETY: callers must pass a `ctx` pointing at a live
+/// [`Ctx`] of the matching concrete types.
 type RunOne = unsafe fn(*const (), usize);
 
 /// The borrowed, type-specific half of a job, kept on the submitting
@@ -236,6 +238,9 @@ struct Ctx<'a, T, R, F> {
     results: *mut Option<R>,
 }
 
+/// SAFETY: `ctx` must point at a live `Ctx<T, R, F>` whose items, closure
+/// and results buffer outlive the call, and `i` must be an exclusively
+/// claimed in-bounds index.
 unsafe fn run_one<T, R, F>(ctx: *const (), i: usize)
 where
     F: Fn(usize, &T) -> R,
@@ -443,6 +448,7 @@ where
     }
     // Help: execute batches from our own job until none are claimable,
     // then park until the stragglers other threads claimed have finished.
+    // mesa-lint: hot-loop(run_batch) -- deadline polled at every batch-claim boundary inside run_batch
     while job.run_batch() {}
     job.wait_done();
     lock_ignore_poison(&pool.shared.registry).retain(|j| !Arc::ptr_eq(j, &job));
@@ -453,6 +459,7 @@ where
     }
     results
         .into_iter()
+        // mesa-lint: allow(serving-panic-free) -- unreachable: every claimed index writes its slot before `finished` reaches `len`, and the panicking path resumed above
         .map(|slot| slot.expect("every slot is written on the non-panicking path"))
         .collect()
 }

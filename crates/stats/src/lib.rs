@@ -19,6 +19,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod correlation;
 pub mod logistic;

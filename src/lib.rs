@@ -102,6 +102,7 @@
 //!   `CHANGES.md` — what each PR did.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use datagen;
 pub use infotheory;

@@ -32,6 +32,17 @@ const FAULT_POINTS: &[&str] = &[
     "infotheory.kernel.accumulate",
 ];
 
+/// The coverage list above must track the documented registry verbatim —
+/// same points, same order. `mesa-lint`'s fault-point-registry rule checks
+/// the same invariant statically (plus the call sites); this runtime mirror
+/// catches it even in builds that never run the lint.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn fault_points_match_the_documented_registry() {
+    use mesa_repro::mesa::faults;
+    assert_eq!(FAULT_POINTS, faults::NAMED_POINTS);
+}
+
 static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Serialises tests sharing the process-global fault registry. Poisoning is
