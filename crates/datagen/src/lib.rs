@@ -26,12 +26,16 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 pub mod datasets;
 pub mod kg_builder;
 pub mod queries;
 pub mod util;
 pub mod world;
 
+pub use adversarial::{
+    entity_key_column, sample_cardinality, AdversarialDType, ColumnSpec, KgSpec, Layout,
+};
 pub use datasets::{
     generate_covid, generate_flights, generate_forbes, generate_so, Dataset, COVID_DEFAULT_ROWS,
     FLIGHTS_DEFAULT_ROWS, FORBES_DEFAULT_ROWS, SO_DEFAULT_ROWS,

@@ -1,0 +1,176 @@
+//! Greedy scenario shrinking: given a scenario that violates an oracle
+//! family, repeatedly try structure-removing mutations (drop queries, halve
+//! rows, drop columns, truncate the knowledge graph, drop aliases) and adopt
+//! any mutation under which the *same* family still fails, until a fixpoint
+//! or an evaluation budget.
+//!
+//! Mutations never need validity bookkeeping: a mutation that breaks a query
+//! (e.g. dropping its exposure column) makes every pipeline path fail with
+//! the *same* deterministic error, so the oracle passes and the mutation is
+//! simply rejected.
+
+use kg::KnowledgeGraph;
+
+use crate::harness::{check, check_family, OracleFailure, Sabotage};
+use crate::scenario::Scenario;
+
+/// Cap on oracle evaluations per minimization, so shrinking a pathological
+/// failure stays interactive.
+pub const MAX_MINIMIZE_EVALS: usize = 256;
+
+/// The result of shrinking a failing scenario.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// The minimal scenario that still violates the family.
+    pub scenario: Scenario,
+    /// The violation as observed on the minimal scenario.
+    pub failure: OracleFailure,
+    /// Oracle evaluations spent.
+    pub evals: usize,
+}
+
+/// A copy of `g` keeping only the first `keep_triples` facts (in entity
+/// order) and, optionally, the alias table.
+fn truncated_graph(g: &KnowledgeGraph, keep_triples: usize, keep_aliases: bool) -> KnowledgeGraph {
+    let mut out = KnowledgeGraph::new();
+    let mut count = 0usize;
+    'entities: for entity in g.entities() {
+        for (predicate, object) in g.properties(entity) {
+            if count >= keep_triples {
+                break 'entities;
+            }
+            out.add_fact(entity, predicate, object);
+            count += 1;
+        }
+    }
+    if keep_aliases {
+        for (alias, canonical) in g.alias_entries() {
+            out.add_alias(alias, canonical);
+        }
+    }
+    out
+}
+
+/// Candidate mutations of `s`, coarsest first (dropping a whole query or
+/// half the rows shrinks the search fastest).
+fn mutations(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    if s.queries.len() > 1 {
+        for i in 0..s.queries.len() {
+            let mut m = s.clone();
+            m.queries.remove(i);
+            out.push(m);
+        }
+    }
+
+    let n_rows = s.df.n_rows();
+    for keep in [n_rows / 2, n_rows.saturating_sub(1)] {
+        if keep > 0 && keep < n_rows {
+            let mut m = s.clone();
+            m.df = m.df.head(keep);
+            out.push(m);
+        }
+    }
+
+    if s.df.n_cols() > 1 {
+        let names: Vec<String> = s.df.column_names().iter().map(|n| n.to_string()).collect();
+        for name in names {
+            let mut m = s.clone();
+            if m.drop_column(&name) {
+                out.push(m);
+            }
+        }
+    }
+
+    let n_triples = s.graph.n_triples();
+    for keep in [0, n_triples / 2] {
+        if keep < n_triples {
+            let mut m = s.clone();
+            m.graph = truncated_graph(&s.graph, keep, true);
+            out.push(m);
+        }
+    }
+    if s.graph.alias_entries().next().is_some() {
+        let mut m = s.clone();
+        m.graph = truncated_graph(&s.graph, n_triples, false);
+        out.push(m);
+    }
+
+    out
+}
+
+/// Minimizes `s` under `sabotage`. Returns `None` when `s` passes every
+/// oracle (there is nothing to shrink).
+pub fn minimize(s: &Scenario, sabotage: Sabotage) -> Option<MinimizeOutcome> {
+    let mut failure = check(s, sabotage).err()?;
+    let family = failure.family;
+    let mut current = s.clone();
+    let mut evals = 0usize;
+
+    'outer: loop {
+        for candidate in mutations(&current) {
+            if evals >= MAX_MINIMIZE_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(f) = check_family(&candidate, sabotage, family) {
+                current = candidate;
+                failure = f;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    current.label = format!("{} (minimized)", current.label);
+    Some(MinimizeOutcome {
+        scenario: current,
+        failure,
+        evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{HandCase, Scenario};
+
+    #[test]
+    fn passing_scenario_yields_none() {
+        let s = Scenario::hand(HandCase::CardinalityOneKey);
+        assert!(minimize(&s, Sabotage::None).is_none());
+    }
+
+    #[test]
+    fn sealed_sabotage_shrinks_to_a_tiny_scenario() {
+        // The acceptance demonstration: a deliberately broken sealed path is
+        // caught and greedily shrunk to a <= 5-column scenario.
+        let s = Scenario::from_seed(0xDEAD_BEEF);
+        let outcome = minimize(&s, Sabotage::Sealed).expect("sabotage must fail somewhere");
+        assert_eq!(outcome.failure.family, "kernel-equivalence");
+        assert!(
+            outcome.scenario.df.n_cols() <= 5,
+            "still {} columns after {} evals:\n{}",
+            outcome.scenario.df.n_cols(),
+            outcome.evals,
+            outcome.scenario.describe()
+        );
+        assert!(
+            outcome.scenario.df.n_rows() < s.df.n_rows(),
+            "rows did not shrink: {}",
+            outcome.scenario.df.n_rows()
+        );
+    }
+
+    #[test]
+    fn truncated_graph_respects_budget_and_aliases() {
+        let s = Scenario::hand(HandCase::FiveHopChain);
+        let n = s.graph.n_triples();
+        let half = truncated_graph(&s.graph, n / 2, true);
+        assert_eq!(half.n_triples(), n / 2);
+        let no_alias = truncated_graph(&s.graph, n, false);
+        assert_eq!(no_alias.n_triples(), n);
+        assert!(no_alias.alias_entries().next().is_none());
+    }
+}

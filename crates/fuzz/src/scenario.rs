@@ -1,0 +1,438 @@
+//! Replayable adversarial scenarios: a table, a knowledge graph, queries and
+//! a config crossing, all materialized from a single `u64` seed.
+
+use datagen::adversarial::{entity_key_column, AdversarialDType, ColumnSpec, KgSpec, Layout};
+use kg::{KnowledgeGraph, OneToManyAgg};
+use mesa::MesaConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tabular::{AggFn, AggregateQuery, BinStrategy, Column, DType, DataFrame, Predicate, Value};
+
+/// One generated scenario: everything the differential harness needs to run
+/// the full pipeline, plus the seed it replays from.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The seed this scenario was materialized from (hand cases use fixed
+    /// sentinel seeds).
+    pub seed: u64,
+    /// Short human label (`seed:0x…` or the hand-case name).
+    pub label: String,
+    /// The input table. Always contains an `Entity` key column.
+    pub df: DataFrame,
+    /// The knowledge graph candidate attributes are extracted from.
+    pub graph: KnowledgeGraph,
+    /// Columns handed to the session for KG extraction (usually
+    /// `["Entity"]`, occasionally empty to exercise the no-extraction path).
+    pub extraction_columns: Vec<String>,
+    /// The aggregate queries run through every pipeline path.
+    pub queries: Vec<AggregateQuery>,
+    /// The configuration crossing (bins, hops, one-to-many policy, k).
+    pub config: MesaConfig,
+}
+
+/// The three known-nasty hand scenarios committed as permanent regressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandCase {
+    /// A column that is 100% null rides along the pipeline.
+    AllNullColumn,
+    /// The entity join key has cardinality 1 (every row the same entity).
+    CardinalityOneKey,
+    /// A 5-hop chain extracted with `hops = 5`.
+    FiveHopChain,
+}
+
+/// Derives the seed of the `index`-th scenario of a run started from
+/// `master`. Index 0 *is* the master seed, so a failure at any index
+/// replays directly via `fuzz --seed <printed> --scenarios 1`.
+pub fn scenario_seed(master: u64, index: usize) -> u64 {
+    if index == 0 {
+        master
+    } else {
+        let mut rng =
+            StdRng::seed_from_u64(master ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rng.gen()
+    }
+}
+
+/// Picks the first non-null value of a column, if any — used as an `Eq`
+/// context literal so generated predicates actually select rows.
+fn sample_value(col: &Column) -> Option<Value> {
+    (0..col.len()).find_map(|i| match col.get(i) {
+        Ok(v) if !v.is_null() => Some(v),
+        _ => None,
+    })
+}
+
+impl Scenario {
+    /// Materializes the scenario for `seed`. Row counts are kept modest
+    /// (tens to hundreds, occasionally ~1.5k) so a 25-scenario CI smoke run
+    /// stays well under a minute while still crossing the kernel's
+    /// dense/sparse threshold from both sides.
+    pub fn from_seed(seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let n_rows = match rng.gen_range(0u32..100) {
+            0..=24 => rng.gen_range(4..=32),
+            25..=84 => rng.gen_range(32..=400),
+            _ => rng.gen_range(400..=1500),
+        };
+
+        let kg_spec = KgSpec::sample(&mut rng);
+        let graph = kg_spec.materialize(&mut rng);
+
+        let entity_null = if rng.gen_bool(0.7) {
+            0.0
+        } else {
+            rng.gen_range(0.0..0.5)
+        };
+        let entity_layout = if rng.gen_bool(0.5) {
+            Layout::Runny
+        } else {
+            Layout::Shuffled
+        };
+        let mut columns = vec![entity_key_column(
+            &mut rng,
+            n_rows,
+            kg_spec.n_entities,
+            entity_null,
+            entity_layout,
+        )];
+
+        let n_extra = rng.gen_range(1usize..=5);
+        let mut has_numeric = false;
+        for i in 0..n_extra {
+            let mut spec = ColumnSpec::sample(&mut rng, format!("c{i}"));
+            // Guarantee at least one numeric outcome candidate.
+            if i + 1 == n_extra && !has_numeric {
+                spec.dtype = AdversarialDType::Float;
+                spec.null_rate = spec.null_rate.min(0.9);
+            }
+            has_numeric |= matches!(spec.dtype, AdversarialDType::Int | AdversarialDType::Float);
+            columns.push(spec.materialize(n_rows, &mut rng));
+        }
+        let df = DataFrame::from_columns(columns).expect("generated columns share one length");
+
+        let extraction_columns = if rng.gen_bool(0.9) {
+            vec!["Entity".to_string()]
+        } else {
+            Vec::new()
+        };
+
+        let mut config = MesaConfig::default();
+        config.prepare.n_bins = rng.gen_range(2..=8);
+        config.prepare.bin_strategy = if rng.gen_bool(0.5) {
+            BinStrategy::EqualFrequency
+        } else {
+            BinStrategy::EqualWidth
+        };
+        config.prepare.extraction.hops = rng.gen_range(1..=3);
+        config.prepare.extraction.one_to_many = match rng.gen_range(0u32..5) {
+            0 => OneToManyAgg::Mean,
+            1 => OneToManyAgg::Max,
+            2 => OneToManyAgg::Min,
+            3 => OneToManyAgg::Count,
+            _ => OneToManyAgg::First,
+        };
+        config.mcimr.k = rng.gen_range(1..=4);
+
+        let queries = Self::sample_queries(&df, &mut rng);
+
+        Scenario {
+            seed,
+            label: format!("seed:{seed:#x}"),
+            df,
+            graph,
+            extraction_columns,
+            queries,
+            config,
+        }
+    }
+
+    /// 1–3 queries derivable from the frame: exposure over any column,
+    /// outcome preferring numeric columns (with a 10% chance of a hostile
+    /// non-numeric outcome, whose pipeline *error* must also be identical
+    /// across paths), optional `Eq` context sampled from real cell values.
+    fn sample_queries(df: &DataFrame, rng: &mut StdRng) -> Vec<AggregateQuery> {
+        let names: Vec<String> = df.column_names().iter().map(|s| s.to_string()).collect();
+        let numeric: Vec<String> = names
+            .iter()
+            .filter(|n| {
+                matches!(
+                    df.column(n).map(|c| c.dtype()),
+                    Ok(DType::Int) | Ok(DType::Float)
+                )
+            })
+            .cloned()
+            .collect();
+        let n_queries = rng.gen_range(1usize..=3);
+        let mut queries = Vec::with_capacity(n_queries);
+        for _ in 0..n_queries {
+            let exposure = names[rng.gen_range(0..names.len())].clone();
+            let outcome_pool = if numeric.is_empty() || rng.gen_bool(0.1) {
+                &names
+            } else {
+                &numeric
+            };
+            let mut outcome = outcome_pool[rng.gen_range(0..outcome_pool.len())].clone();
+            if outcome == exposure {
+                outcome = names
+                    [(names.iter().position(|n| *n == exposure).unwrap() + 1) % names.len()]
+                .clone();
+            }
+            let agg = match rng.gen_range(0u32..10) {
+                0..=5 => AggFn::Mean,
+                6 => AggFn::Count,
+                7 => AggFn::Sum,
+                8 => AggFn::Max,
+                _ => AggFn::Median,
+            };
+            let mut q = AggregateQuery::avg(exposure, outcome).with_agg(agg);
+            if rng.gen_bool(0.4) {
+                let ctx_col = &names[rng.gen_range(0..names.len())];
+                if let Ok(col) = df.column(ctx_col) {
+                    if let Some(v) = sample_value(col) {
+                        q = q.with_context(Predicate::eq(ctx_col.clone(), v));
+                    }
+                }
+            }
+            queries.push(q);
+        }
+        queries
+    }
+
+    /// Materializes one of the committed hand cases. These use fixed
+    /// internal seeds, so they are as replayable as generated scenarios.
+    pub fn hand(case: HandCase) -> Scenario {
+        match case {
+            HandCase::AllNullColumn => {
+                let mut rng = StdRng::seed_from_u64(0xA11);
+                let kg_spec = KgSpec {
+                    n_entities: 8,
+                    chain_depth: 1,
+                    fan_out: 2,
+                    attrs_per_level: 2,
+                    value_pool: 3,
+                    n_aliases: 2,
+                    ambiguous_aliases: 1,
+                };
+                let graph = kg_spec.materialize(&mut rng);
+                let entity = entity_key_column(&mut rng, 120, 8, 0.0, Layout::Shuffled);
+                let dead = ColumnSpec {
+                    name: "dead".into(),
+                    dtype: AdversarialDType::Float,
+                    cardinality: 4,
+                    null_rate: 1.0,
+                    layout: Layout::Runny,
+                }
+                .materialize(120, &mut rng);
+                let live = ColumnSpec {
+                    name: "live".into(),
+                    dtype: AdversarialDType::Float,
+                    cardinality: 6,
+                    null_rate: 0.0,
+                    layout: Layout::Shuffled,
+                }
+                .materialize(120, &mut rng);
+                let df = DataFrame::from_columns(vec![entity, dead, live]).unwrap();
+                let queries = vec![
+                    AggregateQuery::avg("Entity", "live"),
+                    // The all-null column as outcome: every path must agree
+                    // on the same (empty or erroneous) result.
+                    AggregateQuery::avg("Entity", "dead"),
+                ];
+                Scenario {
+                    seed: 0xA11,
+                    label: "hand:all-null-column".into(),
+                    df,
+                    graph,
+                    extraction_columns: vec!["Entity".into()],
+                    queries,
+                    config: MesaConfig::default(),
+                }
+            }
+            HandCase::CardinalityOneKey => {
+                let mut rng = StdRng::seed_from_u64(0xCA2D);
+                let kg_spec = KgSpec {
+                    n_entities: 1,
+                    chain_depth: 2,
+                    fan_out: 4,
+                    attrs_per_level: 2,
+                    value_pool: 2,
+                    n_aliases: 1,
+                    ambiguous_aliases: 0,
+                };
+                let graph = kg_spec.materialize(&mut rng);
+                let entity = entity_key_column(&mut rng, 90, 1, 0.0, Layout::Runny);
+                let group = ColumnSpec {
+                    name: "group".into(),
+                    dtype: AdversarialDType::Cat,
+                    cardinality: 3,
+                    null_rate: 0.1,
+                    layout: Layout::Shuffled,
+                }
+                .materialize(90, &mut rng);
+                let y = ColumnSpec {
+                    name: "y".into(),
+                    dtype: AdversarialDType::Float,
+                    cardinality: 12,
+                    null_rate: 0.0,
+                    layout: Layout::Shuffled,
+                }
+                .materialize(90, &mut rng);
+                let df = DataFrame::from_columns(vec![entity, group, y]).unwrap();
+                let queries = vec![AggregateQuery::avg("group", "y")];
+                Scenario {
+                    seed: 0xCA2D,
+                    label: "hand:cardinality-1-join-key".into(),
+                    df,
+                    graph,
+                    extraction_columns: vec!["Entity".into()],
+                    queries,
+                    config: MesaConfig::default(),
+                }
+            }
+            HandCase::FiveHopChain => {
+                let mut rng = StdRng::seed_from_u64(0x5104);
+                let kg_spec = KgSpec {
+                    n_entities: 12,
+                    chain_depth: 5,
+                    fan_out: 1,
+                    attrs_per_level: 1,
+                    value_pool: 3,
+                    n_aliases: 3,
+                    ambiguous_aliases: 1,
+                };
+                let graph = kg_spec.materialize(&mut rng);
+                let entity = entity_key_column(&mut rng, 150, 12, 0.05, Layout::Shuffled);
+                let y = ColumnSpec {
+                    name: "y".into(),
+                    dtype: AdversarialDType::Float,
+                    cardinality: 20,
+                    null_rate: 0.0,
+                    layout: Layout::Runny,
+                }
+                .materialize(150, &mut rng);
+                let df = DataFrame::from_columns(vec![entity, y]).unwrap();
+                let mut config = MesaConfig::default();
+                config.prepare.extraction.hops = 5;
+                let queries = vec![AggregateQuery::avg("Entity", "y")];
+                Scenario {
+                    seed: 0x5104,
+                    label: "hand:5-hop-chain".into(),
+                    df,
+                    graph,
+                    extraction_columns: vec!["Entity".into()],
+                    queries,
+                    config,
+                }
+            }
+        }
+    }
+
+    /// One-paragraph human summary: shape of the table, graph, queries and
+    /// config — what gets printed for a failing (and for a minimized)
+    /// scenario.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "{} | {} rows x {} cols | {} triples, {} entities | {} quer{} | bins={} {:?} hops={} o2m={:?} k={}\n",
+            self.label,
+            self.df.n_rows(),
+            self.df.n_cols(),
+            self.graph.n_triples(),
+            self.graph.n_entities(),
+            self.queries.len(),
+            if self.queries.len() == 1 { "y" } else { "ies" },
+            self.config.prepare.n_bins,
+            self.config.prepare.bin_strategy,
+            self.config.prepare.extraction.hops,
+            self.config.prepare.extraction.one_to_many,
+            self.config.mcimr.k,
+        );
+        for col in self.df.columns() {
+            out.push_str(&format!(
+                "  col {:?} {:?} distinct={} null={:.0}%\n",
+                col.name(),
+                col.dtype(),
+                col.n_distinct(),
+                col.null_fraction() * 100.0,
+            ));
+        }
+        for q in &self.queries {
+            out.push_str(&format!("  query {}\n", q.fingerprint()));
+        }
+        out
+    }
+
+    /// Drops a column from the frame (and from the extraction columns when
+    /// it was one). Used by the minimizer; a no-op `Err` when the column is
+    /// absent.
+    pub fn drop_column(&mut self, name: &str) -> bool {
+        if self.df.n_cols() <= 1 || self.df.drop_column(name).is_err() {
+            return false;
+        }
+        self.extraction_columns.retain(|c| c != name);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_replay_identically() {
+        let a = Scenario::from_seed(42);
+        let b = Scenario::from_seed(42);
+        assert_eq!(a.df, b.df);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.graph.n_triples(), b.graph.n_triples());
+        assert_eq!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let a = Scenario::from_seed(1);
+        let b = Scenario::from_seed(2);
+        assert_ne!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn scenario_seed_index_zero_is_master() {
+        assert_eq!(scenario_seed(0xBEEF, 0), 0xBEEF);
+        assert_ne!(scenario_seed(0xBEEF, 1), scenario_seed(0xBEEF, 2));
+        assert_eq!(scenario_seed(0xBEEF, 7), scenario_seed(0xBEEF, 7));
+    }
+
+    #[test]
+    fn hand_cases_have_their_advertised_shape() {
+        let all_null = Scenario::hand(HandCase::AllNullColumn);
+        assert_eq!(all_null.df.column("dead").unwrap().null_count(), 120);
+
+        let card1 = Scenario::hand(HandCase::CardinalityOneKey);
+        assert_eq!(card1.df.column("Entity").unwrap().n_distinct(), 1);
+
+        let chain = Scenario::hand(HandCase::FiveHopChain);
+        assert_eq!(chain.config.prepare.extraction.hops, 5);
+        assert!(chain.graph.has_entity("E0.h5"));
+    }
+
+    #[test]
+    fn queries_reference_existing_columns() {
+        for seed in 0..20 {
+            let s = Scenario::from_seed(seed);
+            for q in &s.queries {
+                assert!(s.df.has_column(&q.exposure), "{}", s.describe());
+                assert!(s.df.has_column(&q.outcome), "{}", s.describe());
+                assert_ne!(q.exposure, q.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_column_updates_extraction_columns() {
+        let mut s = Scenario::hand(HandCase::FiveHopChain);
+        assert!(s.drop_column("Entity"));
+        assert!(s.extraction_columns.is_empty());
+        assert!(!s.drop_column("y"), "refuses to drop the last column");
+    }
+}

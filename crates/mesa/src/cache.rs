@@ -67,7 +67,8 @@ pub struct CacheStats {
     pub hits: usize,
     /// Lookups that ran the fill computation.
     pub misses: usize,
-    /// Entries removed by LRU budget pressure.
+    /// Entries removed by LRU budget pressure, plus values too large for
+    /// the whole byte budget that were returned uncached.
     pub evictions: usize,
     /// Lookups that blocked on another thread's in-flight fill of the same
     /// key instead of duplicating it.
@@ -196,9 +197,10 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
     /// propagates to its own caller only.
     ///
     /// `bytes_of` prices the value for the byte budget; after publishing,
-    /// least-recently-used entries are evicted until the budget holds
-    /// (possibly including the entry just inserted, if it alone exceeds the
-    /// byte budget — the returned `Arc` is unaffected).
+    /// least-recently-used entries are evicted until the budget holds. A
+    /// value that *alone* exceeds the whole byte budget is never published
+    /// at all — it is returned to its caller but warm residents stay put
+    /// (the drop still counts as an eviction).
     pub fn get_or_fill<E>(
         &self,
         key: &K,
@@ -256,6 +258,16 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
         let value = Arc::new(value);
         let mut state = lock_ignore_poison(&self.state);
         guard.armed = false;
+        if self.budget.max_bytes.is_some_and(|m| bytes > m) {
+            // The entry alone busts the byte budget: publishing it would
+            // force every warm resident out before it was itself evicted as
+            // the newest entry. Drop it instead and leave residents alone.
+            if let Some(Slot::InFlight(inflight)) = state.map.remove(key) {
+                inflight.finish();
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return Ok(value);
+        }
         state.clock += 1;
         let now = state.clock;
         if let Some(Slot::InFlight(inflight)) = state.map.insert(
@@ -439,6 +451,97 @@ mod tests {
             "over-budget entry spilled"
         );
         assert!(cache.resident_bytes() <= 100);
+    }
+
+    #[test]
+    fn oversize_entry_does_not_evict_warm_residents() {
+        let cache: BoundedCache<u32, Vec<u8>> = BoundedCache::new(CacheBudget {
+            max_entries: None,
+            max_bytes: Some(100),
+        });
+        let sized = |v: &Vec<u8>| v.len();
+        cache
+            .get_or_fill(&1, sized, || Ok::<_, Infallible>(vec![0u8; 40]))
+            .unwrap();
+        cache
+            .get_or_fill(&2, sized, || Ok::<_, Infallible>(vec![0u8; 40]))
+            .unwrap();
+        // An entry that alone busts the budget is returned but never
+        // published, and the two warm residents are untouched.
+        let big = cache
+            .get_or_fill(&3, sized, || Ok::<_, Infallible>(vec![0u8; 101]))
+            .unwrap();
+        assert_eq!(big.len(), 101);
+        assert!(cache.get_if_ready(&3).is_none());
+        assert!(cache.get_if_ready(&1).is_some(), "warm resident 1 survived");
+        assert!(cache.get_if_ready(&2).is_some(), "warm resident 2 survived");
+        assert_eq!(cache.resident_bytes(), 80);
+        assert_eq!(cache.stats().evictions, 1, "the drop is visible in stats");
+        // The key stays fillable: a later, smaller value for it publishes.
+        cache
+            .get_or_fill(&3, sized, || Ok::<_, Infallible>(vec![0u8; 10]))
+            .unwrap();
+        assert!(cache.get_if_ready(&3).is_some());
+    }
+
+    #[test]
+    fn zero_byte_entries_are_resident_and_terminate_eviction() {
+        let cache: BoundedCache<u32, Vec<u8>> = BoundedCache::new(CacheBudget {
+            max_entries: None,
+            max_bytes: Some(10),
+        });
+        let sized = |v: &Vec<u8>| v.len();
+        // Zero-byte entries never contribute byte pressure, so any number of
+        // them stays resident and the eviction loop terminates immediately.
+        for k in 0..64u32 {
+            cache
+                .get_or_fill(&k, sized, || Ok::<_, Infallible>(Vec::new()))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.stats().evictions, 0);
+        // A real-sized entry still triggers only its own accounting.
+        cache
+            .get_or_fill(&1000, sized, || Ok::<_, Infallible>(vec![0u8; 10]))
+            .unwrap();
+        assert_eq!(cache.resident_bytes(), 10);
+        assert_eq!(cache.len(), 65);
+        // An entry-count budget still applies to zero-byte entries.
+        let counted: BoundedCache<u32, Vec<u8>> = BoundedCache::new(CacheBudget::entries(4));
+        for k in 0..10u32 {
+            counted
+                .get_or_fill(&k, sized, || Ok::<_, Infallible>(Vec::new()))
+                .unwrap();
+        }
+        assert_eq!(counted.len(), 4);
+        assert_eq!(counted.stats().evictions, 6);
+    }
+
+    #[test]
+    fn interleaved_hit_miss_storm_preserves_lru_order() {
+        let cache: BoundedCache<u32, u64> = BoundedCache::new(CacheBudget::entries(3));
+        let sized = |_: &u64| 1usize;
+        for k in [1u32, 2, 3] {
+            cache.get_or_fill(&k, sized, fill_ok(k as u64)).unwrap();
+        }
+        // Storm: hits refresh recency out of insertion order, misses evict.
+        // Touch order so far (oldest -> newest): 1, 2, 3.
+        cache.get_or_fill(&1, sized, fill_ok(0)).unwrap(); // hit: 2, 3, 1
+        cache.get_or_fill(&4, sized, fill_ok(4)).unwrap(); // miss: evicts 2
+        assert!(cache.get_if_ready(&2).is_none(), "2 was LRU");
+        // Now (oldest -> newest): 3, 1, 4 — `get_if_ready` above also bumped
+        // nothing for 2 (absent), but hits below do bump.
+        cache.get_or_fill(&3, sized, fill_ok(0)).unwrap(); // hit: 1, 4, 3
+        cache.get_or_fill(&5, sized, fill_ok(5)).unwrap(); // miss: evicts 1
+        assert!(cache.get_if_ready(&1).is_none(), "1 was LRU after 3's hit");
+        for k in [3u32, 4, 5] {
+            assert!(cache.get_if_ready(&k).is_some(), "{k} resident");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.misses, 5);
     }
 
     #[test]

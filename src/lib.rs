@@ -105,6 +105,7 @@
 #![forbid(unsafe_code)]
 
 pub use datagen;
+pub use fuzz;
 pub use infotheory;
 pub use kg;
 pub use mesa;

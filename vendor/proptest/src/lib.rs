@@ -7,8 +7,13 @@
 //! [`proptest!`] macro, and the `prop_assert*` macros.
 //!
 //! Inputs are generated from a **fixed per-test seed** (derived from the test
-//! function's name), so runs are fully reproducible. There is no shrinking:
-//! a failing case panics with the offending assertion directly.
+//! function's name), so runs are fully reproducible. Failing cases are
+//! **minimized** before being reported: integer strategies shrink toward the
+//! low end of their range by binary search, vector strategies shrink by
+//! dropping elements (halves first, then single elements) and by shrinking
+//! individual elements. The greedy loop in [`shrink_to_minimal`] adopts any
+//! candidate that still fails and repeats until a fixpoint (or a step budget),
+//! then re-runs the minimal case so the test fails with its actual panic.
 
 #![warn(missing_docs)]
 
@@ -21,9 +26,67 @@ pub trait Strategy {
 
     /// Generates one value using `rng`.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of `value` to try during
+    /// minimization. An empty vector means the value is already minimal (the
+    /// default for strategies with no meaningful shrink order).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
-macro_rules! impl_range_strategy {
+/// Shrink candidates for an integer `current`, anchored at the range's `low`
+/// end: the full bisection ladder `current - gap/2^k` for k = 0.. (i.e. the
+/// low end, the midpoint, the three-quarter point, ..., `current - 1`). The
+/// greedy loop in [`shrink_to_minimal`] adopts the first failing rung, so the
+/// distance to the true failure boundary at least halves per pass — a
+/// stateless binary search.
+macro_rules! int_shrink_candidates {
+    ($t:ty, $low:expr, $current:expr) => {{
+        let low: $t = $low;
+        let current: $t = $current;
+        let mut out: Vec<$t> = Vec::new();
+        let gap = current as i128 - low as i128;
+        let mut step = gap;
+        while step > 0 {
+            let candidate = (current as i128 - step) as $t;
+            if out.last() != Some(&candidate) {
+                out.push(candidate);
+            }
+            step /= 2;
+        }
+        out
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!($t, self.start, *value)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!($t, *self.start(), *value)
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Floats generate uniformly but do not shrink: there is no discrete "one
+// smaller" step, and the workspace's float proptests assert range/structure
+// properties where minimization buys nothing.
+macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
@@ -39,7 +102,7 @@ macro_rules! impl_range_strategy {
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+impl_float_range_strategy!(f64);
 
 /// `Just`-style constant strategy: always yields a clone of the value.
 #[derive(Debug, Clone)]
@@ -57,6 +120,45 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut StdRng) -> S::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Tuples of strategies generate component-wise in declaration order (so the
+/// RNG stream matches drawing each component separately) and shrink one
+/// component at a time, holding the others fixed.
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut tuple = value.clone();
+                        tuple.$idx = candidate;
+                        out.push(tuple);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// Number-of-elements specification for collection strategies: either an
@@ -114,7 +216,10 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = if self.size.min == self.size.max {
@@ -123,6 +228,33 @@ pub mod collection {
                 rng.gen_range(self.size.min..=self.size.max)
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            let len = value.len();
+            // Element dropping: second half, first half, then each single
+            // element — never below the strategy's minimum length.
+            let half = len / 2;
+            if half >= self.size.min && half < len {
+                out.push(value[..half].to_vec());
+                out.push(value[len - half..].to_vec());
+            }
+            if len > self.size.min {
+                for i in 0..len {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Element shrinking: one position at a time, keeping the length.
+            for (i, elem) in value.iter().enumerate() {
+                for candidate in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = candidate;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -155,6 +287,116 @@ pub fn seed_for(name: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// Cap on candidate evaluations per shrink session, so a pathological
+/// predicate (e.g. one that fails for *every* candidate of a huge vector)
+/// cannot stall a test run. 1024 evaluations is enough for binary search over
+/// any 64-bit range plus element dropping on the workspace's vector sizes.
+pub const MAX_SHRINK_EVALS: usize = 1024;
+
+/// Greedily minimizes `current` under `strategy`'s shrink order: any proposed
+/// candidate for which `fails` returns `true` is adopted and shrinking
+/// restarts from it, until no candidate fails (a local minimum) or
+/// [`MAX_SHRINK_EVALS`] candidate evaluations have been spent.
+///
+/// Returns the minimal failing value and the number of candidates evaluated.
+pub fn shrink_to_minimal<S: Strategy>(
+    strategy: &S,
+    mut current: S::Value,
+    mut fails: impl FnMut(&S::Value) -> bool,
+) -> (S::Value, usize)
+where
+    S::Value: Clone,
+{
+    let mut evals = 0usize;
+    'outer: loop {
+        for candidate in strategy.shrink(&current) {
+            if evals >= MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, evals)
+}
+
+/// Runs `f` with this thread's panic messages suppressed, so the many
+/// intentionally-failing candidate runs during shrinking do not spam the test
+/// output. Panics on *other* threads still print normally, and the hook
+/// chain is installed once per process.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::cell::Cell;
+    use std::sync::Once;
+
+    thread_local! {
+        static QUIET: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            QUIET.with(|q| q.set(false));
+        }
+    }
+    QUIET.with(|q| q.set(true));
+    let _reset = Reset;
+    f()
+}
+
+/// Drives one generated case for the [`proptest!`] macro: run it, and if it
+/// fails, shrink it to a local minimum (quietly), report the minimal
+/// arguments via `report`, and re-run the minimal case so the test fails
+/// with its actual panic. Returns normally when the case passes.
+///
+/// This lives in the library rather than in the macro expansion so the
+/// `runner`/`report` closures get their parameter types pinned by this
+/// function's signature (closure bodies that destructure the generated tuple
+/// cannot be type-checked otherwise).
+pub fn run_proptest_case<S, F>(
+    name: &str,
+    case: u32,
+    cases: u32,
+    strategy: &S,
+    vals: S::Value,
+    mut runner: F,
+    report: impl FnOnce(&S::Value),
+) where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), Box<dyn std::any::Any + Send>>,
+{
+    let first_panic = match runner(vals.clone()) {
+        Ok(()) => return,
+        Err(panic) => panic,
+    };
+    let (minimal, evals) = with_quiet_panics(|| {
+        shrink_to_minimal(strategy, vals, |candidate| {
+            runner(candidate.clone()).is_err()
+        })
+    });
+    eprintln!("proptest case {case}/{cases} failed for {name}; minimal case after {evals} candidate run(s):");
+    report(&minimal);
+    // Re-run un-silenced so the test fails with the minimal case's actual
+    // panic; if the body is flaky and no longer fails, fall back to the
+    // original panic.
+    match runner(minimal) {
+        Err(panic) => std::panic::resume_unwind(panic),
+        Ok(()) => std::panic::resume_unwind(first_panic),
+    }
 }
 
 /// Everything a property test needs in scope: `use proptest::prelude::*;`.
@@ -202,7 +444,8 @@ macro_rules! prop_assert_ne {
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running `cases` deterministic random cases.
+/// becomes a `#[test]` running `cases` deterministic random cases, shrinking
+/// any failing case to a local minimum before reporting it.
 #[macro_export]
 macro_rules! proptest {
     // With a leading #![proptest_config(...)] attribute.
@@ -223,20 +466,30 @@ macro_rules! proptest {
                 let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
                     $crate::seed_for(stringify!($name)),
                 );
+                // One tuple strategy over all the arguments: generation draws
+                // components in declaration order, exactly as the pre-shrink
+                // macro did, so existing per-test streams are unchanged.
+                let strategy = ($(($strategy),)+);
                 for case in 0..config.cases {
-                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
-                    let run = || {
-                        $body
-                    };
-                    if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
-                        eprintln!(
-                            "proptest case {case}/{} failed for {}",
-                            config.cases,
-                            stringify!($name),
-                        );
-                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
-                        std::panic::resume_unwind(panic);
-                    }
+                    let vals = $crate::Strategy::generate(&strategy, &mut rng);
+                    $crate::run_proptest_case(
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        &strategy,
+                        vals,
+                        |vals| {
+                            let ($($arg,)+) = vals;
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                $body
+                            }))
+                            .map(|_| ())
+                        },
+                        |minimal| {
+                            let ($($arg,)+) = ::std::clone::Clone::clone(minimal);
+                            $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        },
+                    );
                 }
             }
         )*
@@ -246,11 +499,79 @@ macro_rules! proptest {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::{shrink_to_minimal, with_quiet_panics};
 
     #[test]
     fn seeds_are_stable_and_distinct() {
         assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
         assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+
+    #[test]
+    fn integer_shrink_converges_by_binary_search() {
+        // Failing iff v >= 37: the minimum must land exactly on 37, and in
+        // far fewer evaluations than the 963 a linear scan would need.
+        let strategy = 0u32..1000;
+        let (minimal, evals) = shrink_to_minimal(&strategy, 912u32, |v| *v >= 37);
+        assert_eq!(minimal, 37);
+        assert!(evals < 64, "binary search took {evals} evals");
+    }
+
+    #[test]
+    fn integer_shrink_reaches_range_low_end() {
+        let strategy = -8i64..=100;
+        let (minimal, _) = shrink_to_minimal(&strategy, 73i64, |_| true);
+        assert_eq!(minimal, -8);
+    }
+
+    #[test]
+    fn integer_shrink_keeps_already_minimal_value() {
+        let strategy = 5u8..20;
+        let (minimal, evals) = shrink_to_minimal(&strategy, 5u8, |v| *v >= 5);
+        assert_eq!(minimal, 5);
+        assert_eq!(evals, 0, "no candidates should be proposed for the low end");
+    }
+
+    #[test]
+    fn vec_shrink_drops_elements_and_shrinks_survivors() {
+        // Failing iff any element >= 50: minimal case is a single element
+        // shrunk down to exactly 50.
+        let strategy = prop::collection::vec(0u32..100, 0usize..=10);
+        let value = vec![5, 80, 3, 99, 4];
+        let (minimal, _) = shrink_to_minimal(&strategy, value, |v| v.iter().any(|&x| x >= 50));
+        assert_eq!(minimal, vec![50]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_size() {
+        let strategy = prop::collection::vec(0u32..10, 2usize..=5);
+        let (minimal, _) = shrink_to_minimal(&strategy, vec![7, 7, 7, 7, 7], |_| true);
+        assert_eq!(minimal.len(), 2, "shrink must not go below the min size");
+    }
+
+    #[test]
+    fn tuple_shrink_minimizes_each_component() {
+        let strategy = (0u32..100, 0u32..100);
+        let (minimal, _) = shrink_to_minimal(&strategy, (60u32, 90u32), |&(a, b)| a + b >= 10);
+        // Greedy per-component shrink lands on a Pareto-minimal pair.
+        assert_eq!(minimal.0 + minimal.1, 10);
+    }
+
+    #[test]
+    fn shrink_eval_budget_is_respected() {
+        // Every candidate fails and the range is enormous, but the budget
+        // bounds the work.
+        let strategy = 0u64..u64::MAX;
+        let (_, evals) = shrink_to_minimal(&strategy, u64::MAX - 1, |_| false);
+        assert!(evals <= crate::MAX_SHRINK_EVALS);
+    }
+
+    #[test]
+    fn quiet_panics_still_catches_and_returns() {
+        let caught = with_quiet_panics(|| {
+            std::panic::catch_unwind(|| panic!("silenced candidate panic")).is_err()
+        });
+        assert!(caught);
     }
 
     proptest! {
